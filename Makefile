@@ -1,0 +1,56 @@
+# CS-F-LTR reproduction — convenience targets. Everything is plain `go`
+# under the hood; the Makefile only names the common workflows.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments experiments-fast examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper table/figure plus package micro-benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz sessions over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzUnmarshalTable -fuzztime 30s ./internal/sketch/
+	$(GO) test -fuzz FuzzReadOwner -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzRTKQueryHandling -fuzztime 30s ./internal/core/
+
+# Regenerate every table and figure at the shape-faithful default scale
+# (about 20 minutes; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/expbench -exp all -scale default
+
+# Same shapes in under a minute.
+experiments-fast:
+	$(GO) run ./cmd/expbench -exp all -scale test
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/federatedsearch
+	$(GO) run ./examples/privatetf
+	$(GO) run ./examples/incrementalindex
+	$(GO) run ./examples/httpgateway
+	$(GO) run ./examples/enterpriseranking
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,345 @@
+// Command csfltr is the pipeline driver of the CS-F-LTR reproduction.
+//
+//	csfltr demo                 # end-to-end simulation, Table-I output
+//	csfltr serve -addr :7070    # host a federation server over net/rpc
+//	csfltr query -addr HOST:PORT -party B -term 12345 -k 10
+//
+// serve generates the synthetic corpus, ingests every party's documents
+// into their sketches and exports the coordinating server over TCP;
+// query dials it and runs a reverse top-K document query (Algorithm 5)
+// as a remote querier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+
+	"csfltr/internal/core"
+	"csfltr/internal/corpus"
+	"csfltr/internal/experiments"
+	"csfltr/internal/federation"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "demo":
+		err = demo(os.Args[2:])
+	case "serve":
+		err = serve(os.Args[2:])
+	case "query":
+		err = query(os.Args[2:])
+	case "party":
+		err = partyCmd(os.Args[2:])
+	case "train":
+		err = train(os.Args[2:])
+	case "eval":
+		err = evalCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csfltr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  csfltr demo  [-scale test|default] [-seed N]
+  csfltr serve [-addr HOST:PORT] [-seed N]
+  csfltr query -addr HOST:PORT [-party NAME] [-term ID] [-k N] [-naive]
+  csfltr party -name NAME [-addr HOST:PORT] [-seed N]
+  csfltr train [-scale test|default] [-seed N] -model FILE
+  csfltr eval  [-scale test|default] [-seed N] -model FILE`)
+}
+
+// partyCmd hosts one party in its own process (the fully distributed
+// topology): it generates that party's slice of the shared synthetic
+// corpus, ingests it and serves the owner endpoints over TCP. A
+// coordinator registers it with Server.RegisterRemote.
+func partyCmd(args []string) error {
+	fs := flag.NewFlagSet("party", flag.ExitOnError)
+	name := fs.String("name", "B", "party name (A, B, C, D selects the corpus slice)")
+	addr := fs.String("addr", "127.0.0.1:7071", "listen address")
+	seed := fs.Int64("seed", 1, "corpus seed (must match the federation's)")
+	fs.Parse(args)
+	idx := int((*name)[0] - 'A')
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = *seed
+	if idx < 0 || idx >= cfg.NumParties || len(*name) != 1 {
+		return fmt.Errorf("party name must be one of A..%c", 'A'+cfg.NumParties-1)
+	}
+	fmt.Println("generating corpus slice for party", *name, "...")
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	p, err := federation.NewParty(*name, federation.PartyConfig{
+		Params:  core.DefaultParams(),
+		Seed:    demoSeed,
+		RNGSeed: *seed + int64(idx)*1000,
+	})
+	if err != nil {
+		return err
+	}
+	if err := p.IngestAll(c.Parties[idx].Docs); err != nil {
+		return err
+	}
+	host, err := federation.ServeParty(p, *addr)
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	fmt.Printf("party %s hosting %d documents on %s (Ctrl-C to stop)\n",
+		*name, p.NumDocs(), host.Addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return nil
+}
+
+// pipelineConfig builds the simulation configuration for train/eval/demo.
+func pipelineConfig(scale string, seed int64) (experiments.PipelineConfig, error) {
+	cfg := experiments.DefaultPipelineConfig()
+	switch scale {
+	case "default":
+	case "test":
+		cfg = experiments.TestPipelineConfig()
+	default:
+		return cfg, fmt.Errorf("unknown scale %q", scale)
+	}
+	cfg.Seed = seed
+	cfg.Corpus.Seed = seed
+	cfg.Corpus.LabelNoise = []float64{0, 0, 0.6, 0.6}
+	return cfg, nil
+}
+
+func train(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	scale := fs.String("scale", "default", "test or default")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	modelPath := fs.String("model", "csfltr-model.bin", "output model file")
+	fs.Parse(args)
+	cfg, err := pipelineConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("building federation and augmenting data...")
+	p, err := experiments.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	trained, err := experiments.TrainCSFLTR(p)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := trained.WriteTo(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained CS-F-LTR model saved to %s\n", *modelPath)
+	fmt.Printf("test metrics: ERR=%.3f nDCG@10=%.3f nDCG=%.3f\n",
+		trained.TestMetrics.ERR, trained.TestMetrics.NDCG10, trained.TestMetrics.NDCG)
+	return nil
+}
+
+func evalCmd(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	scale := fs.String("scale", "default", "test or default")
+	seed := fs.Int64("seed", 1, "corpus seed to evaluate against")
+	modelPath := fs.String("model", "csfltr-model.bin", "model file to load")
+	fs.Parse(args)
+	cfg, err := pipelineConfig(*scale, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	trained, err := experiments.ReadTrainedModel(f)
+	if err != nil {
+		return err
+	}
+	fmt.Println("generating evaluation corpus...")
+	p, err := experiments.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	m := experiments.EvaluateTrained(trained, p)
+	fmt.Printf("metrics on seed %d test set: ERR=%.3f nDCG@10=%.3f nDCG=%.3f\n",
+		*seed, m.ERR, m.NDCG10, m.NDCG)
+	return nil
+}
+
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	scale := fs.String("scale", "default", "test or default")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	fs.Parse(args)
+	cfg := experiments.DefaultPipelineConfig()
+	if *scale == "test" {
+		cfg = experiments.TestPipelineConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Corpus.Seed = *seed
+	cfg.Corpus.LabelNoise = []float64{0, 0, 0.6, 0.6}
+	fmt.Println("running CS-F-LTR end-to-end simulation...")
+	p, err := experiments.NewPipeline(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunTable1(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable1(res))
+	return nil
+}
+
+// demoSeed is the fixed hash seed serve and query agree on out of band;
+// a deployed federation derives it with the Diffie-Hellman ceremony
+// instead (see package keyex).
+const demoSeed = 0xC5F17A
+
+// remoteFlags collects repeated -remote NAME=ADDR flags.
+type remoteFlags []string
+
+func (r *remoteFlags) String() string { return strings.Join(*r, ",") }
+func (r *remoteFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want NAME=ADDR, got %q", v)
+	}
+	*r = append(*r, v)
+	return nil
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	seed := fs.Int64("seed", 1, "corpus seed")
+	var remotes remoteFlags
+	fs.Var(&remotes, "remote", "party-hosted silo to relay to, NAME=ADDR (repeatable; see 'csfltr party')")
+	fs.Parse(args)
+
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = *seed
+	fmt.Println("generating corpus...")
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	params := core.DefaultParams()
+	remoteNames := map[string]string{}
+	for _, spec := range remotes {
+		name, raddr, _ := strings.Cut(spec, "=")
+		remoteNames[name] = raddr
+	}
+	server := federation.NewServer()
+	for i := 0; i < cfg.NumParties; i++ {
+		name := string(rune('A' + i))
+		if raddr, remote := remoteNames[name]; remote {
+			client, err := server.RegisterRemote(name, raddr)
+			if err != nil {
+				return fmt.Errorf("registering remote %s=%s: %w", name, raddr, err)
+			}
+			defer client.Close()
+			fmt.Printf("party %s relayed from %s\n", name, raddr)
+			continue
+		}
+		party, err := federation.NewParty(name, federation.PartyConfig{
+			Params:  params,
+			Seed:    demoSeed,
+			RNGSeed: *seed + int64(i)*1000,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ingesting %d documents for party %s...\n", len(c.Parties[i].Docs), name)
+		if err := party.IngestAll(c.Parties[i].Docs); err != nil {
+			return err
+		}
+		if err := server.Register(party); err != nil {
+			return err
+		}
+	}
+	srv, err := federation.ListenAndServe(server, *addr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Println("serving federation on", srv.Addr)
+	fmt.Println("sample query terms (salient topic terms):")
+	for t := 0; t < 3 && t < len(c.Topics()); t++ {
+		fmt.Printf("  topic %d: %v\n", t, c.Topics()[t][:5])
+	}
+	fmt.Println("press Ctrl-C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return nil
+}
+
+func query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	party := fs.String("party", "B", "document-owner party to query")
+	term := fs.Uint64("term", 0, "term id to search for")
+	k := fs.Int("k", 10, "result count")
+	naive := fs.Bool("naive", false, "use the NAIVE algorithm instead of RTK")
+	fs.Parse(args)
+
+	client, err := federation.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	params := core.DefaultParams()
+	querier, err := core.NewQuerier(params, demoSeed, rand.New(rand.NewSource(99)))
+	if err != nil {
+		return err
+	}
+	remote := client.OwnerFor(*party, federation.FieldBody)
+	var (
+		results []core.DocCount
+		cost    core.Cost
+	)
+	if *naive {
+		results, cost, err = core.NaiveReverseTopK(querier, remote, *term, *k)
+	} else {
+		results, cost, err = core.RTKReverseTopK(querier, remote, *term, *k)
+	}
+	if err != nil {
+		return err
+	}
+	algo := "RTK"
+	if *naive {
+		algo = "NAIVE"
+	}
+	fmt.Printf("%s reverse top-%d for term %d at party %s (%d msgs, %d B down):\n",
+		algo, *k, *term, *party, cost.Messages, cost.BytesReceived)
+	for i, dc := range results {
+		fmt.Printf("  %2d. doc %-6d est. count %.1f\n", i+1, dc.DocID, dc.Count)
+	}
+	if len(results) == 0 {
+		fmt.Println("  (no documents matched)")
+	}
+	return nil
+}

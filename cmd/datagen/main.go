@@ -1,0 +1,120 @@
+// Command datagen generates the synthetic MS MARCO-style corpus used by
+// the CS-F-LTR reproduction and reports its statistics (sizes, Zipf fit,
+// cross-party relevance structure). With -out it also dumps the raw
+// documents and queries as TSV for external inspection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"csfltr/internal/corpus"
+	"csfltr/internal/textkit"
+	"csfltr/internal/zipf"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "default", "test, default or paper")
+		seed  = flag.Int64("seed", 1, "corpus seed")
+		out   = flag.String("out", "", "directory to dump TSV files into (optional)")
+	)
+	flag.Parse()
+	if err := run(*scale, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale string, seed int64, out string) error {
+	var cfg corpus.Config
+	switch scale {
+	case "test":
+		cfg = corpus.TestConfig()
+	case "default":
+		cfg = corpus.DefaultConfig()
+	case "paper":
+		cfg = corpus.PaperConfig()
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	cfg.Seed = seed
+	fmt.Printf("generating corpus (%d parties x %d docs x %d terms, %d queries/party)...\n",
+		cfg.NumParties, cfg.DocsPerParty, cfg.DocLen, cfg.QueriesPerParty)
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("documents: %d, queries: %d, avg doc len: %.1f\n",
+		c.TotalDocs(), c.TotalQueries(), c.AverageDocLen())
+
+	// Zipf fit over party 0's aggregate term counts.
+	counts := make(map[textkit.TermID]float64)
+	for _, d := range c.Parties[0].Docs {
+		for t, n := range d.BodyCounts() {
+			counts[t] += float64(n)
+		}
+	}
+	freqs := make([]float64, 0, len(counts))
+	for _, f := range counts {
+		freqs = append(freqs, f)
+	}
+	fmt.Printf("fitted Zipf exponent (party A bodies): %.3f\n", zipf.FitExponent(freqs))
+
+	// Relevance structure.
+	var cross, total, high int
+	for pi, p := range c.Parties {
+		for _, q := range p.Queries {
+			for i, sd := range c.GroundTruth(corpus.QueryRef{Party: pi, Query: q.ID}) {
+				total++
+				if sd.Ref.Party != pi {
+					cross++
+				}
+				if i < cfg.HighCut {
+					high++
+				}
+			}
+		}
+	}
+	fmt.Printf("relevant (q,d) pairs: %d (%.0f%% cross-party, %d highly relevant)\n",
+		total, 100*float64(cross)/float64(total), high)
+
+	if out == "" {
+		return nil
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	for pi, p := range c.Parties {
+		if err := dumpParty(out, pi, p); err != nil {
+			return err
+		}
+	}
+	fmt.Println("wrote TSV dumps to", out)
+	return nil
+}
+
+// dumpParty writes one party's documents and queries in the interchange
+// TSV format of corpus.WriteDocsTSV / corpus.WriteQueriesTSV (readable
+// back with the corresponding readers and corpus.FromParties).
+func dumpParty(dir string, pi int, p *corpus.Party) error {
+	docPath := filepath.Join(dir, fmt.Sprintf("party%d-docs.tsv", pi))
+	f, err := os.Create(docPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := corpus.WriteDocsTSV(f, p.Docs); err != nil {
+		return err
+	}
+	qPath := filepath.Join(dir, fmt.Sprintf("party%d-queries.tsv", pi))
+	qf, err := os.Create(qPath)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	return corpus.WriteQueriesTSV(qf, p.Queries)
+}

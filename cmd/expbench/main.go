@@ -1,0 +1,336 @@
+// Command expbench regenerates the tables and figures of the CS-F-LTR
+// paper's evaluation section (see EXPERIMENTS.md for the mapping and
+// recorded results).
+//
+// Usage:
+//
+//	expbench -exp table1            # Table I
+//	expbench -exp fig4-alpha        # Fig. 4, impact of alpha
+//	expbench -exp fig4              # all five Fig. 4 columns
+//	expbench -exp fig5              # Fig. 5 panels + separability probes
+//	expbench -exp fig6a             # Fig. 6a, privacy budget sweep
+//	expbench -exp fig6b             # Fig. 6b, number-of-parties sweep
+//	expbench -exp headline          # Section VI-D NAIVE vs RTK headline
+//	expbench -exp traffic           # server-relayed bytes, NAIVE vs RTK
+//	expbench -exp ablation          # estimator + aggregator ablations
+//	expbench -exp sse               # encryption-based comparator
+//	expbench -exp all               # everything
+//
+// -scale selects the workload size: "test" (seconds), "default"
+// (minutes, the shape-faithful laptop scale) or "paper" for Fig. 4 /
+// headline at the paper's document counts.
+// -csv DIR additionally writes CSV series and Fig. 5 SVG panels;
+// -json FILE writes one machine-readable report covering the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"csfltr/internal/corpus"
+	"csfltr/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (table1, fig4[-alpha|-beta|-k|-w|-z], fig5, fig6a, fig6b, headline, traffic, all)")
+		scale   = flag.String("scale", "default", "workload scale: test, default or paper")
+		csvDir  = flag.String("csv", "", "directory to write CSV series into (optional)")
+		jsonOut = flag.String("json", "", "file to write a machine-readable JSON report into (optional)")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		scatter = flag.Bool("scatter", false, "print ASCII scatter plots for fig5 panels")
+	)
+	flag.Parse()
+	if err := run(*exp, *scale, *csvDir, *jsonOut, *seed, *scatter); err != nil {
+		fmt.Fprintln(os.Stderr, "expbench:", err)
+		os.Exit(1)
+	}
+}
+
+// configs returns the scale-adjusted configurations.
+func configs(scale string, seed int64) (experiments.PipelineConfig, experiments.Fig4Config, experiments.Fig5Config, error) {
+	var pipe experiments.PipelineConfig
+	var fig4 experiments.Fig4Config
+	var fig5 experiments.Fig5Config
+	switch scale {
+	case "test":
+		pipe = experiments.TestPipelineConfig()
+		fig4 = experiments.TestFig4Config()
+		fig5 = experiments.TestFig5Config()
+	case "default":
+		pipe = experiments.DefaultPipelineConfig()
+		// Parties C and D hold noisier labels, reproducing Table I's
+		// data-quality divergence.
+		pipe.Corpus.LabelNoise = []float64{0, 0, 0.6, 0.6}
+		fig4 = experiments.DefaultFig4Config()
+		fig5 = experiments.DefaultFig5Config()
+	case "paper":
+		pipe = experiments.DefaultPipelineConfig()
+		pipe.Corpus.LabelNoise = []float64{0, 0, 0.6, 0.6}
+		fig4 = experiments.DefaultFig4Config()
+		fig4.Docs = 36400 // the paper's per-party document count
+		fig4.DocLen = 1000
+		fig4.NaiveTerms = 1
+		fig5 = experiments.DefaultFig5Config()
+	default:
+		return pipe, fig4, fig5, fmt.Errorf("unknown scale %q", scale)
+	}
+	pipe.Seed = seed
+	fig4.Seed = seed
+	fig5.Seed = seed
+	pipe.Corpus.Seed = seed
+	fig5.Corpus.Seed = seed
+	return pipe, fig4, fig5, nil
+}
+
+func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool) error {
+	pipe, fig4, fig5, err := configs(scale, seed)
+	if err != nil {
+		return err
+	}
+	report := experiments.NewReport(map[string]string{
+		"scale": scale,
+		"seed":  fmt.Sprint(seed),
+	})
+	runners := map[string]func() error{
+		"table1": func() error { return runTable1(pipe, report) },
+		"fig5":   func() error { return runFig5(fig5, csvDir, scatter, report) },
+		"fig6a":  func() error { return runFig6a(pipe, report) },
+		"fig6b":  func() error { return runFig6b(pipe, report) },
+		"headline": func() error {
+			res, err := experiments.RunHeadline(fig4)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Headline (Section VI-D): NAIVE vs RTK ==")
+			fmt.Print(experiments.RenderHeadline(res))
+			report.Add("headline", res)
+			return nil
+		},
+		"ablation": func() error {
+			fmt.Println("== Ablation: RTK candidate estimator (zero-fill vs paper-literal) ==")
+			for _, param := range []string{"alpha", "beta"} {
+				ab, err := experiments.RunEstimatorAblation(fig4, param, experiments.PaperFig4Sweeps()[param])
+				if err != nil {
+					return err
+				}
+				fmt.Print(experiments.RenderEstimatorAblation(ab))
+				fmt.Println()
+				report.Add("ablation-estimator-"+param, ab)
+			}
+			fmt.Println("== Ablation: federated aggregation strategy ==")
+			p, err := experiments.NewPipeline(pipe)
+			if err != nil {
+				return err
+			}
+			agg, err := experiments.RunAggregatorAblation(p)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.RenderAggregatorAblation(agg))
+			report.Add("ablation-aggregator", agg)
+			return nil
+		},
+		"sse": func() error {
+			cfg := fig4
+			if cfg.Docs > 8000 {
+				cfg.Docs = 8000
+			}
+			res, err := experiments.RunSSEComparison(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Comparator: searchable symmetric encryption vs sketches ==")
+			fmt.Print(experiments.RenderSSEComparison(res))
+			report.Add("sse", res)
+			return nil
+		},
+		"traffic": func() error {
+			cfg := fig4
+			if cfg.Docs > 4000 {
+				cfg.Docs = 4000 // traffic shape saturates; keep it quick
+			}
+			res, err := experiments.RunTrafficComparison(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Server-relayed traffic for one reverse top-K ==")
+			fmt.Printf("NAIVE: %d messages, %.1f KB\n", res.NaiveTraffic.Messages, float64(res.NaiveTraffic.Bytes)/1024)
+			fmt.Printf("RTK:   %d messages, %.1f KB\n", res.RTKTraffic.Messages, float64(res.RTKTraffic.Bytes)/1024)
+			report.Add("traffic", res)
+			return nil
+		},
+	}
+	for _, p := range []string{"alpha", "beta", "k", "w", "z"} {
+		p := p
+		runners["fig4-"+p] = func() error { return runFig4(fig4, p, csvDir, report) }
+	}
+	runners["fig4"] = func() error {
+		for _, p := range []string{"alpha", "beta", "k", "w", "z"} {
+			if err := runFig4(fig4, p, csvDir, report); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	writeReport := func() error {
+		if jsonOut == "" || report.Len() == 0 {
+			return nil
+		}
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonOut)
+		return nil
+	}
+
+	if exp == "all" {
+		names := make([]string, 0, len(runners))
+		for n := range runners {
+			if strings.HasPrefix(n, "fig4-") {
+				continue // covered by "fig4"
+			}
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if err := runners[n](); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Println()
+		}
+		return writeReport()
+	}
+	r, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	if err := r(); err != nil {
+		return err
+	}
+	return writeReport()
+}
+
+func runTable1(pipe experiments.PipelineConfig, report *experiments.Report) error {
+	fmt.Println("== Table I: LTR model performance ==")
+	p, err := experiments.NewPipeline(pipe)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunTable1(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable1(res))
+	report.Add("table1", res)
+	return nil
+}
+
+func runFig4(cfg experiments.Fig4Config, param string, csvDir string, report *experiments.Report) error {
+	fmt.Printf("== Fig. 4: impact of %s (docs=%d) ==\n", param, cfg.Docs)
+	points, err := experiments.RunFig4Sweep(cfg, param, experiments.PaperFig4Sweeps()[param])
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig4(points))
+	report.Add("fig4-"+param, points)
+	if csvDir != "" {
+		path := filepath.Join(csvDir, "fig4-"+param+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteFig4CSV(f, points); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+func runFig5(cfg experiments.Fig5Config, csvDir string, scatter bool, report *experiments.Report) error {
+	fmt.Println("== Fig. 5: sketch strategy separability ==")
+	panels, err := experiments.RunFig5(cfg, experiments.PaperFig5Strategies())
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig5(panels))
+	probes := make(map[string]any, len(panels))
+	for _, p := range panels {
+		probes[p.Strategy.Name] = p.Probes
+	}
+	report.Add("fig5-probes", probes)
+	if scatter {
+		for _, p := range panels {
+			fmt.Printf("\n[%s] (o = relevant, . = irrelevant, 8 = overlap)\n", p.Strategy.Name)
+			fmt.Print(experiments.Scatter(p.Points, p.Labels, 72, 20))
+		}
+	}
+	if csvDir != "" {
+		for _, p := range panels {
+			path := filepath.Join(csvDir, "fig5-"+p.Strategy.Name+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteFig5PointsCSV(f, p); err != nil {
+				f.Close()
+				return err
+			}
+			f.Close()
+			fmt.Println("wrote", path)
+
+			svgPath := filepath.Join(csvDir, "fig5-"+p.Strategy.Name+".svg")
+			sf, err := os.Create(svgPath)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteFig5SVG(sf, p, 360, 300); err != nil {
+				sf.Close()
+				return err
+			}
+			sf.Close()
+			fmt.Println("wrote", svgPath)
+		}
+	}
+	return nil
+}
+
+func runFig6a(pipe experiments.PipelineConfig, report *experiments.Report) error {
+	fmt.Println("== Fig. 6a: impact of privacy budget ==")
+	points, err := experiments.RunFig6a(pipe, []float64{0, 0.5, 1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig6a(points))
+	report.Add("fig6a", points)
+	return nil
+}
+
+func runFig6b(pipe experiments.PipelineConfig, report *experiments.Report) error {
+	fmt.Println("== Fig. 6b: impact of number of parties ==")
+	cfg := pipe
+	cfg.Corpus = resizeForParties(cfg.Corpus)
+	points, err := experiments.RunFig6b(cfg, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFig6b(points))
+	report.Add("fig6b", points)
+	return nil
+}
+
+// resizeForParties keeps the per-party sizes constant across the Fig. 6b
+// sweep (the paper adds parties, it does not re-slice a fixed pie).
+func resizeForParties(c corpus.Config) corpus.Config { return c }

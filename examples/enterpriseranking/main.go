@@ -1,0 +1,51 @@
+// Enterprise ranking: the full CS-F-LTR story on the synthetic corpus —
+// four companies with cross-partitioned documents and queries, two of
+// them with poorly curated labels, comparing Local, Local+, Global
+// (horizontal FL) and CS-F-LTR on a shared external test set, exactly the
+// comparison of the paper's Table I.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csfltr"
+)
+
+func main() {
+	cfg := csfltr.DefaultSimulationConfig()
+	// Smaller than the default experiment scale so the example finishes
+	// in a few seconds, but the same structure.
+	cfg.Corpus.DocsPerParty = 300
+	cfg.Corpus.QueriesPerParty = 16
+	cfg.Corpus.DocLen = 150
+	// Parties C and D hold noisy relevance labels — the data-quality
+	// divergence behind the paper's fairness observation.
+	cfg.Corpus.LabelNoise = []float64{0, 0, 0.6, 0.6}
+	cfg.AugPerQuery = 20
+	cfg.Rounds = 15
+
+	fmt.Println("simulating a 4-party cross-silo federation...")
+	res, err := csfltr.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(csfltr.RenderTable(res))
+
+	fmt.Println("\nreading the table:")
+	fmt.Printf("- CS-F-LTR nDCG@10 %.3f vs average Local %.3f: collaboration pays off\n",
+		res.CSFLTR.NDCG10, res.Local.Average.NDCG10)
+	fmt.Printf("- Global (horizontal FL, no cross-party features) reaches %.3f\n",
+		res.Global.NDCG10)
+	worst, best := res.Local.PerParty[0].NDCG10, res.Local.PerParty[0].NDCG10
+	for _, m := range res.Local.PerParty {
+		if m.NDCG10 < worst {
+			worst = m.NDCG10
+		}
+		if m.NDCG10 > best {
+			best = m.NDCG10
+		}
+	}
+	fmt.Printf("- local models range %.3f-%.3f: parties with noisy labels gain the most\n",
+		worst, best)
+}

@@ -1,0 +1,79 @@
+// HTTP gateway: the federation's second transport. The coordinator
+// exposes a REST/JSON surface (for silos not written in Go); this
+// example starts the gateway, shows the raw JSON a curl user would see,
+// then drives the full privacy-preserving protocol through the Go HTTP
+// client.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"csfltr/internal/core"
+	"csfltr/internal/federation"
+	"csfltr/internal/textkit"
+)
+
+const sharedSeed = 0xbeef
+
+func main() {
+	params := core.DefaultParams()
+	params.Epsilon = 0
+	params.K = 3
+
+	fed, err := federation.NewDeterministic([]string{"hub", "lab"}, params, sharedSeed, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vocab := textkit.NewVocabulary()
+	lab, _ := fed.Party("lab")
+	ingest := func(id int, text string) {
+		doc := textkit.NewDocument(id, -1, nil, vocab.InternAll(textkit.Tokenize(text)))
+		if err := lab.IngestDocument(doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ingest(0, "genome sequencing pipeline alignment variants genome annotations")
+	ingest(1, "office seating chart")
+	ingest(2, "genome browser tracks and visualization")
+
+	// Serve the gateway (httptest keeps the example self-contained; in a
+	// deployment this is http.ListenAndServe(addr, handler)).
+	ts := httptest.NewServer(federation.HTTPHandler(fed.Server))
+	defer ts.Close()
+	fmt.Println("HTTP gateway listening on", ts.URL)
+
+	// What a curl user sees.
+	show := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		fmt.Printf("GET %-38s -> %s", path, body)
+	}
+	show("/v1/parties")
+	show("/v1/parties/lab/body/docs")
+	show("/v1/parties/lab/body/docs/0/meta")
+
+	// The full protocol through the HTTP-backed OwnerAPI.
+	querier, err := core.NewQuerier(params, sharedSeed, rand.New(rand.NewSource(3)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	remote := federation.NewHTTPOwner(ts.URL, "lab", federation.FieldBody, ts.Client())
+	term, _ := vocab.Lookup("genome")
+	top, cost, err := core.RTKReverseTopK(querier, remote, uint64(term), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreverse top-3 for %q via HTTP (%d B down):\n", "genome", cost.BytesReceived)
+	for i, dc := range top {
+		fmt.Printf("  %d. doc %d (est. count %.0f)\n", i+1, dc.DocID, dc.Count)
+	}
+}

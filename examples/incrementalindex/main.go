@@ -1,0 +1,97 @@
+// Incremental indexing: the RTK-Sketch supports live document insertion
+// and deletion (Algorithm 4's Update/Delete), and the whole owner state
+// survives process restarts via crash-safe snapshots — the operational
+// story behind the paper's "if some party wants to update new documents
+// or delete old documents, they only have to do incremental updates
+// instead of re-constructing the whole sketch".
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/store"
+	"csfltr/internal/textkit"
+)
+
+const seed = 1234
+
+func main() {
+	params := core.DefaultParams()
+	params.Epsilon = 0
+	params.K = 3
+
+	owner, err := core.NewOwner(params, seed, dp.Disabled())
+	if err != nil {
+		log.Fatal(err)
+	}
+	vocab := textkit.NewVocabulary()
+	add := func(id int, text string) {
+		counts := map[uint64]int64{}
+		for _, tok := range textkit.Tokenize(text) {
+			counts[uint64(vocab.Intern(tok))]++
+		}
+		if err := owner.AddDocument(id, counts); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	add(1, "kubernetes cluster upgrade guide: upgrade nodes, upgrade control plane, drain pods")
+	add(2, "postgres vacuum tuning for large tables")
+	add(3, "upgrade postgres major version with logical replication; upgrade checklist")
+
+	querier, err := core.NewQuerier(params, seed, rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	term, _ := vocab.Lookup("upgrade")
+	show := func(stage string) {
+		top, _, err := core.RTKReverseTopK(querier, owner, uint64(term), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s top docs for %q: ", stage, "upgrade")
+		for i, dc := range top {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("doc%d(%.0f)", dc.DocID, dc.Count)
+		}
+		fmt.Println()
+	}
+	show("initial index")
+
+	// Delete doc 1 (Algorithm 4's deletion walks every heap).
+	if err := owner.RemoveDocument(1); err != nil {
+		log.Fatal(err)
+	}
+	show("after deleting doc 1")
+
+	// Add a new document incrementally — no rebuild.
+	add(4, "firmware upgrade notes: bootloader upgrade, safety interlocks, rollback")
+	show("after adding doc 4")
+
+	// Snapshot to disk and restore into a fresh process-like owner.
+	dir, err := os.MkdirTemp("", "csfltr-index-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "owner.snap")
+	if err := store.SaveOwner(path, owner); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := store.LoadOwner(path, dp.Disabled())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot round trip: %d docs restored from %s\n",
+		len(restored.DocIDs()), filepath.Base(path))
+	owner = restored
+	show("after restart (restored)")
+}

@@ -1,0 +1,83 @@
+// Quickstart: two companies build a federation, sketch their private
+// documents, and one runs privacy-preserving cross-party queries against
+// the other — the minimal CS-F-LTR workflow through the public facade.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csfltr"
+)
+
+func main() {
+	// Protocol parameters shared by the federation: a 30x200 sketch per
+	// document, 10 of 30 hash rows real per query (the rest are decoys),
+	// Laplace noise at epsilon=0.5 on every answer.
+	params := csfltr.DefaultParams()
+	params.K = 3
+
+	// The ceremony runs Diffie-Hellman pairwise key agreement so that the
+	// coordinating server never learns the hash keys.
+	fed, err := csfltr.NewFederation([]string{"acme", "globex"}, params, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both parties intern terms through a shared vocabulary (in a real
+	// deployment this is a shared tokenizer + dictionary).
+	vocab := csfltr.NewVocabulary()
+
+	// Globex privately holds three documents; only their sketches will
+	// ever be queried.
+	globex, err := fed.Party("globex")
+	if err != nil {
+		log.Fatal(err)
+	}
+	docs := []*csfltr.Document{
+		csfltr.NewDocument(vocab, 0, "Go database internals",
+			"database storage engines in go, b-tree pages, write ahead logging, database recovery"),
+		csfltr.NewDocument(vocab, 1, "Cooking with cast iron",
+			"skillet recipes and seasoning, cast iron care, searing steak"),
+		csfltr.NewDocument(vocab, 2, "Streaming sketches",
+			"count min sketch and count sketch summarize database streams with bounded memory"),
+	}
+	for _, d := range docs {
+		if err := globex.IngestDocument(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Acme wants to know which Globex documents are most relevant to the
+	// term "database" — without Globex revealing its corpus and without
+	// revealing the query term to the server.
+	term, ok := vocab.Lookup("database")
+	if !ok {
+		log.Fatal("term not in vocabulary")
+	}
+
+	// Reverse top-K via the RTK-Sketch: one round trip.
+	top, cost, err := fed.ReverseTopK("acme", "globex", csfltr.FieldBody, uint64(term), 3, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reverse top-3 for %q at globex (%d message, %d bytes down):\n",
+		"database", cost.Messages, cost.BytesReceived)
+	for i, dc := range top {
+		fmt.Printf("  %d. doc %d, estimated count %.1f\n", i+1, dc.DocID, dc.Count)
+	}
+
+	// A point term-frequency query against a specific document
+	// (Algorithms 1+2): the answer carries sketch noise and DP noise.
+	tf, err := fed.CrossTF("acme", "globex", csfltr.FieldBody, 0, uint64(term))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated count of %q in globex doc 0: %.1f (true count 2, epsilon=%.1f)\n",
+		"database", tf, params.Epsilon)
+
+	// The querier's accountant tracked the privacy spend against globex.
+	acme, _ := fed.Party("acme")
+	fmt.Printf("acme's cumulative privacy spend against globex: epsilon=%.1f\n",
+		acme.Accountant().Spent("globex"))
+}

@@ -1,0 +1,3 @@
+module csfltr
+
+go 1.22

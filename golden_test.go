@@ -1,0 +1,102 @@
+package csfltr
+
+// Wire-format stability tests: persisted artifacts (sketch tables, model
+// bundles, owner snapshots) outlive processes, so their byte layouts are
+// a compatibility contract. These tests pin SHA-256 digests of fixed
+// inputs; a failure means the format changed and needs either a version
+// bump in the serializer or a deliberate update of the digest here.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"csfltr/internal/features"
+	"csfltr/internal/hashutil"
+	"csfltr/internal/ltr"
+	"csfltr/internal/sketch"
+)
+
+func digest(t *testing.T, data []byte) string {
+	t.Helper()
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+func TestGoldenSketchFormat(t *testing.T) {
+	fam, err := hashutil.NewFamily(hashutil.KindPolynomial, 3, 16, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := sketch.MustNew(sketch.Count, fam)
+	for i := uint64(0); i < 40; i++ {
+		tab.Add(i, int64(i%7))
+	}
+	data, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 414 {
+		t.Fatalf("sketch payload length changed: %d, want 414", len(data))
+	}
+	const want = "0890f38cfe56a3e7b2482a684b61d6f850d6d935a1605e65fd564a5a8530f8ca"
+	if got := digest(t, data); got != want {
+		t.Fatalf("sketch wire format changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenModelFormat(t *testing.T) {
+	m := &ltr.LinearModel{W: []float64{0.5, -1.25, 3.5}, B: 0.75}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 44 {
+		t.Fatalf("model payload length changed: %d, want 44", buf.Len())
+	}
+	const want = "afdc29c87b1cb6ef9d92972c4095f41c2d1415d9e04ba38f5b1bab1d702b6db7"
+	if got := digest(t, buf.Bytes()); got != want {
+		t.Fatalf("model wire format changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestGoldenNormalizerFormat(t *testing.T) {
+	n := features.FitNormalizer([][]float64{{1, 2}, {3, 6}})
+	var buf bytes.Buffer
+	if _, err := n.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 44 {
+		t.Fatalf("normalizer payload length changed: %d, want 44", buf.Len())
+	}
+	const want = "2763c4f4241bc0e0bf0349ab6c1e6ccfdb69619e08df8865dd87e539e7df03d5"
+	if got := digest(t, buf.Bytes()); got != want {
+		t.Fatalf("normalizer wire format changed:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenHashFamily pins the hash family itself: if polynomial
+// coefficients or the reduction change, every persisted sketch silently
+// stops matching its terms. Index/Sign outputs on fixed inputs are the
+// contract.
+func TestGoldenHashFamily(t *testing.T) {
+	fam, err := hashutil.NewFamily(hashutil.KindPolynomial, 2, 64, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdx := [][2]uint32{{36, 52}, {12, 44}, {52, 35}}
+	wantSign := [][2]int32{{1, -1}, {-1, 1}, {1, 1}}
+	for i, term := range []uint64{0, 1, 2} {
+		for row := 0; row < 2; row++ {
+			if got := fam.Index(row, term); got != wantIdx[i][row] {
+				t.Fatalf("Index(%d, %d) = %d, want %d — hash family changed",
+					row, term, got, wantIdx[i][row])
+			}
+			if got := fam.Sign(row, term); got != wantSign[i][row] {
+				t.Fatalf("Sign(%d, %d) = %d, want %d — sign family changed",
+					row, term, got, wantSign[i][row])
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"csfltr/internal/dp"
+)
+
+// FuzzReadOwner hardens the owner-snapshot deserializer: arbitrary bytes
+// must never panic, and any accepted snapshot must survive a re-snapshot
+// round trip.
+func FuzzReadOwner(f *testing.F) {
+	p := DefaultParams()
+	p.Z = 3
+	p.W = 8
+	p.Z1 = 2
+	p.K = 2
+	p.Alpha = 2
+	p.Epsilon = 0
+	o, err := NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if err := o.AddDocument(id, map[uint64]int64{uint64(id + 1): 2}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadOwner(bytes.NewReader(data), dp.Disabled())
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("accepted owner failed to re-serialize: %v", err)
+		}
+		if _, err := ReadOwner(bytes.NewReader(out.Bytes()), dp.Disabled()); err != nil {
+			t.Fatalf("re-serialized owner rejected: %v", err)
+		}
+	})
+}
+
+// FuzzRTKQueryHandling hardens the owner's query handlers against
+// malformed column vectors.
+func FuzzRTKQueryHandling(f *testing.F) {
+	p := DefaultParams()
+	p.Z = 4
+	p.W = 16
+	p.Z1 = 2
+	p.K = 2
+	p.Epsilon = 0
+	o, err := NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := o.AddDocument(0, map[uint64]int64{3: 2}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{255, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cols := make([]uint32, len(raw))
+		for i, b := range raw {
+			cols[i] = uint32(b)
+		}
+		q := &TFQuery{Cols: cols}
+		// Both handlers must either answer or reject; never panic.
+		if resp, err := o.AnswerRTK(q); err == nil {
+			if len(resp.Cells) != p.Z {
+				t.Fatal("accepted query answered with wrong geometry")
+			}
+		}
+		if resp, err := o.AnswerTF(0, q); err == nil {
+			if len(resp.Values) != p.Z {
+				t.Fatal("accepted TF query answered with wrong geometry")
+			}
+		}
+	})
+}

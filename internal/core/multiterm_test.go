@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"csfltr/internal/dp"
+	"csfltr/internal/sketch"
+	"csfltr/internal/zipf"
+)
+
+func TestMultiTermExactRecovery(t *testing.T) {
+	for _, kind := range []sketch.Kind{sketch.Count, sketch.CountMin} {
+		p := testParams()
+		p.SketchKind = kind
+		q, o := newPair(t, p, nil)
+		counts := map[uint64]int64{10: 4, 20: 7, 30: 2}
+		if err := o.AddDocument(0, counts); err != nil {
+			t.Fatal(err)
+		}
+		terms := []uint64{10, 20, 30}
+		mq, priv := q.BuildMultiQuery(terms)
+		resp, err := o.AnswerMultiTF(0, mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.RecoverSum(priv, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-13) > 1e-9 {
+			t.Fatalf("kind %v: sum = %v, want 13", kind, got)
+		}
+	}
+}
+
+func TestMultiTermSharedPV(t *testing.T) {
+	p := testParams()
+	q, _ := newPair(t, p, nil)
+	mq, priv := q.BuildMultiQuery([]uint64{1, 2, 3})
+	if len(mq.PerTerm) != 3 {
+		t.Fatalf("per-term vectors = %d", len(mq.PerTerm))
+	}
+	if len(priv.PV) != p.Z1 {
+		t.Fatalf("PV size = %d", len(priv.PV))
+	}
+	// Real columns of every term use the same PV rows.
+	for ti, term := range priv.Terms {
+		for _, a := range priv.PV {
+			if mq.PerTerm[ti].Cols[a] != q.Family().Index(a, term) {
+				t.Fatalf("term %d row %d: column is not the real hash", ti, a)
+			}
+		}
+	}
+	if mq.WireSize() != 3*int64(4*p.Z) {
+		t.Fatalf("wire size = %d", mq.WireSize())
+	}
+}
+
+func TestMultiTermErrors(t *testing.T) {
+	p := testParams()
+	q, o := newPair(t, p, nil)
+	if err := o.AddDocument(0, map[uint64]int64{1: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.AnswerMultiTF(0, nil); !errors.Is(err, ErrBadQuery) {
+		t.Fatal("nil query should error")
+	}
+	if _, err := o.AnswerMultiTF(0, &MultiTFQuery{}); !errors.Is(err, ErrBadQuery) {
+		t.Fatal("empty query should error")
+	}
+	mq, priv := q.BuildMultiQuery([]uint64{1, 2})
+	if _, err := o.AnswerMultiTF(99, mq); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatal("unknown doc should error")
+	}
+	if _, err := q.RecoverSum(priv, nil); !errors.Is(err, ErrBadQuery) {
+		t.Fatal("nil response should error")
+	}
+	if _, err := q.RecoverSum(priv, &MultiTFResponse{PerTerm: make([]TFResponse, 1)}); !errors.Is(err, ErrBadQuery) {
+		t.Fatal("term-count mismatch should error")
+	}
+	bad := &MultiTFResponse{PerTerm: []TFResponse{{Values: []float64{1}}, {Values: []float64{1}}}}
+	if _, err := q.RecoverSum(priv, bad); !errors.Is(err, ErrBadQuery) {
+		t.Fatal("short value vectors should error")
+	}
+}
+
+// TestTheorem3Bound checks the multi-term error bound empirically: with
+// z1 rows and DP noise, |f_q_hat - f_q| should stay within
+// sqrt(16 l / eps^2 + 64 l / w * F2Res) with high probability.
+func TestTheorem3Bound(t *testing.T) {
+	p := testParams()
+	p.W = 256
+	p.Z = 15
+	p.Z1 = 15
+	p.Epsilon = 1.0
+	rng := rand.New(rand.NewSource(21))
+	mech, err := dp.ForEpsilon(p.Epsilon, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewQuerier(p, 42, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOwner(p, 42, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := zipf.MustNew(2000, 1.1)
+	counts := make(map[uint64]int64)
+	for i := 0; i < 5000; i++ {
+		counts[uint64(dist.Sample(rng))]++
+	}
+	if err := o.AddDocument(0, counts); err != nil {
+		t.Fatal(err)
+	}
+	var freqs []float64
+	for _, c := range counts {
+		freqs = append(freqs, float64(c))
+	}
+	f2res := zipf.ResidualF2(freqs, p.W/8)
+
+	terms := []uint64{1, 2, 3, 5}
+	var truth float64
+	for _, tm := range terms {
+		truth += float64(counts[tm])
+	}
+	l := float64(len(terms))
+	bound := math.Sqrt(16*l/(p.Epsilon*p.Epsilon) + 64*l/float64(p.W)*f2res)
+
+	violations := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		mq, priv := q.BuildMultiQuery(terms)
+		resp, err := o.AnswerMultiTF(0, mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.RecoverSum(priv, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > bound {
+			violations++
+		}
+	}
+	if frac := float64(violations) / trials; frac > 0.05 {
+		t.Fatalf("Theorem 3 bound violated in %.0f%% of trials (bound %.1f, truth %.0f)",
+			frac*100, bound, truth)
+	}
+}
+
+// TestMultiTermNoiseScaling: the multi-term estimator is unbiased under
+// DP noise.
+func TestMultiTermNoiseScaling(t *testing.T) {
+	p := testParams()
+	p.Epsilon = 0.5
+	rng := rand.New(rand.NewSource(31))
+	mech, _ := dp.ForEpsilon(p.Epsilon, rng)
+	q, _ := newPair(t, p, nil)
+	o, err := NewOwner(p, 42, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddDocument(0, map[uint64]int64{7: 10, 8: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		mq, priv := q.BuildMultiQuery([]uint64{7, 8})
+		resp, err := o.AnswerMultiTF(0, mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := q.RecoverSum(priv, resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got
+	}
+	if mean := sum / trials; math.Abs(mean-15) > 1 {
+		t.Fatalf("noisy multi-term mean %v, want ~15", mean)
+	}
+}

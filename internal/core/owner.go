@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"csfltr/internal/dp"
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+)
+
+// RTKCell is one row's heap content in an RTK query response: parallel
+// slices of document ids and their (perturbed) cell values.
+type RTKCell struct {
+	IDs    []int32
+	Values []float64
+}
+
+// RTKResponse is the owner's answer to a reverse top-K query: the heap
+// content of the cell the (obfuscated) term hashes to in every row.
+type RTKResponse struct {
+	Cells []RTKCell
+}
+
+// WireSize returns the encoded size in bytes (12 bytes per entry), used
+// for communication accounting.
+func (r *RTKResponse) WireSize() int64 {
+	var n int64
+	for _, c := range r.Cells {
+		n += int64(12 * len(c.IDs))
+	}
+	return n
+}
+
+// OwnerAPI is the document-owner endpoint of the reverse top-K protocols.
+// Owner implements it in-process; package federation implements it over a
+// transport through the coordinating server.
+type OwnerAPI interface {
+	// DocIDs lists the owner's document ids (non-private metadata).
+	DocIDs() []int
+	// DocMeta returns the non-private length metadata of a document
+	// (body length and unique term count; Definition 2 treats length as
+	// shareable).
+	DocMeta(docID int) (length, unique int, err error)
+	// AnswerTF answers a cross-party TF query against one document
+	// (Algorithm 2).
+	AnswerTF(docID int, q *TFQuery) (*TFResponse, error)
+	// AnswerRTK returns the RTK-Sketch cells addressed by the query
+	// (owner side of Algorithm 5).
+	AnswerRTK(q *TFQuery) (*RTKResponse, error)
+}
+
+// docMeta is the retained non-private metadata per document.
+type docMeta struct {
+	length int
+	unique int
+}
+
+// Owner is the in-process document-owner endpoint: it maintains one
+// standard sketch per document (Section IV, for TF queries and the NAIVE
+// baseline) and one RTK-Sketch across all documents (Section V). All
+// query answers are perturbed by the configured DP mechanism before they
+// leave the owner.
+//
+// Owner is safe for concurrent use: ingestion and query answering are
+// serialized by an internal mutex (the RPC transport serves connections
+// concurrently, and the DP mechanism's random source is not itself
+// thread-safe).
+type Owner struct {
+	mu            sync.Mutex
+	params        Params
+	fam           *hashutil.Family
+	mech          dp.Mechanism
+	keepDocTables bool
+	docTables     map[int]*sketch.Table
+	meta          map[int]docMeta
+	rtk           *RTKSketch
+	ids           []int
+	idsSorted     bool
+}
+
+// OwnerOption customizes Owner construction.
+type OwnerOption func(*Owner)
+
+// WithoutDocTables drops per-document sketches after they are folded into
+// the RTK-Sketch, reducing memory from O(n*z*w) to the RTK footprint.
+// AnswerTF (and therefore the NAIVE baseline) becomes unavailable.
+func WithoutDocTables() OwnerOption {
+	return func(o *Owner) { o.keepDocTables = false }
+}
+
+// NewOwner builds an owner endpoint with the shared parameters and hash
+// seed. mech is the DP mechanism applied to every outgoing answer; pass
+// dp.Disabled() to reproduce the paper's epsilon=0 configuration.
+func NewOwner(params Params, seed uint64, mech dp.Mechanism, opts ...OwnerOption) (*Owner, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if mech == nil {
+		return nil, fmt.Errorf("%w: nil DP mechanism", ErrBadParams)
+	}
+	fam, err := params.Family(seed)
+	if err != nil {
+		return nil, err
+	}
+	rtk, err := NewRTKSketch(params, fam)
+	if err != nil {
+		return nil, err
+	}
+	o := &Owner{
+		params:        params,
+		fam:           fam,
+		mech:          mech,
+		keepDocTables: true,
+		docTables:     make(map[int]*sketch.Table),
+		meta:          make(map[int]docMeta),
+		rtk:           rtk,
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o, nil
+}
+
+// Params returns the shared protocol parameters.
+func (o *Owner) Params() Params { return o.params }
+
+// Family returns the shared hash family.
+func (o *Owner) Family() *hashutil.Family { return o.fam }
+
+// RTK exposes the owner's RTK-Sketch (e.g. for space accounting).
+func (o *Owner) RTK() *RTKSketch { return o.rtk }
+
+// AddDocument ingests a document given its term counts (Step 1 of the
+// protocol: sketch construction). unique and the total length are
+// derived from counts.
+func (o *Owner) AddDocument(docID int, counts map[uint64]int64) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, dup := o.meta[docID]; dup {
+		return fmt.Errorf("core: duplicate document id %d", docID)
+	}
+	table, err := sketch.New(o.params.SketchKind, o.fam)
+	if err != nil {
+		return err
+	}
+	length := 0
+	for _, c := range counts {
+		length += int(c)
+	}
+	table.AddCounts(counts)
+	if err := o.rtk.Update(docID, table); err != nil {
+		return err
+	}
+	if o.keepDocTables {
+		o.docTables[docID] = table
+	}
+	o.meta[docID] = docMeta{length: length, unique: len(counts)}
+	o.ids = append(o.ids, docID)
+	o.idsSorted = false
+	return nil
+}
+
+// RemoveDocument deletes a document from the RTK-Sketch and drops its
+// sketch and metadata.
+func (o *Owner) RemoveDocument(docID int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.meta[docID]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+	}
+	o.rtk.Delete(docID)
+	delete(o.docTables, docID)
+	delete(o.meta, docID)
+	for i, id := range o.ids {
+		if id == docID {
+			o.ids = append(o.ids[:i], o.ids[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// DocIDs returns the owner's document ids in ascending order.
+func (o *Owner) DocIDs() []int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.idsSorted {
+		sort.Ints(o.ids)
+		o.idsSorted = true
+	}
+	return append([]int(nil), o.ids...)
+}
+
+// DocMeta returns the non-private length metadata of a document.
+func (o *Owner) DocMeta(docID int) (length, unique int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m, ok := o.meta[docID]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+	}
+	return m.length, m.unique, nil
+}
+
+// AnswerTF implements Algorithm 2: look up the queried column in every
+// row of the document's sketch and perturb all z results with a single
+// noise draw before responding.
+func (o *Owner) AnswerTF(docID int, q *TFQuery) (*TFResponse, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if !o.keepDocTables {
+		return nil, ErrNoSketches
+	}
+	table, ok := o.docTables[docID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDoc, docID)
+	}
+	if q == nil || len(q.Cols) != o.params.Z {
+		return nil, fmt.Errorf("%w: query has %d columns, want %d", ErrBadQuery, qLen(q), o.params.Z)
+	}
+	raw, err := table.LookupColumns(q.Cols)
+	if err != nil {
+		return nil, err
+	}
+	noise := o.mech.Sample() // one draw for all z values, as in Algorithm 2
+	vals := make([]float64, len(raw))
+	for i, v := range raw {
+		vals[i] = float64(v) + noise
+	}
+	return &TFResponse{Values: vals}, nil
+}
+
+// AnswerRTK implements the owner side of Algorithm 5: return the heap
+// content of the addressed cell in every row, counts perturbed with a
+// single noise draw.
+func (o *Owner) AnswerRTK(q *TFQuery) (*RTKResponse, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if q == nil || len(q.Cols) != o.params.Z {
+		return nil, fmt.Errorf("%w: query has %d columns, want %d", ErrBadQuery, qLen(q), o.params.Z)
+	}
+	noise := o.mech.Sample()
+	cells := make([]RTKCell, o.params.Z)
+	for a := 0; a < o.params.Z; a++ {
+		if q.Cols[a] >= uint32(o.params.W) {
+			return nil, fmt.Errorf("%w: column %d out of range", ErrBadQuery, q.Cols[a])
+		}
+		entries := o.rtk.Cell(a, q.Cols[a])
+		cell := RTKCell{
+			IDs:    make([]int32, len(entries)),
+			Values: make([]float64, len(entries)),
+		}
+		for i, e := range entries {
+			cell.IDs[i] = e.DocID
+			cell.Values[i] = float64(e.Value) + noise
+		}
+		cells[a] = cell
+	}
+	return &RTKResponse{Cells: cells}, nil
+}
+
+// NaiveSizeBytes returns the owner-side memory of the per-document
+// sketches (the NAIVE baseline's space cost).
+func (o *Owner) NaiveSizeBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var n int64
+	for _, t := range o.docTables {
+		n += int64(t.SizeBytes())
+	}
+	return n
+}
+
+// RTKSizeBytes returns the RTK-Sketch memory footprint.
+func (o *Owner) RTKSizeBytes() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.rtk.SizeBytes()
+}
+
+func qLen(q *TFQuery) int {
+	if q == nil {
+		return 0
+	}
+	return len(q.Cols)
+}

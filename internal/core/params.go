@@ -1,0 +1,143 @@
+// Package core implements the primary contributions of the CS-F-LTR
+// paper:
+//
+//   - the privacy-preserving cross-party term-frequency query scheme of
+//     Section IV (Algorithms 1 and 2): sketch construction, hashing with
+//     obfuscation via a private index set, and Laplace result
+//     perturbation;
+//   - the NAIVE reverse top-K document query of Section V-A
+//     (Algorithm 3);
+//   - the reverse top-K sketch (RTK-Sketch) of Section V-B
+//     (Algorithms 4 and 5) with Update/Delete/Query and the
+//     soft-intersection candidate filter.
+//
+// The package is transport-agnostic: queriers talk to document owners
+// through the OwnerAPI interface, implemented in-process by Owner here and
+// remotely by package federation. All message types are plain structs so
+// they can be serialized by any transport; every response carries enough
+// information for byte-level communication accounting (the paper's
+// communication-cost axis).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadParams  = errors.New("core: invalid protocol parameters")
+	ErrUnknownDoc = errors.New("core: unknown document")
+	ErrNoSketches = errors.New("core: owner does not retain per-document sketches")
+	ErrBadQuery   = errors.New("core: malformed query")
+)
+
+// EstimatorMode selects how RTK candidates' counts are estimated from
+// the heap observations.
+type EstimatorMode int
+
+const (
+	// EstimatorZeroFill (default) takes the median over ALL private
+	// rows, treating rows where the document was evicted from the heap
+	// as zeros. Eviction means the value fell below the heap floor, so
+	// zero is the best available lower surrogate; this removes the
+	// selection bias of scoring a document only on the rows where
+	// collision noise inflated it, and in our experiments keeps the
+	// cover rate near 1 across the whole Fig. 4 parameter range.
+	EstimatorZeroFill EstimatorMode = iota
+	// EstimatorPresentRows is the literal reading of Algorithm 5: the
+	// median over only the rows where the document appears in the heap.
+	// Kept for ablation; it reproduces the cover-rate sensitivity to
+	// alpha/beta that the paper's Fig. 4 reports.
+	EstimatorPresentRows
+)
+
+// Params are the protocol parameters shared by every member of a
+// federation. The defaults mirror the paper's experimental setting
+// (Section VI-A): alpha=5, beta=0.1, w=200, z=30, K=150, epsilon=0.5.
+type Params struct {
+	SketchKind sketch.Kind   // Count (default) or CountMin
+	HashKind   hashutil.Kind // polynomial (default) or MD5 as in the paper
+	Z          int           // sketch rows (z)
+	W          int           // sketch columns (w)
+	Z1         int           // real hashes per query; the rest are decoys
+	Epsilon    float64       // DP budget per TF query; 0 disables DP
+	Alpha      int           // RTK heap capacity multiplier (alpha)
+	Beta       float64       // RTK soft-intersection fraction (beta)
+	K          int           // reverse top-K result size (K)
+	Estimator  EstimatorMode // RTK candidate count estimation strategy
+}
+
+// DefaultParams returns the paper's default parameter setting.
+func DefaultParams() Params {
+	return Params{
+		SketchKind: sketch.Count,
+		HashKind:   hashutil.KindPolynomial,
+		Z:          30,
+		W:          200,
+		Z1:         10,
+		Epsilon:    0.5,
+		Alpha:      5,
+		Beta:       0.1,
+		K:          150,
+	}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p Params) Validate() error {
+	switch {
+	case p.Z <= 0:
+		return fmt.Errorf("%w: Z=%d", ErrBadParams, p.Z)
+	case p.W < 2:
+		return fmt.Errorf("%w: W=%d", ErrBadParams, p.W)
+	case p.Z1 <= 0 || p.Z1 > p.Z:
+		return fmt.Errorf("%w: Z1=%d must be in [1, Z=%d]", ErrBadParams, p.Z1, p.Z)
+	case p.Epsilon < 0:
+		return fmt.Errorf("%w: Epsilon=%v", ErrBadParams, p.Epsilon)
+	case p.Alpha <= 0:
+		return fmt.Errorf("%w: Alpha=%d", ErrBadParams, p.Alpha)
+	case p.Beta <= 0 || p.Beta > 1:
+		return fmt.Errorf("%w: Beta=%v", ErrBadParams, p.Beta)
+	case p.K <= 0:
+		return fmt.Errorf("%w: K=%d", ErrBadParams, p.K)
+	case p.Estimator != EstimatorZeroFill && p.Estimator != EstimatorPresentRows:
+		return fmt.Errorf("%w: Estimator=%d", ErrBadParams, int(p.Estimator))
+	}
+	return nil
+}
+
+// HeapCap returns the RTK cell capacity alpha*K.
+func (p Params) HeapCap() int { return p.Alpha * p.K }
+
+// Family constructs the shared hash family for these parameters from the
+// federation seed (see hashutil.DeriveSeed / package keyex).
+func (p Params) Family(seed uint64) (*hashutil.Family, error) {
+	return hashutil.NewFamily(p.HashKind, p.Z, p.W, seed)
+}
+
+// Cost records the communication and computation cost of one protocol
+// interaction, the quantities compared in Fig. 4 and Section VI-D.
+type Cost struct {
+	Messages      int   // request/response round trips
+	BytesSent     int64 // querier -> owner payload bytes
+	BytesReceived int64 // owner -> querier payload bytes
+	SketchLookups int   // individual sketch cell lookups at the owner
+}
+
+// Add accumulates other into c.
+func (c *Cost) Add(other Cost) {
+	c.Messages += other.Messages
+	c.BytesSent += other.BytesSent
+	c.BytesReceived += other.BytesReceived
+	c.SketchLookups += other.SketchLookups
+}
+
+// DocCount is one reverse top-K result: a document and its estimated
+// term count.
+type DocCount struct {
+	DocID int
+	Count float64
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"csfltr/internal/dp"
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+)
+
+// ErrCorruptState marks unreadable persisted owner state.
+var ErrCorruptState = errors.New("core: corrupt persisted state")
+
+// persistMagic and persistVersion guard the owner snapshot format.
+const (
+	persistMagic   = uint32(0x43534F31) // "CSO1"
+	persistVersion = uint32(1)
+)
+
+// WriteTo persists the owner's full state — parameters, hash seed,
+// document metadata, per-document sketches (when retained) and the
+// RTK-Sketch — in a self-contained binary snapshot. The paper motivates
+// this: sketches are "reusable after construction", so a party builds
+// them once and serves queries across sessions. The snapshot contains
+// the federation hash seed, so it must be stored with the same care as
+// the party's raw documents.
+func (o *Owner) WriteTo(w io.Writer) (int64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	put32 := func(v uint32) { _ = binary.Write(cw, binary.LittleEndian, v) }
+	put64 := func(v uint64) { _ = binary.Write(cw, binary.LittleEndian, v) }
+	putF := func(v float64) { _ = binary.Write(cw, binary.LittleEndian, v) }
+
+	put32(persistMagic)
+	put32(persistVersion)
+	// Parameters.
+	put32(uint32(o.params.SketchKind))
+	put32(uint32(o.params.HashKind))
+	put64(uint64(o.params.Z))
+	put64(uint64(o.params.W))
+	put64(uint64(o.params.Z1))
+	putF(o.params.Epsilon)
+	put64(uint64(o.params.Alpha))
+	putF(o.params.Beta)
+	put64(uint64(o.params.K))
+	put32(uint32(o.params.Estimator))
+	put64(o.fam.Seed())
+	// Documents.
+	ids := append([]int(nil), o.ids...) // under o.mu; DocIDs would deadlock
+	sort.Ints(ids)
+	put64(uint64(len(ids)))
+	keep := uint32(0)
+	if o.keepDocTables {
+		keep = 1
+	}
+	put32(keep)
+	for _, id := range ids {
+		m := o.meta[id]
+		put64(uint64(int64(id)))
+		put64(uint64(int64(m.length)))
+		put64(uint64(int64(m.unique)))
+		if o.keepDocTables {
+			data, err := o.docTables[id].MarshalBinary()
+			if err != nil {
+				return cw.n, err
+			}
+			put64(uint64(len(data)))
+			if _, err := cw.Write(data); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	// RTK-Sketch cells.
+	for c := range o.rtk.cells {
+		h := &o.rtk.cells[c]
+		put64(uint64(len(h.entries)))
+		for _, e := range h.entries {
+			put64(uint64(int64(e.DocID)))
+			put64(uint64(e.Value))
+		}
+	}
+	put64(uint64(o.rtk.docs))
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// countingWriter tracks bytes and the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+// ReadOwner reconstructs an owner from a snapshot written by WriteTo. The
+// DP mechanism is not persisted (it holds a random source); the caller
+// supplies a fresh one, typically dp.ForEpsilon(params.Epsilon, rng)
+// using the parameters recovered from the snapshot (see Owner.Params).
+func ReadOwner(r io.Reader, mech dp.Mechanism) (*Owner, error) {
+	if mech == nil {
+		return nil, fmt.Errorf("%w: nil DP mechanism", ErrBadParams)
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	var g32 uint32
+	var g64 uint64
+	var gF float64
+	read := func(v any) bool {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return false
+		}
+		return true
+	}
+	if !read(&g32) || g32 != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptState)
+	}
+	if !read(&g32) || g32 != persistVersion {
+		return nil, fmt.Errorf("%w: unsupported version", ErrCorruptState)
+	}
+	var p Params
+	if !read(&g32) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.SketchKind = sketch.Kind(g32)
+	if !read(&g32) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.HashKind = hashutil.Kind(g32)
+	for _, dst := range []*int{&p.Z, &p.W, &p.Z1} {
+		if !read(&g64) {
+			return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+		}
+		*dst = int(int64(g64))
+	}
+	if !read(&gF) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.Epsilon = gF
+	if !read(&g64) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.Alpha = int(int64(g64))
+	if !read(&gF) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.Beta = gF
+	if !read(&g64) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.K = int(int64(g64))
+	if !read(&g32) {
+		return nil, fmt.Errorf("%w: truncated params", ErrCorruptState)
+	}
+	p.Estimator = EstimatorMode(g32)
+	var seed uint64
+	if !read(&seed) {
+		return nil, fmt.Errorf("%w: truncated seed", ErrCorruptState)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	// Plausibility caps: a hostile or corrupt snapshot must not drive the
+	// allocation of z*w heaps (or the hash coefficient table) to absurd
+	// sizes before we even look at the payload.
+	if p.Z > 1<<12 || p.W > 1<<22 || p.Alpha > 1<<20 || p.K > 1<<24 ||
+		int64(p.Alpha)*int64(p.K) > 1<<28 {
+		return nil, fmt.Errorf("%w: implausible parameters z=%d w=%d alpha=%d k=%d",
+			ErrCorruptState, p.Z, p.W, p.Alpha, p.K)
+	}
+
+	var nDocs uint64
+	if !read(&nDocs) || nDocs > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible document count", ErrCorruptState)
+	}
+	var keep uint32
+	if !read(&keep) {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorruptState)
+	}
+	var opts []OwnerOption
+	if keep == 0 {
+		opts = append(opts, WithoutDocTables())
+	}
+	o, err := NewOwner(p, seed, mech, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+	}
+	for i := uint64(0); i < nDocs; i++ {
+		var id, length, unique uint64
+		if !read(&id) || !read(&length) || !read(&unique) {
+			return nil, fmt.Errorf("%w: truncated document %d", ErrCorruptState, i)
+		}
+		docID := int(int64(id))
+		o.meta[docID] = docMeta{length: int(int64(length)), unique: int(int64(unique))}
+		o.ids = append(o.ids, docID)
+		if keep == 1 {
+			var tblLen uint64
+			if !read(&tblLen) || tblLen > 1<<32 {
+				return nil, fmt.Errorf("%w: bad table length for doc %d", ErrCorruptState, docID)
+			}
+			buf := make([]byte, tblLen)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, fmt.Errorf("%w: truncated table for doc %d", ErrCorruptState, docID)
+			}
+			tbl, err := sketch.UnmarshalTable(buf)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorruptState, err)
+			}
+			o.docTables[docID] = tbl
+		}
+	}
+	o.idsSorted = false
+	for c := range o.rtk.cells {
+		var n uint64
+		if !read(&n) || n > uint64(p.HeapCap()) {
+			return nil, fmt.Errorf("%w: bad cell size", ErrCorruptState)
+		}
+		h := &o.rtk.cells[c]
+		h.entries = make([]Entry, n)
+		for j := range h.entries {
+			var id, val uint64
+			if !read(&id) || !read(&val) {
+				return nil, fmt.Errorf("%w: truncated cell entry", ErrCorruptState)
+			}
+			h.entries[j] = Entry{DocID: int32(int64(id)), Value: int64(val)}
+		}
+	}
+	var docs uint64
+	if !read(&docs) {
+		return nil, fmt.Errorf("%w: truncated footer", ErrCorruptState)
+	}
+	o.rtk.docs = int(int64(docs))
+	return o, nil
+}

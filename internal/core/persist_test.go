@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"csfltr/internal/dp"
+	"csfltr/internal/sketch"
+)
+
+// snapshotOwner builds an owner with deterministic content and returns
+// its serialized snapshot.
+func snapshotOwner(t *testing.T, keepTables bool) (*Owner, []byte) {
+	t.Helper()
+	p := testParams()
+	p.K = 5
+	p.Alpha = 2
+	var opts []OwnerOption
+	if !keepTables {
+		opts = append(opts, WithoutDocTables())
+	}
+	o, err := NewOwner(p, 42, dp.Disabled(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for id := 0; id < 25; id++ {
+		counts := map[uint64]int64{uint64(1000 + id): int64(25 - id)}
+		for j := 0; j < 20; j++ {
+			counts[uint64(rng.Intn(300))]++
+		}
+		if err := o.AddDocument(id, counts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	n, err := o.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return o, buf.Bytes()
+}
+
+func TestOwnerSnapshotRoundTrip(t *testing.T) {
+	for _, keep := range []bool{true, false} {
+		orig, data := snapshotOwner(t, keep)
+		got, err := ReadOwner(bytes.NewReader(data), dp.Disabled())
+		if err != nil {
+			t.Fatalf("keep=%v: %v", keep, err)
+		}
+		if got.Params() != orig.Params() {
+			t.Fatal("params lost")
+		}
+		if got.Family().Seed() != orig.Family().Seed() {
+			t.Fatal("hash seed lost")
+		}
+		if got.RTK().NumDocs() != orig.RTK().NumDocs() {
+			t.Fatalf("doc count lost: %d vs %d", got.RTK().NumDocs(), orig.RTK().NumDocs())
+		}
+		if got.RTKSizeBytes() != orig.RTKSizeBytes() {
+			t.Fatal("RTK payload size differs")
+		}
+		// Queries behave identically.
+		q, err := NewQuerier(orig.Params(), 42, rand.New(rand.NewSource(8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _, err := RTKReverseTopK(q, orig, 1003, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, _ := NewQuerier(orig.Params(), 42, rand.New(rand.NewSource(8)))
+		b, _, err := RTKReverseTopK(q2, got, 1003, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatal("restored owner answers differently")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("keep=%v: result %d differs: %v vs %v", keep, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestReadOwnerTruncation(t *testing.T) {
+	_, data := snapshotOwner(t, true)
+	// Every strict prefix must fail cleanly with ErrCorruptState, never
+	// panic or succeed.
+	for _, cut := range []int{0, 3, 4, 8, 10, 30, 60, len(data) / 2, len(data) - 1} {
+		if cut >= len(data) {
+			continue
+		}
+		if _, err := ReadOwner(bytes.NewReader(data[:cut]), dp.Disabled()); !errors.Is(err, ErrCorruptState) {
+			t.Fatalf("cut=%d: want ErrCorruptState, got %v", cut, err)
+		}
+	}
+}
+
+func TestReadOwnerBadMagicAndVersion(t *testing.T) {
+	_, data := snapshotOwner(t, true)
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xff
+	if _, err := ReadOwner(bytes.NewReader(bad), dp.Disabled()); !errors.Is(err, ErrCorruptState) {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = 0xff // version
+	if _, err := ReadOwner(bytes.NewReader(bad), dp.Disabled()); !errors.Is(err, ErrCorruptState) {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := ReadOwner(bytes.NewReader(data), nil); !errors.Is(err, ErrBadParams) {
+		t.Fatal("nil mechanism accepted")
+	}
+}
+
+func TestReadOwnerRejectsInvalidParams(t *testing.T) {
+	_, data := snapshotOwner(t, true)
+	bad := append([]byte(nil), data...)
+	// Z field (first geometry u64 after magic+version+2 kind u32s).
+	off := 4 + 4 + 4 + 4
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0
+	}
+	if _, err := ReadOwner(bytes.NewReader(bad), dp.Disabled()); !errors.Is(err, ErrCorruptState) {
+		t.Fatal("zero Z accepted")
+	}
+}
+
+func TestOwnerAccessors(t *testing.T) {
+	p := testParams()
+	o, err := NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Params() != p {
+		t.Fatal("Params accessor wrong")
+	}
+	if o.Family() == nil || o.Family().Z() != p.Z {
+		t.Fatal("Family accessor wrong")
+	}
+	q, err := NewQuerier(p, 42, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Params() != p {
+		t.Fatal("querier Params accessor wrong")
+	}
+	if o.RTK().Params() != p {
+		t.Fatal("RTK Params accessor wrong")
+	}
+}
+
+func TestMultiTFWireSizes(t *testing.T) {
+	p := testParams()
+	q, o := newPair(t, p, nil)
+	if err := o.AddDocument(0, map[uint64]int64{1: 2, 2: 3}); err != nil {
+		t.Fatal(err)
+	}
+	mq, _ := q.BuildMultiQuery([]uint64{1, 2})
+	if mq.WireSize() != int64(2*4*p.Z) {
+		t.Fatalf("query wire size = %d", mq.WireSize())
+	}
+	resp, err := o.AnswerMultiTF(0, mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.WireSize() != int64(2*8*p.Z) {
+		t.Fatalf("response wire size = %d", resp.WireSize())
+	}
+}
+
+func TestSnapshotSketchKindPreserved(t *testing.T) {
+	p := testParams()
+	p.SketchKind = sketch.CountMin
+	o, err := NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddDocument(0, map[uint64]int64{5: 4}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadOwner(&buf, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params().SketchKind != sketch.CountMin {
+		t.Fatal("sketch kind lost in snapshot")
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"csfltr/internal/dp"
+)
+
+// median returns the median of xs (copy-based).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// TestTheorem1ProtocolDP statistically verifies Theorem 1 at the protocol
+// level: for neighbouring documents d, d' differing in ONE term, the
+// distribution of the estimator output must satisfy
+// Pr[A(d') = o] <= e^eps * Pr[A(d) = o] (up to sampling slack).
+//
+// The estimator under test is the paper's Eq. (6): the UNSIGNED median of
+// the perturbed cell values over the private rows — the quantity
+// Theorem 1 actually analyses. (A reproduction finding, recorded in
+// EXPERIMENTS.md: the sign-corrected Count Sketch recovery that package
+// sketch uses for accuracy does NOT inherit the same single-shared-draw
+// bound, because the median mixes +N and -N copies of the shared noise
+// and partially cancels it; queriers needing the strict Theorem 1
+// guarantee should use the unsigned median below.)
+func TestTheorem1ProtocolDP(t *testing.T) {
+	p := testParams()
+	p.Epsilon = 0.8
+	p.W = 64 // moderate width: the 1/w collision term in the proof is real
+
+	base := map[uint64]int64{10: 4, 20: 2, 30: 7, 40: 1}
+	neighbor := map[uint64]int64{10: 4, 20: 2, 30: 7, 40: 1, 99: 1} // one extra term
+
+	sample := func(doc map[uint64]int64, probe uint64, trials int, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		mech, err := dp.ForEpsilon(p.Epsilon, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := NewOwner(p, 42, mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.AddDocument(0, doc); err != nil {
+			t.Fatal(err)
+		}
+		q, err := NewQuerier(p, 42, rand.New(rand.NewSource(seed+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, trials)
+		for i := range out {
+			query, priv := q.BuildQuery(probe)
+			resp, err := o.AnswerTF(0, query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Paper Eq. (6): unsigned median over the private rows.
+			vals := make([]float64, len(priv.PV))
+			for j, a := range priv.PV {
+				vals[j] = resp.Values[a]
+			}
+			out[i] = median(vals)
+		}
+		return out
+	}
+
+	// The adversarial querier probes an arbitrary term (we test both the
+	// differing term itself and an unrelated one).
+	for _, probe := range []uint64{99, 10} {
+		const trials = 120000
+		a := sample(base, probe, trials, 100)
+		b := sample(neighbor, probe, trials, 200)
+
+		// Histogram both output distributions on a shared grid.
+		const bins = 30
+		lo, hi := -4.0, 9.0
+		ha := make([]float64, bins)
+		hb := make([]float64, bins)
+		binOf := func(x float64) int {
+			i := int((x - lo) / (hi - lo) * bins)
+			if i < 0 {
+				i = 0
+			}
+			if i >= bins {
+				i = bins - 1
+			}
+			return i
+		}
+		for i := 0; i < trials; i++ {
+			ha[binOf(a[i])]++
+			hb[binOf(b[i])]++
+		}
+		bound := math.Exp(p.Epsilon) * 1.3 // sampling slack
+		for i := 0; i < bins; i++ {
+			if ha[i] < 300 || hb[i] < 300 {
+				continue // too little mass for a stable ratio estimate
+			}
+			r := hb[i] / ha[i]
+			if r < 1 {
+				r = 1 / r
+			}
+			if r > bound {
+				t.Fatalf("probe %d bin %d: output ratio %.2f exceeds e^eps=%.2f",
+					probe, i, r, math.Exp(p.Epsilon))
+			}
+		}
+	}
+}
+
+// TestObfuscationHidesQueryTerm: across repeated queries for the SAME
+// term, each row's transmitted column index must take many different
+// values (decoys), so the server cannot identify the real column by
+// looking at any single query — and the real column must not dominate
+// the distribution beyond its expected z1/z share.
+func TestObfuscationHidesQueryTerm(t *testing.T) {
+	p := testParams() // z=9, z1=5
+	q, _ := newPair(t, p, nil)
+	const term = uint64(4242)
+	const trials = 3000
+	counts := make([]map[uint32]int, p.Z)
+	for a := range counts {
+		counts[a] = make(map[uint32]int)
+	}
+	for i := 0; i < trials; i++ {
+		query, _ := q.BuildQuery(term)
+		for a, col := range query.Cols {
+			counts[a][col]++
+		}
+	}
+	for a := 0; a < p.Z; a++ {
+		real := q.Family().Index(a, term)
+		if len(counts[a]) < 50 {
+			t.Fatalf("row %d: only %d distinct columns transmitted; decoys missing", a, len(counts[a]))
+		}
+		share := float64(counts[a][real]) / trials
+		want := float64(p.Z1) / float64(p.Z) // rows carry the real hash when a in PV
+		if math.Abs(share-want) > 0.05 {
+			t.Fatalf("row %d: real column share %.3f, want ~%.3f", a, share, want)
+		}
+	}
+}
+
+// TestSingleNoiseDrawPerResponse: Algorithm 2 samples ONE Laplace noise
+// for all z values of a response; the pairwise differences of the
+// returned values must therefore be noise-free integers.
+func TestSingleNoiseDrawPerResponse(t *testing.T) {
+	p := testParams()
+	p.Epsilon = 0.5
+	rng := rand.New(rand.NewSource(77))
+	mech, _ := dp.ForEpsilon(p.Epsilon, rng)
+	o, err := NewOwner(p, 42, mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddDocument(0, map[uint64]int64{5: 3}); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := newPair(t, p, nil)
+	query, _ := q.BuildQuery(5)
+	resp, err := o.AnswerTF(0, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(resp.Values); i++ {
+		diff := resp.Values[i] - resp.Values[0]
+		if math.Abs(diff-math.Round(diff)) > 1e-9 {
+			t.Fatalf("values %d and 0 differ by non-integer %v; noise was drawn per value", i, diff)
+		}
+	}
+	// And the values themselves must NOT be integers (noise was applied).
+	nonInteger := false
+	for _, v := range resp.Values {
+		if math.Abs(v-math.Round(v)) > 1e-9 {
+			nonInteger = true
+		}
+	}
+	if !nonInteger {
+		t.Fatal("no noise visible in the response at eps=0.5")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csfltr/internal/dp"
+)
+
+// TestRTKResultsAreIngestedDocs (property): reverse top-K may only ever
+// return documents the owner actually ingested, for arbitrary corpora
+// and probe terms.
+func TestRTKResultsAreIngestedDocs(t *testing.T) {
+	p := testParams()
+	p.K = 5
+	check := func(raw []uint8, probe uint8) bool {
+		o, err := NewOwner(p, 42, dp.Disabled())
+		if err != nil {
+			return false
+		}
+		ingested := map[int]struct{}{}
+		nDocs := 1 + len(raw)%8
+		for id := 0; id < nDocs; id++ {
+			counts := map[uint64]int64{}
+			for j, b := range raw {
+				if j%nDocs == id {
+					counts[uint64(b%32)]++
+				}
+			}
+			if len(counts) == 0 {
+				counts[uint64(id)] = 1
+			}
+			if err := o.AddDocument(id, counts); err != nil {
+				return false
+			}
+			ingested[id] = struct{}{}
+		}
+		q, err := NewQuerier(p, 42, rand.New(rand.NewSource(int64(probe))))
+		if err != nil {
+			return false
+		}
+		got, _, err := RTKReverseTopK(q, o, uint64(probe%32), p.K)
+		if err != nil {
+			return false
+		}
+		if len(got) > p.K {
+			return false
+		}
+		seen := map[int]struct{}{}
+		for _, dc := range got {
+			if _, ok := ingested[dc.DocID]; !ok {
+				return false // phantom document
+			}
+			if _, dup := seen[dc.DocID]; dup {
+				return false // duplicate result
+			}
+			seen[dc.DocID] = struct{}{}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverRateBounds (property): cover rate is always in [0, 1] and
+// equals 1 when got is a superset of truth.
+func TestCoverRateBounds(t *testing.T) {
+	check := func(gotIDs, truthIDs []uint8) bool {
+		got := make([]DocCount, len(gotIDs))
+		for i, id := range gotIDs {
+			got[i] = DocCount{DocID: int(id)}
+		}
+		truth := make([]DocCount, len(truthIDs))
+		for i, id := range truthIDs {
+			truth[i] = DocCount{DocID: int(id)}
+		}
+		cr := CoverRate(got, truth)
+		if cr < 0 || cr > 1 {
+			return false
+		}
+		// Superset property: got ∪ truth covers truth fully.
+		union := append(append([]DocCount(nil), got...), truth...)
+		return CoverRate(union, truth) == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTFQueryDecoysInRange (property): every transmitted column index is
+// within the sketch width, real or decoy, for arbitrary terms.
+func TestTFQueryDecoysInRange(t *testing.T) {
+	p := testParams()
+	q, err := NewQuerier(p, 42, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(term uint64) bool {
+		query, priv := q.BuildQuery(term)
+		if len(priv.PV) != p.Z1 {
+			return false
+		}
+		for _, col := range query.Cols {
+			if col >= uint32(p.W) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddRemoveRestoresEmptyAnswers (property): ingesting documents and
+// removing them all returns the owner to answering empty results.
+func TestAddRemoveRestoresEmptyAnswers(t *testing.T) {
+	p := testParams()
+	check := func(raw []uint8) bool {
+		o, err := NewOwner(p, 42, dp.Disabled())
+		if err != nil {
+			return false
+		}
+		n := 1 + len(raw)%5
+		for id := 0; id < n; id++ {
+			counts := map[uint64]int64{uint64(id + 1): int64(id + 2)}
+			if err := o.AddDocument(id, counts); err != nil {
+				return false
+			}
+		}
+		for id := 0; id < n; id++ {
+			if err := o.RemoveDocument(id); err != nil {
+				return false
+			}
+		}
+		if len(o.DocIDs()) != 0 {
+			return false
+		}
+		q, err := NewQuerier(p, 42, rand.New(rand.NewSource(3)))
+		if err != nil {
+			return false
+		}
+		got, _, err := RTKReverseTopK(q, o, 1, 3)
+		return err == nil && len(got) == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"csfltr/internal/sketch"
+)
+
+// NaiveReverseTopK implements Algorithm 3: query the term's frequency in
+// every document of the owner via the privacy-preserving TF protocol and
+// keep the k largest estimates. The obfuscated hash vector is built once
+// per term (Algorithm 1) and reused for all documents; the owner answers
+// one perturbed lookup per document, so computation is O(z*n) and the
+// response traffic grows linearly in n.
+func NaiveReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount, Cost, error) {
+	if k <= 0 {
+		return nil, Cost{}, fmt.Errorf("%w: k=%d", ErrBadParams, k)
+	}
+	query, priv := q.BuildQuery(term)
+	var cost Cost
+	cost.BytesSent += query.WireSize()
+	ids := owner.DocIDs()
+	results := make([]DocCount, 0, len(ids))
+	for _, id := range ids {
+		resp, err := owner.AnswerTF(id, query)
+		if err != nil {
+			return nil, cost, fmt.Errorf("core: naive TF query for doc %d: %w", id, err)
+		}
+		cost.Messages++
+		cost.BytesReceived += resp.WireSize()
+		cost.SketchLookups += q.params.Z
+		count, err := q.Recover(priv, resp)
+		if err != nil {
+			return nil, cost, err
+		}
+		results = append(results, DocCount{DocID: id, Count: count})
+	}
+	return topK(results, k), cost, nil
+}
+
+// RTKReverseTopK implements Algorithm 5: fetch the RTK-Sketch cells the
+// term hashes to, soft-intersect them (a document must appear in at least
+// beta*z1 of the private rows), estimate each candidate's count with the
+// standard sketch estimator over the rows it appeared in, and return the
+// top k. One round trip; traffic is O(z*alpha*K) independent of n.
+func RTKReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount, Cost, error) {
+	if k <= 0 {
+		return nil, Cost{}, fmt.Errorf("%w: k=%d", ErrBadParams, k)
+	}
+	query, priv := q.BuildQuery(term)
+	var cost Cost
+	cost.BytesSent += query.WireSize()
+	resp, err := owner.AnswerRTK(query)
+	if err != nil {
+		return nil, cost, err
+	}
+	cost.Messages = 1
+	cost.BytesReceived += resp.WireSize()
+	cost.SketchLookups = q.params.Z
+	if len(resp.Cells) != q.params.Z {
+		return nil, cost, fmt.Errorf("%w: response has %d cells, want %d",
+			ErrBadQuery, len(resp.Cells), q.params.Z)
+	}
+
+	// Gather per-document (row, value) observations from the private rows
+	// only; decoy rows address unrelated cells and would pollute the
+	// intersection.
+	type obs struct {
+		rows []int
+		vals []float64
+	}
+	byDoc := make(map[int32]*obs)
+	for _, a := range priv.PV {
+		cell := resp.Cells[a]
+		for i, id := range cell.IDs {
+			o := byDoc[id]
+			if o == nil {
+				o = &obs{}
+				byDoc[id] = o
+			}
+			o.rows = append(o.rows, a)
+			o.vals = append(o.vals, cell.Values[i])
+		}
+	}
+
+	// Soft intersection: keep documents present in >= beta*z1 private rows
+	// (the paper filters on beta*z with unobfuscated queries).
+	threshold := int(math.Ceil(q.params.Beta * float64(q.params.Z1)))
+	if threshold < 1 {
+		threshold = 1
+	}
+	candidates := make([]DocCount, 0, len(byDoc))
+	for id, o := range byDoc {
+		if len(o.rows) < threshold {
+			continue
+		}
+		rows, vals := o.rows, o.vals
+		if q.params.Estimator == EstimatorZeroFill {
+			// Estimate over ALL private rows, treating rows where the
+			// document was evicted from the heap as zeros. An absent
+			// entry means the document's cell value fell below the heap
+			// floor; scoring only the rows where it survived would bias
+			// borderline documents upward (they survive exactly where
+			// collision noise inflated them) and let weak candidates
+			// outrank true top-K members.
+			rows = priv.PV
+			vals = make([]float64, len(rows))
+			for i, a := range rows {
+				for j, oa := range o.rows {
+					if oa == a {
+						vals[i] = o.vals[j]
+						break
+					}
+				}
+			}
+		}
+		est := sketch.EstimateFromRows(q.params.SketchKind, q.fam, priv.Term, rows, vals)
+		candidates = append(candidates, DocCount{DocID: int(id), Count: est})
+	}
+	return topK(candidates, k), cost, nil
+}
+
+// topK sorts results by descending count (ties by ascending id for
+// determinism) and truncates to k.
+func topK(results []DocCount, k int) []DocCount {
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Count != results[j].Count {
+			return results[i].Count > results[j].Count
+		}
+		return results[i].DocID < results[j].DocID
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+// ExactReverseTopK computes the ground-truth reverse top-K over raw term
+// counts (no sketching, no privacy): the reference answer for cover-rate
+// evaluation. counts maps docID -> term -> count.
+func ExactReverseTopK(counts map[int]map[uint64]int64, term uint64, k int) []DocCount {
+	results := make([]DocCount, 0, len(counts))
+	for id, tc := range counts {
+		if c := tc[term]; c > 0 {
+			results = append(results, DocCount{DocID: id, Count: float64(c)})
+		}
+	}
+	return topK(results, k)
+}
+
+// CoverRate returns |got ∩ truth| / |truth|, the paper's cover-rate metric
+// for reverse top-K accuracy (Theorem 4, Fig. 4). An empty truth set
+// yields 1 by convention.
+func CoverRate(got []DocCount, truth []DocCount) float64 {
+	if len(truth) == 0 {
+		return 1
+	}
+	set := make(map[int]struct{}, len(got))
+	for _, dc := range got {
+		set[dc.DocID] = struct{}{}
+	}
+	hit := 0
+	for _, dc := range truth {
+		if _, ok := set[dc.DocID]; ok {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}

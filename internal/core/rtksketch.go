@@ -1,0 +1,166 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+)
+
+// Entry is one element of an RTK-Sketch cell: a document id and the raw
+// sketch cell value the document produced at this position.
+type Entry struct {
+	DocID int32
+	Value int64
+}
+
+// cellHeap is a capped min-heap of entries ordered by ranking key. For
+// Count Sketch the key is |Value|: a document's cell value is its
+// (sign-weighted) contribution plus collision noise, and the querier
+// recovers the sign later, so magnitude is what predicts relevance. For
+// Count-Min the key is Value itself (always non-negative).
+type cellHeap struct {
+	entries []Entry
+	abs     bool // order by |Value| (Count Sketch) instead of Value
+}
+
+func (h *cellHeap) key(e Entry) int64 {
+	if h.abs {
+		if e.Value < 0 {
+			return -e.Value
+		}
+	}
+	return e.Value
+}
+
+func (h *cellHeap) Len() int           { return len(h.entries) }
+func (h *cellHeap) Less(i, j int) bool { return h.key(h.entries[i]) < h.key(h.entries[j]) }
+func (h *cellHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *cellHeap) Push(x any)         { h.entries = append(h.entries, x.(Entry)) }
+func (h *cellHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// RTKSketch is the paper's reverse top-K sketch (Section V-B): a z x w
+// table whose every cell is a min-heap of at most alpha*K (docID, value)
+// pairs. It replaces the n per-document sketches of the NAIVE solution on
+// the owner side and reduces per-term query cost from O(zn) to O(z*alpha*K).
+//
+// RTKSketch is not safe for concurrent mutation.
+type RTKSketch struct {
+	params Params
+	fam    *hashutil.Family
+	cells  []cellHeap // row-major z x w
+	docs   int
+}
+
+// NewRTKSketch creates an empty RTK-Sketch bound to the shared hash
+// family.
+func NewRTKSketch(params Params, fam *hashutil.Family) (*RTKSketch, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if fam == nil {
+		return nil, fmt.Errorf("%w: nil family", ErrBadParams)
+	}
+	if fam.Z() != params.Z || fam.W() != params.W {
+		return nil, fmt.Errorf("%w: family geometry %dx%d does not match params %dx%d",
+			ErrBadParams, fam.Z(), fam.W(), params.Z, params.W)
+	}
+	cells := make([]cellHeap, params.Z*params.W)
+	abs := params.SketchKind == sketch.Count
+	for i := range cells {
+		cells[i].abs = abs
+	}
+	return &RTKSketch{params: params, fam: fam, cells: cells}, nil
+}
+
+// Params returns the sketch's parameters.
+func (s *RTKSketch) Params() Params { return s.params }
+
+// NumDocs returns the number of documents currently summarized.
+func (s *RTKSketch) NumDocs() int { return s.docs }
+
+// Update inserts document docID, summarized by its standard sketch table,
+// into every cell (Algorithm 4). table must be built over the same hash
+// family. Cells keep only the alpha*K entries with the largest ranking
+// key; the minimum is evicted on overflow.
+func (s *RTKSketch) Update(docID int, table *sketch.Table) error {
+	if table == nil || table.Z() != s.params.Z || table.W() != s.params.W {
+		return fmt.Errorf("%w: document table geometry mismatch", ErrBadParams)
+	}
+	cap := s.params.HeapCap()
+	w := s.params.W
+	for i := 0; i < s.params.Z; i++ {
+		for j := 0; j < w; j++ {
+			h := &s.cells[i*w+j]
+			heap.Push(h, Entry{DocID: int32(docID), Value: table.Cell(i, uint32(j))})
+			if h.Len() > cap {
+				heap.Pop(h)
+			}
+		}
+	}
+	s.docs++
+	return nil
+}
+
+// Delete removes every entry of docID from the sketch (Algorithm 4's
+// deletion: enumerate all cells and drop the document). Returns the
+// number of cells the document was still present in.
+func (s *RTKSketch) Delete(docID int) int {
+	removed := 0
+	for c := range s.cells {
+		h := &s.cells[c]
+		for i := 0; i < len(h.entries); {
+			if h.entries[i].DocID == int32(docID) {
+				// Remove index i and restore heap order.
+				heap.Remove(h, i)
+				removed++
+				continue // re-examine index i (new element swapped in)
+			}
+			i++
+		}
+	}
+	if removed > 0 {
+		s.docs--
+	}
+	return removed
+}
+
+// Cell returns a copy of the entries of cell (row, col) in heap order
+// (unspecified beyond the heap property). This is the owner-side lookup
+// of Algorithm 5: the querier asks for the heaps its term hashes to.
+func (s *RTKSketch) Cell(row int, col uint32) []Entry {
+	h := &s.cells[row*s.params.W+int(col)]
+	out := make([]Entry, len(h.entries))
+	copy(out, h.entries)
+	return out
+}
+
+// SizeBytes returns the current memory footprint of the heap payloads
+// (12 bytes per entry: 4 for the doc id, 8 for the value), the space
+// metric of Fig. 4.
+func (s *RTKSketch) SizeBytes() int64 {
+	var n int64
+	for c := range s.cells {
+		n += int64(12 * len(s.cells[c].entries))
+	}
+	return n
+}
+
+// MaxCellLoad returns the largest cell occupancy; useful for verifying
+// the alpha*K cap in tests and capacity planning.
+func (s *RTKSketch) MaxCellLoad() int {
+	max := 0
+	for c := range s.cells {
+		if l := len(s.cells[c].entries); l > max {
+			max = l
+		}
+	}
+	return max
+}

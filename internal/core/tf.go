@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+)
+
+// TFQuery is the public part of a cross-party TF query: one column index
+// per sketch row, of which only the private index set's entries hash the
+// real term (Algorithm 1, "Hashing With Obfuscation"). It reveals nothing
+// about which entries are real.
+type TFQuery struct {
+	Cols []uint32
+}
+
+// WireSize returns the encoded size in bytes used for communication
+// accounting (4 bytes per column index).
+func (q *TFQuery) WireSize() int64 { return int64(4 * len(q.Cols)) }
+
+// TFPrivate is the querier-side private state needed to recover the
+// answer: the private index set PV and the queried term. It never leaves
+// the querier.
+type TFPrivate struct {
+	Term uint64
+	PV   []int // rows whose column index is real, sorted ascending
+}
+
+// TFResponse carries the owner's perturbed sketch lookups, one per row
+// (Algorithm 2).
+type TFResponse struct {
+	Values []float64
+}
+
+// WireSize returns the encoded size in bytes (8 bytes per value).
+func (r *TFResponse) WireSize() int64 { return int64(8 * len(r.Values)) }
+
+// Querier is the query-side endpoint of the cross-party TF protocol. It
+// is bound to a federation's shared parameters and hash family. The rng
+// drives decoy selection and PV permutation and must not be shared across
+// goroutines.
+type Querier struct {
+	params Params
+	fam    *hashutil.Family
+	rng    *rand.Rand
+}
+
+// NewQuerier builds a querier from shared params, the federation hash
+// seed and a private random source.
+func NewQuerier(params Params, seed uint64, rng *rand.Rand) (*Querier, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("%w: nil rng", ErrBadParams)
+	}
+	fam, err := params.Family(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Querier{params: params, fam: fam, rng: rng}, nil
+}
+
+// Params returns the shared protocol parameters.
+func (q *Querier) Params() Params { return q.params }
+
+// Family exposes the shared hash family (needed by in-process tests and
+// the feature layer).
+func (q *Querier) Family() *hashutil.Family { return q.fam }
+
+// BuildQuery obfuscates term into a TFQuery plus the private recovery
+// state. Exactly Z1 rows carry the real hash h_a(term); the remaining
+// rows carry h_a(t') for freshly sampled decoy terms t' (Eq. (4) of the
+// paper).
+func (q *Querier) BuildQuery(term uint64) (*TFQuery, *TFPrivate) {
+	z := q.params.Z
+	perm := q.rng.Perm(z)
+	pv := append([]int(nil), perm[:q.params.Z1]...)
+	sortInts(pv)
+	inPV := make([]bool, z)
+	for _, a := range pv {
+		inPV[a] = true
+	}
+	cols := make([]uint32, z)
+	for a := 0; a < z; a++ {
+		if inPV[a] {
+			cols[a] = q.fam.Index(a, term)
+		} else {
+			cols[a] = q.fam.Index(a, q.rng.Uint64())
+		}
+	}
+	return &TFQuery{Cols: cols}, &TFPrivate{Term: term, PV: pv}
+}
+
+// Recover combines the owner's perturbed values into the final count
+// estimate using only the private index set (Eq. (6)): sign-corrected
+// median for Count Sketch, minimum for Count-Min.
+func (q *Querier) Recover(priv *TFPrivate, resp *TFResponse) (float64, error) {
+	if resp == nil || len(resp.Values) != q.params.Z {
+		return 0, fmt.Errorf("%w: response has %d values, want %d",
+			ErrBadQuery, respLen(resp), q.params.Z)
+	}
+	vals := make([]float64, len(priv.PV))
+	for i, a := range priv.PV {
+		vals[i] = resp.Values[a]
+	}
+	return sketch.EstimateFromRows(q.params.SketchKind, q.fam, priv.Term, priv.PV, vals), nil
+}
+
+func respLen(r *TFResponse) int {
+	if r == nil {
+		return 0
+	}
+	return len(r.Values)
+}
+
+// sortInts is a tiny insertion sort; PV has at most Z elements.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

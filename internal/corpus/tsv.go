@@ -1,0 +1,227 @@
+package corpus
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"csfltr/internal/textkit"
+)
+
+// ErrBadTSV marks malformed TSV input.
+var ErrBadTSV = errors.New("corpus: malformed TSV")
+
+// WriteDocsTSV writes one party's documents in the interchange format
+// (doc_id, topic, space-separated title term ids, body term ids) that
+// cmd/datagen emits and ReadDocsTSV consumes. The format exists so real
+// corpora can be brought into the pipeline after external tokenization.
+func WriteDocsTSV(w io.Writer, docs []*textkit.Document) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "doc_id\ttopic\ttitle_terms\tbody_terms"); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\t%s\n",
+			d.ID, d.Topic, joinTermIDs(d.Title), joinTermIDs(d.Body)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteQueriesTSV writes one party's queries (query_id, topic, term ids).
+func WriteQueriesTSV(w io.Writer, queries []*textkit.Query) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "query_id\ttopic\tterms"); err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%s\n", q.ID, q.Topic, joinTermIDs(q.Terms)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDocsTSV parses documents written by WriteDocsTSV.
+func ReadDocsTSV(r io.Reader) ([]*textkit.Document, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	var out []*textkit.Document
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 {
+			if !strings.HasPrefix(text, "doc_id\t") {
+				return nil, fmt.Errorf("%w: line 1: unexpected header %q", ErrBadTSV, text)
+			}
+			continue
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("%w: line %d: %d fields, want 4", ErrBadTSV, line, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: doc_id: %v", ErrBadTSV, line, err)
+		}
+		topic, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: topic: %v", ErrBadTSV, line, err)
+		}
+		title, err := parseTermIDs(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: title: %v", ErrBadTSV, line, err)
+		}
+		body, err := parseTermIDs(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: body: %v", ErrBadTSV, line, err)
+		}
+		out = append(out, textkit.NewDocument(id, topic, title, body))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTSV, err)
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBadTSV)
+	}
+	return out, nil
+}
+
+// ReadQueriesTSV parses queries written by WriteQueriesTSV.
+func ReadQueriesTSV(r io.Reader) ([]*textkit.Query, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	var out []*textkit.Query
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 {
+			if !strings.HasPrefix(text, "query_id\t") {
+				return nil, fmt.Errorf("%w: line 1: unexpected header %q", ErrBadTSV, text)
+			}
+			continue
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: line %d: %d fields, want 3", ErrBadTSV, line, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: query_id: %v", ErrBadTSV, line, err)
+		}
+		topic, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: topic: %v", ErrBadTSV, line, err)
+		}
+		terms, err := parseTermIDs(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: terms: %v", ErrBadTSV, line, err)
+		}
+		out = append(out, textkit.NewQuery(id, topic, terms))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTSV, err)
+	}
+	if line == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBadTSV)
+	}
+	return out, nil
+}
+
+// joinTermIDs renders term ids space-separated.
+func joinTermIDs(ids []textkit.TermID) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(uint64(id), 10))
+	}
+	return b.String()
+}
+
+// parseTermIDs parses a space-separated id list (empty string = no
+// terms).
+func parseTermIDs(s string) ([]textkit.TermID, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Fields(s)
+	out := make([]textkit.TermID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = textkit.TermID(v)
+	}
+	return out, nil
+}
+
+// FromParties assembles a Corpus from externally supplied per-party
+// documents and queries (e.g. loaded from TSV), computing ground truth
+// with the given config's BM25 parameters and label cutoffs. The config's
+// generator fields (vocab size, topics, lengths) are ignored; only
+// NumParties, cutoffs, BM25 parameters and LabelNoise apply. DocsPerParty
+// is derived from the largest party (it namespaces global doc ids in the
+// ground-truth index).
+func FromParties(cfg Config, docs [][]*textkit.Document, queries [][]*textkit.Query) (*Corpus, error) {
+	if len(docs) == 0 || len(docs) != len(queries) {
+		return nil, fmt.Errorf("%w: need equal non-empty docs/queries party lists", ErrBadConfig)
+	}
+	cfg.NumParties = len(docs)
+	maxDocs := 0
+	for _, ds := range docs {
+		if len(ds) == 0 {
+			return nil, fmt.Errorf("%w: a party has no documents", ErrBadConfig)
+		}
+		if len(ds) > maxDocs {
+			maxDocs = len(ds)
+		}
+	}
+	cfg.DocsPerParty = maxDocs
+	c := &Corpus{
+		Cfg:        cfg,
+		truth:      make(map[QueryRef][]ScoredDoc),
+		labels:     make(map[QueryRef]map[DocRef]int),
+		noisyLocal: make(map[QueryRef]map[DocRef]int),
+	}
+	for i := range docs {
+		if len(queries[i]) == 0 {
+			return nil, fmt.Errorf("%w: party %d has no queries", ErrBadConfig, i)
+		}
+		for j, d := range docs[i] {
+			if d.ID != j {
+				return nil, fmt.Errorf("%w: party %d doc ids must be dense (got %d at %d)",
+					ErrBadConfig, i, d.ID, j)
+			}
+		}
+		for j, q := range queries[i] {
+			if q.ID != j {
+				return nil, fmt.Errorf("%w: party %d query ids must be dense", ErrBadConfig, i)
+			}
+		}
+		c.Parties = append(c.Parties, &Party{Index: i, Docs: docs[i], Queries: queries[i]})
+	}
+	c.computeGroundTruth()
+	// External corpora carry no label noise unless configured; the noise
+	// RNG derives from the seed as in Generate.
+	if len(cfg.LabelNoise) == len(docs) {
+		c.applyLabelNoise(rand.New(rand.NewSource(cfg.Seed)))
+	}
+	return c, nil
+}

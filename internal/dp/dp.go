@@ -1,0 +1,276 @@
+// Package dp implements the differential-privacy machinery of CS-F-LTR.
+//
+// Section IV-B (Step 3) of the paper perturbs every sketch lookup with a
+// single Laplace noise draw Ñ ~ Lap(1/ε) before it leaves the document
+// owner, and Theorem 1 shows the resulting point-query mechanism satisfies
+// ε-DP in the sketch-specific sense of Definition 4. This package provides
+// the Laplace mechanism, a discrete (two-sided geometric) variant, and a
+// per-peer privacy accountant that tracks cumulative budget under
+// sequential composition.
+//
+// Conventions: following the paper's Figure 6a we "abuse ε = 0 to
+// represent the case that DP is not applied"; Disabled() returns a
+// mechanism that adds no noise, and NewLaplace rejects ε <= 0 so the two
+// cases cannot be confused silently.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadEpsilon     = errors.New("dp: epsilon must be positive")
+	ErrBadSensitivity = errors.New("dp: sensitivity must be positive")
+	ErrBudgetExceeded = errors.New("dp: privacy budget exceeded")
+)
+
+// Mechanism perturbs a numeric query answer to provide differential
+// privacy. Implementations are safe for concurrent use only if their
+// underlying random source is.
+type Mechanism interface {
+	// Perturb returns x plus mechanism noise.
+	Perturb(x float64) float64
+	// Sample returns one noise draw (Perturb(0)).
+	Sample() float64
+	// Epsilon returns the per-invocation privacy cost (0 for Disabled).
+	Epsilon() float64
+}
+
+// Laplace is the Laplace mechanism with scale sensitivity/epsilon.
+type Laplace struct {
+	epsilon float64
+	scale   float64
+	rng     *rand.Rand
+}
+
+// NewLaplace builds a Laplace mechanism for a query with the given
+// sensitivity and privacy budget epsilon. The paper's TF scheme uses
+// sensitivity 1 (one term changes one counter by one, up to the hash
+// collision argument of Theorem 1). rng must not be nil.
+func NewLaplace(epsilon, sensitivity float64, rng *rand.Rand) (*Laplace, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, epsilon)
+	}
+	if sensitivity <= 0 || math.IsNaN(sensitivity) || math.IsInf(sensitivity, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadSensitivity, sensitivity)
+	}
+	if rng == nil {
+		return nil, errors.New("dp: rng must not be nil")
+	}
+	return &Laplace{epsilon: epsilon, scale: sensitivity / epsilon, rng: rng}, nil
+}
+
+// Scale returns the Laplace scale parameter b = sensitivity/epsilon.
+func (l *Laplace) Scale() float64 { return l.scale }
+
+// Epsilon returns the per-invocation privacy cost.
+func (l *Laplace) Epsilon() float64 { return l.epsilon }
+
+// Sample draws one Lap(0, b) variate by inverse-CDF sampling.
+func (l *Laplace) Sample() float64 { return SampleLaplace(l.rng, l.scale) }
+
+// Perturb returns x + Lap(0, b).
+func (l *Laplace) Perturb(x float64) float64 { return x + l.Sample() }
+
+// SampleLaplace draws a Laplace(0, scale) variate from rng using the
+// inverse CDF: for u ~ U(-1/2, 1/2), x = -b * sign(u) * ln(1 - 2|u|).
+func SampleLaplace(rng *rand.Rand, scale float64) float64 {
+	u := rng.Float64() - 0.5
+	if u >= 0 {
+		return -scale * math.Log(1-2*u)
+	}
+	return scale * math.Log(1+2*u)
+}
+
+// Geometric is the two-sided geometric (discrete Laplace) mechanism, the
+// integer-valued analogue of Laplace. Useful when perturbed counters must
+// remain integers; it satisfies ε-DP for sensitivity-1 counting queries.
+type Geometric struct {
+	epsilon float64
+	alpha   float64 // e^{-epsilon/sensitivity}
+	rng     *rand.Rand
+}
+
+// NewGeometric builds a two-sided geometric mechanism.
+func NewGeometric(epsilon, sensitivity float64, rng *rand.Rand) (*Geometric, error) {
+	if epsilon <= 0 || math.IsNaN(epsilon) || math.IsInf(epsilon, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadEpsilon, epsilon)
+	}
+	if sensitivity <= 0 {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadSensitivity, sensitivity)
+	}
+	if rng == nil {
+		return nil, errors.New("dp: rng must not be nil")
+	}
+	return &Geometric{epsilon: epsilon, alpha: math.Exp(-epsilon / sensitivity), rng: rng}, nil
+}
+
+// Epsilon returns the per-invocation privacy cost.
+func (g *Geometric) Epsilon() float64 { return g.epsilon }
+
+// Sample draws an integer-valued two-sided geometric variate.
+// Pr[X = k] = (1-alpha)/(1+alpha) * alpha^{|k|}.
+func (g *Geometric) Sample() float64 {
+	// Sample magnitude from a geometric distribution and a fair sign,
+	// handling the double-counted zero by rejection.
+	for {
+		u := g.rng.Float64()
+		// Geometric magnitude: smallest k >= 0 with 1-alpha^{k+1} > u.
+		k := math.Floor(math.Log(1-u) / math.Log(g.alpha))
+		if math.IsNaN(k) || k < 0 {
+			k = 0
+		}
+		if g.rng.Intn(2) == 0 {
+			return k
+		}
+		if k == 0 {
+			continue // zero must not be drawn twice as often
+		}
+		return -k
+	}
+}
+
+// Perturb returns x plus integer geometric noise.
+func (g *Geometric) Perturb(x float64) float64 { return x + g.Sample() }
+
+// disabled is the no-op mechanism standing in for "DP off" (ε = 0 in the
+// paper's Figure 6a).
+type disabled struct{}
+
+// Disabled returns a Mechanism that adds no noise and reports Epsilon()==0.
+func Disabled() Mechanism { return disabled{} }
+
+func (disabled) Perturb(x float64) float64 { return x }
+func (disabled) Sample() float64           { return 0 }
+func (disabled) Epsilon() float64          { return 0 }
+
+// ForEpsilon returns the mechanism the CS-F-LTR protocol uses at privacy
+// budget eps: Disabled() when eps == 0 (the paper's convention) and a
+// sensitivity-1 Laplace mechanism otherwise.
+func ForEpsilon(eps float64, rng *rand.Rand) (Mechanism, error) {
+	if eps == 0 {
+		return Disabled(), nil
+	}
+	return NewLaplace(eps, 1, rng)
+}
+
+// Accountant tracks cumulative privacy spending per peer under sequential
+// composition: total cost is the sum of per-query epsilons. It is safe for
+// concurrent use.
+type Accountant struct {
+	mu     sync.Mutex
+	budget float64 // 0 means unlimited
+	spent  map[string]float64
+}
+
+// NewAccountant creates an accountant with the given total per-peer
+// budget. A budget of 0 means "track but never refuse".
+func NewAccountant(budget float64) *Accountant {
+	return &Accountant{budget: budget, spent: make(map[string]float64)}
+}
+
+// Spend records a query against peer costing eps, returning
+// ErrBudgetExceeded (without recording) if it would overrun the budget.
+func (a *Accountant) Spend(peer string, eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("%w: negative spend %v", ErrBadEpsilon, eps)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget > 0 && a.spent[peer]+eps > a.budget {
+		return fmt.Errorf("%w: peer %q spent %.4f of %.4f, requested %.4f",
+			ErrBudgetExceeded, peer, a.spent[peer], a.budget, eps)
+	}
+	a.spent[peer] += eps
+	return nil
+}
+
+// Spent returns the cumulative epsilon spent against peer.
+func (a *Accountant) Spent(peer string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.spent[peer]
+}
+
+// Remaining returns the unspent budget for peer, or +Inf when unlimited.
+func (a *Accountant) Remaining(peer string) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.budget == 0 {
+		return math.Inf(1)
+	}
+	r := a.budget - a.spent[peer]
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// SequentialComposition returns the total epsilon of k sequential
+// eps-DP queries — the accounting rule the Accountant applies.
+func SequentialComposition(eps float64, k int) float64 {
+	if k <= 0 || eps <= 0 {
+		return 0
+	}
+	return float64(k) * eps
+}
+
+// AdvancedComposition returns the epsilon' such that k sequential eps-DP
+// mechanisms are (epsilon', delta)-DP under the advanced composition
+// theorem (Dwork, Rothblum, Vadhan):
+//
+//	eps' = eps*sqrt(2k ln(1/delta)) + k*eps*(e^eps - 1)
+//
+// For many small queries this is far tighter than k*eps; the protocol
+// layer can use it to budget long-running federations. Returns +Inf for
+// invalid inputs.
+func AdvancedComposition(eps, delta float64, k int) float64 {
+	if eps <= 0 || delta <= 0 || delta >= 1 || k <= 0 {
+		return math.Inf(1)
+	}
+	kf := float64(k)
+	return eps*math.Sqrt(2*kf*math.Log(1/delta)) + kf*eps*(math.Exp(eps)-1)
+}
+
+// QueriesWithinBudget returns the largest k such that k sequential
+// eps-DP queries stay within totalEps under advanced composition at the
+// given delta (simple binary search; 0 if even one query overruns).
+func QueriesWithinBudget(eps, delta, totalEps float64) int {
+	if eps <= 0 || totalEps <= 0 {
+		return 0
+	}
+	lo, hi := 0, 1
+	for AdvancedComposition(eps, delta, hi) <= totalEps {
+		hi *= 2
+		if hi > 1<<30 {
+			break
+		}
+	}
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if AdvancedComposition(eps, delta, mid) <= totalEps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Peers returns the peers with recorded spending, sorted.
+func (a *Accountant) Peers() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.spent))
+	for p := range a.spent {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Separability quantifies how distinguishable two labelled point clouds
+// are; the harness reports it for every Fig. 5 sketch strategy.
+type Separability struct {
+	// ProbeAccuracy is the training accuracy of a logistic-regression
+	// probe on the points (0.5 = chance for balanced classes).
+	ProbeAccuracy float64
+	// CentroidMargin is the distance between class centroids divided by
+	// the mean within-class spread; larger is more separable.
+	CentroidMargin float64
+	// Silhouette is the mean silhouette coefficient over all points in
+	// [-1, 1]; positive means points sit closer to their own class.
+	Silhouette float64
+}
+
+// Separate computes all separability probes for binary-labelled points
+// (labels need not be 0/1; any two distinct values work, with positive
+// class = label > 0).
+func Separate(x [][]float64, labels []int, seed int64) (Separability, error) {
+	n, _, err := validateMatrix(x)
+	if err != nil {
+		return Separability{}, err
+	}
+	if len(labels) != n {
+		return Separability{}, fmt.Errorf("%w: %d labels for %d points", ErrBadInput, len(labels), n)
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l > 0 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return Separability{}, fmt.Errorf("%w: need both classes present", ErrBadInput)
+	}
+	return Separability{
+		ProbeAccuracy:  probeAccuracy(x, labels, seed),
+		CentroidMargin: centroidMargin(x, labels),
+		Silhouette:     silhouette(x, labels),
+	}, nil
+}
+
+// probeAccuracy trains a small logistic-regression classifier by SGD and
+// returns its training accuracy.
+func probeAccuracy(x [][]float64, labels []int, seed int64) float64 {
+	n := len(x)
+	d := len(x[0])
+	// Standardize features for stable SGD.
+	xs := center(x)
+	for j := 0; j < d; j++ {
+		var v float64
+		for i := 0; i < n; i++ {
+			v += xs[i][j] * xs[i][j]
+		}
+		sd := math.Sqrt(v / float64(n))
+		if sd < 1e-12 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			xs[i][j] /= sd
+		}
+	}
+	w := make([]float64, d)
+	b := 0.0
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	lr := 0.5
+	for epoch := 0; epoch < 200; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			y := 0.0
+			if labels[i] > 0 {
+				y = 1
+			}
+			s := b
+			for j, v := range xs[i] {
+				s += w[j] * v
+			}
+			p := 1 / (1 + math.Exp(-s))
+			g := p - y
+			for j, v := range xs[i] {
+				w[j] -= lr * (g*v + 1e-4*w[j])
+			}
+			b -= lr * g
+		}
+		lr *= 0.98
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		s := b
+		for j, v := range xs[i] {
+			s += w[j] * v
+		}
+		if (s > 0) == (labels[i] > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// centroidMargin returns ||mu+ - mu-|| / mean within-class distance to
+// the own centroid.
+func centroidMargin(x [][]float64, labels []int) float64 {
+	d := len(x[0])
+	cpos := make([]float64, d)
+	cneg := make([]float64, d)
+	npos, nneg := 0, 0
+	for i, row := range x {
+		if labels[i] > 0 {
+			npos++
+			for j, v := range row {
+				cpos[j] += v
+			}
+		} else {
+			nneg++
+			for j, v := range row {
+				cneg[j] += v
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		cpos[j] /= float64(npos)
+		cneg[j] /= float64(nneg)
+	}
+	var between float64
+	for j := 0; j < d; j++ {
+		diff := cpos[j] - cneg[j]
+		between += diff * diff
+	}
+	between = math.Sqrt(between)
+	var within float64
+	for i, row := range x {
+		c := cneg
+		if labels[i] > 0 {
+			c = cpos
+		}
+		var s float64
+		for j, v := range row {
+			diff := v - c[j]
+			s += diff * diff
+		}
+		within += math.Sqrt(s)
+	}
+	within /= float64(len(x))
+	if within < 1e-12 {
+		within = 1e-12
+	}
+	return between / within
+}
+
+// silhouette returns the mean silhouette coefficient for the two classes.
+func silhouette(x [][]float64, labels []int) float64 {
+	n := len(x)
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for j := range a {
+			diff := a[j] - b[j]
+			s += diff * diff
+		}
+		return math.Sqrt(s)
+	}
+	var total float64
+	counted := 0
+	for i := 0; i < n; i++ {
+		var sameSum, otherSum float64
+		var sameN, otherN int
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := dist(x[i], x[j])
+			if (labels[i] > 0) == (labels[j] > 0) {
+				sameSum += d
+				sameN++
+			} else {
+				otherSum += d
+				otherN++
+			}
+		}
+		if sameN == 0 || otherN == 0 {
+			continue
+		}
+		a := sameSum / float64(sameN)
+		b := otherSum / float64(otherN)
+		m := math.Max(a, b)
+		if m < 1e-12 {
+			continue
+		}
+		total += (b - a) / m
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"csfltr/internal/corpus"
+	"csfltr/internal/embed"
+	"csfltr/internal/features"
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+	"csfltr/internal/textkit"
+)
+
+// Fig5Strategy describes one panel of Fig. 5: which sketch (if any)
+// supplies the term counts behind the 16-dimensional features.
+type Fig5Strategy struct {
+	Name  string
+	Exact bool        // no sketch at all (panel a)
+	Kind  sketch.Kind // Count or CountMin
+	W     int         // hash range
+	Z     int         // total rows in the sketch
+	Z1    int         // rows actually used by the estimator
+}
+
+// PaperFig5Strategies returns the paper's eight panels: no sketch, Count
+// Sketch at w=200/100/50, CM sketch at w=200, and Count Sketch at
+// z1=5/3/1.
+func PaperFig5Strategies() []Fig5Strategy {
+	return []Fig5Strategy{
+		{Name: "no-sketch", Exact: true},
+		{Name: "count-w200-z1-10", Kind: sketch.Count, W: 200, Z: 30, Z1: 10},
+		{Name: "count-w100", Kind: sketch.Count, W: 100, Z: 30, Z1: 10},
+		{Name: "count-w50", Kind: sketch.Count, W: 50, Z: 30, Z1: 10},
+		{Name: "cm-w200", Kind: sketch.CountMin, W: 200, Z: 30, Z1: 10},
+		{Name: "count-z1-5", Kind: sketch.Count, W: 200, Z: 30, Z1: 5},
+		{Name: "count-z1-3", Kind: sketch.Count, W: 200, Z: 30, Z1: 3},
+		{Name: "count-z1-1", Kind: sketch.Count, W: 200, Z: 30, Z1: 1},
+	}
+}
+
+// Fig5Panel is one rendered panel: the 2-D embedding of the sampled
+// instances under a strategy, their binary labels and the quantitative
+// separability probes.
+type Fig5Panel struct {
+	Strategy Fig5Strategy
+	Points   [][]float64 // len(samples) x 2
+	Labels   []int       // 1 = positive (relevance 1 or 2), 0 = negative
+	Probes   embed.Separability
+}
+
+// Fig5Config configures the visualization experiment.
+type Fig5Config struct {
+	Corpus  corpus.Config
+	Params  features.Params
+	Samples int // total sampled instances (the paper uses 400)
+	TSNE    embed.TSNEConfig
+	Seed    int64
+}
+
+// DefaultFig5Config mirrors the paper: 400 samples, t-SNE embedding.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{
+		Corpus:  corpus.DefaultConfig(),
+		Params:  features.DefaultParams(),
+		Samples: 400,
+		TSNE:    embed.DefaultTSNEConfig(),
+		Seed:    1,
+	}
+}
+
+// TestFig5Config returns a fast configuration for unit tests.
+func TestFig5Config() Fig5Config {
+	cfg := DefaultFig5Config()
+	cfg.Corpus = corpus.TestConfig()
+	cfg.Samples = 60
+	cfg.TSNE.Iterations = 60
+	cfg.TSNE.ExaggerateFor = 20
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c Fig5Config) Validate() error {
+	if err := c.Corpus.Validate(); err != nil {
+		return err
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.Samples < 10 {
+		return fmt.Errorf("%w: Samples=%d", ErrBadConfig, c.Samples)
+	}
+	return c.TSNE.Validate()
+}
+
+// fig5Sample is one sampled (query, document, label) triple.
+type fig5Sample struct {
+	query *textkit.Query
+	doc   *textkit.Document
+	label int // binary
+}
+
+// sampleInstances draws a balanced set of positive and negative
+// query-document pairs from the corpus ground truth.
+func sampleInstances(c *corpus.Corpus, samples int, seed int64) []fig5Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var positives, negatives []fig5Sample
+	for pi, party := range c.Parties {
+		for _, q := range party.Queries {
+			qref := corpus.QueryRef{Party: pi, Query: q.ID}
+			for _, sd := range c.GroundTruth(qref) {
+				positives = append(positives, fig5Sample{
+					query: q,
+					doc:   c.Parties[sd.Ref.Party].Docs[sd.Ref.Doc],
+					label: 1,
+				})
+			}
+		}
+	}
+	rng.Shuffle(len(positives), func(i, j int) { positives[i], positives[j] = positives[j], positives[i] })
+	half := samples / 2
+	if len(positives) > half {
+		positives = positives[:half]
+	}
+	need := samples - len(positives)
+	for len(negatives) < need {
+		pi := rng.Intn(len(c.Parties))
+		party := c.Parties[pi]
+		q := party.Queries[rng.Intn(len(party.Queries))]
+		dp := rng.Intn(len(c.Parties))
+		doc := c.Parties[dp].Docs[rng.Intn(len(c.Parties[dp].Docs))]
+		qref := corpus.QueryRef{Party: pi, Query: q.ID}
+		if c.Label(qref, corpus.DocRef{Party: dp, Doc: doc.ID}) != 0 {
+			continue
+		}
+		negatives = append(negatives, fig5Sample{query: q, doc: doc, label: 0})
+	}
+	return append(positives, negatives...)
+}
+
+// strategyField builds the Field supplying counts for one document field
+// under a strategy: exact counts, or point queries against a per-document
+// sketch using z1 of the z rows.
+func strategyField(s Fig5Strategy, tv textkit.TermVector, fam *hashutil.Family, rows []int) (features.Field, error) {
+	if s.Exact {
+		return features.ExactField(tv), nil
+	}
+	table, err := sketch.New(s.Kind, fam)
+	if err != nil {
+		return nil, err
+	}
+	for t, c := range tv {
+		table.Add(uint64(t), int64(c))
+	}
+	count := func(t textkit.TermID) float64 {
+		vals := make([]float64, len(rows))
+		for i, a := range rows {
+			vals[i] = float64(table.Cell(a, fam.Index(a, uint64(t))))
+		}
+		return sketch.EstimateFromRows(s.Kind, fam, uint64(t), rows, vals)
+	}
+	return features.FuncField(count, tv.Total(), tv.Unique()), nil
+}
+
+// RunFig5 renders every strategy panel: extract features under the
+// strategy, embed with t-SNE and compute separability probes.
+func RunFig5(cfg Fig5Config, strategies []Fig5Strategy) ([]Fig5Panel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("%w: no strategies", ErrBadConfig)
+	}
+	c, err := corpus.Generate(cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	docSets := make([][]*textkit.Document, len(c.Parties))
+	for i, p := range c.Parties {
+		docSets[i] = p.Docs
+	}
+	stats := features.ComputeStats(docSets...)
+	samples := sampleInstances(c, cfg.Samples, cfg.Seed)
+	if len(samples) < 10 {
+		return nil, fmt.Errorf("%w: corpus produced only %d samples", ErrBadConfig, len(samples))
+	}
+	labels := make([]int, len(samples))
+	for i, s := range samples {
+		labels[i] = s.label
+	}
+
+	panels := make([]Fig5Panel, 0, len(strategies))
+	for si, strat := range strategies {
+		var fam *hashutil.Family
+		var rows []int
+		if !strat.Exact {
+			if strat.Z <= 0 || strat.Z1 <= 0 || strat.Z1 > strat.Z || strat.W < 2 {
+				return nil, fmt.Errorf("%w: strategy %q has z=%d z1=%d w=%d",
+					ErrBadConfig, strat.Name, strat.Z, strat.Z1, strat.W)
+			}
+			fam, err = hashutil.NewFamily(hashutil.KindPolynomial, strat.Z, strat.W, uint64(cfg.Seed)+uint64(si))
+			if err != nil {
+				return nil, err
+			}
+			perm := rand.New(rand.NewSource(cfg.Seed + int64(si))).Perm(strat.Z)
+			rows = perm[:strat.Z1]
+		}
+		vectors := make([][]float64, len(samples))
+		for i, s := range samples {
+			body, err := strategyField(strat, s.doc.BodyCounts(), fam, rows)
+			if err != nil {
+				return nil, err
+			}
+			title, err := strategyField(strat, s.doc.TitleCounts(), fam, rows)
+			if err != nil {
+				return nil, err
+			}
+			vectors[i] = features.Vector(s.query.UniqueTerms(), body, title, stats, cfg.Params)
+		}
+		nz := features.FitNormalizer(vectors)
+		nz.ApplyAll(vectors)
+		points, err := embed.TSNE(vectors, cfg.TSNE)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 %q embed: %w", strat.Name, err)
+		}
+		probes, err := embed.Separate(vectors, labels, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig5 %q probes: %w", strat.Name, err)
+		}
+		panels = append(panels, Fig5Panel{
+			Strategy: strat,
+			Points:   points,
+			Labels:   labels,
+			Probes:   probes,
+		})
+	}
+	return panels, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Report accumulates experiment results for machine-readable export: the
+// expbench -json flag writes one Report covering everything that ran.
+// Safe for concurrent Add calls.
+type Report struct {
+	mu sync.Mutex
+	// Meta describes the run (scale, seed, host notes).
+	Meta map[string]string `json:"meta"`
+	// Results maps experiment id (e.g. "table1", "fig4-alpha") to its
+	// result struct.
+	Results map[string]any `json:"results"`
+}
+
+// NewReport creates an empty report with the given metadata.
+func NewReport(meta map[string]string) *Report {
+	if meta == nil {
+		meta = map[string]string{}
+	}
+	return &Report{Meta: meta, Results: make(map[string]any)}
+}
+
+// Add records one experiment's result under its id. Duplicate ids get a
+// numeric suffix rather than silently overwriting.
+func (r *Report) Add(id string, result any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := id
+	for i := 2; ; i++ {
+		if _, dup := r.Results[key]; !dup {
+			break
+		}
+		key = fmt.Sprintf("%s-%d", id, i)
+	}
+	r.Results[key] = result
+}
+
+// Len returns the number of recorded results.
+func (r *Report) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.Results)
+}
+
+// WriteJSON serializes the report with indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Meta    map[string]string `json:"meta"`
+		Results map[string]any    `json:"results"`
+	}{r.Meta, r.Results}); err != nil {
+		return fmt.Errorf("experiments: encoding report: %w", err)
+	}
+	return nil
+}

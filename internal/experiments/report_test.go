@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestReportAddAndJSON(t *testing.T) {
+	r := NewReport(map[string]string{"scale": "test"})
+	r.Add("traffic", map[string]int{"bytes": 42})
+	r.Add("traffic", map[string]int{"bytes": 43}) // duplicate id
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"traffic"`) || !strings.Contains(out, `"traffic-2"`) {
+		t.Fatalf("duplicate ids not suffixed:\n%s", out)
+	}
+	var decoded struct {
+		Meta    map[string]string         `json:"meta"`
+		Results map[string]map[string]int `json:"results"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Meta["scale"] != "test" {
+		t.Fatal("meta lost")
+	}
+	if decoded.Results["traffic"]["bytes"] != 42 || decoded.Results["traffic-2"]["bytes"] != 43 {
+		t.Fatalf("results lost: %v", decoded.Results)
+	}
+}
+
+func TestReportNilMeta(t *testing.T) {
+	r := NewReport(nil)
+	r.Add("x", 1)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportConcurrent(t *testing.T) {
+	r := NewReport(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add("same-id", g*1000+i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("concurrent adds lost entries: %d", r.Len())
+	}
+}
+
+// TestReportSerializesRealResults: the actual experiment result structs
+// must be JSON-serializable (exported fields, no cycles).
+func TestReportSerializesRealResults(t *testing.T) {
+	r := NewReport(nil)
+	r.Add("fig4", []Fig4Point{{Param: "alpha", Value: 5, CoverRate: 0.99}})
+	r.Add("headline", &HeadlineResult{Docs: 100, Speedup: 10})
+	r.Add("table1", &Table1Result{PartyNames: []string{"A"}})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"CoverRate", "Speedup", "PartyNames"} {
+		if !strings.Contains(buf.String(), needle) {
+			t.Fatalf("JSON missing %s", needle)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteFig5SVG renders one Fig. 5 panel as a standalone SVG scatter plot
+// (relevant instances as filled circles, irrelevant as hollow), the
+// publication-style artifact corresponding to the paper's panels. Pure
+// stdlib; no plotting dependency.
+func WriteFig5SVG(w io.Writer, panel Fig5Panel, width, height int) error {
+	if width < 100 {
+		width = 100
+	}
+	if height < 100 {
+		height = 100
+	}
+	if len(panel.Points) == 0 {
+		return fmt.Errorf("%w: panel %q has no points", ErrBadConfig, panel.Strategy.Name)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range panel.Points {
+		minX = math.Min(minX, p[0])
+		maxX = math.Max(maxX, p[0])
+		minY = math.Min(minY, p[1])
+		maxY = math.Max(maxY, p[1])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const margin = 24.0
+	plotW := float64(width) - 2*margin
+	plotH := float64(height) - 2*margin
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="12" text-anchor="middle">%s (probe-acc %.3f)</text>`+"\n",
+		width/2, escapeXML(panel.Strategy.Name), panel.Probes.ProbeAccuracy)
+	for i, p := range panel.Points {
+		x := margin + (p[0]-minX)/(maxX-minX)*plotW
+		y := margin + (1-(p[1]-minY)/(maxY-minY))*plotH
+		if panel.Labels[i] > 0 {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="#c0392b" fill-opacity="0.75"/>`+"\n", x, y)
+		} else {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="none" stroke="#2980b9" stroke-opacity="0.75"/>`+"\n", x, y)
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeXML escapes the five XML special characters.
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

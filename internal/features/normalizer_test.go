@@ -1,0 +1,83 @@
+package features
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestNormalizerSerializationRoundTrip(t *testing.T) {
+	n := FitNormalizer([][]float64{
+		{1, 10, 5},
+		{3, 10, 9},
+	})
+	var buf bytes.Buffer
+	written, err := n.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", written, buf.Len())
+	}
+	got, err := ReadNormalizer(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Mean) != 3 || len(got.Scale) != 3 {
+		t.Fatalf("round trip lost dimensions: %+v", got)
+	}
+	for i := range n.Mean {
+		if got.Mean[i] != n.Mean[i] || got.Scale[i] != n.Scale[i] {
+			t.Fatalf("dimension %d differs", i)
+		}
+	}
+	// Applying both gives identical results.
+	a := n.Apply([]float64{2, 10, 7})
+	b := got.Apply([]float64{2, 10, 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("restored normalizer applies differently")
+		}
+	}
+}
+
+func TestReadNormalizerCorrupt(t *testing.T) {
+	n := FitNormalizer([][]float64{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if _, err := n.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := [][]byte{
+		nil,
+		data[:2],
+		data[:len(data)-4],
+		func() []byte { d := append([]byte{}, data...); d[0] ^= 1; return d }(),
+	}
+	for i, d := range cases {
+		if _, err := ReadNormalizer(bytes.NewReader(d)); !errors.Is(err, ErrCorruptNormalizer) {
+			t.Fatalf("case %d: want ErrCorruptNormalizer, got %v", i, err)
+		}
+	}
+}
+
+func TestApplyShortVector(t *testing.T) {
+	n := FitNormalizer([][]float64{{0, 0, 0}, {2, 4, 6}})
+	// Shorter vector than the normalizer: only covered dims transformed.
+	v := n.Apply([]float64{1})
+	if len(v) != 1 {
+		t.Fatalf("Apply changed length: %v", v)
+	}
+	// Longer vector: extra dims untouched.
+	v = n.Apply([]float64{1, 2, 3, 99})
+	if v[3] != 99 {
+		t.Fatalf("extra dimension modified: %v", v)
+	}
+}
+
+func TestCollectionProbEmptyStats(t *testing.T) {
+	fs := &FieldStats{}
+	if p := fs.collectionProb(1); p <= 0 {
+		t.Fatalf("empty-collection probability must stay positive: %v", p)
+	}
+}

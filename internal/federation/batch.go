@@ -1,0 +1,103 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"csfltr/internal/core"
+)
+
+// TopKRequest names one reverse top-K query of a batch.
+type TopKRequest struct {
+	To    string // document-owner party
+	Field Field
+	Term  uint64
+	K     int
+}
+
+// TopKResult pairs a request with its outcome.
+type TopKResult struct {
+	Request TopKRequest
+	Docs    []core.DocCount
+	Cost    core.Cost
+	Err     error
+}
+
+// BatchReverseTopK runs many reverse top-K queries from one party
+// concurrently with at most parallelism in-flight queries. Results are
+// returned in request order; individual failures are reported per result
+// rather than aborting the batch. Every query spends privacy budget with
+// the querier's accountant exactly as the sequential path does; budget
+// refusals surface as per-result errors.
+//
+// Each worker uses its own deterministically-seeded querier (obfuscation
+// randomness), so a batch is reproducible for a fixed federation and
+// request list regardless of scheduling.
+func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, parallelism int, useRTK bool) ([]TopKResult, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	src, err := f.Party(from)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]TopKResult, len(reqs))
+	for i, r := range reqs {
+		results[i].Request = r
+	}
+	// Pre-resolve one querier per request (seeded by index) so results
+	// do not depend on worker scheduling.
+	queriers := make([]*core.Querier, len(reqs))
+	for i := range reqs {
+		q, err := core.NewQuerier(f.Params, f.HashSeed, rand.New(rand.NewSource(int64(i)*7919+1)))
+		if err != nil {
+			return nil, err
+		}
+		queriers[i] = q
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r := &results[i]
+			if r.Request.To == from {
+				r.Err = ErrSelfQuery
+				return
+			}
+			owner, err := f.Server.OwnerFor(r.Request.To, r.Request.Field)
+			if err != nil {
+				r.Err = err
+				return
+			}
+			if err := src.account.Spend(r.Request.To, f.Params.Epsilon); err != nil {
+				r.Err = err
+				return
+			}
+			if useRTK {
+				r.Docs, r.Cost, r.Err = core.RTKReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+			} else {
+				r.Docs, r.Cost, r.Err = core.NaiveReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// BatchErrors collects the non-nil errors of a batch, labelled by
+// request.
+func BatchErrors(results []TopKResult) []error {
+	var out []error
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, fmt.Errorf("federation: %s/%v term %d: %w",
+				r.Request.To, r.Request.Field, r.Request.Term, r.Err))
+		}
+	}
+	return out
+}

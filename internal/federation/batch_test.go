@@ -1,0 +1,166 @@
+package federation
+
+import (
+	"errors"
+	"testing"
+
+	"csfltr/internal/core"
+	"csfltr/internal/textkit"
+)
+
+func batchFed(t *testing.T) *Federation {
+	t.Helper()
+	p := testParams()
+	fed, err := NewDeterministic([]string{"A", "B", "C"}, p, 42, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"B", "C"} {
+		party, _ := fed.Party(name)
+		for id := 0; id < 20; id++ {
+			body := make([]textkit.TermID, 0, 10)
+			for j := 0; j <= id%5; j++ {
+				body = append(body, textkit.TermID(100+j))
+			}
+			body = append(body, textkit.TermID(999)) // common filler
+			if err := party.IngestDocument(textkit.NewDocument(id, -1, nil, body)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return fed
+}
+
+func TestBatchReverseTopK(t *testing.T) {
+	fed := batchFed(t)
+	reqs := []TopKRequest{
+		{To: "B", Field: FieldBody, Term: 100, K: 3},
+		{To: "C", Field: FieldBody, Term: 101, K: 3},
+		{To: "B", Field: FieldBody, Term: 104, K: 3},
+		{To: "C", Field: FieldBody, Term: 100, K: 3},
+	}
+	results, err := fed.BatchReverseTopK("A", reqs, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d failed: %v", i, r.Err)
+		}
+		if r.Request != reqs[i] {
+			t.Fatalf("result %d out of order", i)
+		}
+		if len(r.Docs) == 0 {
+			t.Fatalf("request %d returned nothing", i)
+		}
+		if r.Cost.Messages == 0 {
+			t.Fatalf("request %d has no cost", i)
+		}
+	}
+	// Term 100 occurs in every doc; term 104 only in ids with id%5==4.
+	for _, dc := range results[2].Docs {
+		if dc.DocID%5 != 4 {
+			t.Fatalf("term 104 matched doc %d", dc.DocID)
+		}
+	}
+}
+
+// TestBatchDeterministicAcrossParallelism: the same batch must return
+// identical results regardless of the parallelism level.
+func TestBatchDeterministicAcrossParallelism(t *testing.T) {
+	fed := batchFed(t)
+	reqs := []TopKRequest{
+		{To: "B", Field: FieldBody, Term: 100, K: 5},
+		{To: "C", Field: FieldBody, Term: 102, K: 5},
+		{To: "B", Field: FieldBody, Term: 103, K: 5},
+	}
+	seq, err := fed.BatchReverseTopK("A", reqs, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed2 := batchFed(t)
+	par, err := fed2.BatchReverseTopK("A", reqs, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if len(seq[i].Docs) != len(par[i].Docs) {
+			t.Fatalf("request %d: lengths differ", i)
+		}
+		for j := range seq[i].Docs {
+			if seq[i].Docs[j] != par[i].Docs[j] {
+				t.Fatalf("request %d doc %d differs across parallelism", i, j)
+			}
+		}
+	}
+}
+
+func TestBatchPartialFailures(t *testing.T) {
+	fed := batchFed(t)
+	reqs := []TopKRequest{
+		{To: "B", Field: FieldBody, Term: 100, K: 3},
+		{To: "A", Field: FieldBody, Term: 100, K: 3},   // self query
+		{To: "ZZZ", Field: FieldBody, Term: 100, K: 3}, // unknown party
+	}
+	results, err := fed.BatchReverseTopK("A", reqs, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("good request failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, ErrSelfQuery) {
+		t.Fatalf("self query: %v", results[1].Err)
+	}
+	if !errors.Is(results[2].Err, ErrUnknownParty) {
+		t.Fatalf("unknown party: %v", results[2].Err)
+	}
+	errs := BatchErrors(results)
+	if len(errs) != 2 {
+		t.Fatalf("BatchErrors = %v", errs)
+	}
+}
+
+func TestBatchUnknownSource(t *testing.T) {
+	fed := batchFed(t)
+	if _, err := fed.BatchReverseTopK("ZZZ", nil, 2, true); !errors.Is(err, ErrUnknownParty) {
+		t.Fatal("unknown source should error")
+	}
+}
+
+func TestBatchNaivePath(t *testing.T) {
+	fed := batchFed(t)
+	results, err := fed.BatchReverseTopK("A",
+		[]TopKRequest{{To: "B", Field: FieldBody, Term: 100, K: 2}}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if results[0].Cost.Messages != 20 { // one per document under NAIVE
+		t.Fatalf("naive messages = %d", results[0].Cost.Messages)
+	}
+}
+
+func TestBatchConcurrentSafetyWithRace(t *testing.T) {
+	// Exercises concurrent owner access; meaningful under -race.
+	fed := batchFed(t)
+	var reqs []TopKRequest
+	for term := uint64(100); term < 105; term++ {
+		reqs = append(reqs,
+			TopKRequest{To: "B", Field: FieldBody, Term: term, K: 3},
+			TopKRequest{To: "C", Field: FieldBody, Term: term, K: 3})
+	}
+	results, err := fed.BatchReverseTopK("A", reqs, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := BatchErrors(results); len(errs) != 0 {
+		t.Fatalf("batch errors: %v", errs)
+	}
+	_ = core.Cost{}
+}

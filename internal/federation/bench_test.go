@@ -1,0 +1,101 @@
+package federation
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"csfltr/internal/core"
+	"csfltr/internal/textkit"
+)
+
+// benchFed builds a two-party federation with a few hundred documents at
+// party B.
+func benchFed(b *testing.B) *Federation {
+	b.Helper()
+	p := core.DefaultParams()
+	p.Epsilon = 0
+	p.K = 20
+	fed, err := NewDeterministic([]string{"A", "B"}, p, 42, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	party, _ := fed.Party("B")
+	rng := rand.New(rand.NewSource(1))
+	for id := 0; id < 400; id++ {
+		body := make([]textkit.TermID, 80)
+		for j := range body {
+			body[j] = textkit.TermID(rng.Intn(3000))
+		}
+		if id%3 == 0 {
+			body[0] = 9999 // probe term
+		}
+		if err := party.IngestDocument(textkit.NewDocument(id, -1, nil, body)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fed
+}
+
+// BenchmarkInProcessRTK measures one reverse top-K through the
+// in-process routed transport.
+func BenchmarkInProcessRTK(b *testing.B) {
+	fed := benchFed(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fed.ReverseTopK("A", "B", FieldBody, 9999, 20, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCRTK measures the same query over the TCP net/rpc
+// transport (loopback).
+func BenchmarkRPCRTK(b *testing.B) {
+	fed := benchFed(b)
+	srv, err := ListenAndServe(fed.Server, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	a, _ := fed.Party("A")
+	remote := client.OwnerFor("B", FieldBody)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.RTKReverseTopK(a.Querier(), remote, 9999, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTTPRTK measures the same query over the HTTP/JSON gateway
+// (loopback).
+func BenchmarkHTTPRTK(b *testing.B) {
+	fed := benchFed(b)
+	ts := httptest.NewServer(HTTPHandler(fed.Server))
+	defer ts.Close()
+	a, _ := fed.Party("A")
+	remote := NewHTTPOwner(ts.URL, "B", FieldBody, ts.Client())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.RTKReverseTopK(a.Querier(), remote, 9999, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFederatedSearch measures a three-term whole-query search.
+func BenchmarkFederatedSearch(b *testing.B) {
+	fed := benchFed(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fed.FederatedSearch("A", []uint64{9999, 17, 23}, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

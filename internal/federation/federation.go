@@ -1,0 +1,477 @@
+// Package federation is the cross-silo substrate of CS-F-LTR: parties,
+// the coordinating (honest-but-curious) server, message routing with
+// byte-level traffic accounting, and the key-agreement ceremony that
+// hides the shared hash seed from the server.
+//
+// Topology (Section III-A of the paper): N parties each hold private
+// documents and queries; a central server relays every protocol message
+// but must not learn raw data — parties derive the keyed-hash seed
+// pairwise via Diffie-Hellman (package keyex) so the server only ever
+// sees obfuscated column indexes and perturbed counters.
+//
+// Two transports are provided: direct in-process routing through Server,
+// and a TCP net/rpc transport (see rpc.go) exposing the same OwnerAPI.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/hashutil"
+	"csfltr/internal/keyex"
+	"csfltr/internal/textkit"
+)
+
+// Errors returned by this package.
+var (
+	ErrUnknownParty = errors.New("federation: unknown party")
+	ErrUnknownField = errors.New("federation: unknown document field")
+	ErrSelfQuery    = errors.New("federation: party cannot run the cross-party protocol against itself")
+)
+
+// Field selects which document field a cross-party query addresses. The
+// 16-dimensional feature vector needs term counts from both the body and
+// the title, so each party maintains one sketch set per field.
+type Field int
+
+const (
+	// FieldBody addresses document bodies.
+	FieldBody Field = iota
+	// FieldTitle addresses document titles.
+	FieldTitle
+	numFields
+)
+
+// String returns the field name.
+func (f Field) String() string {
+	switch f {
+	case FieldBody:
+		return "body"
+	case FieldTitle:
+		return "title"
+	default:
+		return fmt.Sprintf("federation.Field(%d)", int(f))
+	}
+}
+
+// TrafficStats aggregates the bytes and messages relayed by the server,
+// the communication-cost quantity of Fig. 4 / Section VI-D.
+type TrafficStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// endpoint resolves a party's owner API per field. Local parties resolve
+// in-process; remote (party-hosted) endpoints resolve to an RPC-backed
+// client.
+type endpoint interface {
+	ownerAPI(f Field) (core.OwnerAPI, error)
+}
+
+// Server is the coordinating server: a message router with traffic
+// accounting. It is honest-but-curious — it relays faithfully and records
+// everything it can see, but never holds hash keys or raw documents. Safe
+// for concurrent use.
+type Server struct {
+	mu      sync.Mutex
+	parties map[string]endpoint
+	traffic TrafficStats
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{parties: make(map[string]endpoint)}
+}
+
+// Register adds an in-process party to the federation roster.
+func (s *Server) Register(p *Party) error {
+	return s.register(p.Name, p)
+}
+
+// register adds any endpoint under a unique name. Registering new
+// parties at runtime is free for existing members — exactly the
+// reusability property the paper attributes to the sketch construction.
+func (s *Server) register(name string, e endpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.parties[name]; dup {
+		return fmt.Errorf("federation: party %q already registered", name)
+	}
+	s.parties[name] = e
+	return nil
+}
+
+// Unregister removes a party from the roster (e.g. a silo leaving the
+// federation). Unknown names are a no-op.
+func (s *Server) Unregister(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.parties, name)
+}
+
+// PartyNames returns the registered party names, sorted.
+func (s *Server) PartyNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.parties))
+	for n := range s.parties {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Traffic returns a snapshot of the relayed traffic counters.
+func (s *Server) Traffic() TrafficStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traffic
+}
+
+// ResetTraffic zeroes the traffic counters (between experiment runs).
+func (s *Server) ResetTraffic() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traffic = TrafficStats{}
+}
+
+// record accounts one relayed message of n bytes.
+func (s *Server) record(n int64) {
+	s.mu.Lock()
+	s.traffic.Messages++
+	s.traffic.Bytes += n
+	s.mu.Unlock()
+}
+
+// lookup resolves a party endpoint by name.
+func (s *Server) lookup(name string) (endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parties[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownParty, name)
+	}
+	return p, nil
+}
+
+// OwnerFor returns an OwnerAPI view of the named party's field, routed
+// through the server with traffic accounting. The returned value is what
+// a querier party hands to core.NaiveReverseTopK / core.RTKReverseTopK.
+func (s *Server) OwnerFor(name string, field Field) (core.OwnerAPI, error) {
+	if field < 0 || field >= numFields {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownField, int(field))
+	}
+	p, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	api, err := p.ownerAPI(field)
+	if err != nil {
+		return nil, err
+	}
+	return &routedOwner{server: s, api: api}, nil
+}
+
+// routedOwner proxies OwnerAPI calls through the server, recording
+// traffic.
+type routedOwner struct {
+	server *Server
+	api    core.OwnerAPI
+}
+
+func (r *routedOwner) DocIDs() []int {
+	ids := r.api.DocIDs()
+	r.server.record(int64(8 * len(ids)))
+	return ids
+}
+
+func (r *routedOwner) DocMeta(docID int) (int, int, error) {
+	length, unique, err := r.api.DocMeta(docID)
+	r.server.record(16)
+	return length, unique, err
+}
+
+func (r *routedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
+	r.server.record(q.WireSize())
+	resp, err := r.api.AnswerTF(docID, q)
+	if err != nil {
+		return nil, err
+	}
+	r.server.record(resp.WireSize())
+	return resp, nil
+}
+
+func (r *routedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
+	r.server.record(q.WireSize())
+	resp, err := r.api.AnswerRTK(q)
+	if err != nil {
+		return nil, err
+	}
+	r.server.record(resp.WireSize())
+	return resp, nil
+}
+
+// Party is one silo: a name, the owner-side sketch state for each
+// document field, a querier endpoint and a per-peer privacy accountant.
+type Party struct {
+	Name string
+
+	params   core.Params
+	querier  *core.Querier
+	owners   [numFields]*core.Owner
+	account  *dp.Accountant
+	docRefs  []int // ingested document ids
+	queryRNG *rand.Rand
+}
+
+// PartyConfig configures party construction.
+type PartyConfig struct {
+	Params core.Params
+	// Seed is the federation hash seed shared by all parties (derive it
+	// with the Federation constructor or keyex + hashutil.DeriveSeed).
+	Seed uint64
+	// RNGSeed drives this party's private randomness (obfuscation, DP).
+	RNGSeed int64
+	// Budget is the optional per-peer DP budget for the accountant
+	// (0 = track only).
+	Budget float64
+	// KeepDocTables controls whether per-document sketches are retained
+	// (required for TF queries and the NAIVE baseline). Default true.
+	DropDocTables bool
+}
+
+// NewParty builds a party endpoint.
+func NewParty(name string, cfg PartyConfig) (*Party, error) {
+	if name == "" {
+		return nil, errors.New("federation: party name must not be empty")
+	}
+	rng := rand.New(rand.NewSource(cfg.RNGSeed))
+	querier, err := core.NewQuerier(cfg.Params, cfg.Seed, rand.New(rand.NewSource(cfg.RNGSeed+1)))
+	if err != nil {
+		return nil, err
+	}
+	p := &Party{
+		Name:     name,
+		params:   cfg.Params,
+		querier:  querier,
+		account:  dp.NewAccountant(cfg.Budget),
+		queryRNG: rng,
+	}
+	for f := Field(0); f < numFields; f++ {
+		mech, err := dp.ForEpsilon(cfg.Params.Epsilon, rand.New(rand.NewSource(cfg.RNGSeed+2+int64(f))))
+		if err != nil {
+			return nil, err
+		}
+		var opts []core.OwnerOption
+		if cfg.DropDocTables {
+			opts = append(opts, core.WithoutDocTables())
+		}
+		owner, err := core.NewOwner(cfg.Params, cfg.Seed, mech, opts...)
+		if err != nil {
+			return nil, err
+		}
+		p.owners[f] = owner
+	}
+	return p, nil
+}
+
+// owner returns the owner endpoint for a field.
+func (p *Party) owner(f Field) *core.Owner { return p.owners[f] }
+
+// ownerAPI implements endpoint for in-process parties.
+func (p *Party) ownerAPI(f Field) (core.OwnerAPI, error) {
+	if f < 0 || f >= numFields {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownField, int(f))
+	}
+	return p.owners[f], nil
+}
+
+// Owner exposes the owner endpoint for a field (e.g. for direct local
+// inspection or space accounting).
+func (p *Party) Owner(f Field) *core.Owner { return p.owners[f] }
+
+// Querier returns the party's querier endpoint.
+func (p *Party) Querier() *core.Querier { return p.querier }
+
+// Params returns the shared protocol parameters.
+func (p *Party) Params() core.Params { return p.params }
+
+// Accountant returns the party's per-peer privacy accountant.
+func (p *Party) Accountant() *dp.Accountant { return p.account }
+
+// IngestDocument sketches one document into both field owners (protocol
+// Step 1). The document's local ID is used as the sketch document id.
+func (p *Party) IngestDocument(d *textkit.Document) error {
+	if err := p.owners[FieldBody].AddDocument(d.ID, CountsToUint64(d.BodyCounts())); err != nil {
+		return fmt.Errorf("federation: ingest body of doc %d: %w", d.ID, err)
+	}
+	if err := p.owners[FieldTitle].AddDocument(d.ID, CountsToUint64(d.TitleCounts())); err != nil {
+		return fmt.Errorf("federation: ingest title of doc %d: %w", d.ID, err)
+	}
+	p.docRefs = append(p.docRefs, d.ID)
+	return nil
+}
+
+// IngestAll sketches a slice of documents.
+func (p *Party) IngestAll(docs []*textkit.Document) error {
+	for _, d := range docs {
+		if err := p.IngestDocument(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumDocs returns the number of ingested documents.
+func (p *Party) NumDocs() int { return len(p.docRefs) }
+
+// CountsToUint64 converts a textkit term vector into the raw-count map
+// the sketch layer consumes.
+func CountsToUint64(tv textkit.TermVector) map[uint64]int64 {
+	out := make(map[uint64]int64, len(tv))
+	for t, c := range tv {
+		out[uint64(t)] = int64(c)
+	}
+	return out
+}
+
+// Federation bundles a server and its parties after a completed setup
+// ceremony.
+type Federation struct {
+	Server  *Server
+	Parties []*Party
+	Params  core.Params
+	// HashSeed is the shared seed derived from the DH ceremony. It is
+	// exposed for feature extraction within parties; in the deployed
+	// system it never reaches the server.
+	HashSeed uint64
+}
+
+// New runs the full setup ceremony for the named parties: Diffie-Hellman
+// pairwise agreement, sealed distribution of the federation secret
+// (package keyex), hash-seed derivation, party construction and server
+// registration. rngSeed makes party-side randomness reproducible.
+func New(names []string, params core.Params, rngSeed int64) (*Federation, error) {
+	if len(names) == 0 {
+		return nil, errors.New("federation: need at least one party")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	secrets, err := keyex.AgreeFederationSecret(len(names), nil)
+	if err != nil {
+		return nil, fmt.Errorf("federation: key agreement: %w", err)
+	}
+	// All parties hold the same secret; derive the sketch-hash seed.
+	seed := hashutil.DeriveSeed(secrets[0], "csfltr/sketch-hash/v1")
+	srv := NewServer()
+	fed := &Federation{Server: srv, Params: params, HashSeed: seed}
+	for i, name := range names {
+		p, err := NewParty(name, PartyConfig{
+			Params:  params,
+			Seed:    seed,
+			RNGSeed: rngSeed + int64(i)*1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Register(p); err != nil {
+			return nil, err
+		}
+		fed.Parties = append(fed.Parties, p)
+	}
+	return fed, nil
+}
+
+// NewDeterministic builds a federation with a fixed hash seed instead of
+// running the DH ceremony — for reproducible experiments and tests.
+func NewDeterministic(names []string, params core.Params, hashSeed uint64, rngSeed int64) (*Federation, error) {
+	if len(names) == 0 {
+		return nil, errors.New("federation: need at least one party")
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	srv := NewServer()
+	fed := &Federation{Server: srv, Params: params, HashSeed: hashSeed}
+	for i, name := range names {
+		p, err := NewParty(name, PartyConfig{
+			Params:  params,
+			Seed:    hashSeed,
+			RNGSeed: rngSeed + int64(i)*1000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Register(p); err != nil {
+			return nil, err
+		}
+		fed.Parties = append(fed.Parties, p)
+	}
+	return fed, nil
+}
+
+// Party returns the party with the given name.
+func (f *Federation) Party(name string) (*Party, error) {
+	for _, p := range f.Parties {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownParty, name)
+}
+
+// ReverseTopK runs the reverse top-K document query from one party
+// against another through the server, spending privacy budget with the
+// querier's accountant. useRTK selects Algorithm 5 (true) or the NAIVE
+// Algorithm 3 (false).
+func (f *Federation) ReverseTopK(from, to string, field Field, term uint64, k int, useRTK bool) ([]core.DocCount, core.Cost, error) {
+	if from == to {
+		return nil, core.Cost{}, ErrSelfQuery
+	}
+	src, err := f.Party(from)
+	if err != nil {
+		return nil, core.Cost{}, err
+	}
+	dst, err := f.Server.OwnerFor(to, field)
+	if err != nil {
+		return nil, core.Cost{}, err
+	}
+	if err := src.account.Spend(to, f.Params.Epsilon); err != nil {
+		return nil, core.Cost{}, err
+	}
+	if useRTK {
+		return core.RTKReverseTopK(src.querier, dst, term, k)
+	}
+	return core.NaiveReverseTopK(src.querier, dst, term, k)
+}
+
+// CrossTF runs one cross-party TF query (Algorithms 1 and 2) from one
+// party against a specific document of another party.
+func (f *Federation) CrossTF(from, to string, field Field, docID int, term uint64) (float64, error) {
+	if from == to {
+		return 0, ErrSelfQuery
+	}
+	src, err := f.Party(from)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := f.Server.OwnerFor(to, field)
+	if err != nil {
+		return 0, err
+	}
+	if err := src.account.Spend(to, f.Params.Epsilon); err != nil {
+		return 0, err
+	}
+	query, priv := src.querier.BuildQuery(term)
+	resp, err := dst.AnswerTF(docID, query)
+	if err != nil {
+		return 0, err
+	}
+	return src.querier.Recover(priv, resp)
+}

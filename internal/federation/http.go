@@ -1,0 +1,304 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"csfltr/internal/core"
+)
+
+// HTTP transport: a JSON gateway over the same OwnerAPI surface as the
+// net/rpc transport, for clients outside the Go ecosystem. Routes:
+//
+//	GET  /v1/parties                                  -> {"parties": [...]}
+//	GET  /v1/parties/{name}/{field}/docs              -> {"ids": [...]}
+//	GET  /v1/parties/{name}/{field}/docs/{id}/meta    -> {"length": L, "unique": U}
+//	POST /v1/parties/{name}/{field}/tf                -> perturbed values
+//	POST /v1/parties/{name}/{field}/rtk               -> RTK cells
+//
+// field is "body" or "title". POST bodies carry the obfuscated column
+// vector; the gateway never sees hash keys or private index sets, same
+// as the coordinating server it fronts.
+
+// httpTFRequest is the POST /tf body.
+type httpTFRequest struct {
+	DocID int      `json:"doc_id"`
+	Cols  []uint32 `json:"cols"`
+}
+
+// httpTFResponse is the POST /tf reply.
+type httpTFResponse struct {
+	Values []float64 `json:"values"`
+}
+
+// httpRTKRequest is the POST /rtk body.
+type httpRTKRequest struct {
+	Cols []uint32 `json:"cols"`
+}
+
+// httpRTKCell mirrors core.RTKCell in JSON.
+type httpRTKCell struct {
+	IDs    []int32   `json:"ids"`
+	Values []float64 `json:"values"`
+}
+
+// httpRTKResponse is the POST /rtk reply.
+type httpRTKResponse struct {
+	Cells []httpRTKCell `json:"cells"`
+}
+
+// httpError is the uniform error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// maxHTTPBody caps request bodies (column vectors are tiny).
+const maxHTTPBody = 1 << 20
+
+// HTTPHandler exposes the federation server as an http.Handler.
+func HTTPHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/parties", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"parties": s.PartyNames()})
+	})
+	mux.HandleFunc("GET /v1/parties/{name}/{field}/docs", func(w http.ResponseWriter, r *http.Request) {
+		owner, ok := resolveOwner(w, r, s)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string][]int{"ids": owner.DocIDs()})
+	})
+	mux.HandleFunc("GET /v1/parties/{name}/{field}/docs/{id}/meta", func(w http.ResponseWriter, r *http.Request) {
+		owner, ok := resolveOwner(w, r, s)
+		if !ok {
+			return
+		}
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{"invalid doc id"})
+			return
+		}
+		length, unique, err := owner.DocMeta(id)
+		if err != nil {
+			writeJSON(w, statusFor(err), httpError{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]int{"length": length, "unique": unique})
+	})
+	mux.HandleFunc("POST /v1/parties/{name}/{field}/tf", func(w http.ResponseWriter, r *http.Request) {
+		owner, ok := resolveOwner(w, r, s)
+		if !ok {
+			return
+		}
+		var req httpTFRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := owner.AnswerTF(req.DocID, &core.TFQuery{Cols: req.Cols})
+		if err != nil {
+			writeJSON(w, statusFor(err), httpError{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, httpTFResponse{Values: resp.Values})
+	})
+	mux.HandleFunc("POST /v1/parties/{name}/{field}/rtk", func(w http.ResponseWriter, r *http.Request) {
+		owner, ok := resolveOwner(w, r, s)
+		if !ok {
+			return
+		}
+		var req httpRTKRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, err := owner.AnswerRTK(&core.TFQuery{Cols: req.Cols})
+		if err != nil {
+			writeJSON(w, statusFor(err), httpError{err.Error()})
+			return
+		}
+		out := httpRTKResponse{Cells: make([]httpRTKCell, len(resp.Cells))}
+		for i, c := range resp.Cells {
+			out.Cells[i] = httpRTKCell{IDs: c.IDs, Values: c.Values}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	return mux
+}
+
+// resolveOwner extracts {name}/{field} and resolves the routed owner,
+// writing the error response itself on failure.
+func resolveOwner(w http.ResponseWriter, r *http.Request, s *Server) (core.OwnerAPI, bool) {
+	field, err := parseField(r.PathValue("field"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		return nil, false
+	}
+	owner, err := s.OwnerFor(r.PathValue("name"), field)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{err.Error()})
+		return nil, false
+	}
+	return owner, true
+}
+
+// parseField maps the path segment to a Field.
+func parseField(s string) (Field, error) {
+	switch strings.ToLower(s) {
+	case "body":
+		return FieldBody, nil
+	case "title":
+		return FieldTitle, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownField, s)
+	}
+}
+
+// statusFor maps protocol errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownParty), errors.Is(err, core.ErrUnknownDoc):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadQuery), errors.Is(err, ErrUnknownField):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrNoSketches):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeJSON writes a JSON response with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// readJSON decodes a bounded JSON body, writing the error response on
+// failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxHTTPBody))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{"unreadable body"})
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{"invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// HTTPOwner is a core.OwnerAPI backed by the HTTP gateway — the Go
+// client for non-RPC deployments. Construct with NewHTTPOwner.
+type HTTPOwner struct {
+	base   string
+	party  string
+	field  Field
+	client *http.Client
+}
+
+// NewHTTPOwner builds an HTTP-backed owner view. base is the gateway
+// root (e.g. "http://host:port"); client may be nil for
+// http.DefaultClient.
+func NewHTTPOwner(base, party string, field Field, client *http.Client) *HTTPOwner {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &HTTPOwner{
+		base:   strings.TrimRight(base, "/"),
+		party:  party,
+		field:  field,
+		client: client,
+	}
+}
+
+// url builds an endpoint path.
+func (h *HTTPOwner) url(suffix string) string {
+	return fmt.Sprintf("%s/v1/parties/%s/%s%s", h.base, h.party, h.field, suffix)
+}
+
+// getJSON performs a GET and decodes the response.
+func (h *HTTPOwner) getJSON(url string, v any) error {
+	resp, err := h.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeOrError(resp, v)
+}
+
+// postJSON performs a POST with a JSON body and decodes the response.
+func (h *HTTPOwner) postJSON(url string, body, v any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := h.client.Post(url, "application/json", strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return decodeOrError(resp, v)
+}
+
+// decodeOrError decodes a success body or surfaces the error envelope.
+func decodeOrError(resp *http.Response, v any) error {
+	if resp.StatusCode != http.StatusOK {
+		var e httpError
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			return fmt.Errorf("federation: http %d: %s", resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("federation: http %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// DocIDs implements core.OwnerAPI.
+func (h *HTTPOwner) DocIDs() []int {
+	var out struct {
+		IDs []int `json:"ids"`
+	}
+	if err := h.getJSON(h.url("/docs"), &out); err != nil {
+		return nil
+	}
+	return out.IDs
+}
+
+// DocMeta implements core.OwnerAPI.
+func (h *HTTPOwner) DocMeta(docID int) (int, int, error) {
+	var out struct {
+		Length int `json:"length"`
+		Unique int `json:"unique"`
+	}
+	if err := h.getJSON(h.url(fmt.Sprintf("/docs/%d/meta", docID)), &out); err != nil {
+		return 0, 0, err
+	}
+	return out.Length, out.Unique, nil
+}
+
+// AnswerTF implements core.OwnerAPI.
+func (h *HTTPOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
+	var out httpTFResponse
+	if err := h.postJSON(h.url("/tf"), httpTFRequest{DocID: docID, Cols: q.Cols}, &out); err != nil {
+		return nil, err
+	}
+	return &core.TFResponse{Values: out.Values}, nil
+}
+
+// AnswerRTK implements core.OwnerAPI.
+func (h *HTTPOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
+	var out httpRTKResponse
+	if err := h.postJSON(h.url("/rtk"), httpRTKRequest{Cols: q.Cols}, &out); err != nil {
+		return nil, err
+	}
+	resp := &core.RTKResponse{Cells: make([]core.RTKCell, len(out.Cells))}
+	for i, c := range out.Cells {
+		resp.Cells[i] = core.RTKCell{IDs: c.IDs, Values: c.Values}
+	}
+	return resp, nil
+}

@@ -1,0 +1,172 @@
+package federation
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csfltr/internal/core"
+)
+
+// httpFed builds a federation and an httptest server fronting it.
+func httpFed(t *testing.T) (*Federation, *httptest.Server) {
+	t.Helper()
+	fed := twoPartyFed(t, testParams())
+	ts := httptest.NewServer(HTTPHandler(fed.Server))
+	t.Cleanup(ts.Close)
+	return fed, ts
+}
+
+func TestHTTPParties(t *testing.T) {
+	_, ts := httpFed(t)
+	resp, err := http.Get(ts.URL + "/v1/parties")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Parties []string `json:"parties"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Parties) != 2 || out.Parties[0] != "A" {
+		t.Fatalf("parties = %v", out.Parties)
+	}
+}
+
+func TestHTTPDocsAndMeta(t *testing.T) {
+	_, ts := httpFed(t)
+	var docs struct {
+		IDs []int `json:"ids"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/parties/B/body/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs.IDs) != 3 {
+		t.Fatalf("docs = %v", docs.IDs)
+	}
+	var meta struct{ Length, Unique int }
+	resp2, err := http.Get(ts.URL + "/v1/parties/B/body/docs/0/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Length != 5 || meta.Unique != 2 {
+		t.Fatalf("meta = %+v", meta)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := httpFed(t)
+	cases := []struct {
+		method, path, body string
+		wantStatus         int
+	}{
+		{"GET", "/v1/parties/ZZZ/body/docs", "", http.StatusNotFound},
+		{"GET", "/v1/parties/B/wings/docs", "", http.StatusBadRequest},
+		{"GET", "/v1/parties/B/body/docs/xx/meta", "", http.StatusBadRequest},
+		{"GET", "/v1/parties/B/body/docs/999/meta", "", http.StatusNotFound},
+		{"POST", "/v1/parties/B/body/tf", "{not json", http.StatusBadRequest},
+		{"POST", "/v1/parties/B/body/tf", `{"doc_id":0,"cols":[1]}`, http.StatusBadRequest},
+		{"POST", "/v1/parties/B/body/rtk", `{"cols":[1,2]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		var err error
+		if tc.method == "GET" {
+			resp, err = http.Get(ts.URL + tc.path)
+		} else {
+			resp, err = http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.wantStatus {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+// TestHTTPOwnerFullProtocol drives the complete reverse top-K and TF
+// protocols through the HTTP transport and checks agreement with the
+// direct path.
+func TestHTTPOwnerFullProtocol(t *testing.T) {
+	fed, ts := httpFed(t)
+	a, _ := fed.Party("A")
+
+	remote := NewHTTPOwner(ts.URL, "B", FieldBody, ts.Client())
+	ids := remote.DocIDs()
+	if len(ids) != 3 {
+		t.Fatalf("DocIDs = %v", ids)
+	}
+	got, cost, err := core.RTKReverseTopK(a.Querier(), remote, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].DocID != 0 {
+		t.Fatalf("HTTP RTK = %v", got)
+	}
+	if cost.Messages != 1 {
+		t.Fatalf("cost = %+v", cost)
+	}
+	// TF protocol.
+	query, priv := a.Querier().BuildQuery(5)
+	resp, err := remote.AnswerTF(0, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := a.Querier().Recover(priv, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 4 {
+		t.Fatalf("HTTP TF = %v, want 4", est)
+	}
+	// NAIVE path over HTTP.
+	naive, _, err := core.NaiveReverseTopK(a.Querier(), remote, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) == 0 || naive[0].DocID != 0 {
+		t.Fatalf("HTTP NAIVE = %v", naive)
+	}
+	// Unknown doc meta errors.
+	if _, _, err := remote.DocMeta(999); err == nil {
+		t.Fatal("unknown doc should error over HTTP")
+	}
+	// Unknown party: empty roster, query errors.
+	ghost := NewHTTPOwner(ts.URL, "ZZZ", FieldBody, ts.Client())
+	if ids := ghost.DocIDs(); ids != nil {
+		t.Fatalf("ghost roster = %v", ids)
+	}
+	if _, err := ghost.AnswerRTK(query); err == nil {
+		t.Fatal("ghost query should error")
+	}
+}
+
+// TestHTTPTrafficAccounted: requests through the gateway are charged to
+// the same server traffic counters.
+func TestHTTPTrafficAccounted(t *testing.T) {
+	fed, ts := httpFed(t)
+	fed.Server.ResetTraffic()
+	a, _ := fed.Party("A")
+	remote := NewHTTPOwner(ts.URL, "B", FieldBody, ts.Client())
+	if _, _, err := core.RTKReverseTopK(a.Querier(), remote, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if tr := fed.Server.Traffic(); tr.Messages < 2 || tr.Bytes == 0 {
+		t.Fatalf("gateway traffic not accounted: %+v", tr)
+	}
+}

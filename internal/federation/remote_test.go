@@ -1,0 +1,140 @@
+package federation
+
+import (
+	"testing"
+
+	"csfltr/internal/core"
+	"csfltr/internal/textkit"
+)
+
+// TestPartyHostedTopology runs the fully distributed deployment: party B
+// lives in its own "process" behind its own TCP listener; the
+// coordinator registers it remotely and relays a local party A's
+// queries to it.
+func TestPartyHostedTopology(t *testing.T) {
+	params := testParams()
+
+	// Party B: its own host.
+	b, err := NewParty("B", PartyConfig{Params: params, Seed: 42, RNGSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.IngestDocument(textkit.NewDocument(0, -1,
+		[]textkit.TermID{500}, []textkit.TermID{7, 7, 7, 8})); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.IngestDocument(textkit.NewDocument(1, -1,
+		[]textkit.TermID{501}, []textkit.TermID{7, 9})); err != nil {
+		t.Fatal(err)
+	}
+	host, err := ServeParty(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	// Coordinator: local party A + remote registration of B.
+	coord := NewServer()
+	a, err := NewParty("A", PartyConfig{Params: params, Seed: 42, RNGSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	client, err := coord.RegisterRemote("B", host.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	names := coord.PartyNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("roster = %v", names)
+	}
+
+	// Query through the coordinator: A -> coordinator -> B's host.
+	owner, err := coord.OwnerFor("B", FieldBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, cost, err := core.RTKReverseTopK(a.Querier(), owner, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].DocID != 0 {
+		t.Fatalf("remote reverse top-K = %v", got)
+	}
+	if cost.Messages != 1 {
+		t.Fatalf("messages = %d", cost.Messages)
+	}
+	// Traffic is accounted at the coordinator.
+	if tr := coord.Traffic(); tr.Messages < 2 || tr.Bytes == 0 {
+		t.Fatalf("coordinator traffic = %+v", tr)
+	}
+	// TF queries and metadata also traverse the relay.
+	length, unique, err := owner.DocMeta(0)
+	if err != nil || length != 4 || unique != 2 {
+		t.Fatalf("remote DocMeta = %d,%d,%v", length, unique, err)
+	}
+	query, priv := a.Querier().BuildQuery(7)
+	resp, err := owner.AnswerTF(0, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := a.Querier().Recover(priv, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 3 {
+		t.Fatalf("remote TF = %v, want 3", est)
+	}
+}
+
+// TestRegisterRemoteDuplicate: duplicate names are refused and the
+// dialled connection does not leak into the roster.
+func TestRegisterRemoteDuplicate(t *testing.T) {
+	params := testParams()
+	b, err := NewParty("B", PartyConfig{Params: params, Seed: 42, RNGSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ServeParty(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	coord := NewServer()
+	c1, err := coord.RegisterRemote("B", host.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := coord.RegisterRemote("B", host.Addr); err == nil {
+		t.Fatal("duplicate remote registration should fail")
+	}
+	if _, err := coord.RegisterRemote("C", "127.0.0.1:1"); err == nil {
+		t.Fatal("unreachable host should fail")
+	}
+}
+
+// TestUnregister removes a party from the roster.
+func TestUnregister(t *testing.T) {
+	coord := NewServer()
+	a, err := NewParty("A", PartyConfig{Params: testParams(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	coord.Unregister("A")
+	if len(coord.PartyNames()) != 0 {
+		t.Fatal("party still registered")
+	}
+	coord.Unregister("A") // no-op
+	// Name is reusable after unregistration.
+	if err := coord.Register(a); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package federation
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"csfltr/internal/core"
+)
+
+// serviceName is the net/rpc service under which the federation server is
+// exported.
+const serviceName = "CSFLTR"
+
+// RPC argument/reply types. All fields are exported for encoding/gob.
+
+// DocIDsArgs requests the document id roster of one party field.
+type DocIDsArgs struct {
+	Party string
+	Field Field
+}
+
+// DocIDsReply carries the roster.
+type DocIDsReply struct{ IDs []int }
+
+// DocMetaArgs requests non-private document metadata.
+type DocMetaArgs struct {
+	Party string
+	Field Field
+	DocID int
+}
+
+// DocMetaReply carries document length metadata.
+type DocMetaReply struct{ Length, Unique int }
+
+// TFArgs carries a cross-party TF query (Algorithm 1's obfuscated hash
+// vector) addressed to one document.
+type TFArgs struct {
+	Party string
+	Field Field
+	DocID int
+	Query core.TFQuery
+}
+
+// TFReply carries the perturbed owner response (Algorithm 2).
+type TFReply struct{ Resp core.TFResponse }
+
+// RTKArgs carries a reverse top-K query.
+type RTKArgs struct {
+	Party string
+	Field Field
+	Query core.TFQuery
+}
+
+// RTKReply carries the RTK-Sketch cells.
+type RTKReply struct{ Resp core.RTKResponse }
+
+// RPCService exposes a Server over net/rpc; each method resolves the
+// target party and delegates to the same routed owners the in-process
+// transport uses, so traffic accounting is shared.
+type RPCService struct{ server *Server }
+
+// DocIDs serves the roster of a party field.
+func (s *RPCService) DocIDs(args *DocIDsArgs, reply *DocIDsReply) error {
+	owner, err := s.server.OwnerFor(args.Party, args.Field)
+	if err != nil {
+		return err
+	}
+	reply.IDs = owner.DocIDs()
+	return nil
+}
+
+// DocMeta serves non-private document metadata.
+func (s *RPCService) DocMeta(args *DocMetaArgs, reply *DocMetaReply) error {
+	owner, err := s.server.OwnerFor(args.Party, args.Field)
+	if err != nil {
+		return err
+	}
+	length, unique, err := owner.DocMeta(args.DocID)
+	if err != nil {
+		return err
+	}
+	reply.Length, reply.Unique = length, unique
+	return nil
+}
+
+// AnswerTF relays a TF query to the owning party.
+func (s *RPCService) AnswerTF(args *TFArgs, reply *TFReply) error {
+	owner, err := s.server.OwnerFor(args.Party, args.Field)
+	if err != nil {
+		return err
+	}
+	resp, err := owner.AnswerTF(args.DocID, &args.Query)
+	if err != nil {
+		return err
+	}
+	reply.Resp = *resp
+	return nil
+}
+
+// AnswerRTK relays a reverse top-K query to the owning party.
+func (s *RPCService) AnswerRTK(args *RTKArgs, reply *RTKReply) error {
+	owner, err := s.server.OwnerFor(args.Party, args.Field)
+	if err != nil {
+		return err
+	}
+	resp, err := owner.AnswerRTK(&args.Query)
+	if err != nil {
+		return err
+	}
+	reply.Resp = *resp
+	return nil
+}
+
+// RPCServer runs a federation server on a TCP listener.
+type RPCServer struct {
+	Addr string // actual listen address (host:port)
+
+	ln   net.Listener
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// ListenAndServe exports srv over net/rpc on addr (e.g. "127.0.0.1:0" for
+// an ephemeral port) and serves connections until Close is called.
+func ListenAndServe(srv *Server, addr string) (*RPCServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: listen %s: %w", addr, err)
+	}
+	rs := rpc.NewServer()
+	if err := rs.RegisterName(serviceName, &RPCService{server: srv}); err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("federation: register rpc service: %w", err)
+	}
+	out := &RPCServer{Addr: ln.Addr().String(), ln: ln}
+	out.wg.Add(1)
+	go func() {
+		defer out.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			out.wg.Add(1)
+			go func() {
+				defer out.wg.Done()
+				rs.ServeConn(conn)
+			}()
+		}
+	}()
+	return out, nil
+}
+
+// Close stops accepting connections and waits for in-flight ones.
+func (s *RPCServer) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.ln.Close()
+	})
+	return err
+}
+
+// Client is a connection to a remote federation server.
+type Client struct{ rpc *rpc.Client }
+
+// Dial connects to a federation RPC server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: dial %s: %w", addr, err)
+	}
+	return &Client{rpc: c}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// OwnerFor returns an OwnerAPI view of a remote party's field. Transport
+// errors from the roster call surface as an empty roster; query methods
+// return errors normally.
+func (c *Client) OwnerFor(party string, field Field) core.OwnerAPI {
+	return &remoteOwner{client: c.rpc, party: party, field: field}
+}
+
+// ServeParty hosts a single party in its own process: a private
+// coordinator containing only this party, exported over TCP. This is the
+// fully distributed deployment mode — each silo keeps its sketches on
+// its own machines and the central coordinator merely relays (see
+// Server.RegisterRemote).
+func ServeParty(p *Party, addr string) (*RPCServer, error) {
+	s := NewServer()
+	if err := s.Register(p); err != nil {
+		return nil, err
+	}
+	return ListenAndServe(s, addr)
+}
+
+// remoteEndpoint adapts a dialled party host to the server's endpoint
+// registry.
+type remoteEndpoint struct {
+	client *Client
+	name   string
+}
+
+func (r *remoteEndpoint) ownerAPI(f Field) (core.OwnerAPI, error) {
+	if f < 0 || f >= numFields {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownField, int(f))
+	}
+	return r.client.OwnerFor(r.name, f), nil
+}
+
+// RegisterRemote connects the coordinator to a party-hosted endpoint
+// (see ServeParty) and adds it to the roster under name. The returned
+// client should be closed when the party is unregistered. Queries to
+// the remote party are still traffic-accounted by this server, which
+// relays them.
+func (s *Server) RegisterRemote(name, addr string) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.register(name, &remoteEndpoint{client: c, name: name}); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// remoteOwner implements core.OwnerAPI over net/rpc.
+type remoteOwner struct {
+	client *rpc.Client
+	party  string
+	field  Field
+}
+
+func (r *remoteOwner) DocIDs() []int {
+	var reply DocIDsReply
+	if err := r.client.Call(serviceName+".DocIDs", &DocIDsArgs{Party: r.party, Field: r.field}, &reply); err != nil {
+		return nil
+	}
+	return reply.IDs
+}
+
+func (r *remoteOwner) DocMeta(docID int) (int, int, error) {
+	var reply DocMetaReply
+	err := r.client.Call(serviceName+".DocMeta",
+		&DocMetaArgs{Party: r.party, Field: r.field, DocID: docID}, &reply)
+	if err != nil {
+		return 0, 0, err
+	}
+	return reply.Length, reply.Unique, nil
+}
+
+func (r *remoteOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
+	var reply TFReply
+	err := r.client.Call(serviceName+".AnswerTF",
+		&TFArgs{Party: r.party, Field: r.field, DocID: docID, Query: *q}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return &reply.Resp, nil
+}
+
+func (r *remoteOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
+	var reply RTKReply
+	err := r.client.Call(serviceName+".AnswerRTK",
+		&RTKArgs{Party: r.party, Field: r.field, Query: *q}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return &reply.Resp, nil
+}

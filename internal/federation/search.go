@@ -1,0 +1,92 @@
+package federation
+
+import (
+	"sort"
+
+	"csfltr/internal/core"
+)
+
+// SearchHit is one federated search result: a document at some party
+// with its aggregated relevance score (sum of estimated per-term counts,
+// the relevance surrogate of Definition 3).
+type SearchHit struct {
+	Party string
+	DocID int
+	Score float64
+}
+
+// FederatedSearch runs a whole query against every other party: one
+// reverse top-K document query per (query term, party), merged by
+// summing per-term count estimates per document, truncated to the k
+// globally best hits. This is the user-facing "search the federation"
+// operation that the augmentation pipeline uses internally for training
+// data generation.
+//
+// Privacy budget is spent per (term, party) query against the querier's
+// accountant; a budget refusal aborts the search.
+func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]SearchHit, core.Cost, error) {
+	var total core.Cost
+	src, err := f.Party(from)
+	if err != nil {
+		return nil, total, err
+	}
+	if k <= 0 {
+		k = f.Params.K
+	}
+	type key struct {
+		party string
+		doc   int
+	}
+	scores := make(map[key]float64)
+	// Deduplicate query terms.
+	seen := make(map[uint64]struct{}, len(terms))
+	for _, party := range f.Parties {
+		if party.Name == from {
+			continue
+		}
+		owner, err := f.Server.OwnerFor(party.Name, FieldBody)
+		if err != nil {
+			return nil, total, err
+		}
+		for t := range seen {
+			delete(seen, t)
+		}
+		for _, term := range terms {
+			if _, dup := seen[term]; dup {
+				continue
+			}
+			seen[term] = struct{}{}
+			if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
+				return nil, total, err
+			}
+			docs, cost, err := core.RTKReverseTopK(src.querier, owner, term, f.Params.K)
+			if err != nil {
+				return nil, total, err
+			}
+			total.Add(cost)
+			for _, dc := range docs {
+				if dc.Count <= 0 {
+					continue
+				}
+				scores[key{party: party.Name, doc: dc.DocID}] += dc.Count
+			}
+		}
+	}
+	hits := make([]SearchHit, 0, len(scores))
+	for kk, s := range scores {
+		hits = append(hits, SearchHit{Party: kk.party, DocID: kk.doc, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		if hits[i].Party != hits[j].Party {
+			return hits[i].Party < hits[j].Party
+		}
+		return hits[i].DocID < hits[j].DocID
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits, total, nil
+}

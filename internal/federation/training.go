@@ -1,0 +1,84 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"csfltr/internal/ltr"
+)
+
+// ErrNoTrainingData is returned when every party's dataset is empty.
+var ErrNoTrainingData = errors.New("federation: no training data at any party")
+
+// modelWireSize returns the encoded size of a model update relayed
+// through the server: 8 bytes per weight plus the bias.
+func modelWireSize(dim int) int64 { return int64(8 * (dim + 1)) }
+
+// TrainingStats reports what the distributed training run cost.
+type TrainingStats struct {
+	Rounds       int
+	ModelHops    int   // model hand-offs through the server
+	BytesRelayed int64 // model bytes moved through the server
+}
+
+// TrainRoundRobin runs the paper's round-robin distributed SGD *over the
+// federation topology*: the global model is handed from party to party
+// through the coordinating server, each holder trains one local epoch on
+// its own instances, and every hand-off is charged to the server's
+// traffic accounting. data maps party name to that party's training
+// instances (already feature-extracted and normalized by the caller).
+//
+// The learning dynamics are identical to ltr.TrainRoundRobin; this
+// wrapper exists so experiments can report the *communication* cost of
+// training, which the in-process trainer cannot see.
+func (f *Federation) TrainRoundRobin(dim int, data map[string][]ltr.Instance, rounds int, cfg ltr.SGDConfig) (*ltr.LinearModel, TrainingStats, error) {
+	var stats TrainingStats
+	if err := cfg.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if rounds <= 0 {
+		return nil, stats, fmt.Errorf("ltr round count must be positive, got %d", rounds)
+	}
+	names := f.Server.PartyNames()
+	total := 0
+	for _, name := range names {
+		total += len(data[name])
+	}
+	if total == 0 {
+		return nil, stats, ErrNoTrainingData
+	}
+	model := ltr.NewLinearModel(dim)
+	local := cfg
+	local.Epochs = 1
+	orderRNG := rand.New(rand.NewSource(cfg.Seed + 7))
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	hop := modelWireSize(dim)
+	for r := 0; r < rounds; r++ {
+		local.LearningRate = cfg.LearningRate * math.Pow(cfg.LRDecay, float64(r))
+		orderRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, pi := range order {
+			name := names[pi]
+			d := data[name]
+			if len(d) == 0 {
+				continue
+			}
+			// Server relays the current model to the party and receives
+			// the update back: two hops.
+			f.Server.record(hop)
+			local.Seed = cfg.Seed + int64(r*len(names)+pi)
+			if err := local.Train(model, d); err != nil {
+				return nil, stats, fmt.Errorf("federation: round %d party %s: %w", r, name, err)
+			}
+			f.Server.record(hop)
+			stats.ModelHops += 2
+			stats.BytesRelayed += 2 * hop
+		}
+		stats.Rounds++
+	}
+	return model, stats, nil
+}

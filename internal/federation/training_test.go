@@ -1,0 +1,92 @@
+package federation
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"csfltr/internal/ltr"
+)
+
+// trainData builds a linearly separable per-party dataset with known
+// weights.
+func trainData(n int, seed int64) []ltr.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]ltr.Instance, n)
+	for i := range out {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y := 1.5*x[0] - 2*x[1] + 0.3 + 0.05*rng.NormFloat64()
+		out[i] = ltr.Instance{Features: x, Label: y, QueryKey: "q"}
+	}
+	return out
+}
+
+func TestFederationTrainRoundRobin(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string][]ltr.Instance{
+		"A": trainData(400, 1),
+		"B": trainData(400, 2),
+		"C": trainData(400, 3),
+	}
+	cfg := ltr.DefaultSGDConfig()
+	fed.Server.ResetTraffic()
+	model, stats, err := fed.TrainRoundRobin(2, data, 30, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.W[0]-1.5) > 0.15 || math.Abs(model.W[1]+2) > 0.15 {
+		t.Fatalf("federated model did not converge: %+v", model)
+	}
+	// Accounting: 30 rounds x 3 parties x 2 hops.
+	if stats.ModelHops != 180 {
+		t.Fatalf("ModelHops = %d, want 180", stats.ModelHops)
+	}
+	wantBytes := int64(180) * 8 * 3 // dim 2 + bias
+	if stats.BytesRelayed != wantBytes {
+		t.Fatalf("BytesRelayed = %d, want %d", stats.BytesRelayed, wantBytes)
+	}
+	tr := fed.Server.Traffic()
+	if tr.Bytes != wantBytes || tr.Messages != 180 {
+		t.Fatalf("server traffic %+v does not match training stats", tr)
+	}
+	if stats.Rounds != 30 {
+		t.Fatalf("Rounds = %d", stats.Rounds)
+	}
+}
+
+func TestFederationTrainSkipsEmptyParties(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string][]ltr.Instance{"A": trainData(300, 1)}
+	model, stats, err := fed.TrainRoundRobin(2, data, 10, ltr.DefaultSGDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil || stats.ModelHops != 20 { // only party A moves the model
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestFederationTrainErrors(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fed.TrainRoundRobin(2, nil, 10, ltr.DefaultSGDConfig()); !errors.Is(err, ErrNoTrainingData) {
+		t.Fatalf("empty data: %v", err)
+	}
+	bad := ltr.DefaultSGDConfig()
+	bad.LearningRate = 0
+	if _, _, err := fed.TrainRoundRobin(2, map[string][]ltr.Instance{"A": trainData(10, 1)}, 10, bad); err == nil {
+		t.Fatal("bad SGD config should error")
+	}
+	if _, _, err := fed.TrainRoundRobin(2, map[string][]ltr.Instance{"A": trainData(10, 1)}, 0, ltr.DefaultSGDConfig()); err == nil {
+		t.Fatal("zero rounds should error")
+	}
+}

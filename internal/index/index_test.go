@@ -1,0 +1,190 @@
+package index
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csfltr/internal/textkit"
+)
+
+func tv(pairs ...int) textkit.TermVector {
+	out := textkit.TermVector{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out[textkit.TermID(pairs[i])] = pairs[i+1]
+	}
+	return out
+}
+
+func TestAddAndStats(t *testing.T) {
+	ix := New()
+	if err := ix.Add(0, tv(1, 2, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(1, tv(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(0, tv(5, 1)); !errors.Is(err, ErrDuplicateDoc) {
+		t.Fatal("duplicate doc should error")
+	}
+	if ix.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if got := ix.AvgDocLen(); got != 3 {
+		t.Fatalf("AvgDocLen = %v, want 3", got)
+	}
+	if l, err := ix.DocLen(0); err != nil || l != 3 {
+		t.Fatalf("DocLen(0) = %d, %v", l, err)
+	}
+	if _, err := ix.DocLen(99); !errors.Is(err, ErrUnknownDoc) {
+		t.Fatal("unknown doc should error")
+	}
+	if ix.DocFreq(2) != 2 || ix.DocFreq(1) != 1 || ix.DocFreq(9) != 0 {
+		t.Fatal("DocFreq wrong")
+	}
+}
+
+func TestTermCount(t *testing.T) {
+	ix := New()
+	// Out-of-order ids exercise lazy sealing.
+	for _, id := range []int{5, 1, 3, 2, 4} {
+		if err := ix.Add(id, tv(7, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []int{1, 2, 3, 4, 5} {
+		if got := ix.TermCount(7, id); got != id {
+			t.Fatalf("TermCount(7,%d) = %d", id, got)
+		}
+	}
+	if ix.TermCount(7, 99) != 0 || ix.TermCount(8, 1) != 0 {
+		t.Fatal("absent lookups should be 0")
+	}
+}
+
+func TestSearchBM25Ordering(t *testing.T) {
+	ix := New()
+	// Doc 0 matches both terms, doc 1 one term heavily, doc 2 neither.
+	if err := ix.Add(0, tv(1, 3, 2, 2, 9, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(1, tv(1, 5, 8, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Add(2, tv(8, 10)); err != nil {
+		t.Fatal(err)
+	}
+	hits := ix.SearchBM25([]textkit.TermID{1, 2}, 0, DefaultBM25())
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].Doc != 0 {
+		t.Fatalf("doc 0 matches both terms and should rank first: %v", hits)
+	}
+	// Truncation.
+	if got := ix.SearchBM25([]textkit.TermID{1, 2}, 1, DefaultBM25()); len(got) != 1 {
+		t.Fatalf("k=1 returned %d hits", len(got))
+	}
+	// No matches.
+	if got := ix.SearchBM25([]textkit.TermID{42}, 5, DefaultBM25()); len(got) != 0 {
+		t.Fatalf("no-match query returned %v", got)
+	}
+	// Duplicate query terms must not double-score.
+	once := ix.SearchBM25([]textkit.TermID{1}, 0, DefaultBM25())
+	twice := ix.SearchBM25([]textkit.TermID{1, 1}, 0, DefaultBM25())
+	for i := range once {
+		if math.Abs(once[i].Score-twice[i].Score) > 1e-12 {
+			t.Fatal("duplicate query terms double-scored")
+		}
+	}
+}
+
+func TestReverseTopK(t *testing.T) {
+	ix := New()
+	for id := 0; id < 10; id++ {
+		if err := ix.Add(id, tv(1, 10-id, 2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := ix.ReverseTopK(1, 3)
+	if len(hits) != 3 || hits[0].Doc != 0 || hits[1].Doc != 1 || hits[2].Doc != 2 {
+		t.Fatalf("ReverseTopK = %v", hits)
+	}
+	if hits[0].Score != 10 {
+		t.Fatalf("top score = %v", hits[0].Score)
+	}
+	if got := ix.ReverseTopK(99, 3); len(got) != 0 {
+		t.Fatal("absent term should return nothing")
+	}
+	if got := ix.ReverseTopK(1, 0); len(got) != 10 {
+		t.Fatalf("k<=0 should return all matches, got %d", len(got))
+	}
+}
+
+func TestReverseTopKTieBreak(t *testing.T) {
+	ix := New()
+	for _, id := range []int{3, 1, 2} {
+		if err := ix.Add(id, tv(7, 5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := ix.ReverseTopK(7, 3)
+	if hits[0].Doc != 1 || hits[1].Doc != 2 || hits[2].Doc != 3 {
+		t.Fatalf("ties must break by ascending id: %v", hits)
+	}
+}
+
+// TestTermCountMatchesInput (property): TermCount returns exactly what
+// was added, for random documents.
+func TestTermCountMatchesInput(t *testing.T) {
+	check := func(raw []uint8) bool {
+		ix := New()
+		docs := make([]textkit.TermVector, 5)
+		for i := range docs {
+			docs[i] = textkit.TermVector{}
+		}
+		for i, r := range raw {
+			docs[i%5][textkit.TermID(r%32)]++
+		}
+		for i, d := range docs {
+			if len(d) == 0 {
+				d[0] = 1 // index requires some content? (empty is fine, but keep counts visible)
+			}
+			if err := ix.Add(i, d); err != nil {
+				return false
+			}
+		}
+		for i, d := range docs {
+			for term, c := range d {
+				if ix.TermCount(term, i) != c {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearchBM25(b *testing.B) {
+	ix := New()
+	rng := rand.New(rand.NewSource(1))
+	for id := 0; id < 5000; id++ {
+		d := textkit.TermVector{}
+		for j := 0; j < 100; j++ {
+			d[textkit.TermID(rng.Intn(5000))]++
+		}
+		if err := ix.Add(id, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	terms := []textkit.TermID{10, 20, 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchBM25(terms, 100, DefaultBM25())
+	}
+}

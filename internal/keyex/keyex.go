@@ -1,0 +1,235 @@
+// Package keyex implements the key-agreement layer of CS-F-LTR.
+//
+// Section IV-B (Step 1) of the paper requires that all parties build their
+// sketches with the *same* keyed hash functions while the coordinating
+// server never learns the key: "The hash functions can be keyed where the
+// private keys are securely generated (e.g., with Diffie-Hellman key
+// agreement) so that they can be hidden from the server."
+//
+// This package provides:
+//
+//   - Finite-field Diffie-Hellman over the RFC 3526 2048-bit MODP group
+//     (math/big), giving every pair of parties a shared secret even though
+//     all traffic is routed through the honest-but-curious server.
+//   - A small authenticated sealing primitive (AES-GCM with an
+//     SHA-256-derived key) with which the federation leader distributes
+//     the common hash seed to every other party under the pairwise DH
+//     secrets.
+//
+// The resulting federation secret is fed to hashutil.DeriveSeed to obtain
+// the seeds of every hash family used in the protocol.
+package keyex
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors returned by this package.
+var (
+	ErrInvalidPublicKey = errors.New("keyex: invalid peer public key")
+	ErrCiphertextShort  = errors.New("keyex: ciphertext too short")
+	ErrDecrypt          = errors.New("keyex: message authentication failed")
+)
+
+// modp2048Hex is the RFC 3526 group 14 prime (2048-bit MODP group).
+const modp2048Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+	"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9" +
+	"DE2BCBF6955817183995497CEA956AE515D2261898FA0510" +
+	"15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+
+// Group describes a finite-field Diffie-Hellman group with prime modulus P
+// and generator G.
+type Group struct {
+	P *big.Int
+	G *big.Int
+}
+
+// ModP2048 returns the RFC 3526 2048-bit MODP group (group 14), a safe
+// prime group suitable for classic DH.
+func ModP2048() *Group {
+	p, ok := new(big.Int).SetString(modp2048Hex, 16)
+	if !ok {
+		panic("keyex: invalid built-in prime") // unreachable: constant
+	}
+	return &Group{P: p, G: big.NewInt(2)}
+}
+
+// PrivateKey is one party's DH key pair within a group.
+type PrivateKey struct {
+	group *Group
+	x     *big.Int // private exponent
+	pub   *big.Int // G^x mod P
+}
+
+// GenerateKey samples a fresh private key from rnd (crypto/rand.Reader in
+// production; a deterministic reader in tests).
+func (g *Group) GenerateKey(rnd io.Reader) (*PrivateKey, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	// Sample x uniformly in [2, P-2].
+	max := new(big.Int).Sub(g.P, big.NewInt(3))
+	x, err := rand.Int(rnd, max)
+	if err != nil {
+		return nil, fmt.Errorf("keyex: sampling private exponent: %w", err)
+	}
+	x.Add(x, big.NewInt(2))
+	pub := new(big.Int).Exp(g.G, x, g.P)
+	return &PrivateKey{group: g, x: x, pub: pub}, nil
+}
+
+// Public returns the public key G^x mod P.
+func (k *PrivateKey) Public() *big.Int { return new(big.Int).Set(k.pub) }
+
+// validatePeer rejects public keys outside [2, P-2], which would collapse
+// the shared secret to a constant.
+func (k *PrivateKey) validatePeer(peer *big.Int) error {
+	if peer == nil {
+		return fmt.Errorf("%w: nil", ErrInvalidPublicKey)
+	}
+	two := big.NewInt(2)
+	pm2 := new(big.Int).Sub(k.group.P, two)
+	if peer.Cmp(two) < 0 || peer.Cmp(pm2) > 0 {
+		return fmt.Errorf("%w: out of range", ErrInvalidPublicKey)
+	}
+	return nil
+}
+
+// SharedSecret computes the 32-byte shared secret with the peer's public
+// key: SHA-256(peer^x mod P).
+func (k *PrivateKey) SharedSecret(peer *big.Int) ([]byte, error) {
+	if err := k.validatePeer(peer); err != nil {
+		return nil, err
+	}
+	s := new(big.Int).Exp(peer, k.x, k.group.P)
+	sum := sha256.Sum256(s.Bytes())
+	return sum[:], nil
+}
+
+// deriveAEAD builds an AES-256-GCM AEAD from a shared secret and a
+// domain-separation label.
+func deriveAEAD(secret []byte, label string) (cipher.AEAD, error) {
+	h := sha256.New()
+	h.Write([]byte(label))
+	h.Write([]byte{0})
+	h.Write(secret)
+	key := h.Sum(nil)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("keyex: building cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("keyex: building GCM: %w", err)
+	}
+	return aead, nil
+}
+
+// Seal encrypts and authenticates msg under the shared secret. The label
+// provides domain separation (e.g. "federation-seed"). The nonce is drawn
+// from rnd and prepended to the ciphertext.
+func Seal(secret, msg []byte, label string, rnd io.Reader) ([]byte, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	aead, err := deriveAEAD(secret, label)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rnd, nonce); err != nil {
+		return nil, fmt.Errorf("keyex: sampling nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, msg, []byte(label)), nil
+}
+
+// Open decrypts a Seal-produced box, verifying its authenticity.
+func Open(secret, box []byte, label string) ([]byte, error) {
+	aead, err := deriveAEAD(secret, label)
+	if err != nil {
+		return nil, err
+	}
+	if len(box) < aead.NonceSize() {
+		return nil, ErrCiphertextShort
+	}
+	nonce, ct := box[:aead.NonceSize()], box[aead.NonceSize():]
+	msg, err := aead.Open(nil, nonce, ct, []byte(label))
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return msg, nil
+}
+
+// FederationSeedLabel is the domain-separation label used when the leader
+// distributes the federation hash seed.
+const FederationSeedLabel = "csfltr/federation-seed/v1"
+
+// AgreeFederationSecret runs the full seed-agreement ceremony for n
+// parties in-process and returns each party's copy of the 32-byte
+// federation secret. It models exactly the message flow the federation
+// substrate performs over its transport: party 0 (the leader) samples the
+// secret and seals it for every other party under the pairwise DH secret;
+// the sealed boxes are what travels through the server, so the server
+// never sees the seed. Returns one identical secret slice per party.
+//
+// rnd may be nil, in which case crypto/rand is used.
+func AgreeFederationSecret(n int, rnd io.Reader) ([][]byte, error) {
+	if n <= 0 {
+		return nil, errors.New("keyex: federation must have at least one party")
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	group := ModP2048()
+	keys := make([]*PrivateKey, n)
+	for i := range keys {
+		k, err := group.GenerateKey(rnd)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	// Leader samples the federation secret.
+	seed := make([]byte, 32)
+	if _, err := io.ReadFull(rnd, seed); err != nil {
+		return nil, fmt.Errorf("keyex: sampling federation secret: %w", err)
+	}
+	out := make([][]byte, n)
+	out[0] = append([]byte(nil), seed...)
+	for i := 1; i < n; i++ {
+		// Leader -> party i: seal under pairwise secret. Both sides compute
+		// the same pairwise secret from the exchanged public keys.
+		sLeader, err := keys[0].SharedSecret(keys[i].Public())
+		if err != nil {
+			return nil, err
+		}
+		box, err := Seal(sLeader, seed, FederationSeedLabel, rnd)
+		if err != nil {
+			return nil, err
+		}
+		sParty, err := keys[i].SharedSecret(keys[0].Public())
+		if err != nil {
+			return nil, err
+		}
+		msg, err := Open(sParty, box, FederationSeedLabel)
+		if err != nil {
+			return nil, fmt.Errorf("keyex: party %d cannot open seed box: %w", i, err)
+		}
+		out[i] = msg
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package keyex
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+func TestModP2048Properties(t *testing.T) {
+	g := ModP2048()
+	if g.P.BitLen() != 2048 {
+		t.Fatalf("prime bit length = %d, want 2048", g.P.BitLen())
+	}
+	if !g.P.ProbablyPrime(16) {
+		t.Fatal("modulus is not prime")
+	}
+	// Safe prime: (P-1)/2 should also be prime.
+	q := new(big.Int).Rsh(new(big.Int).Sub(g.P, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(16) {
+		t.Fatal("(P-1)/2 is not prime; group is not a safe-prime group")
+	}
+	if g.G.Cmp(big.NewInt(2)) != 0 {
+		t.Fatal("generator should be 2")
+	}
+}
+
+func TestSharedSecretAgreement(t *testing.T) {
+	g := ModP2048()
+	alice, err := g.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := g.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := alice.SharedSecret(bob.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := bob.SharedSecret(alice.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sa, sb) {
+		t.Fatal("DH shared secrets disagree")
+	}
+	if len(sa) != 32 {
+		t.Fatalf("secret length = %d, want 32", len(sa))
+	}
+
+	carol, err := g.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := alice.SharedSecret(carol.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(sa, sc) {
+		t.Fatal("distinct peers yielded the same shared secret")
+	}
+}
+
+func TestRejectBadPublicKeys(t *testing.T) {
+	g := ModP2048()
+	k, err := g.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(1),
+		new(big.Int).Sub(g.P, big.NewInt(1)), // P-1: order-2 element
+		new(big.Int).Set(g.P),
+		new(big.Int).Add(g.P, big.NewInt(5)),
+	}
+	for i, pub := range bad {
+		if _, err := k.SharedSecret(pub); !errors.Is(err, ErrInvalidPublicKey) {
+			t.Fatalf("case %d: expected ErrInvalidPublicKey, got %v", i, err)
+		}
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	secret := bytes.Repeat([]byte{7}, 32)
+	msg := []byte("the federation hash seed")
+	box, err := Seal(secret, msg, "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(secret, box, "label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	secret := bytes.Repeat([]byte{7}, 32)
+	box, err := Seal(secret, []byte("payload"), "label", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte(nil), box...)
+	tampered[len(tampered)-1] ^= 1
+	if _, err := Open(secret, tampered, "label"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("tampered box: expected ErrDecrypt, got %v", err)
+	}
+	if _, err := Open(secret, box, "wrong-label"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong label: expected ErrDecrypt, got %v", err)
+	}
+	wrong := bytes.Repeat([]byte{8}, 32)
+	if _, err := Open(wrong, box, "label"); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong secret: expected ErrDecrypt, got %v", err)
+	}
+	if _, err := Open(secret, box[:4], "label"); !errors.Is(err, ErrCiphertextShort) {
+		t.Fatalf("short box: expected ErrCiphertextShort, got %v", err)
+	}
+}
+
+func TestAgreeFederationSecret(t *testing.T) {
+	secrets, err := AgreeFederationSecret(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secrets) != 4 {
+		t.Fatalf("got %d secrets, want 4", len(secrets))
+	}
+	for i := 1; i < 4; i++ {
+		if !bytes.Equal(secrets[0], secrets[i]) {
+			t.Fatalf("party %d received a different federation secret", i)
+		}
+	}
+	if len(secrets[0]) != 32 {
+		t.Fatalf("secret length %d, want 32", len(secrets[0]))
+	}
+}
+
+func TestAgreeFederationSecretSingleParty(t *testing.T) {
+	secrets, err := AgreeFederationSecret(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secrets) != 1 || len(secrets[0]) != 32 {
+		t.Fatal("single-party federation should still yield one secret")
+	}
+}
+
+func TestAgreeFederationSecretRejectsZeroParties(t *testing.T) {
+	if _, err := AgreeFederationSecret(0, nil); err == nil {
+		t.Fatal("expected error for zero parties")
+	}
+}

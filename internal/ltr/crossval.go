@@ -1,0 +1,78 @@
+package ltr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fold is one train/eval split of a cross-validation run. Splitting is
+// by QUERY, never by instance — instances of one query must stay
+// together or ranking metrics leak across the split.
+type Fold struct {
+	Train []Instance
+	Eval  []Instance
+}
+
+// KFoldByQuery partitions instances into k folds by query key (seeded
+// shuffle of the query list). Queries distribute as evenly as possible;
+// every instance appears in exactly one fold's Eval set and in the other
+// k-1 folds' Train sets.
+func KFoldByQuery(data []Instance, k int, seed int64) ([]Fold, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("%w: k=%d (need >= 2)", ErrBadConfig, k)
+	}
+	groups := GroupByQuery(data)
+	if len(groups) < k {
+		return nil, fmt.Errorf("%w: only %d queries for %d folds", ErrBadData, len(groups), k)
+	}
+	keys := make([]string, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	assignment := make(map[string]int, len(keys))
+	for i, key := range keys {
+		assignment[key] = i % k
+	}
+	folds := make([]Fold, k)
+	for _, inst := range data {
+		f := assignment[inst.QueryKey]
+		for i := range folds {
+			if i == f {
+				folds[i].Eval = append(folds[i].Eval, inst)
+			} else {
+				folds[i].Train = append(folds[i].Train, inst)
+			}
+		}
+	}
+	return folds, nil
+}
+
+// CrossValidate trains a fresh zero-initialized linear model per fold
+// with cfg and returns the mean metrics over the eval splits — the
+// standard way to pick hyperparameters without touching the external
+// test set.
+func CrossValidate(dim int, data []Instance, k int, cfg SGDConfig, seed int64) (Metrics, error) {
+	folds, err := KFoldByQuery(data, k, seed)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var sum Metrics
+	for i, fold := range folds {
+		m := NewLinearModel(dim)
+		foldCfg := cfg
+		foldCfg.Seed = cfg.Seed + int64(i)
+		if err := foldCfg.Train(m, fold.Train); err != nil {
+			return Metrics{}, fmt.Errorf("ltr: fold %d: %w", i, err)
+		}
+		got := Evaluate(m, fold.Eval)
+		sum.ERR += got.ERR
+		sum.NDCG += got.NDCG
+		sum.NDCG10 += got.NDCG10
+	}
+	n := float64(len(folds))
+	return Metrics{ERR: sum.ERR / n, NDCG: sum.NDCG / n, NDCG10: sum.NDCG10 / n}, nil
+}

@@ -1,0 +1,109 @@
+package ltr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKFoldByQuery(t *testing.T) {
+	data := listwiseData(10, 6, 1) // 10 queries x 6 instances
+	folds, err := KFoldByQuery(data, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("got %d folds", len(folds))
+	}
+	evalTotal := 0
+	for fi, fold := range folds {
+		if len(fold.Train)+len(fold.Eval) != len(data) {
+			t.Fatalf("fold %d does not partition the data", fi)
+		}
+		evalTotal += len(fold.Eval)
+		// No query straddles train and eval.
+		evalQ := map[string]struct{}{}
+		for _, inst := range fold.Eval {
+			evalQ[inst.QueryKey] = struct{}{}
+		}
+		for _, inst := range fold.Train {
+			if _, leak := evalQ[inst.QueryKey]; leak {
+				t.Fatalf("fold %d: query %s in both splits", fi, inst.QueryKey)
+			}
+		}
+	}
+	if evalTotal != len(data) {
+		t.Fatalf("eval splits cover %d of %d instances", evalTotal, len(data))
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	data := listwiseData(8, 4, 2)
+	a, err := KFoldByQuery(data, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KFoldByQuery(data, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Eval) != len(b[i].Eval) {
+			t.Fatal("folds differ across identical calls")
+		}
+		for j := range a[i].Eval {
+			if a[i].Eval[j].QueryKey != b[i].Eval[j].QueryKey {
+				t.Fatal("fold contents differ")
+			}
+		}
+	}
+	c, err := KFoldByQuery(data, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		for j := range a[i].Eval {
+			if j >= len(c[i].Eval) || a[i].Eval[j].QueryKey != c[i].Eval[j].QueryKey {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical folds (suspicious)")
+	}
+}
+
+func TestKFoldErrors(t *testing.T) {
+	data := listwiseData(3, 4, 1)
+	if _, err := KFoldByQuery(data, 1, 1); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("k=1 should error")
+	}
+	if _, err := KFoldByQuery(data, 5, 1); !errors.Is(err, ErrBadData) {
+		t.Fatal("more folds than queries should error")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	data := listwiseData(12, 8, 3)
+	cfg := DefaultSGDConfig()
+	cfg.Epochs = 10
+	m, err := CrossValidate(2, data, 4, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NDCG <= 0.5 {
+		t.Fatalf("cross-validated nDCG %v too low on an easy problem", m.NDCG)
+	}
+	if m.ERR <= 0 || m.NDCG10 <= 0 {
+		t.Fatalf("metrics missing: %+v", m)
+	}
+	// Errors propagate.
+	bad := cfg
+	bad.LearningRate = 0
+	if _, err := CrossValidate(2, data, 4, bad, 1); err == nil {
+		t.Fatal("bad config should error")
+	}
+	if _, err := CrossValidate(2, data, 100, cfg, 1); !errors.Is(err, ErrBadData) {
+		t.Fatal("too many folds should error")
+	}
+}

@@ -1,0 +1,122 @@
+package ltr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// listwiseData builds a ranking problem where feature 0 is informative
+// and feature 1 is anti-informative noise a pointwise squared loss can be
+// distracted by.
+func listwiseData(nQueries, perQuery int, seed int64) []Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var data []Instance
+	for q := 0; q < nQueries; q++ {
+		key := string(rune('a'+q%26)) + string(rune('0'+q/26))
+		for d := 0; d < perQuery; d++ {
+			rel := float64(d % 3)
+			x := []float64{
+				rel + 0.4*rng.NormFloat64(),
+				rng.NormFloat64(),
+			}
+			data = append(data, Instance{Features: x, Label: rel, QueryKey: key})
+		}
+	}
+	return data
+}
+
+func TestListwiseConfigValidate(t *testing.T) {
+	if err := DefaultListwiseConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ListwiseConfig){
+		func(c *ListwiseConfig) { c.Passes = 0 },
+		func(c *ListwiseConfig) { c.StepCount = 0 },
+		func(c *ListwiseConfig) { c.StepBase = 0 },
+		func(c *ListwiseConfig) { c.StepScale = 1 },
+		func(c *ListwiseConfig) { c.Tolerance = -1 },
+	}
+	for i, mut := range bad {
+		c := DefaultListwiseConfig()
+		mut(&c)
+		if err := c.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: expected ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestListwiseImprovesNDCG(t *testing.T) {
+	data := listwiseData(20, 12, 3)
+	m := NewLinearModel(2)
+	before := Evaluate(m, data).NDCG
+	cfg := DefaultListwiseConfig()
+	if err := cfg.TrainListwise(m, data); err != nil {
+		t.Fatal(err)
+	}
+	after := Evaluate(m, data).NDCG
+	if after <= before {
+		t.Fatalf("listwise training did not improve nDCG: %v -> %v", before, after)
+	}
+	if after < 0.85 {
+		t.Fatalf("listwise nDCG %v too low on an easy problem", after)
+	}
+	if m.W[0] <= 0 {
+		t.Fatalf("informative weight should be positive: %v", m.W)
+	}
+}
+
+func TestListwiseCustomMetric(t *testing.T) {
+	data := listwiseData(10, 8, 5)
+	m := NewLinearModel(2)
+	cfg := DefaultListwiseConfig()
+	cfg.Metric = func(mm Model, d []Instance) float64 { return Evaluate(mm, d).ERR }
+	if err := cfg.TrainListwise(m, data); err != nil {
+		t.Fatal(err)
+	}
+	if got := Evaluate(m, data).ERR; got < 0.5 {
+		t.Fatalf("custom-metric training gave ERR %v", got)
+	}
+}
+
+func TestListwiseErrors(t *testing.T) {
+	cfg := DefaultListwiseConfig()
+	if err := cfg.TrainListwise(NewLinearModel(2), nil); !errors.Is(err, ErrBadData) {
+		t.Fatal("empty data should error")
+	}
+	cfg.Passes = 0
+	if err := cfg.TrainListwise(NewLinearModel(2), listwiseData(2, 4, 1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatal("bad config should error")
+	}
+}
+
+func TestListwiseDeterministic(t *testing.T) {
+	data := listwiseData(10, 8, 7)
+	a, b := NewLinearModel(2), NewLinearModel(2)
+	cfg := DefaultListwiseConfig()
+	if err := cfg.TrainListwise(a, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.TrainListwise(b, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("listwise training not deterministic")
+		}
+	}
+}
+
+func TestRankByModel(t *testing.T) {
+	m := &LinearModel{W: []float64{1}}
+	data := []Instance{
+		{Features: []float64{1}, Label: 0, QueryKey: "q1"},
+		{Features: []float64{3}, Label: 2, QueryKey: "q1"},
+		{Features: []float64{2}, Label: 1, QueryKey: "q0"},
+	}
+	order := RankByModel(m, data)
+	// q0 first (sorted keys), then q1 by descending score.
+	if len(order) != 3 || order[0] != 2 || order[1] != 1 || order[2] != 0 {
+		t.Fatalf("RankByModel = %v", order)
+	}
+}

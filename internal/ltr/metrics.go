@@ -1,0 +1,117 @@
+package ltr
+
+import (
+	"math"
+	"sort"
+)
+
+// Metrics bundles the three evaluation measures reported in Table I and
+// Fig. 6 of the paper.
+type Metrics struct {
+	ERR    float64
+	NDCG   float64
+	NDCG10 float64
+}
+
+// GroupByQuery splits instances by QueryKey, preserving order within each
+// group.
+func GroupByQuery(data []Instance) map[string][]Instance {
+	out := make(map[string][]Instance)
+	for _, inst := range data {
+		out[inst.QueryKey] = append(out[inst.QueryKey], inst)
+	}
+	return out
+}
+
+// maxGrade is the highest relevance grade (the paper's labels are 0/1/2).
+const maxGrade = 2.0
+
+// errGain is the ERR stopping probability R(g) = (2^g - 1) / 2^gmax.
+func errGain(g float64) float64 {
+	return (math.Pow(2, g) - 1) / math.Pow(2, maxGrade)
+}
+
+// ERRAt computes the Expected Reciprocal Rank of a label sequence already
+// ordered by the system's ranking, truncated at k (k <= 0 means no
+// truncation).
+func ERRAt(labels []float64, k int) float64 {
+	if k <= 0 || k > len(labels) {
+		k = len(labels)
+	}
+	err := 0.0
+	notSatisfied := 1.0
+	for r := 0; r < k; r++ {
+		p := errGain(labels[r])
+		err += notSatisfied * p / float64(r+1)
+		notSatisfied *= 1 - p
+	}
+	return err
+}
+
+// DCGAt computes the Discounted Cumulative Gain (2^g - 1 gains, log2
+// discounts) of a ranked label sequence truncated at k (k <= 0 means no
+// truncation).
+func DCGAt(labels []float64, k int) float64 {
+	if k <= 0 || k > len(labels) {
+		k = len(labels)
+	}
+	dcg := 0.0
+	for r := 0; r < k; r++ {
+		dcg += (math.Pow(2, labels[r]) - 1) / math.Log2(float64(r+2))
+	}
+	return dcg
+}
+
+// NDCGAt computes the normalized DCG of a ranked label sequence. Queries
+// whose ideal DCG is zero (no relevant documents) return ok=false and
+// should be skipped when averaging.
+func NDCGAt(labels []float64, k int) (ndcg float64, ok bool) {
+	ideal := append([]float64(nil), labels...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := DCGAt(ideal, k)
+	if idcg == 0 {
+		return 0, false
+	}
+	return DCGAt(labels, k) / idcg, true
+}
+
+// Evaluate ranks each query's instances by model score and averages ERR,
+// nDCG and nDCG@10 over queries. Queries without any relevant document
+// are skipped for nDCG (their ideal DCG is zero) but still contribute 0
+// to ERR, matching the usual treatment.
+func Evaluate(m Model, data []Instance) Metrics {
+	groups := GroupByQuery(data)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sumERR, sumNDCG, sumNDCG10 float64
+	var nQueries, nNDCG int
+	for _, key := range keys {
+		insts := groups[key]
+		order := sortByScore(m, insts)
+		labels := make([]float64, len(order))
+		for i, oi := range order {
+			labels[i] = insts[oi].Label
+		}
+		sumERR += ERRAt(labels, 0)
+		nQueries++
+		if v, ok := NDCGAt(labels, 0); ok {
+			sumNDCG += v
+			nNDCG++
+		}
+		if v, ok := NDCGAt(labels, 10); ok {
+			sumNDCG10 += v
+		}
+	}
+	var out Metrics
+	if nQueries > 0 {
+		out.ERR = sumERR / float64(nQueries)
+	}
+	if nNDCG > 0 {
+		out.NDCG = sumNDCG / float64(nNDCG)
+		out.NDCG10 = sumNDCG10 / float64(nNDCG)
+	}
+	return out
+}

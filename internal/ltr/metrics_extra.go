@@ -1,0 +1,156 @@
+package ltr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ExtendedMetrics adds the standard IR measures beyond the paper's three:
+// mean average precision, mean reciprocal rank and precision at k.
+// "Relevant" means label > 0 (the paper's labels 1 and 2).
+type ExtendedMetrics struct {
+	Metrics
+	MAP float64
+	MRR float64
+	P10 float64
+}
+
+// APAt computes average precision of a ranked binary-relevance sequence
+// (labels > 0 are relevant). Returns ok=false when no relevant documents
+// exist.
+func APAt(labels []float64) (float64, bool) {
+	var hits int
+	var sum float64
+	for r, l := range labels {
+		if l > 0 {
+			hits++
+			sum += float64(hits) / float64(r+1)
+		}
+	}
+	if hits == 0 {
+		return 0, false
+	}
+	return sum / float64(hits), true
+}
+
+// RRAt computes the reciprocal rank of the first relevant document, 0 if
+// none.
+func RRAt(labels []float64) float64 {
+	for r, l := range labels {
+		if l > 0 {
+			return 1 / float64(r+1)
+		}
+	}
+	return 0
+}
+
+// PrecisionAt computes the fraction of relevant documents in the top k.
+func PrecisionAt(labels []float64, k int) float64 {
+	if k <= 0 || len(labels) == 0 {
+		return 0
+	}
+	if k > len(labels) {
+		k = len(labels)
+	}
+	hits := 0
+	for r := 0; r < k; r++ {
+		if labels[r] > 0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// EvaluateExtended computes the full metric set over a test set.
+func EvaluateExtended(m Model, data []Instance) ExtendedMetrics {
+	out := ExtendedMetrics{Metrics: Evaluate(m, data)}
+	groups := GroupByQuery(data)
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sumAP, sumRR, sumP10 float64
+	var nAP, nQ int
+	for _, key := range keys {
+		insts := groups[key]
+		order := sortByScore(m, insts)
+		labels := make([]float64, len(order))
+		for i, oi := range order {
+			labels[i] = insts[oi].Label
+		}
+		if ap, ok := APAt(labels); ok {
+			sumAP += ap
+			nAP++
+		}
+		sumRR += RRAt(labels)
+		sumP10 += PrecisionAt(labels, 10)
+		nQ++
+	}
+	if nAP > 0 {
+		out.MAP = sumAP / float64(nAP)
+	}
+	if nQ > 0 {
+		out.MRR = sumRR / float64(nQ)
+		out.P10 = sumP10 / float64(nQ)
+	}
+	return out
+}
+
+// modelMagic guards serialized models.
+const modelMagic = uint32(0x4C4D4431) // "LMD1"
+
+// ErrCorruptModel marks unreadable persisted models.
+var ErrCorruptModel = errors.New("ltr: corrupt serialized model")
+
+// WriteTo serializes the model (dimension, weights, bias).
+func (m *LinearModel) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(modelMagic); err != nil {
+		return n, err
+	}
+	if err := write(uint64(len(m.W))); err != nil {
+		return n, err
+	}
+	if err := write(m.W); err != nil {
+		return n, err
+	}
+	if err := write(m.B); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadModel reconstructs a model serialized with WriteTo. It reads
+// exactly the model's bytes, so other payloads may follow in the same
+// stream (the trained-model bundle relies on this).
+func ReadModel(r io.Reader) (*LinearModel, error) {
+	var magic uint32
+	if err := binary.Read(r, binary.LittleEndian, &magic); err != nil || magic != modelMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptModel)
+	}
+	var dim uint64
+	if err := binary.Read(r, binary.LittleEndian, &dim); err != nil || dim > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible dimension", ErrCorruptModel)
+	}
+	m := NewLinearModel(int(dim))
+	if err := binary.Read(r, binary.LittleEndian, &m.W); err != nil {
+		return nil, fmt.Errorf("%w: truncated weights", ErrCorruptModel)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &m.B); err != nil {
+		return nil, fmt.Errorf("%w: truncated bias", ErrCorruptModel)
+	}
+	return m, nil
+}

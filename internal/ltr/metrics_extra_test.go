@@ -1,0 +1,119 @@
+package ltr
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAPAt(t *testing.T) {
+	// Relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2.
+	ap, ok := APAt([]float64{2, 0, 1, 0})
+	if !ok {
+		t.Fatal("expected ok")
+	}
+	want := (1.0 + 2.0/3) / 2
+	if math.Abs(ap-want) > 1e-12 {
+		t.Fatalf("AP = %v, want %v", ap, want)
+	}
+	if _, ok := APAt([]float64{0, 0}); ok {
+		t.Fatal("no relevant docs should report !ok")
+	}
+	if ap, ok := APAt([]float64{1}); !ok || ap != 1 {
+		t.Fatalf("single relevant doc at rank 1: AP = %v", ap)
+	}
+}
+
+func TestRRAt(t *testing.T) {
+	if got := RRAt([]float64{0, 0, 2}); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("RR = %v", got)
+	}
+	if got := RRAt([]float64{1}); got != 1 {
+		t.Fatalf("RR = %v", got)
+	}
+	if got := RRAt([]float64{0, 0}); got != 0 {
+		t.Fatalf("RR = %v", got)
+	}
+	if got := RRAt(nil); got != 0 {
+		t.Fatalf("RR(nil) = %v", got)
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	labels := []float64{2, 0, 1, 0, 0}
+	if got := PrecisionAt(labels, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("P@3 = %v", got)
+	}
+	// k beyond length: computed over what exists.
+	if got := PrecisionAt(labels, 10); math.Abs(got-2.0/5) > 1e-12 {
+		t.Fatalf("P@10 = %v", got)
+	}
+	if PrecisionAt(labels, 0) != 0 || PrecisionAt(nil, 5) != 0 {
+		t.Fatal("degenerate precision should be 0")
+	}
+}
+
+func TestEvaluateExtended(t *testing.T) {
+	m := &LinearModel{W: []float64{1}}
+	data := []Instance{
+		{Features: []float64{3}, Label: 2, QueryKey: "q1"},
+		{Features: []float64{2}, Label: 0, QueryKey: "q1"},
+		{Features: []float64{1}, Label: 1, QueryKey: "q1"},
+	}
+	got := EvaluateExtended(m, data)
+	// Ranking is [2, 0, 1]: AP = (1 + 2/3)/2, RR = 1, P@10 = 2/3.
+	wantAP := (1.0 + 2.0/3) / 2
+	if math.Abs(got.MAP-wantAP) > 1e-12 {
+		t.Fatalf("MAP = %v, want %v", got.MAP, wantAP)
+	}
+	if got.MRR != 1 {
+		t.Fatalf("MRR = %v", got.MRR)
+	}
+	if math.Abs(got.P10-2.0/3) > 1e-12 {
+		t.Fatalf("P10 = %v", got.P10)
+	}
+	if got.NDCG == 0 || got.ERR == 0 {
+		t.Fatal("base metrics missing from extended evaluation")
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	m := &LinearModel{W: []float64{0.5, -1.25, 3}, B: 0.75}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.B != m.B || len(got.W) != 3 {
+		t.Fatalf("round trip lost state: %+v", got)
+	}
+	for i := range m.W {
+		if got.W[i] != m.W[i] {
+			t.Fatalf("weight %d differs", i)
+		}
+	}
+}
+
+func TestReadModelCorrupt(t *testing.T) {
+	m := &LinearModel{W: []float64{1, 2}, B: 3}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := [][]byte{
+		nil,
+		data[:3],
+		data[:len(data)-4],
+		func() []byte { d := append([]byte{}, data...); d[0] ^= 1; return d }(),
+	}
+	for i, d := range cases {
+		if _, err := ReadModel(bytes.NewReader(d)); !errors.Is(err, ErrCorruptModel) {
+			t.Fatalf("case %d: want ErrCorruptModel, got %v", i, err)
+		}
+	}
+}

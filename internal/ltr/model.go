@@ -1,0 +1,116 @@
+// Package ltr is the learning-to-rank substrate of the CS-F-LTR
+// reproduction: pointwise linear models trained with SGD, the round-robin
+// distributed SGD the paper uses for federated training ("we will apply a
+// simple round-robin distributed SGD to train the LTR model"), an
+// optional pairwise (RankNet-style) extension, and the evaluation metrics
+// of Section VI (ERR, nDCG, nDCG@10).
+package ltr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadConfig = errors.New("ltr: invalid training configuration")
+	ErrBadData   = errors.New("ltr: invalid training data")
+)
+
+// Instance is one pointwise training or evaluation sample: a feature
+// vector, its graded relevance label (0, 1 or 2) and the query it belongs
+// to (ranking metrics group by QueryKey).
+type Instance struct {
+	Features []float64
+	Label    float64
+	QueryKey string
+}
+
+// Model scores a feature vector; higher means more relevant.
+type Model interface {
+	Score(x []float64) float64
+}
+
+// LinearModel is the paper's pointwise ranking model: a linear scoring
+// function w.x + b.
+type LinearModel struct {
+	W []float64
+	B float64
+}
+
+// NewLinearModel returns a zero-initialized model of dimension dim.
+func NewLinearModel(dim int) *LinearModel {
+	return &LinearModel{W: make([]float64, dim)}
+}
+
+// Score returns w.x + b. Shorter x is treated as zero-padded.
+func (m *LinearModel) Score(x []float64) float64 {
+	s := m.B
+	n := len(x)
+	if len(m.W) < n {
+		n = len(m.W)
+	}
+	for i := 0; i < n; i++ {
+		s += m.W[i] * x[i]
+	}
+	return s
+}
+
+// Clone returns an independent copy of the model.
+func (m *LinearModel) Clone() *LinearModel {
+	return &LinearModel{W: append([]float64(nil), m.W...), B: m.B}
+}
+
+// Dim returns the model dimension.
+func (m *LinearModel) Dim() int { return len(m.W) }
+
+// average sets m to the uniform average of models (FedAvg-style
+// aggregation, offered alongside round-robin training).
+func average(models []*LinearModel) (*LinearModel, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("%w: no models to average", ErrBadData)
+	}
+	dim := models[0].Dim()
+	out := NewLinearModel(dim)
+	for _, m := range models {
+		if m.Dim() != dim {
+			return nil, fmt.Errorf("%w: model dimensions differ", ErrBadData)
+		}
+		for i, w := range m.W {
+			out.W[i] += w
+		}
+		out.B += m.B
+	}
+	inv := 1 / float64(len(models))
+	for i := range out.W {
+		out.W[i] *= inv
+	}
+	out.B *= inv
+	return out, nil
+}
+
+// sortByScore returns indexes of instances ordered by descending model
+// score with deterministic tie-breaking by original position.
+func sortByScore(m Model, instances []Instance) []int {
+	idx := make([]int, len(instances))
+	scores := make([]float64, len(instances))
+	for i := range instances {
+		idx[i] = i
+		scores[i] = m.Score(instances[i].Features)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return scores[idx[a]] > scores[idx[b]]
+	})
+	return idx
+}
+
+// clampFinite zeroes NaN/Inf gradients so one degenerate feature vector
+// cannot destroy the model.
+func clampFinite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}

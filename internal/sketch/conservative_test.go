@@ -1,0 +1,120 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"csfltr/internal/zipf"
+)
+
+// TestConservativeNeverUnderestimates: conservative update keeps the
+// Count-Min one-sided guarantee.
+func TestConservativeNeverUnderestimates(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 4, 16, 3)) // heavy collisions
+	rng := rand.New(rand.NewSource(1))
+	truth := map[uint64]int64{}
+	for i := 0; i < 500; i++ {
+		term := uint64(rng.Intn(80))
+		truth[term]++
+		if err := tab.AddConservative(term, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for term, want := range truth {
+		if got := tab.Estimate(term); got < want {
+			t.Fatalf("conservative CM underestimated term %d: %d < %d", term, got, want)
+		}
+	}
+}
+
+// TestConservativeTightensEstimates: on a skewed stream, conservative
+// update should produce total error no worse than (and typically well
+// below) plain Count-Min.
+func TestConservativeTightensEstimates(t *testing.T) {
+	f := fam(t, 4, 32, 5)
+	plain := MustNew(CountMin, f)
+	conservative := MustNew(CountMin, f)
+	rng := rand.New(rand.NewSource(7))
+	dist := zipf.MustNew(500, 1.2)
+	truth := map[uint64]int64{}
+	for i := 0; i < 20000; i++ {
+		term := uint64(dist.Sample(rng))
+		truth[term]++
+		plain.Add(term, 1)
+		if err := conservative.AddConservative(term, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var errPlain, errCons int64
+	for term, want := range truth {
+		errPlain += plain.Estimate(term) - want
+		errCons += conservative.Estimate(term) - want
+	}
+	if errCons > errPlain {
+		t.Fatalf("conservative error (%d) exceeds plain CM error (%d)", errCons, errPlain)
+	}
+	if errCons == errPlain {
+		t.Log("warning: conservative update gave no improvement on this stream")
+	}
+}
+
+func TestConservativeValidation(t *testing.T) {
+	count := MustNew(Count, fam(t, 3, 16, 1))
+	if err := count.AddConservative(1, 1); !errors.Is(err, ErrBadKind) {
+		t.Fatal("conservative update on Count sketch should error")
+	}
+	cm := MustNew(CountMin, fam(t, 3, 16, 1))
+	if err := cm.AddConservative(1, -1); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("negative conservative update should error")
+	}
+	if err := cm.AddConservative(1, 0); err != nil {
+		t.Fatal("zero count should be a no-op")
+	}
+	if cm.Estimate(1) != 0 {
+		t.Fatal("zero count changed the table")
+	}
+}
+
+func TestMergeMax(t *testing.T) {
+	f := fam(t, 3, 32, 9)
+	a := MustNew(CountMin, f)
+	b := MustNew(CountMin, f)
+	if err := a.AddConservative(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddConservative(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddConservative(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeMax(b); err != nil {
+		t.Fatal(err)
+	}
+	// Upper bound of both inputs.
+	if a.Estimate(1) < 9 {
+		t.Fatalf("MergeMax lost the larger count: %d", a.Estimate(1))
+	}
+	if a.Estimate(2) < 4 {
+		t.Fatalf("MergeMax lost b's term: %d", a.Estimate(2))
+	}
+}
+
+func TestMergeMaxValidation(t *testing.T) {
+	f := fam(t, 3, 32, 9)
+	cm := MustNew(CountMin, f)
+	if err := cm.MergeMax(nil); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("nil other should error")
+	}
+	if err := cm.MergeMax(MustNew(Count, f)); !errors.Is(err, ErrBadKind) {
+		t.Fatal("Count operand should error")
+	}
+	if err := MustNew(Count, f).MergeMax(cm); !errors.Is(err, ErrBadKind) {
+		t.Fatal("Count receiver should error")
+	}
+	other := MustNew(CountMin, fam(t, 3, 32, 10))
+	if err := cm.MergeMax(other); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("seed mismatch should error")
+	}
+}

@@ -1,0 +1,58 @@
+package sketch
+
+import (
+	"bytes"
+	"testing"
+
+	"csfltr/internal/hashutil"
+)
+
+// FuzzUnmarshalTable hardens the sketch deserializer against arbitrary
+// input: it must never panic, and any accepted payload must re-marshal
+// to an equivalent table.
+func FuzzUnmarshalTable(f *testing.F) {
+	fam, err := hashutil.NewFamily(hashutil.KindPolynomial, 3, 16, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	tab := MustNew(Count, fam)
+	for i := uint64(0); i < 50; i++ {
+		tab.Add(i, int64(i%5))
+	}
+	seed, err := tab.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(seed[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalTable(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		round, err := got.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted table failed to re-marshal: %v", err)
+		}
+		got2, err := UnmarshalTable(round)
+		if err != nil {
+			t.Fatalf("re-marshalled table rejected: %v", err)
+		}
+		if got2.Z() != got.Z() || got2.W() != got.W() || got2.Kind() != got.Kind() {
+			t.Fatal("round trip changed geometry")
+		}
+		if !bytes.Equal(round, mustMarshal(t, got2)) {
+			t.Fatal("marshalling is not stable")
+		}
+	})
+}
+
+func mustMarshal(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	data, err := tab.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

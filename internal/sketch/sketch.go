@@ -1,0 +1,368 @@
+// Package sketch implements the linear sketches underlying CS-F-LTR:
+// Count Sketch (Charikar, Chen, Farach-Colton) and Count-Min Sketch
+// (Cormode, Muthukrishnan). Section IV of the paper builds one sketch per
+// document and answers point term-frequency queries from it; Section V's
+// RTK-Sketch (package core) reuses these tables as its per-document
+// summaries.
+//
+// A Table is a z x w array of int64 counters driven by a shared
+// hashutil.Family. Tables are linear: Merge adds two sketches cell-wise,
+// so the sketch of the union of two multisets is the sum of their
+// sketches. Estimation is sign-corrected median for Count Sketch and
+// minimum for Count-Min.
+//
+// Note on fidelity to the paper: Eq. (3) of the paper writes the Count
+// Sketch estimator as a plain median of C[a][h_a(t)]; the original Count
+// Sketch (and the variance analysis the paper cites) requires multiplying
+// by the sign hash g_a(t) first, which is what Estimate does here.
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"csfltr/internal/hashutil"
+)
+
+// Kind selects the sketch flavour.
+type Kind int
+
+const (
+	// Count is the Count Sketch: signed updates, median estimator.
+	Count Kind = iota
+	// CountMin is the Count-Min sketch: unsigned updates, min estimator.
+	CountMin
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Count:
+		return "count"
+	case CountMin:
+		return "count-min"
+	default:
+		return fmt.Sprintf("sketch.Kind(%d)", int(k))
+	}
+}
+
+// Errors returned by this package.
+var (
+	ErrNilFamily    = errors.New("sketch: hash family must not be nil")
+	ErrBadKind      = errors.New("sketch: unknown sketch kind")
+	ErrIncompatible = errors.New("sketch: incompatible tables")
+	ErrCorrupt      = errors.New("sketch: corrupt serialized table")
+)
+
+// Table is a z x w sketch of a term multiset. It is not safe for
+// concurrent mutation; concurrent reads are fine.
+type Table struct {
+	kind  Kind
+	fam   *hashutil.Family
+	cells []int64 // row-major z x w
+}
+
+// New creates an empty sketch table of the given kind over fam's (z, w)
+// geometry.
+func New(kind Kind, fam *hashutil.Family) (*Table, error) {
+	if fam == nil {
+		return nil, ErrNilFamily
+	}
+	if kind != Count && kind != CountMin {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, int(kind))
+	}
+	return &Table{
+		kind:  kind,
+		fam:   fam,
+		cells: make([]int64, fam.Z()*fam.W()),
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(kind Kind, fam *hashutil.Family) *Table {
+	t, err := New(kind, fam)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Kind returns the sketch flavour.
+func (t *Table) Kind() Kind { return t.kind }
+
+// Family returns the hash family driving the table.
+func (t *Table) Family() *hashutil.Family { return t.fam }
+
+// Z returns the number of rows.
+func (t *Table) Z() int { return t.fam.Z() }
+
+// W returns the number of columns.
+func (t *Table) W() int { return t.fam.W() }
+
+// Add records count occurrences of term. For Count Sketch the update is
+// sign-weighted (Eq. (2) of the paper); for Count-Min it is unsigned.
+// Negative counts implement deletion, preserving linearity.
+func (t *Table) Add(term uint64, count int64) {
+	w := t.fam.W()
+	for a := 0; a < t.fam.Z(); a++ {
+		idx := a*w + int(t.fam.Index(a, term))
+		if t.kind == Count {
+			t.cells[idx] += int64(t.fam.Sign(a, term)) * count
+		} else {
+			t.cells[idx] += count
+		}
+	}
+}
+
+// AddCounts records a whole term-count map, e.g. one document body.
+func (t *Table) AddCounts(counts map[uint64]int64) {
+	for term, c := range counts {
+		t.Add(term, c)
+	}
+}
+
+// AddConservative records count occurrences of term with the
+// conservative-update policy (Estan & Varghese): each counter is raised
+// only as far as needed to keep the minimum estimate correct, which
+// tightens Count-Min's overestimation on skewed streams. Valid only for
+// CountMin tables and non-negative counts — conservative updates are not
+// linear, so deletion is unsupported (use plain Add for that trade-off).
+func (t *Table) AddConservative(term uint64, count int64) error {
+	if t.kind != CountMin {
+		return fmt.Errorf("%w: conservative update requires CountMin, have %v", ErrBadKind, t.kind)
+	}
+	if count < 0 {
+		return fmt.Errorf("%w: conservative update cannot delete (count %d)", ErrIncompatible, count)
+	}
+	if count == 0 {
+		return nil
+	}
+	w := t.fam.W()
+	z := t.fam.Z()
+	idx := make([]int, z)
+	min := int64(math.MaxInt64)
+	for a := 0; a < z; a++ {
+		idx[a] = a*w + int(t.fam.Index(a, term))
+		if v := t.cells[idx[a]]; v < min {
+			min = v
+		}
+	}
+	target := min + count
+	for _, i := range idx {
+		if t.cells[i] < target {
+			t.cells[i] = target
+		}
+	}
+	return nil
+}
+
+// MergeMax combines two CountMin tables cell-wise by maximum. Unlike
+// Merge (which adds), the result upper-bounds both inputs and is the
+// correct combination rule for conservative-update tables, at the price
+// of no longer being a sketch of the multiset union.
+func (t *Table) MergeMax(other *Table) error {
+	if other == nil {
+		return fmt.Errorf("%w: nil other", ErrIncompatible)
+	}
+	if t.kind != CountMin || other.kind != CountMin {
+		return fmt.Errorf("%w: MergeMax requires CountMin tables", ErrBadKind)
+	}
+	if t.fam.Z() != other.fam.Z() || t.fam.W() != other.fam.W() ||
+		t.fam.Seed() != other.fam.Seed() || t.fam.Kind() != other.fam.Kind() {
+		return fmt.Errorf("%w: geometry/seed mismatch", ErrIncompatible)
+	}
+	for i, v := range other.cells {
+		if v > t.cells[i] {
+			t.cells[i] = v
+		}
+	}
+	return nil
+}
+
+// Cell returns the raw counter at (row, col).
+func (t *Table) Cell(row int, col uint32) int64 {
+	return t.cells[row*t.fam.W()+int(col)]
+}
+
+// LookupColumns returns the raw counters C[a][cols[a]] for every row a.
+// This is exactly the owner-side operation of Algorithm 2: the querier
+// supplies one (possibly obfuscated) column index per row and receives the
+// corresponding cells. len(cols) must equal Z.
+func (t *Table) LookupColumns(cols []uint32) ([]int64, error) {
+	if len(cols) != t.fam.Z() {
+		return nil, fmt.Errorf("%w: got %d column indexes for %d rows",
+			ErrIncompatible, len(cols), t.fam.Z())
+	}
+	w := uint32(t.fam.W())
+	out := make([]int64, len(cols))
+	for a, c := range cols {
+		if c >= w {
+			return nil, fmt.Errorf("%w: column %d out of range [0,%d)", ErrIncompatible, c, w)
+		}
+		out[a] = t.cells[a*int(w)+int(c)]
+	}
+	return out, nil
+}
+
+// Estimate returns the point estimate of term's count using all rows.
+func (t *Table) Estimate(term uint64) int64 {
+	rows := make([]int, t.fam.Z())
+	for i := range rows {
+		rows[i] = i
+	}
+	vals := make([]float64, len(rows))
+	for i, a := range rows {
+		vals[i] = float64(t.cells[a*t.fam.W()+int(t.fam.Index(a, term))])
+	}
+	return int64(math.Round(EstimateFromRows(t.kind, t.fam, term, rows, vals)))
+}
+
+// EstimateFromRows combines per-row (possibly noise-perturbed) cell values
+// into a single count estimate for term, using only the listed rows. This
+// is the querier-side recovery step of Algorithm 1: after obfuscation only
+// the rows in the private index set PV carry real signal.
+//
+// For Count Sketch each value is first multiplied by the sign hash
+// g_a(term) and the median is returned; for Count-Min the minimum is
+// returned. values[i] must correspond to rows[i].
+func EstimateFromRows(kind Kind, fam *hashutil.Family, term uint64, rows []int, values []float64) float64 {
+	if len(rows) == 0 || len(rows) != len(values) {
+		return 0
+	}
+	adj := make([]float64, len(rows))
+	for i, a := range rows {
+		if kind == Count {
+			adj[i] = float64(fam.Sign(a, term)) * values[i]
+		} else {
+			adj[i] = values[i]
+		}
+	}
+	if kind == Count {
+		return Median(adj)
+	}
+	min := adj[0]
+	for _, v := range adj[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Median returns the median of xs (average of the two central values for
+// even length). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Merge adds other into t cell-wise. Both tables must share kind and hash
+// family geometry (same Z, W, seed and hash kind), otherwise the merged
+// sketch would be meaningless.
+func (t *Table) Merge(other *Table) error {
+	if other == nil {
+		return fmt.Errorf("%w: nil other", ErrIncompatible)
+	}
+	if t.kind != other.kind ||
+		t.fam.Z() != other.fam.Z() || t.fam.W() != other.fam.W() ||
+		t.fam.Seed() != other.fam.Seed() || t.fam.Kind() != other.fam.Kind() {
+		return fmt.Errorf("%w: kind/geometry/seed mismatch", ErrIncompatible)
+	}
+	for i, v := range other.cells {
+		t.cells[i] += v
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the table sharing the (immutable) family.
+func (t *Table) Clone() *Table {
+	c := &Table{kind: t.kind, fam: t.fam, cells: make([]int64, len(t.cells))}
+	copy(c.cells, t.cells)
+	return c
+}
+
+// Reset zeroes every cell.
+func (t *Table) Reset() {
+	for i := range t.cells {
+		t.cells[i] = 0
+	}
+}
+
+// SizeBytes returns the in-memory size of the counter array, the space
+// quantity reported in the paper's Fig. 4 space-cost rows.
+func (t *Table) SizeBytes() int { return 8 * len(t.cells) }
+
+// marshalMagic guards serialized tables.
+const marshalMagic = uint32(0x434b5431) // "CKT1"
+
+// MarshalBinary serializes the table (kind, geometry, seed, counters).
+// The hash family is reconstructed from its parameters on unmarshal, so a
+// serialized sketch is self-contained — this is what parties ship to each
+// other when exchanging whole sketches.
+func (t *Table) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 4+1+1+8+8+8+8*len(t.cells))
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put32(marshalMagic)
+	buf = append(buf, byte(t.kind), byte(t.fam.Kind()))
+	put64(uint64(t.fam.Z()))
+	put64(uint64(t.fam.W()))
+	put64(t.fam.Seed())
+	for _, c := range t.cells {
+		put64(uint64(c))
+	}
+	return buf, nil
+}
+
+// UnmarshalTable reconstructs a table serialized by MarshalBinary.
+func UnmarshalTable(data []byte) (*Table, error) {
+	const header = 4 + 2 + 8 + 8 + 8
+	if len(data) < header {
+		return nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(data[:4]) != marshalMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	kind := Kind(data[4])
+	hkind := hashutil.Kind(data[5])
+	z := int(binary.LittleEndian.Uint64(data[6:14]))
+	w := int(binary.LittleEndian.Uint64(data[14:22]))
+	seed := binary.LittleEndian.Uint64(data[22:30])
+	if z <= 0 || w <= 1 || z > 1<<20 || w > 1<<30 {
+		return nil, fmt.Errorf("%w: implausible geometry z=%d w=%d", ErrCorrupt, z, w)
+	}
+	want := header + 8*z*w
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: length %d, want %d", ErrCorrupt, len(data), want)
+	}
+	fam, err := hashutil.NewFamily(hkind, z, w, seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	t, err := New(kind, fam)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := range t.cells {
+		t.cells[i] = int64(binary.LittleEndian.Uint64(data[header+8*i:]))
+	}
+	return t, nil
+}

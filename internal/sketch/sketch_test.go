@@ -1,0 +1,391 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csfltr/internal/hashutil"
+	"csfltr/internal/zipf"
+)
+
+func fam(t testing.TB, z, w int, seed uint64) *hashutil.Family {
+	t.Helper()
+	f, err := hashutil.NewFamily(hashutil.KindPolynomial, z, w, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	f := fam(t, 3, 16, 1)
+	if _, err := New(Count, nil); !errors.Is(err, ErrNilFamily) {
+		t.Fatalf("nil family: %v", err)
+	}
+	if _, err := New(Kind(9), f); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("bad kind: %v", err)
+	}
+	tab, err := New(Count, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Z() != 3 || tab.W() != 16 || tab.Kind() != Count {
+		t.Fatal("geometry mismatch")
+	}
+	if tab.SizeBytes() != 8*3*16 {
+		t.Fatalf("SizeBytes = %d", tab.SizeBytes())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Count.String() != "count" || CountMin.String() != "count-min" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Fatal("unknown kind should render")
+	}
+}
+
+// TestExactRecoverySparse: with few distinct terms and a wide table there
+// are no collisions, so estimates are exact for both sketch kinds.
+func TestExactRecoverySparse(t *testing.T) {
+	for _, kind := range []Kind{Count, CountMin} {
+		tab := MustNew(kind, fam(t, 5, 4096, 3))
+		truth := map[uint64]int64{10: 7, 20: 3, 30: 19, 40: 1}
+		tab.AddCounts(truth)
+		for term, want := range truth {
+			if got := tab.Estimate(term); got != want {
+				t.Fatalf("kind %v: Estimate(%d) = %d, want %d", kind, term, got, want)
+			}
+		}
+		// Absent term estimates ~0 (exactly 0 without collisions).
+		if got := tab.Estimate(999); got != 0 {
+			t.Fatalf("kind %v: absent term estimated %d", kind, got)
+		}
+	}
+}
+
+// TestCountMinOverestimates: Count-Min is a one-sided estimator; it never
+// underestimates a count.
+func TestCountMinOverestimates(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 4, 8, 7)) // tiny width forces collisions
+	rng := rand.New(rand.NewSource(1))
+	truth := make(map[uint64]int64)
+	for i := 0; i < 200; i++ {
+		term := uint64(rng.Intn(100))
+		truth[term]++
+		tab.Add(term, 1)
+	}
+	for term, want := range truth {
+		if got := tab.Estimate(term); got < want {
+			t.Fatalf("CountMin underestimated term %d: %d < %d", term, got, want)
+		}
+	}
+}
+
+// TestCountSketchUnbiased: the Count Sketch estimator should be unbiased;
+// averaged over many independent families the mean estimate converges to
+// the true count even under heavy collisions.
+func TestCountSketchUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dist := zipf.MustNew(500, 1.05)
+	// One fixed multiset, many sketch families.
+	counts := make(map[uint64]int64)
+	for i := 0; i < 5000; i++ {
+		counts[uint64(dist.Sample(rng))]++
+	}
+	const target = uint64(3)
+	truth := counts[target]
+	if truth == 0 {
+		t.Fatal("test setup: target term did not occur")
+	}
+	var sum float64
+	const families = 300
+	for s := 0; s < families; s++ {
+		tab := MustNew(Count, fam(t, 1, 32, uint64(1000+s)))
+		tab.AddCounts(counts)
+		rows := []int{0}
+		vals := []float64{float64(tab.Cell(0, tab.Family().Index(0, target)))}
+		sum += EstimateFromRows(Count, tab.Family(), target, rows, vals)
+	}
+	mean := sum / families
+	if math.Abs(mean-float64(truth)) > 0.15*float64(truth)+5 {
+		t.Fatalf("Count Sketch biased: mean %f vs truth %d", mean, truth)
+	}
+}
+
+// TestTheorem2ErrorBound checks the single-term error bound of Theorem 2
+// empirically (without DP noise, the epsilon term drops out): the error
+// should stay within sqrt(64/w * F2Res) with high probability.
+func TestTheorem2ErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dist := zipf.MustNew(2000, 1.1)
+	counts := make(map[uint64]int64)
+	var freqs []float64
+	{
+		tmp := map[uint64]int64{}
+		for i := 0; i < 20000; i++ {
+			tmp[uint64(dist.Sample(rng))]++
+		}
+		for k, v := range tmp {
+			counts[k] = v
+			freqs = append(freqs, float64(v))
+		}
+	}
+	const w = 256
+	const z = 9
+	r := w / 8
+	f2res := zipf.ResidualF2(freqs, r)
+	bound := math.Sqrt(64 / float64(w) * f2res)
+	tab := MustNew(Count, fam(t, z, w, 31))
+	tab.AddCounts(counts)
+	violations := 0
+	total := 0
+	for term, truth := range counts {
+		got := float64(tab.Estimate(term))
+		if math.Abs(got-float64(truth)) > bound {
+			violations++
+		}
+		total++
+	}
+	// Theorem 2 gives probability >= 1 - e^{-O(z)}; allow 5% violations.
+	if float64(violations)/float64(total) > 0.05 {
+		t.Fatalf("error bound violated for %d/%d terms (bound %f)", violations, total, bound)
+	}
+}
+
+// TestLinearity (property): sketch(A) merged with sketch(B) equals
+// sketch(A ∪ B) cell-for-cell — the defining property of linear sketches.
+func TestLinearity(t *testing.T) {
+	f := fam(t, 4, 64, 11)
+	check := func(aRaw, bRaw []uint8) bool {
+		sa := MustNew(Count, f)
+		sb := MustNew(Count, f)
+		sAll := MustNew(Count, f)
+		for _, x := range aRaw {
+			sa.Add(uint64(x), 1)
+			sAll.Add(uint64(x), 1)
+		}
+		for _, x := range bRaw {
+			sb.Add(uint64(x), 1)
+			sAll.Add(uint64(x), 1)
+		}
+		if err := sa.Merge(sb); err != nil {
+			return false
+		}
+		for row := 0; row < 4; row++ {
+			for col := uint32(0); col < 64; col++ {
+				if sa.Cell(row, col) != sAll.Cell(row, col) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddDeleteInverse (property): adding then deleting the same multiset
+// returns the sketch to all zeros.
+func TestAddDeleteInverse(t *testing.T) {
+	f := fam(t, 3, 32, 13)
+	check := func(raw []uint8) bool {
+		tab := MustNew(Count, f)
+		for _, x := range raw {
+			tab.Add(uint64(x), 1)
+		}
+		for _, x := range raw {
+			tab.Add(uint64(x), -1)
+		}
+		for row := 0; row < 3; row++ {
+			for col := uint32(0); col < 32; col++ {
+				if tab.Cell(row, col) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeIncompatible(t *testing.T) {
+	base := MustNew(Count, fam(t, 3, 32, 1))
+	cases := []*Table{
+		nil,
+		MustNew(CountMin, fam(t, 3, 32, 1)), // kind mismatch
+		MustNew(Count, fam(t, 4, 32, 1)),    // z mismatch
+		MustNew(Count, fam(t, 3, 64, 1)),    // w mismatch
+		MustNew(Count, fam(t, 3, 32, 2)),    // seed mismatch
+	}
+	for i, other := range cases {
+		if err := base.Merge(other); !errors.Is(err, ErrIncompatible) {
+			t.Fatalf("case %d: expected ErrIncompatible, got %v", i, err)
+		}
+	}
+}
+
+func TestLookupColumns(t *testing.T) {
+	tab := MustNew(Count, fam(t, 3, 16, 5))
+	tab.Add(42, 7)
+	cols := make([]uint32, 3)
+	for a := range cols {
+		cols[a] = tab.Family().Index(a, 42)
+	}
+	vals, err := tab.LookupColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, v := range vals {
+		want := int64(tab.Family().Sign(a, 42)) * 7
+		if v != want {
+			t.Fatalf("row %d: got %d, want %d", a, v, want)
+		}
+	}
+	if _, err := tab.LookupColumns(cols[:2]); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("wrong-length cols should error")
+	}
+	bad := []uint32{0, 1, 99}
+	if _, err := tab.LookupColumns(bad); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("out-of-range column should error")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 3}, 2},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{-5, 10, 0}, 0},
+	}
+	for _, tc := range cases {
+		if got := Median(tc.in); got != tc.want {
+			t.Fatalf("Median(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestCloneAndReset(t *testing.T) {
+	tab := MustNew(Count, fam(t, 2, 8, 3))
+	tab.Add(1, 5)
+	c := tab.Clone()
+	tab.Add(1, 5)
+	if c.Estimate(1) != 5 {
+		t.Fatal("clone should be independent of original")
+	}
+	tab.Reset()
+	if tab.Estimate(1) != 0 {
+		t.Fatal("Reset should zero the table")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, kind := range []Kind{Count, CountMin} {
+		tab := MustNew(kind, fam(t, 4, 32, 17))
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 500; i++ {
+			tab.Add(uint64(rng.Intn(200)), 1)
+		}
+		data, err := tab.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalTable(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind() != kind || got.Z() != 4 || got.W() != 32 {
+			t.Fatal("round trip lost geometry")
+		}
+		for term := uint64(0); term < 200; term++ {
+			if got.Estimate(term) != tab.Estimate(term) {
+				t.Fatalf("kind %v: estimates differ after round trip", kind)
+			}
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	tab := MustNew(Count, fam(t, 2, 8, 1))
+	data, _ := tab.MarshalBinary()
+	cases := [][]byte{
+		nil,
+		data[:10],
+		append(append([]byte{}, data...), 0), // trailing garbage
+		func() []byte { d := append([]byte{}, data...); d[0] ^= 0xff; return d }(), // bad magic
+	}
+	for i, d := range cases {
+		if _, err := UnmarshalTable(d); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("case %d: expected ErrCorrupt, got %v", i, err)
+		}
+	}
+}
+
+func TestMarshalPropertyRoundTrip(t *testing.T) {
+	f := fam(t, 3, 16, 23)
+	check := func(raw []uint8) bool {
+		tab := MustNew(Count, f)
+		for _, x := range raw {
+			tab.Add(uint64(x), 1)
+		}
+		data, err := tab.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalTable(data)
+		if err != nil {
+			return false
+		}
+		for row := 0; row < 3; row++ {
+			for col := uint32(0); col < 16; col++ {
+				if got.Cell(row, col) != tab.Cell(row, col) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f, _ := hashutil.NewFamily(hashutil.KindPolynomial, 30, 200, 1)
+	tab := MustNew(Count, f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab.Add(uint64(i%1000), 1)
+	}
+}
+
+func BenchmarkEstimate(b *testing.B) {
+	f, _ := hashutil.NewFamily(hashutil.KindPolynomial, 30, 200, 1)
+	tab := MustNew(Count, f)
+	for i := 0; i < 10000; i++ {
+		tab.Add(uint64(i%1000), 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Estimate(uint64(i % 1000))
+	}
+}

@@ -1,0 +1,104 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// TopKTracker finds the heaviest terms of a stream: a sketch table
+// estimates counts while a capped min-heap tracks the current top-k
+// candidates (the classic "sketch + heap" heavy-hitters construction the
+// paper's related work cites for federated heavy-hitter discovery).
+// Combined with the DP perturbation of package dp this lets a party
+// publish its salient vocabulary without exposing raw counts.
+//
+// Not safe for concurrent use.
+type TopKTracker struct {
+	table *Table
+	k     int
+	heap  topkHeap
+	pos   map[uint64]int // term -> index in heap slice
+}
+
+// TermCount is one heavy-hitter entry.
+type TermCount struct {
+	Term  uint64
+	Count int64
+}
+
+// topkHeap is a min-heap of TermCount by Count.
+type topkHeap []TermCount
+
+func (h topkHeap) Len() int           { return len(h) }
+func (h topkHeap) Less(i, j int) bool { return h[i].Count < h[j].Count }
+func (h *topkHeap) Push(x any)        { *h = append(*h, x.(TermCount)) }
+func (h topkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewTracker builds a heavy-hitters tracker over a (typically empty)
+// sketch table.
+func NewTracker(table *Table, k int) (*TopKTracker, error) {
+	if table == nil {
+		return nil, fmt.Errorf("%w: nil table", ErrIncompatible)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("%w: k=%d", ErrIncompatible, k)
+	}
+	return &TopKTracker{table: table, k: k, pos: make(map[uint64]int)}, nil
+}
+
+// Add records count occurrences of term and maintains the top-k set.
+func (t *TopKTracker) Add(term uint64, count int64) {
+	t.table.Add(term, count)
+	est := t.table.Estimate(term)
+	if i, tracked := t.pos[term]; tracked {
+		t.heap[i].Count = est
+		heap.Fix(&t.heap, i)
+		t.reindex()
+		return
+	}
+	if t.heap.Len() < t.k {
+		heap.Push(&t.heap, TermCount{Term: term, Count: est})
+		t.reindex()
+		return
+	}
+	if est > t.heap[0].Count {
+		evicted := t.heap[0].Term
+		t.heap[0] = TermCount{Term: term, Count: est}
+		heap.Fix(&t.heap, 0)
+		delete(t.pos, evicted)
+		t.reindex()
+	}
+}
+
+// reindex rebuilds the term -> heap-slot map (k is small, so a full
+// rebuild keeps the code simple and obviously correct).
+func (t *TopKTracker) reindex() {
+	for i, e := range t.heap {
+		t.pos[e.Term] = i
+	}
+}
+
+// TopK returns the tracked heavy hitters sorted by descending estimated
+// count (ties by ascending term).
+func (t *TopKTracker) TopK() []TermCount {
+	out := make([]TermCount, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// Estimate exposes the underlying sketch estimate for any term.
+func (t *TopKTracker) Estimate(term uint64) int64 { return t.table.Estimate(term) }

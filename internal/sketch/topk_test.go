@@ -1,0 +1,127 @@
+package sketch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"csfltr/internal/zipf"
+)
+
+func TestNewTrackerValidation(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 4, 64, 1))
+	if _, err := NewTracker(nil, 5); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("nil table should error")
+	}
+	if _, err := NewTracker(tab, 0); !errors.Is(err, ErrIncompatible) {
+		t.Fatal("k=0 should error")
+	}
+}
+
+func TestTrackerExactOnSparseStream(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 5, 1024, 3))
+	tr, err := NewTracker(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct counts, no collisions at this width.
+	counts := map[uint64]int64{10: 50, 20: 40, 30: 30, 40: 20, 50: 10}
+	for term, c := range counts {
+		for i := int64(0); i < c; i++ {
+			tr.Add(term, 1)
+		}
+	}
+	top := tr.TopK()
+	if len(top) != 3 {
+		t.Fatalf("TopK size = %d", len(top))
+	}
+	want := []uint64{10, 20, 30}
+	for i, e := range top {
+		if e.Term != want[i] {
+			t.Fatalf("TopK[%d] = %+v, want term %d", i, e, want[i])
+		}
+	}
+	if top[0].Count != 50 {
+		t.Fatalf("top count = %d", top[0].Count)
+	}
+}
+
+// TestTrackerRecallOnZipfStream: on a skewed stream with heavy
+// collisions, the tracker must still recall most of the true top-k.
+func TestTrackerRecallOnZipfStream(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 5, 128, 7))
+	const k = 10
+	tr, err := NewTracker(tab, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	dist := zipf.MustNew(5000, 1.1)
+	truth := map[uint64]int64{}
+	for i := 0; i < 100000; i++ {
+		term := uint64(dist.Sample(rng))
+		truth[term]++
+		tr.Add(term, 1)
+	}
+	// True top-k by exact counts.
+	type tc struct {
+		term  uint64
+		count int64
+	}
+	var all []tc
+	for term, c := range truth {
+		all = append(all, tc{term, c})
+	}
+	// Selection: take k largest.
+	for i := 0; i < k; i++ {
+		maxJ := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].count > all[maxJ].count {
+				maxJ = j
+			}
+		}
+		all[i], all[maxJ] = all[maxJ], all[i]
+	}
+	trueTop := map[uint64]struct{}{}
+	for i := 0; i < k; i++ {
+		trueTop[all[i].term] = struct{}{}
+	}
+	hits := 0
+	for _, e := range tr.TopK() {
+		if _, ok := trueTop[e.Term]; ok {
+			hits++
+		}
+	}
+	if hits < k-1 {
+		t.Fatalf("tracker recalled only %d of the true top-%d", hits, k)
+	}
+}
+
+func TestTrackerUpdatesExistingTerm(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 4, 512, 5))
+	tr, err := NewTracker(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Add(1, 5)
+	tr.Add(2, 3)
+	tr.Add(3, 4)  // evicts 2
+	tr.Add(2, 10) // 2 returns with count 13
+	top := tr.TopK()
+	if top[0].Term != 2 || top[0].Count != 13 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if tr.Estimate(2) != 13 {
+		t.Fatalf("Estimate(2) = %d", tr.Estimate(2))
+	}
+}
+
+func TestTrackerFewerTermsThanK(t *testing.T) {
+	tab := MustNew(CountMin, fam(t, 3, 256, 9))
+	tr, _ := NewTracker(tab, 10)
+	tr.Add(1, 1)
+	tr.Add(2, 2)
+	if got := tr.TopK(); len(got) != 2 || got[0].Term != 2 {
+		t.Fatalf("TopK = %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package store persists sketch state to disk. The paper stresses that
+// sketches are "reusable after construction" — a party builds its
+// per-document sketches and RTK-Sketch once, then serves queries across
+// sessions and federation reconfigurations; this package provides the
+// crash-safe storage for that: atomic writes (temp file + rename), CRC32
+// integrity footers, and format-version checks.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/sketch"
+)
+
+// Errors returned by this package.
+var (
+	ErrChecksum = errors.New("store: checksum mismatch")
+	ErrTooShort = errors.New("store: file too short")
+)
+
+// footerSize is the CRC32 (4 bytes) + payload length (8 bytes) trailer.
+const footerSize = 12
+
+// writeAtomic writes payload to path via a temporary file in the same
+// directory, appending an integrity footer, then renames into place.
+func writeAtomic(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".store-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+
+	var footer [footerSize]byte
+	binary.LittleEndian.PutUint32(footer[:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(footer[4:], uint64(len(payload)))
+	if _, err := tmp.Write(payload); err == nil {
+		_, err = tmp.Write(footer[:])
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// readVerified reads a file written by writeAtomic and verifies its
+// footer.
+func readVerified(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	if len(data) < footerSize {
+		return nil, fmt.Errorf("%w: %s (%d bytes)", ErrTooShort, path, len(data))
+	}
+	payload := data[:len(data)-footerSize]
+	footer := data[len(data)-footerSize:]
+	wantCRC := binary.LittleEndian.Uint32(footer[:4])
+	wantLen := binary.LittleEndian.Uint64(footer[4:])
+	if uint64(len(payload)) != wantLen {
+		return nil, fmt.Errorf("%w: %s: payload %d bytes, footer says %d",
+			ErrChecksum, path, len(payload), wantLen)
+	}
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, fmt.Errorf("%w: %s", ErrChecksum, path)
+	}
+	return payload, nil
+}
+
+// SaveOwner snapshots a document owner's full sketch state to path
+// atomically. The snapshot includes the federation hash seed — protect
+// the file like the raw corpus.
+func SaveOwner(path string, o *core.Owner) error {
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		return fmt.Errorf("store: serializing owner: %w", err)
+	}
+	return writeAtomic(path, buf.Bytes())
+}
+
+// LoadOwner restores an owner snapshot. mech supplies the fresh DP
+// randomness (not persisted); use dp.ForEpsilon with the snapshot's
+// epsilon, available afterwards via Owner.Params().
+func LoadOwner(path string, mech dp.Mechanism) (*core.Owner, error) {
+	payload, err := readVerified(path)
+	if err != nil {
+		return nil, err
+	}
+	o, err := core.ReadOwner(bytes.NewReader(payload), mech)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return o, nil
+}
+
+// SaveSketch persists a single sketch table atomically.
+func SaveSketch(path string, t *sketch.Table) error {
+	data, err := t.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("store: serializing sketch: %w", err)
+	}
+	return writeAtomic(path, data)
+}
+
+// LoadSketch restores a sketch table saved with SaveSketch.
+func LoadSketch(path string) (*sketch.Table, error) {
+	payload, err := readVerified(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := sketch.UnmarshalTable(payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// Copy streams a verified snapshot to w (e.g. for backup shipping)
+// without deserializing it.
+func Copy(path string, w io.Writer) (int64, error) {
+	payload, err := readVerified(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload)
+	return int64(n), err
+}

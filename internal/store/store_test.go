@@ -1,0 +1,304 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/hashutil"
+	"csfltr/internal/sketch"
+)
+
+func testOwner(t *testing.T, keepTables bool) *core.Owner {
+	t.Helper()
+	p := core.DefaultParams()
+	p.W = 64
+	p.Z = 6
+	p.Z1 = 3
+	p.K = 5
+	p.Alpha = 2
+	p.Epsilon = 0
+	var opts []core.OwnerOption
+	if !keepTables {
+		opts = append(opts, core.WithoutDocTables())
+	}
+	o, err := core.NewOwner(p, 42, dp.Disabled(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for id := 0; id < 30; id++ {
+		counts := map[uint64]int64{}
+		for j := 0; j < 40; j++ {
+			counts[uint64(rng.Intn(200))]++
+		}
+		counts[999] = int64(30 - id) // probe with known ranking
+		if err := o.AddDocument(id, counts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return o
+}
+
+// queryTop runs an RTK query against an owner and returns doc ids.
+func queryTop(t *testing.T, o *core.Owner, term uint64, k int) []int {
+	t.Helper()
+	q, err := core.NewQuerier(o.Params(), 42, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := core.RTKReverseTopK(q, o, term, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, len(res))
+	for i, dc := range res {
+		ids[i] = dc.DocID
+	}
+	return ids
+}
+
+func TestSaveLoadOwnerRoundTrip(t *testing.T) {
+	for _, keep := range []bool{true, false} {
+		o := testOwner(t, keep)
+		path := filepath.Join(t.TempDir(), "owner.snap")
+		if err := SaveOwner(path, o); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadOwner(path, dp.Disabled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Params() != o.Params() {
+			t.Fatalf("params differ: %+v vs %+v", got.Params(), o.Params())
+		}
+		if len(got.DocIDs()) != 30 {
+			t.Fatalf("doc roster lost: %d", len(got.DocIDs()))
+		}
+		length, unique, err := got.DocMeta(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, wu, _ := o.DocMeta(3)
+		if length != wl || unique != wu {
+			t.Fatal("doc metadata lost")
+		}
+		// Identical query results before and after.
+		before := queryTop(t, o, 999, 5)
+		after := queryTop(t, got, 999, 5)
+		if len(before) != len(after) {
+			t.Fatalf("result sizes differ: %v vs %v", before, after)
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("keep=%v: results differ: %v vs %v", keep, before, after)
+			}
+		}
+		// TF queries only work when tables were kept.
+		qr, err := core.NewQuerier(got.Params(), 42, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		query, priv := qr.BuildQuery(999)
+		resp, err := got.AnswerTF(0, query)
+		if keep {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est, err := qr.Recover(priv, resp); err != nil || est != 30 {
+				t.Fatalf("restored TF = %v, %v", est, err)
+			}
+		} else if !errors.Is(err, core.ErrNoSketches) {
+			t.Fatalf("dropped tables should refuse TF: %v", err)
+		}
+	}
+}
+
+func TestLoadOwnerRejectsCorruption(t *testing.T) {
+	o := testOwner(t, true)
+	path := filepath.Join(t.TempDir(), "owner.snap")
+	if err := SaveOwner(path, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte.
+	corrupted := append([]byte(nil), data...)
+	corrupted[100] ^= 0xff
+	if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOwner(path, dp.Disabled()); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted payload: want ErrChecksum, got %v", err)
+	}
+	// Truncated file.
+	if err := os.WriteFile(path, data[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOwner(path, dp.Disabled()); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("truncated file: want ErrTooShort, got %v", err)
+	}
+	// Missing file.
+	if _, err := LoadOwner(filepath.Join(t.TempDir(), "nope"), dp.Disabled()); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLoadOwnerNilMechanism(t *testing.T) {
+	o := testOwner(t, true)
+	path := filepath.Join(t.TempDir(), "owner.snap")
+	if err := SaveOwner(path, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOwner(path, nil); err == nil {
+		t.Fatal("nil mechanism should be rejected")
+	}
+}
+
+func TestSaveLoadSketch(t *testing.T) {
+	fam, err := hashutil.NewFamily(hashutil.KindPolynomial, 4, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := sketch.MustNew(sketch.Count, fam)
+	for i := uint64(0); i < 100; i++ {
+		tbl.Add(i, int64(i%7))
+	}
+	path := filepath.Join(t.TempDir(), "table.sk")
+	if err := SaveSketch(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSketch(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if got.Estimate(i) != tbl.Estimate(i) {
+			t.Fatalf("estimates differ after reload for term %d", i)
+		}
+	}
+}
+
+func TestCopy(t *testing.T) {
+	fam, _ := hashutil.NewFamily(hashutil.KindPolynomial, 2, 16, 1)
+	tbl := sketch.MustNew(sketch.Count, fam)
+	tbl.Add(5, 3)
+	path := filepath.Join(t.TempDir(), "t.sk")
+	if err := SaveSketch(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Copy(path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("Copy wrote %d bytes, buffer has %d", n, buf.Len())
+	}
+	if _, err := sketch.UnmarshalTable(buf.Bytes()); err != nil {
+		t.Fatalf("copied payload not parseable: %v", err)
+	}
+}
+
+// TestSaveFailurePaths exercises filesystem error handling: saving into
+// a directory that does not exist must fail without leaving artifacts.
+func TestSaveFailurePaths(t *testing.T) {
+	o := testOwner(t, true)
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "owner.snap")
+	if err := SaveOwner(missing, o); err == nil {
+		t.Fatal("saving into a missing directory should fail")
+	}
+	fam, _ := hashutil.NewFamily(hashutil.KindPolynomial, 2, 8, 1)
+	tbl := sketch.MustNew(sketch.Count, fam)
+	if err := SaveSketch(missing, tbl); err == nil {
+		t.Fatal("sketch save into a missing directory should fail")
+	}
+	if _, err := LoadSketch(missing); err == nil {
+		t.Fatal("loading a missing sketch should fail")
+	}
+	if _, err := Copy(missing, &bytes.Buffer{}); err == nil {
+		t.Fatal("copying a missing file should fail")
+	}
+}
+
+// TestLoadSketchRejectsCorruptPayload: a valid CRC wrapper around an
+// invalid sketch payload must still be rejected by the sketch layer.
+func TestLoadSketchRejectsCorruptPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bogus.sk")
+	if err := writeAtomic(path, []byte("not a sketch at all")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSketch(path); err == nil {
+		t.Fatal("invalid payload should be rejected")
+	}
+	if _, err := LoadOwner(path, dp.Disabled()); err == nil {
+		t.Fatal("invalid owner payload should be rejected")
+	}
+}
+
+func TestAtomicNoPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	o := testOwner(t, true)
+	path := filepath.Join(dir, "owner.snap")
+	if err := SaveOwner(path, o); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second save; directory must contain exactly the
+	// snapshot (no leftover temp files).
+	if err := SaveOwner(path, o); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "owner.snap" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("unexpected directory contents: %v", names)
+	}
+}
+
+func BenchmarkSaveLoadOwner(b *testing.B) {
+	p := core.DefaultParams()
+	p.W = 128
+	p.Z = 10
+	p.Z1 = 5
+	p.K = 10
+	p.Alpha = 3
+	p.Epsilon = 0
+	o, err := core.NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for id := 0; id < 200; id++ {
+		counts := map[uint64]int64{}
+		for j := 0; j < 60; j++ {
+			counts[uint64(rng.Intn(2000))]++
+		}
+		if err := o.AddDocument(id, counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dir := b.TempDir()
+	path := filepath.Join(dir, "owner.snap")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SaveOwner(path, o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadOwner(path, dp.Disabled()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

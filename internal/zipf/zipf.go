@@ -1,0 +1,181 @@
+// Package zipf models the skewed term-frequency distributions that the
+// CS-F-LTR paper assumes throughout its analysis.
+//
+// The accuracy bound of Theorem 2 uses the residual second moment
+// F2^Res under a Zipf's-law assumption, and the RTK-Sketch cover-rate
+// bound of Theorem 4 assumes term counts c_i = L/(i^q). This package
+// provides finite Zipf (and Zipf-Mandelbrot) distributions with exact
+// probabilities and CDF-based sampling, a log-log regression exponent
+// fitter, and the residual-F2 quantities used by the theory-check tests
+// and by the synthetic corpus generator.
+package zipf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by this package.
+var (
+	ErrBadSize     = errors.New("zipf: support size must be positive")
+	ErrBadExponent = errors.New("zipf: exponent must be positive")
+	ErrBadShift    = errors.New("zipf: Mandelbrot shift must be non-negative")
+)
+
+// Distribution is a finite Zipf-Mandelbrot distribution over ranks
+// 1..N with probability proportional to 1/(rank+Q)^S. Q = 0 gives the
+// classic Zipf distribution. Immutable after construction; safe for
+// concurrent sampling as long as each goroutine uses its own *rand.Rand.
+type Distribution struct {
+	n    int
+	s    float64
+	q    float64
+	norm float64   // generalized harmonic normalizer
+	cdf  []float64 // cdf[i] = Pr[rank <= i+1]
+}
+
+// New constructs a classic Zipf distribution over ranks 1..n with
+// exponent s.
+func New(n int, s float64) (*Distribution, error) {
+	return NewMandelbrot(n, s, 0)
+}
+
+// NewMandelbrot constructs a Zipf-Mandelbrot distribution over ranks
+// 1..n with exponent s and shift q.
+func NewMandelbrot(n int, s, q float64) (*Distribution, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrBadSize, n)
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadExponent, s)
+	}
+	if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadShift, q)
+	}
+	d := &Distribution{n: n, s: s, q: q}
+	d.cdf = make([]float64, n)
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += math.Pow(float64(i)+q, -s)
+		d.cdf[i-1] = acc
+	}
+	d.norm = acc
+	for i := range d.cdf {
+		d.cdf[i] /= acc
+	}
+	d.cdf[n-1] = 1 // guard against rounding
+	return d, nil
+}
+
+// MustNew is New that panics on error, for constant parameters.
+func MustNew(n int, s float64) *Distribution {
+	d, err := New(n, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// N returns the support size.
+func (d *Distribution) N() int { return d.n }
+
+// S returns the exponent.
+func (d *Distribution) S() float64 { return d.s }
+
+// Prob returns Pr[rank]; rank must be in [1, N].
+func (d *Distribution) Prob(rank int) float64 {
+	if rank < 1 || rank > d.n {
+		return 0
+	}
+	return math.Pow(float64(rank)+d.q, -d.s) / d.norm
+}
+
+// Sample draws a rank in [1, N] by binary search on the CDF.
+func (d *Distribution) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(d.cdf, u) + 1
+}
+
+// ExpectedCounts returns the expected count of each rank when total
+// items are drawn: total * Prob(rank). Used by the Theorem 4 tests to
+// build the idealized count profile c_i = L / i^q.
+func (d *Distribution) ExpectedCounts(total float64) []float64 {
+	out := make([]float64, d.n)
+	for i := 1; i <= d.n; i++ {
+		out[i-1] = total * d.Prob(i)
+	}
+	return out
+}
+
+// FitExponent estimates the Zipf exponent from an observed frequency
+// vector by least-squares regression of log f on log rank. Frequencies
+// are sorted descending first; zero entries are skipped. Returns 0 when
+// fewer than two positive frequencies exist.
+func FitExponent(freqs []float64) float64 {
+	sorted := append([]float64(nil), freqs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var xs, ys []float64
+	for i, f := range sorted {
+		if f <= 0 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(f))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	// slope of ordinary least squares; Zipf exponent is -slope.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / den
+	return -slope
+}
+
+// F2 returns the second frequency moment sum f_i^2 of a frequency vector.
+func F2(freqs []float64) float64 {
+	var s float64
+	for _, f := range freqs {
+		s += f * f
+	}
+	return s
+}
+
+// ResidualF2 returns the residual second moment after removing the r-1
+// heaviest entries: sum over the frequencies ranked r..n (1-indexed ranks,
+// matching F2^Res = sum_{r<=k} f_k^2 in Theorem 2 of the paper).
+func ResidualF2(freqs []float64, r int) float64 {
+	if r <= 1 {
+		return F2(freqs)
+	}
+	sorted := append([]float64(nil), freqs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	var s float64
+	for i := r - 1; i < len(sorted); i++ {
+		s += sorted[i] * sorted[i]
+	}
+	return s
+}
+
+// ResidualF2Bound returns the paper's closed-form Zipf bound on the
+// residual second moment, F2^Res <= cz^2 (r-1)^{1-2ζ} / (2ζ-1), valid for
+// ζ > 1/2 and r >= 2 when f_i = cz / i^ζ. Returns +Inf outside that range.
+func ResidualF2Bound(cz, zeta float64, r int) float64 {
+	if zeta <= 0.5 || r < 2 {
+		return math.Inf(1)
+	}
+	return cz * cz * math.Pow(float64(r-1), 1-2*zeta) / (2*zeta - 1)
+}

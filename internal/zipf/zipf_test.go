@@ -1,0 +1,208 @@
+package zipf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		s, q    float64
+		wantErr error
+	}{
+		{"ok", 100, 1.0, 0, nil},
+		{"ok mandelbrot", 100, 1.2, 2.7, nil},
+		{"zero n", 0, 1, 0, ErrBadSize},
+		{"negative n", -5, 1, 0, ErrBadSize},
+		{"zero s", 10, 0, 0, ErrBadExponent},
+		{"negative s", 10, -1, 0, ErrBadExponent},
+		{"nan s", 10, math.NaN(), 0, ErrBadExponent},
+		{"negative q", 10, 1, -1, ErrBadShift},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewMandelbrot(tc.n, tc.s, tc.q)
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("want %v, got %v", tc.wantErr, err)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad input")
+		}
+	}()
+	MustNew(0, 1)
+}
+
+func TestProbSumsToOne(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.5, 2.0} {
+		d := MustNew(500, s)
+		sum := 0.0
+		for r := 1; r <= d.N(); r++ {
+			sum += d.Prob(r)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("s=%v: probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestProbMonotoneDecreasing(t *testing.T) {
+	d := MustNew(200, 1.05)
+	for r := 2; r <= d.N(); r++ {
+		if d.Prob(r) > d.Prob(r-1) {
+			t.Fatalf("Prob not decreasing at rank %d", r)
+		}
+	}
+}
+
+func TestProbOutOfRange(t *testing.T) {
+	d := MustNew(10, 1)
+	if d.Prob(0) != 0 || d.Prob(11) != 0 || d.Prob(-3) != 0 {
+		t.Fatal("out-of-range ranks must have probability 0")
+	}
+}
+
+func TestSampleInRange(t *testing.T) {
+	d := MustNew(50, 1.1)
+	rng := rand.New(rand.NewSource(1))
+	check := func(_ uint8) bool {
+		r := d.Sample(rng)
+		return r >= 1 && r <= 50
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleMatchesProb compares empirical frequencies of the sampler with
+// the analytic probabilities for the head of the distribution.
+func TestSampleMatchesProb(t *testing.T) {
+	d := MustNew(1000, 1.05)
+	rng := rand.New(rand.NewSource(42))
+	const n = 400000
+	counts := make([]int, d.N()+1)
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	for r := 1; r <= 10; r++ {
+		got := float64(counts[r]) / n
+		want := d.Prob(r)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("rank %d: empirical %f vs analytic %f", r, got, want)
+		}
+	}
+}
+
+func TestFitExponentRecovers(t *testing.T) {
+	for _, s := range []float64{0.8, 1.0, 1.3} {
+		// Build an exact Zipf frequency vector and fit it.
+		freqs := make([]float64, 200)
+		for i := range freqs {
+			freqs[i] = 1000 * math.Pow(float64(i+1), -s)
+		}
+		got := FitExponent(freqs)
+		if math.Abs(got-s) > 0.01 {
+			t.Fatalf("s=%v: fitted %v", s, got)
+		}
+	}
+}
+
+func TestFitExponentDegenerate(t *testing.T) {
+	if FitExponent(nil) != 0 {
+		t.Fatal("empty input should fit 0")
+	}
+	if FitExponent([]float64{5}) != 0 {
+		t.Fatal("single frequency should fit 0")
+	}
+	if FitExponent([]float64{0, 0, 0}) != 0 {
+		t.Fatal("all-zero input should fit 0")
+	}
+}
+
+func TestF2AndResidual(t *testing.T) {
+	freqs := []float64{4, 3, 2, 1}
+	if got := F2(freqs); got != 30 {
+		t.Fatalf("F2 = %v, want 30", got)
+	}
+	if got := ResidualF2(freqs, 1); got != 30 {
+		t.Fatalf("ResidualF2(r=1) = %v, want 30", got)
+	}
+	if got := ResidualF2(freqs, 2); got != 14 { // drop the 4
+		t.Fatalf("ResidualF2(r=2) = %v, want 14", got)
+	}
+	if got := ResidualF2(freqs, 5); got != 0 {
+		t.Fatalf("ResidualF2(r=5) = %v, want 0", got)
+	}
+	// Unsorted input must be handled: residual is over the *heaviest* r-1.
+	if got := ResidualF2([]float64{1, 4, 2, 3}, 2); got != 14 {
+		t.Fatalf("ResidualF2 unsorted = %v, want 14", got)
+	}
+}
+
+// TestResidualF2BoundDominates verifies the paper's closed-form bound
+// indeed upper-bounds the true residual F2 for exact Zipf data.
+func TestResidualF2BoundDominates(t *testing.T) {
+	const cz = 100.0
+	for _, zeta := range []float64{0.8, 1.0, 1.5} {
+		freqs := make([]float64, 2000)
+		for i := range freqs {
+			freqs[i] = cz * math.Pow(float64(i+1), -zeta)
+		}
+		for _, r := range []int{2, 8, 64, 256} {
+			actual := ResidualF2(freqs, r)
+			bound := ResidualF2Bound(cz, zeta, r)
+			if actual > bound {
+				t.Fatalf("zeta=%v r=%d: residual %v exceeds bound %v", zeta, r, actual, bound)
+			}
+		}
+	}
+}
+
+func TestResidualF2BoundOutOfRange(t *testing.T) {
+	if !math.IsInf(ResidualF2Bound(1, 0.5, 10), 1) {
+		t.Fatal("zeta=0.5 should give +Inf (bound requires zeta > 1/2)")
+	}
+	if !math.IsInf(ResidualF2Bound(1, 1.2, 1), 1) {
+		t.Fatal("r=1 should give +Inf")
+	}
+}
+
+func TestExpectedCounts(t *testing.T) {
+	d := MustNew(10, 1)
+	counts := d.ExpectedCounts(100)
+	if len(counts) != 10 {
+		t.Fatalf("got %d counts", len(counts))
+	}
+	sum := 0.0
+	for _, c := range counts {
+		sum += c
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("expected counts sum to %v, want 100", sum)
+	}
+	if counts[0] <= counts[9] {
+		t.Fatal("expected counts must be decreasing")
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := MustNew(50000, 1.05)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Sample(rng)
+	}
+}
