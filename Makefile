@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments experiments-fast examples fmt vet clean
+.PHONY: all build test race cover bench fuzz experiments experiments-fast examples fmt vet clean telemetry-demo
 
 all: build test
 
@@ -45,6 +45,22 @@ examples:
 	$(GO) run ./examples/incrementalindex
 	$(GO) run ./examples/httpgateway
 	$(GO) run ./examples/enterpriseranking
+
+# Start a test-scale federation with the HTTP gateway, scrape the
+# Prometheus metrics route once and shut down.
+telemetry-demo:
+	$(GO) build -o /tmp/csfltr-demo ./cmd/csfltr
+	/tmp/csfltr-demo serve -scale test -addr 127.0.0.1:7070 -http 127.0.0.1:7080 & \
+	SRV=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:7080/v1/parties >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	echo "--- GET /v1/metrics ---"; \
+	curl -sf http://127.0.0.1:7080/v1/metrics | head -40; \
+	STATUS=$$?; \
+	kill $$SRV 2>/dev/null; \
+	exit $$STATUS
 
 fmt:
 	gofmt -w .

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -22,6 +24,7 @@ import (
 	"csfltr/internal/corpus"
 	"csfltr/internal/experiments"
 	"csfltr/internal/federation"
+	"csfltr/internal/telemetry"
 )
 
 func main() {
@@ -58,11 +61,46 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csfltr demo  [-scale test|default] [-seed N]
-  csfltr serve [-addr HOST:PORT] [-seed N]
-  csfltr query -addr HOST:PORT [-party NAME] [-term ID] [-k N] [-naive]
-  csfltr party -name NAME [-addr HOST:PORT] [-seed N]
+  csfltr serve [-addr HOST:PORT] [-scale test|default] [-seed N] [-http HOST:PORT] [-debug-addr HOST:PORT]
+  csfltr query -addr HOST:PORT [-party NAME] [-term ID] [-k N] [-naive] [-scale test|default]
+  csfltr party -name NAME [-addr HOST:PORT] [-scale test|default] [-seed N] [-debug-addr HOST:PORT]
   csfltr train [-scale test|default] [-seed N] -model FILE
   csfltr eval  [-scale test|default] [-seed N] -model FILE`)
+}
+
+// scaleConfigs maps a -scale flag to the corpus and protocol parameters
+// the networked subcommands share. serve, party and query must agree on
+// both for their sketches to line up.
+func scaleConfigs(scale string, seed int64) (corpus.Config, core.Params, error) {
+	ccfg := corpus.DefaultConfig()
+	params := core.DefaultParams()
+	switch scale {
+	case "default":
+	case "test":
+		ccfg = corpus.TestConfig()
+		params.W = 128
+		params.Z = 12
+		params.Z1 = 6
+		params.K = 20
+	default:
+		return ccfg, params, fmt.Errorf("unknown scale %q", scale)
+	}
+	ccfg.Seed = seed
+	return ccfg, params, nil
+}
+
+// startDebug serves /metrics, /debug/vars and /debug/pprof on addr when
+// non-empty and returns a closer (no-op when disabled).
+func startDebug(reg *telemetry.Registry, addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ds, err := telemetry.ServeDebug(reg, addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr)
+	return func() { ds.Close() }, nil
 }
 
 // partyCmd hosts one party in its own process (the fully distributed
@@ -73,11 +111,15 @@ func partyCmd(args []string) error {
 	fs := flag.NewFlagSet("party", flag.ExitOnError)
 	name := fs.String("name", "B", "party name (A, B, C, D selects the corpus slice)")
 	addr := fs.String("addr", "127.0.0.1:7071", "listen address")
+	scale := fs.String("scale", "default", "test or default (must match the federation's)")
 	seed := fs.Int64("seed", 1, "corpus seed (must match the federation's)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (optional)")
 	fs.Parse(args)
 	idx := int((*name)[0] - 'A')
-	cfg := corpus.DefaultConfig()
-	cfg.Seed = *seed
+	cfg, params, err := scaleConfigs(*scale, *seed)
+	if err != nil {
+		return err
+	}
 	if idx < 0 || idx >= cfg.NumParties || len(*name) != 1 {
 		return fmt.Errorf("party name must be one of A..%c", 'A'+cfg.NumParties-1)
 	}
@@ -87,7 +129,7 @@ func partyCmd(args []string) error {
 		return err
 	}
 	p, err := federation.NewParty(*name, federation.PartyConfig{
-		Params:  core.DefaultParams(),
+		Params:  params,
 		Seed:    demoSeed,
 		RNGSeed: *seed + int64(idx)*1000,
 	})
@@ -97,11 +139,22 @@ func partyCmd(args []string) error {
 	if err := p.IngestAll(c.Parties[idx].Docs); err != nil {
 		return err
 	}
-	host, err := federation.ServeParty(p, *addr)
+	// Inlined ServeParty so the party-local server's registry is
+	// reachable for the debug endpoint.
+	local := federation.NewServer()
+	if err := local.Register(p); err != nil {
+		return err
+	}
+	host, err := federation.ListenAndServe(local, *addr)
 	if err != nil {
 		return err
 	}
 	defer host.Close()
+	stopDebug, err := startDebug(local.Metrics(), *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	fmt.Printf("party %s hosting %d documents on %s (Ctrl-C to stop)\n",
 		*name, p.NumDocs(), host.Addr)
 	sig := make(chan os.Signal, 1)
@@ -233,20 +286,24 @@ func (r *remoteFlags) Set(v string) error {
 
 func serve(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
-	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	addr := fs.String("addr", "127.0.0.1:7070", "net/rpc listen address")
+	scale := fs.String("scale", "default", "test or default")
 	seed := fs.Int64("seed", 1, "corpus seed")
+	httpAddr := fs.String("http", "", "also serve the HTTP gateway (REST API + GET /v1/metrics) on this address (optional)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (optional)")
 	var remotes remoteFlags
 	fs.Var(&remotes, "remote", "party-hosted silo to relay to, NAME=ADDR (repeatable; see 'csfltr party')")
 	fs.Parse(args)
 
-	cfg := corpus.DefaultConfig()
-	cfg.Seed = *seed
+	cfg, params, err := scaleConfigs(*scale, *seed)
+	if err != nil {
+		return err
+	}
 	fmt.Println("generating corpus...")
 	c, err := corpus.Generate(cfg)
 	if err != nil {
 		return err
 	}
-	params := core.DefaultParams()
 	remoteNames := map[string]string{}
 	for _, spec := range remotes {
 		name, raddr, _ := strings.Cut(spec, "=")
@@ -286,6 +343,21 @@ func serve(args []string) error {
 	}
 	defer srv.Close()
 	fmt.Println("serving federation on", srv.Addr)
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: federation.HTTPHandler(server)}
+		go hs.Serve(ln)
+		defer hs.Close()
+		fmt.Printf("HTTP gateway on http://%s (try GET /v1/metrics)\n", ln.Addr())
+	}
+	stopDebug, err := startDebug(server.Metrics(), *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	fmt.Println("sample query terms (salient topic terms):")
 	for t := 0; t < 3 && t < len(c.Topics()); t++ {
 		fmt.Printf("  topic %d: %v\n", t, c.Topics()[t][:5])
@@ -304,14 +376,18 @@ func query(args []string) error {
 	term := fs.Uint64("term", 0, "term id to search for")
 	k := fs.Int("k", 10, "result count")
 	naive := fs.Bool("naive", false, "use the NAIVE algorithm instead of RTK")
+	scale := fs.String("scale", "default", "test or default (must match the server's)")
 	fs.Parse(args)
 
+	_, params, err := scaleConfigs(*scale, 1)
+	if err != nil {
+		return err
+	}
 	client, err := federation.Dial(*addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
-	params := core.DefaultParams()
 	querier, err := core.NewQuerier(params, demoSeed, rand.New(rand.NewSource(99)))
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@
 //	expbench -exp fig6b             # Fig. 6b, number-of-parties sweep
 //	expbench -exp headline          # Section VI-D NAIVE vs RTK headline
 //	expbench -exp traffic           # server-relayed bytes, NAIVE vs RTK
+//	expbench -exp latency           # per-stage protocol latency breakdown
 //	expbench -exp ablation          # estimator + aggregator ablations
 //	expbench -exp sse               # encryption-based comparator
 //	expbench -exp all               # everything
@@ -21,6 +22,8 @@
 // headline at the paper's document counts.
 // -csv DIR additionally writes CSV series and Fig. 5 SVG panels;
 // -json FILE writes one machine-readable report covering the run.
+// -debug-addr HOST:PORT serves Prometheus /metrics, an expvar-style
+// /debug/vars snapshot and /debug/pprof for the duration of the run.
 package main
 
 import (
@@ -33,19 +36,21 @@ import (
 
 	"csfltr/internal/corpus"
 	"csfltr/internal/experiments"
+	"csfltr/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (table1, fig4[-alpha|-beta|-k|-w|-z], fig5, fig6a, fig6b, headline, traffic, all)")
-		scale   = flag.String("scale", "default", "workload scale: test, default or paper")
-		csvDir  = flag.String("csv", "", "directory to write CSV series into (optional)")
-		jsonOut = flag.String("json", "", "file to write a machine-readable JSON report into (optional)")
-		seed    = flag.Int64("seed", 1, "experiment seed")
-		scatter = flag.Bool("scatter", false, "print ASCII scatter plots for fig5 panels")
+		exp       = flag.String("exp", "all", "experiment to run (table1, fig4[-alpha|-beta|-k|-w|-z], fig5, fig6a, fig6b, headline, latency, traffic, all)")
+		scale     = flag.String("scale", "default", "workload scale: test, default or paper")
+		csvDir    = flag.String("csv", "", "directory to write CSV series into (optional)")
+		jsonOut   = flag.String("json", "", "file to write a machine-readable JSON report into (optional)")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+		scatter   = flag.Bool("scatter", false, "print ASCII scatter plots for fig5 panels")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (optional)")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *csvDir, *jsonOut, *seed, *scatter); err != nil {
+	if err := run(*exp, *scale, *csvDir, *jsonOut, *seed, *scatter, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "expbench:", err)
 		os.Exit(1)
 	}
@@ -87,10 +92,22 @@ func configs(scale string, seed int64) (experiments.PipelineConfig, experiments.
 	return pipe, fig4, fig5, nil
 }
 
-func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool) error {
+func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr string) error {
 	pipe, fig4, fig5, err := configs(scale, seed)
 	if err != nil {
 		return err
+	}
+	// One shared registry: every pipeline's federation records into it, so
+	// the debug endpoint sees the whole run's relay and latency series.
+	reg := telemetry.NewRegistry()
+	pipe.Metrics = reg
+	if debugAddr != "" {
+		ds, err := telemetry.ServeDebug(reg, debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		fmt.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr)
 	}
 	report := experiments.NewReport(map[string]string{
 		"scale": scale,
@@ -147,6 +164,25 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool) error {
 			fmt.Println("== Comparator: searchable symmetric encryption vs sketches ==")
 			fmt.Print(experiments.RenderSSEComparison(res))
 			report.Add("sse", res)
+			return nil
+		},
+		"latency": func() error {
+			cfg := pipe
+			cfg.Params.Epsilon = 1 // exercise the dp_noise stage
+			cfg.Metrics = telemetry.NewRegistry()
+			p, err := experiments.NewPipeline(cfg)
+			if err != nil {
+				return err
+			}
+			res, err := experiments.RunLatencyProbe(p)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Protocol stage latency (registry-sourced) ==")
+			fmt.Printf("%d federated searches, %d messages, %.1f KB relayed\n",
+				res.Searches, res.Traffic.Messages, float64(res.Traffic.Bytes)/1024)
+			fmt.Print(experiments.RenderStageBreakdown(res.Stages))
+			report.Add("latency", res)
 			return nil
 		},
 		"traffic": func() error {

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"csfltr/internal/federation"
+	"csfltr/internal/telemetry"
+)
+
+// StageLatency summarizes the latency distribution of one protocol
+// stage, read from the federation's stage-duration histogram.
+type StageLatency struct {
+	Stage   string  `json:"stage"`
+	Calls   int64   `json:"calls"`
+	TotalMS float64 `json:"total_ms"`
+	MeanUS  float64 `json:"mean_us"`
+	P50US   float64 `json:"p50_us"` // bucket upper-bound estimates
+	P99US   float64 `json:"p99_us"`
+}
+
+// LatencyResult is the output of RunLatencyProbe: where the cross-party
+// query path spends its time, stage by stage.
+type LatencyResult struct {
+	Stages   []StageLatency          `json:"stages"`
+	Searches int                     `json:"searches"`
+	Traffic  federation.TrafficStats `json:"traffic"`
+}
+
+// StageBreakdown reads the per-stage latency histograms
+// (csfltr_search_stage_duration_seconds) out of a registry and returns
+// one row per protocol stage in pipeline order. Stages that never ran
+// appear with zero calls so the table shape is stable.
+func StageBreakdown(reg *telemetry.Registry) []StageLatency {
+	snap := reg.Snapshot()
+	byStage := make(map[string]telemetry.SeriesSnapshot)
+	if m := snap.Metric(federation.MetricSearchStageDuration); m != nil {
+		for _, s := range m.Series {
+			byStage[s.Labels["stage"]] = s
+		}
+	}
+	out := make([]StageLatency, 0, len(federation.SearchStages))
+	for _, stage := range federation.SearchStages {
+		row := StageLatency{Stage: stage}
+		if s, ok := byStage[stage]; ok && s.Count > 0 {
+			row.Calls = s.Count
+			row.TotalMS = s.Sum * 1e3
+			row.MeanUS = s.Sum / float64(s.Count) * 1e6
+			row.P50US = s.Quantile(0.5) * 1e6
+			row.P99US = s.Quantile(0.99) * 1e6
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RunLatencyProbe exercises the cross-party query path on a bounded
+// sample of party 0's training queries — one federated search per query,
+// plus TF queries against the best hit — and returns the per-stage
+// latency breakdown from the federation's telemetry registry. With
+// Params.Epsilon > 0 the dp_noise stage is exercised too.
+func RunLatencyProbe(p *Pipeline) (*LatencyResult, error) {
+	const maxQueries = 5
+	from := partyName(0)
+	queries := p.trainQ[0]
+	if len(queries) > maxQueries {
+		queries = queries[:maxQueries]
+	}
+	res := &LatencyResult{}
+	for _, q := range queries {
+		qterms := q.UniqueTerms()
+		terms := make([]uint64, len(qterms))
+		for i, t := range qterms {
+			terms[i] = uint64(t)
+		}
+		hits, _, err := p.Fed.FederatedSearch(from, terms, p.Cfg.Params.K)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: latency probe query %d: %w", q.ID, err)
+		}
+		res.Searches++
+		if len(hits) == 0 {
+			continue
+		}
+		for _, t := range qterms {
+			if _, err := p.Fed.CrossTF(from, hits[0].Party, federation.FieldBody,
+				hits[0].DocID, uint64(t)); err != nil {
+				return nil, fmt.Errorf("experiments: latency probe TF query %d: %w", q.ID, err)
+			}
+		}
+	}
+	res.Stages = StageBreakdown(p.Fed.Server.Metrics())
+	res.Traffic = p.Fed.Server.Traffic()
+	return res, nil
+}
+
+// RenderStageBreakdown renders the per-stage table expbench prints.
+func RenderStageBreakdown(stages []StageLatency) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %12s %12s %12s %12s\n",
+		"stage", "calls", "total(ms)", "mean(us)", "p50(us)", "p99(us)")
+	for _, s := range stages {
+		if s.Calls == 0 {
+			fmt.Fprintf(&b, "%-10s %8d %12s %12s %12s %12s\n", s.Stage, 0, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %8d %12.3f %12.1f %12s %12s\n",
+			s.Stage, s.Calls, s.TotalMS, s.MeanUS, renderUS(s.P50US), renderUS(s.P99US))
+	}
+	return b.String()
+}
+
+// renderUS formats a microsecond quantile estimate, where +Inf means the
+// observation fell past the last finite bucket bound.
+func renderUS(v float64) string {
+	if math.IsInf(v, 1) {
+		return ">10s"
+	}
+	return fmt.Sprintf("%.1f", v)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"csfltr/internal/federation"
+	"csfltr/internal/telemetry"
+)
+
+func TestLatencyProbe(t *testing.T) {
+	cfg := TestPipelineConfig()
+	cfg.Params.Epsilon = 1 // exercise the dp_noise stage
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	p, err := NewPipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fed.Server.Metrics() != reg {
+		t.Fatal("pipeline did not inject the registry into the federation server")
+	}
+	res, err := RunLatencyProbe(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Searches == 0 {
+		t.Fatal("probe ran no searches")
+	}
+	if res.Traffic.Bytes == 0 {
+		t.Fatalf("probe relayed no bytes: %+v", res.Traffic)
+	}
+	calls := map[string]int64{}
+	for _, s := range res.Stages {
+		calls[s.Stage] = s.Calls
+	}
+	for _, stage := range federation.SearchStages {
+		if calls[stage] == 0 {
+			t.Errorf("stage %s has zero calls: %v", stage, calls)
+		}
+	}
+	out := RenderStageBreakdown(res.Stages)
+	for _, stage := range federation.SearchStages {
+		if !strings.Contains(out, stage) {
+			t.Errorf("rendered table missing stage %s:\n%s", stage, out)
+		}
+	}
+	if !strings.Contains(out, "p99(us)") {
+		t.Errorf("rendered table missing header:\n%s", out)
+	}
+}
+
+func TestStageBreakdownEmptyRegistry(t *testing.T) {
+	rows := StageBreakdown(telemetry.NewRegistry())
+	if len(rows) != len(federation.SearchStages) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(federation.SearchStages))
+	}
+	for _, r := range rows {
+		if r.Calls != 0 {
+			t.Fatalf("empty registry reported calls: %+v", r)
+		}
+	}
+	if out := RenderStageBreakdown(rows); !strings.Contains(out, "-") {
+		t.Fatalf("empty rows should render dashes:\n%s", out)
+	}
+}

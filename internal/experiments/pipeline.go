@@ -21,6 +21,7 @@ import (
 	"csfltr/internal/features"
 	"csfltr/internal/federation"
 	"csfltr/internal/ltr"
+	"csfltr/internal/telemetry"
 	"csfltr/internal/textkit"
 )
 
@@ -81,6 +82,10 @@ type PipelineConfig struct {
 	AugLabel AugLabelMode
 	// Seed drives sampling decisions outside the corpus generator.
 	Seed int64
+	// Metrics, when non-nil, receives the federation's telemetry (relay
+	// counters, stage latency histograms) instead of a private registry —
+	// for the latency probe and binaries exposing a -debug-addr endpoint.
+	Metrics *telemetry.Registry `json:"-"`
 }
 
 // DefaultPipelineConfig returns a laptop-scale configuration with the
@@ -178,6 +183,9 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	fed, err := federation.NewDeterministic(names, cfg.Params, uint64(cfg.Seed)+99, cfg.Seed)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		fed.Server.SetRegistry(cfg.Metrics)
 	}
 	docSets := make([][]*textkit.Document, len(c.Parties))
 	for i, party := range c.Parties {

@@ -24,6 +24,7 @@ import (
 	"csfltr/internal/dp"
 	"csfltr/internal/hashutil"
 	"csfltr/internal/keyex"
+	"csfltr/internal/telemetry"
 	"csfltr/internal/textkit"
 )
 
@@ -60,7 +61,9 @@ func (f Field) String() string {
 }
 
 // TrafficStats aggregates the bytes and messages relayed by the server,
-// the communication-cost quantity of Fig. 4 / Section VI-D.
+// the communication-cost quantity of Fig. 4 / Section VI-D. It is a
+// read-side view over the server's telemetry registry (the relayed
+// messages/bytes counter families), not a separate ledger.
 type TrafficStats struct {
 	Messages int64
 	Bytes    int64
@@ -77,20 +80,67 @@ type endpoint interface {
 // accounting. It is honest-but-curious — it relays faithfully and records
 // everything it can see, but never holds hash keys or raw documents. Safe
 // for concurrent use.
+//
+// Every relayed message is accounted in the server's telemetry registry
+// (per-party message/byte counters, per-API-call latency histograms);
+// Traffic and TrainingStats are views over that registry.
 type Server struct {
 	mu      sync.Mutex
 	parties map[string]endpoint
-	traffic TrafficStats
+	m       *serverMetrics
 }
 
-// NewServer creates an empty server.
+// NewServer creates an empty server with a fresh telemetry registry.
 func NewServer() *Server {
-	return &Server{parties: make(map[string]endpoint)}
+	return NewServerWithRegistry(telemetry.NewRegistry())
 }
 
-// Register adds an in-process party to the federation roster.
+// NewServerWithRegistry creates an empty server recording into reg —
+// for embedding the federation into a process-wide registry (e.g. the
+// experiments harness or a binary's -debug-addr endpoint).
+func NewServerWithRegistry(reg *telemetry.Registry) *Server {
+	return &Server{parties: make(map[string]endpoint), m: newServerMetrics(reg)}
+}
+
+// Metrics returns the server's telemetry registry — the source the
+// HTTP gateway's /v1/metrics route and the debug endpoint serve.
+func (s *Server) Metrics() *telemetry.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m.reg
+}
+
+// SetRegistry redirects the server's telemetry into reg. Call it before
+// serving traffic: recorded series do not migrate. In-process parties
+// already on the roster are re-wired to the new registry.
+func (s *Server) SetRegistry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = newServerMetrics(reg)
+	for _, e := range s.parties {
+		if p, ok := e.(*Party); ok {
+			p.attachDPHist(s.m.stage[StageDPNoise])
+		}
+	}
+}
+
+// metrics returns the handle cache under the roster lock.
+func (s *Server) metrics() *serverMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// Register adds an in-process party to the federation roster and wires
+// the party's DP mechanisms into the server's dp_noise stage histogram.
 func (s *Server) Register(p *Party) error {
-	return s.register(p.Name, p)
+	if err := s.register(p.Name, p); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	p.attachDPHist(s.m.stage[StageDPNoise])
+	s.mu.Unlock()
+	return nil
 }
 
 // register adds any endpoint under a unique name. Registering new
@@ -126,26 +176,15 @@ func (s *Server) PartyNames() []string {
 	return out
 }
 
-// Traffic returns a snapshot of the relayed traffic counters.
+// Traffic returns a snapshot of the relayed traffic counters, summed
+// over every party and op.
 func (s *Server) Traffic() TrafficStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.traffic
+	return s.metrics().traffic()
 }
 
 // ResetTraffic zeroes the traffic counters (between experiment runs).
 func (s *Server) ResetTraffic() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.traffic = TrafficStats{}
-}
-
-// record accounts one relayed message of n bytes.
-func (s *Server) record(n int64) {
-	s.mu.Lock()
-	s.traffic.Messages++
-	s.traffic.Bytes += n
-	s.mu.Unlock()
+	s.metrics().resetTraffic()
 }
 
 // lookup resolves a party endpoint by name.
@@ -174,45 +213,56 @@ func (s *Server) OwnerFor(name string, field Field) (core.OwnerAPI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &routedOwner{server: s, api: api}, nil
+	return &routedOwner{m: s.metrics(), party: name, api: api}, nil
 }
 
 // routedOwner proxies OwnerAPI calls through the server, recording
-// traffic.
+// per-party traffic and per-API-call latency. Every transport (HTTP,
+// net/rpc and in-process) resolves owners through Server.OwnerFor, so
+// this is the single place bytes are counted.
 type routedOwner struct {
-	server *Server
-	api    core.OwnerAPI
+	m     *serverMetrics
+	party string
+	api   core.OwnerAPI
 }
 
 func (r *routedOwner) DocIDs() []int {
+	sp := r.m.apiSpan(apiDocIDs)
 	ids := r.api.DocIDs()
-	r.server.record(int64(8 * len(ids)))
+	sp.End()
+	r.m.record(r.party, opQuery, int64(8*len(ids)))
 	return ids
 }
 
 func (r *routedOwner) DocMeta(docID int) (int, int, error) {
+	sp := r.m.apiSpan(apiDocMeta)
 	length, unique, err := r.api.DocMeta(docID)
-	r.server.record(16)
+	sp.End()
+	r.m.record(r.party, opQuery, 16)
 	return length, unique, err
 }
 
 func (r *routedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
-	r.server.record(q.WireSize())
+	sp := r.m.apiSpan(apiTF)
+	defer sp.End()
+	r.m.record(r.party, opQuery, q.WireSize())
 	resp, err := r.api.AnswerTF(docID, q)
 	if err != nil {
 		return nil, err
 	}
-	r.server.record(resp.WireSize())
+	r.m.record(r.party, opQuery, resp.WireSize())
 	return resp, nil
 }
 
 func (r *routedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
-	r.server.record(q.WireSize())
+	sp := r.m.apiSpan(apiRTK)
+	defer sp.End()
+	r.m.record(r.party, opQuery, q.WireSize())
 	resp, err := r.api.AnswerRTK(q)
 	if err != nil {
 		return nil, err
 	}
-	r.server.record(resp.WireSize())
+	r.m.record(r.party, opQuery, resp.WireSize())
 	return resp, nil
 }
 
@@ -224,9 +274,20 @@ type Party struct {
 	params   core.Params
 	querier  *core.Querier
 	owners   [numFields]*core.Owner
+	mechs    [numFields]*timedMechanism
 	account  *dp.Accountant
 	docRefs  []int // ingested document ids
 	queryRNG *rand.Rand
+}
+
+// attachDPHist points the party's DP mechanism timers at a stage
+// histogram (done when the party joins a server).
+func (p *Party) attachDPHist(h *telemetry.Histogram) {
+	for _, m := range p.mechs {
+		if m != nil {
+			m.attach(h)
+		}
+	}
 }
 
 // PartyConfig configures party construction.
@@ -267,11 +328,15 @@ func NewParty(name string, cfg PartyConfig) (*Party, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Wrap the mechanism so noise-drawing time is attributable to
+		// the dp_noise stage once the party joins a server.
+		timed := &timedMechanism{inner: mech}
+		p.mechs[f] = timed
 		var opts []core.OwnerOption
 		if cfg.DropDocTables {
 			opts = append(opts, core.WithoutDocTables())
 		}
-		owner, err := core.NewOwner(cfg.Params, cfg.Seed, mech, opts...)
+		owner, err := core.NewOwner(cfg.Params, cfg.Seed, timed, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -445,6 +510,7 @@ func (f *Federation) ReverseTopK(from, to string, field Field, term uint64, k in
 	if err := src.account.Spend(to, f.Params.Epsilon); err != nil {
 		return nil, core.Cost{}, err
 	}
+	defer f.Server.metrics().stageSpan(StageRTKQuery).End()
 	if useRTK {
 		return core.RTKReverseTopK(src.querier, dst, term, k)
 	}
@@ -468,6 +534,7 @@ func (f *Federation) CrossTF(from, to string, field Field, docID int, term uint6
 	if err := src.account.Spend(to, f.Params.Epsilon); err != nil {
 		return 0, err
 	}
+	defer f.Server.metrics().stageSpan(StageTFQuery).End()
 	query, priv := src.querier.BuildQuery(term)
 	resp, err := dst.AnswerTF(docID, query)
 	if err != nil {

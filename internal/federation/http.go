@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strings"
 
 	"csfltr/internal/core"
+	"csfltr/internal/telemetry"
 )
 
 // HTTP transport: a JSON gateway over the same OwnerAPI surface as the
@@ -20,10 +22,17 @@ import (
 //	GET  /v1/parties/{name}/{field}/docs/{id}/meta    -> {"length": L, "unique": U}
 //	POST /v1/parties/{name}/{field}/tf                -> perturbed values
 //	POST /v1/parties/{name}/{field}/rtk               -> RTK cells
+//	GET  /v1/metrics                                  -> Prometheus text format
 //
 // field is "body" or "title". POST bodies carry the obfuscated column
 // vector; the gateway never sees hash keys or private index sets, same
 // as the coordinating server it fronts.
+//
+// Every route runs behind middleware that assigns (or propagates) an
+// X-Request-ID, counts requests and errors per route, times them into a
+// latency histogram and tracks in-flight requests; wrong-method requests
+// get a JSON 405 with an Allow header. Error envelopes echo the request
+// ID so a client report can be joined against server telemetry.
 
 // httpTFRequest is the POST /tf body.
 type httpTFRequest struct {
@@ -52,81 +61,160 @@ type httpRTKResponse struct {
 	Cells []httpRTKCell `json:"cells"`
 }
 
-// httpError is the uniform error envelope.
+// httpError is the uniform error envelope. RequestID echoes the
+// X-Request-ID the middleware assigned (or propagated) so client-side
+// reports can be joined against server telemetry.
 type httpError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // maxHTTPBody caps request bodies (column vectors are tiny).
 const maxHTTPBody = 1 << 20
 
-// HTTPHandler exposes the federation server as an http.Handler.
+// requestIDKey is the context key the middleware stores the request ID
+// under.
+type requestIDKey struct{}
+
+// HTTPRequestID returns the request ID assigned to r by the gateway
+// middleware ("" outside a gateway request).
+func HTTPRequestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for route metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// HTTPHandler exposes the federation server as an http.Handler,
+// including the /v1/metrics Prometheus route over the server's registry.
 func HTTPHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/parties", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(method, pattern, route string, h http.HandlerFunc) {
+		mux.Handle(pattern, instrumentHTTP(s, method, route, h))
+	}
+	handle(http.MethodGet, "/v1/parties", "/v1/parties", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string][]string{"parties": s.PartyNames()})
 	})
-	mux.HandleFunc("GET /v1/parties/{name}/{field}/docs", func(w http.ResponseWriter, r *http.Request) {
-		owner, ok := resolveOwner(w, r, s)
-		if !ok {
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string][]int{"ids": owner.DocIDs()})
+	handle(http.MethodGet, "/v1/metrics", "/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		telemetry.Handler(s.Metrics()).ServeHTTP(w, r)
 	})
-	mux.HandleFunc("GET /v1/parties/{name}/{field}/docs/{id}/meta", func(w http.ResponseWriter, r *http.Request) {
-		owner, ok := resolveOwner(w, r, s)
-		if !ok {
-			return
-		}
-		id, err := strconv.Atoi(r.PathValue("id"))
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, httpError{"invalid doc id"})
-			return
-		}
-		length, unique, err := owner.DocMeta(id)
-		if err != nil {
-			writeJSON(w, statusFor(err), httpError{err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]int{"length": length, "unique": unique})
-	})
-	mux.HandleFunc("POST /v1/parties/{name}/{field}/tf", func(w http.ResponseWriter, r *http.Request) {
-		owner, ok := resolveOwner(w, r, s)
-		if !ok {
-			return
-		}
-		var req httpTFRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		resp, err := owner.AnswerTF(req.DocID, &core.TFQuery{Cols: req.Cols})
-		if err != nil {
-			writeJSON(w, statusFor(err), httpError{err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, httpTFResponse{Values: resp.Values})
-	})
-	mux.HandleFunc("POST /v1/parties/{name}/{field}/rtk", func(w http.ResponseWriter, r *http.Request) {
-		owner, ok := resolveOwner(w, r, s)
-		if !ok {
-			return
-		}
-		var req httpRTKRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		resp, err := owner.AnswerRTK(&core.TFQuery{Cols: req.Cols})
-		if err != nil {
-			writeJSON(w, statusFor(err), httpError{err.Error()})
-			return
-		}
-		out := httpRTKResponse{Cells: make([]httpRTKCell, len(resp.Cells))}
-		for i, c := range resp.Cells {
-			out.Cells[i] = httpRTKCell{IDs: c.IDs, Values: c.Values}
-		}
-		writeJSON(w, http.StatusOK, out)
+	handle(http.MethodGet, "/v1/parties/{name}/{field}/docs", "/v1/parties/{name}/{field}/docs",
+		func(w http.ResponseWriter, r *http.Request) {
+			owner, ok := resolveOwner(w, r, s)
+			if !ok {
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string][]int{"ids": owner.DocIDs()})
+		})
+	handle(http.MethodGet, "/v1/parties/{name}/{field}/docs/{id}/meta", "/v1/parties/{name}/{field}/docs/{id}/meta",
+		func(w http.ResponseWriter, r *http.Request) {
+			owner, ok := resolveOwner(w, r, s)
+			if !ok {
+				return
+			}
+			id, err := strconv.Atoi(r.PathValue("id"))
+			if err != nil {
+				writeError(w, r, http.StatusBadRequest, "invalid doc id")
+				return
+			}
+			length, unique, err := owner.DocMeta(id)
+			if err != nil {
+				writeError(w, r, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]int{"length": length, "unique": unique})
+		})
+	handle(http.MethodPost, "/v1/parties/{name}/{field}/tf", "/v1/parties/{name}/{field}/tf",
+		func(w http.ResponseWriter, r *http.Request) {
+			owner, ok := resolveOwner(w, r, s)
+			if !ok {
+				return
+			}
+			var req httpTFRequest
+			if !readJSON(w, r, &req) {
+				return
+			}
+			resp, err := owner.AnswerTF(req.DocID, &core.TFQuery{Cols: req.Cols})
+			if err != nil {
+				writeError(w, r, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, httpTFResponse{Values: resp.Values})
+		})
+	handle(http.MethodPost, "/v1/parties/{name}/{field}/rtk", "/v1/parties/{name}/{field}/rtk",
+		func(w http.ResponseWriter, r *http.Request) {
+			owner, ok := resolveOwner(w, r, s)
+			if !ok {
+				return
+			}
+			var req httpRTKRequest
+			if !readJSON(w, r, &req) {
+				return
+			}
+			resp, err := owner.AnswerRTK(&core.TFQuery{Cols: req.Cols})
+			if err != nil {
+				writeError(w, r, statusFor(err), err.Error())
+				return
+			}
+			out := httpRTKResponse{Cells: make([]httpRTKCell, len(resp.Cells))}
+			for i, c := range resp.Cells {
+				out.Cells[i] = httpRTKCell{IDs: c.IDs, Values: c.Values}
+			}
+			writeJSON(w, http.StatusOK, out)
+		})
+	// Catch-all so unknown paths also get the JSON envelope, a request
+	// ID and a metrics sample (route label "other").
+	handle("", "/", "other", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, r, http.StatusNotFound, "no such route")
 	})
 	return mux
+}
+
+// instrumentHTTP wraps one route handler with the gateway middleware:
+// request-ID assignment/propagation, method enforcement (405 + Allow),
+// the in-flight gauge, the per-route latency histogram and the
+// per-route/status request and error counters. method "" accepts any.
+func instrumentHTTP(s *Server, method, route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := s.metrics()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = telemetry.RequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
+
+		m.httpInFlight.Inc()
+		defer m.httpInFlight.Dec()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sp := m.reg.StartSpan("http."+route, m.reg.Histogram(
+			"csfltr_http_request_duration_seconds", "HTTP gateway request latency.", nil,
+			telemetry.L("route", route)))
+		switch {
+		case method == "" || r.Method == method,
+			method == http.MethodGet && r.Method == http.MethodHead:
+			h(sw, r)
+		default:
+			sw.Header().Set("Allow", method)
+			writeError(sw, r, http.StatusMethodNotAllowed, "method "+r.Method+" not allowed")
+		}
+		sp.End()
+		m.reg.Counter("csfltr_http_requests_total", "HTTP gateway requests served.",
+			telemetry.L("route", route), telemetry.L("code", strconv.Itoa(sw.code))).Inc()
+		if sw.code >= 400 {
+			m.reg.Counter("csfltr_http_errors_total", "HTTP gateway requests that failed.",
+				telemetry.L("route", route)).Inc()
+		}
+	})
 }
 
 // resolveOwner extracts {name}/{field} and resolves the routed owner,
@@ -134,12 +222,12 @@ func HTTPHandler(s *Server) http.Handler {
 func resolveOwner(w http.ResponseWriter, r *http.Request, s *Server) (core.OwnerAPI, bool) {
 	field, err := parseField(r.PathValue("field"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{err.Error()})
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return nil, false
 	}
 	owner, err := s.OwnerFor(r.PathValue("name"), field)
 	if err != nil {
-		writeJSON(w, statusFor(err), httpError{err.Error()})
+		writeError(w, r, statusFor(err), err.Error())
 		return nil, false
 	}
 	return owner, true
@@ -178,16 +266,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// writeError writes the uniform error envelope, echoing the request ID.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeJSON(w, status, httpError{Error: msg, RequestID: HTTPRequestID(r)})
+}
+
 // readJSON decodes a bounded JSON body, writing the error response on
 // failure.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxHTTPBody))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{"unreadable body"})
+		writeError(w, r, http.StatusBadRequest, "unreadable body")
 		return false
 	}
 	if err := json.Unmarshal(body, v); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{"invalid JSON: " + err.Error()})
+		writeError(w, r, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return false
 	}
 	return true
@@ -222,9 +315,15 @@ func (h *HTTPOwner) url(suffix string) string {
 	return fmt.Sprintf("%s/v1/parties/%s/%s%s", h.base, h.party, h.field, suffix)
 }
 
-// getJSON performs a GET and decodes the response.
+// getJSON performs a GET (tagged with a fresh request ID) and decodes
+// the response.
 func (h *HTTPOwner) getJSON(url string, v any) error {
-	resp, err := h.client.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Request-ID", telemetry.RequestID())
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -232,13 +331,20 @@ func (h *HTTPOwner) getJSON(url string, v any) error {
 	return decodeOrError(resp, v)
 }
 
-// postJSON performs a POST with a JSON body and decodes the response.
+// postJSON performs a POST with a JSON body (tagged with a fresh request
+// ID) and decodes the response.
 func (h *HTTPOwner) postJSON(url string, body, v any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := h.client.Post(url, "application/json", strings.NewReader(string(data)))
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-ID", telemetry.RequestID())
+	resp, err := h.client.Do(req)
 	if err != nil {
 		return err
 	}

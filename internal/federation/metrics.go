@@ -1,0 +1,226 @@
+package federation
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csfltr/internal/dp"
+	"csfltr/internal/telemetry"
+)
+
+// Metric families exported by the federation layer. Names follow the
+// csfltr_<subsystem>_<name>_<unit> convention; the constants exist so
+// tooling (expbench's latency breakdown, dashboards, tests) can address
+// them without string drift.
+const (
+	// MetricRelayedMessages / MetricRelayedBytes count every protocol
+	// message the coordinating server relays, labeled by party and op
+	// ("query" or "train"). TrafficStats is a view over these.
+	MetricRelayedMessages = "csfltr_server_relayed_messages_total"
+	MetricRelayedBytes    = "csfltr_server_relayed_bytes_total"
+	// MetricAPILatency is per-owner-API-call latency at the server,
+	// labeled by api (docids, docmeta, tf, rtk).
+	MetricAPILatency = "csfltr_server_api_latency_seconds"
+	// MetricSearchStageDuration times the cross-party query pipeline,
+	// labeled by stage (tf_query, rtk_query, dp_noise, merge).
+	MetricSearchStageDuration = "csfltr_search_stage_duration_seconds"
+	// MetricSearchDuration / MetricSearchRequests cover whole federated
+	// searches end to end.
+	MetricSearchDuration = "csfltr_search_duration_seconds"
+	MetricSearchRequests = "csfltr_search_requests_total"
+	// MetricTrainingRoundDuration times one round-robin training round.
+	MetricTrainingRoundDuration = "csfltr_training_round_duration_seconds"
+)
+
+// Relay op label values: what the server was relaying for.
+const (
+	opQuery = "query"
+	opTrain = "train"
+)
+
+// Owner API label values.
+const (
+	apiDocIDs  = "docids"
+	apiDocMeta = "docmeta"
+	apiTF      = "tf"
+	apiRTK     = "rtk"
+)
+
+// Query pipeline stage label values.
+const (
+	StageTFQuery  = "tf_query"
+	StageRTKQuery = "rtk_query"
+	StageDPNoise  = "dp_noise"
+	StageMerge    = "merge"
+)
+
+// SearchStages lists the pipeline stages in execution order.
+var SearchStages = []string{StageTFQuery, StageRTKQuery, StageDPNoise, StageMerge}
+
+// relayKey identifies one (party, op) relay counter pair.
+type relayKey struct{ party, op string }
+
+// relayCounters is the cached handle pair for one relay series.
+type relayCounters struct{ msgs, bytes *telemetry.Counter }
+
+// serverMetrics bundles the server's registry with cached hot-path
+// metric handles. It has its own lock so relay accounting never contends
+// with the roster mutex.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	api      map[string]*telemetry.Histogram
+	stage    map[string]*telemetry.Histogram
+	roundDur *telemetry.Histogram
+
+	searchDur  *telemetry.Histogram
+	searchReqs *telemetry.Counter
+
+	rpcInFlight  *telemetry.Gauge
+	httpInFlight *telemetry.Gauge
+
+	mu    sync.Mutex
+	relay map[relayKey]relayCounters
+}
+
+// newServerMetrics creates the handle cache over reg.
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{
+		reg:   reg,
+		api:   make(map[string]*telemetry.Histogram, 4),
+		stage: make(map[string]*telemetry.Histogram, 4),
+		relay: make(map[relayKey]relayCounters),
+	}
+	for _, api := range []string{apiDocIDs, apiDocMeta, apiTF, apiRTK} {
+		m.api[api] = reg.Histogram(MetricAPILatency,
+			"Latency of one owner API call relayed by the server.", nil,
+			telemetry.L("api", api))
+	}
+	for _, st := range SearchStages {
+		m.stage[st] = reg.Histogram(MetricSearchStageDuration,
+			"Time spent per cross-party query pipeline stage.", nil,
+			telemetry.L("stage", st))
+	}
+	m.roundDur = reg.Histogram(MetricTrainingRoundDuration,
+		"Duration of one round-robin distributed training round.", nil)
+	m.searchDur = reg.Histogram(MetricSearchDuration,
+		"End-to-end federated search latency.", nil)
+	m.searchReqs = reg.Counter(MetricSearchRequests, "Federated searches served.")
+	m.rpcInFlight = reg.Gauge("csfltr_rpc_in_flight_requests", "RPC calls currently executing.")
+	m.httpInFlight = reg.Gauge("csfltr_http_in_flight_requests", "HTTP requests currently executing.")
+	return m
+}
+
+// relayFor returns (creating on first use) the counter pair for one
+// (party, op).
+func (m *serverMetrics) relayFor(party, op string) relayCounters {
+	k := relayKey{party: party, op: op}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rc, ok := m.relay[k]
+	if !ok {
+		labels := []telemetry.Label{telemetry.L("party", party), telemetry.L("op", op)}
+		rc = relayCounters{
+			msgs:  m.reg.Counter(MetricRelayedMessages, "Messages relayed by the coordinating server.", labels...),
+			bytes: m.reg.Counter(MetricRelayedBytes, "Bytes relayed by the coordinating server.", labels...),
+		}
+		m.relay[k] = rc
+	}
+	return rc
+}
+
+// record accounts one relayed message of n bytes — the single byte
+// accounting point of the whole federation (query relays, model hops,
+// every transport). TrafficStats and TrainingStats are read-side views
+// over what this method wrote.
+func (m *serverMetrics) record(party, op string, n int64) {
+	rc := m.relayFor(party, op)
+	rc.msgs.Inc()
+	rc.bytes.Add(n)
+}
+
+// traffic sums every relay series into the legacy TrafficStats view.
+func (m *serverMetrics) traffic() TrafficStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t TrafficStats
+	for _, rc := range m.relay {
+		t.Messages += rc.msgs.Value()
+		t.Bytes += rc.bytes.Value()
+	}
+	return t
+}
+
+// trafficFor sums the relay series of one op.
+func (m *serverMetrics) trafficFor(op string) (msgs, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, rc := range m.relay {
+		if k.op != op {
+			continue
+		}
+		msgs += rc.msgs.Value()
+		bytes += rc.bytes.Value()
+	}
+	return msgs, bytes
+}
+
+// resetTraffic zeroes every relay series.
+func (m *serverMetrics) resetTraffic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, rc := range m.relay {
+		rc.msgs.Reset()
+		rc.bytes.Reset()
+	}
+}
+
+// apiSpan starts a latency span for one owner API call.
+func (m *serverMetrics) apiSpan(api string) telemetry.Span {
+	return m.reg.StartSpan("server.api."+api, m.api[api])
+}
+
+// stageSpan starts a span for one query pipeline stage.
+func (m *serverMetrics) stageSpan(stage string) telemetry.Span {
+	return m.reg.StartSpan("search.stage."+stage, m.stage[stage])
+}
+
+// timedMechanism decorates a dp.Mechanism so the time spent drawing
+// noise is attributed to the dp_noise pipeline stage. The histogram is
+// attached when the party joins a server; until then the mechanism is a
+// zero-overhead passthrough.
+type timedMechanism struct {
+	inner dp.Mechanism
+	hist  atomic.Pointer[telemetry.Histogram]
+}
+
+// attach points the decorator at a stage histogram (nil detaches).
+func (t *timedMechanism) attach(h *telemetry.Histogram) { t.hist.Store(h) }
+
+// Sample implements dp.Mechanism.
+func (t *timedMechanism) Sample() float64 {
+	h := t.hist.Load()
+	if h == nil {
+		return t.inner.Sample()
+	}
+	start := time.Now()
+	v := t.inner.Sample()
+	h.Observe(time.Since(start).Seconds())
+	return v
+}
+
+// Perturb implements dp.Mechanism.
+func (t *timedMechanism) Perturb(x float64) float64 {
+	h := t.hist.Load()
+	if h == nil {
+		return t.inner.Perturb(x)
+	}
+	start := time.Now()
+	v := t.inner.Perturb(x)
+	h.Observe(time.Since(start).Seconds())
+	return v
+}
+
+// Epsilon implements dp.Mechanism.
+func (t *timedMechanism) Epsilon() float64 { return t.inner.Epsilon() }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"csfltr/internal/core"
+	"csfltr/internal/telemetry"
 )
 
 // serviceName is the net/rpc service under which the federation server is
@@ -61,8 +62,30 @@ type RTKReply struct{ Resp core.RTKResponse }
 // transport uses, so traffic accounting is shared.
 type RPCService struct{ server *Server }
 
+// instrument starts the per-method RPC telemetry (in-flight gauge,
+// latency span) and returns the completion hook to defer: it records the
+// request into the per-method request and error counters.
+func (s *RPCService) instrument(method string, errp *error) func() {
+	m := s.server.metrics()
+	m.rpcInFlight.Inc()
+	sp := m.reg.StartSpan("rpc."+method, m.reg.Histogram(
+		"csfltr_rpc_request_duration_seconds", "net/rpc request latency.", nil,
+		telemetry.L("method", method)))
+	return func() {
+		sp.End()
+		m.rpcInFlight.Dec()
+		m.reg.Counter("csfltr_rpc_requests_total", "net/rpc requests served.",
+			telemetry.L("method", method)).Inc()
+		if *errp != nil {
+			m.reg.Counter("csfltr_rpc_errors_total", "net/rpc requests that returned an error.",
+				telemetry.L("method", method)).Inc()
+		}
+	}
+}
+
 // DocIDs serves the roster of a party field.
-func (s *RPCService) DocIDs(args *DocIDsArgs, reply *DocIDsReply) error {
+func (s *RPCService) DocIDs(args *DocIDsArgs, reply *DocIDsReply) (err error) {
+	defer s.instrument("DocIDs", &err)()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
@@ -72,7 +95,8 @@ func (s *RPCService) DocIDs(args *DocIDsArgs, reply *DocIDsReply) error {
 }
 
 // DocMeta serves non-private document metadata.
-func (s *RPCService) DocMeta(args *DocMetaArgs, reply *DocMetaReply) error {
+func (s *RPCService) DocMeta(args *DocMetaArgs, reply *DocMetaReply) (err error) {
+	defer s.instrument("DocMeta", &err)()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
@@ -86,7 +110,8 @@ func (s *RPCService) DocMeta(args *DocMetaArgs, reply *DocMetaReply) error {
 }
 
 // AnswerTF relays a TF query to the owning party.
-func (s *RPCService) AnswerTF(args *TFArgs, reply *TFReply) error {
+func (s *RPCService) AnswerTF(args *TFArgs, reply *TFReply) (err error) {
+	defer s.instrument("AnswerTF", &err)()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
@@ -100,7 +125,8 @@ func (s *RPCService) AnswerTF(args *TFArgs, reply *TFReply) error {
 }
 
 // AnswerRTK relays a reverse top-K query to the owning party.
-func (s *RPCService) AnswerRTK(args *RTKArgs, reply *RTKReply) error {
+func (s *RPCService) AnswerRTK(args *RTKArgs, reply *RTKReply) (err error) {
+	defer s.instrument("AnswerRTK", &err)()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err

@@ -26,6 +26,9 @@ type SearchHit struct {
 // accountant; a budget refusal aborts the search.
 func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]SearchHit, core.Cost, error) {
 	var total core.Cost
+	m := f.Server.metrics()
+	m.searchReqs.Inc()
+	defer m.reg.StartSpan("search", m.searchDur).End()
 	src, err := f.Party(from)
 	if err != nil {
 		return nil, total, err
@@ -59,7 +62,9 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 			if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
 				return nil, total, err
 			}
+			sp := m.stageSpan(StageRTKQuery)
 			docs, cost, err := core.RTKReverseTopK(src.querier, owner, term, f.Params.K)
+			sp.End()
 			if err != nil {
 				return nil, total, err
 			}
@@ -72,6 +77,7 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 			}
 		}
 	}
+	merge := m.stageSpan(StageMerge)
 	hits := make([]SearchHit, 0, len(scores))
 	for kk, s := range scores {
 		hits = append(hits, SearchHit{Party: kk.party, DocID: kk.doc, Score: s})
@@ -88,5 +94,6 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 	if len(hits) > k {
 		hits = hits[:k]
 	}
+	merge.End()
 	return hits, total, nil
 }

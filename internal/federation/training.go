@@ -16,7 +16,10 @@ var ErrNoTrainingData = errors.New("federation: no training data at any party")
 // through the server: 8 bytes per weight plus the bias.
 func modelWireSize(dim int) int64 { return int64(8 * (dim + 1)) }
 
-// TrainingStats reports what the distributed training run cost.
+// TrainingStats reports what the distributed training run cost. Hops
+// and bytes are read back from the server's relay counters (op="train")
+// rather than tallied separately, so training traffic is accounted in
+// exactly one place.
 type TrainingStats struct {
 	Rounds       int
 	ModelHops    int   // model hand-offs through the server
@@ -58,7 +61,10 @@ func (f *Federation) TrainRoundRobin(dim int, data map[string][]ltr.Instance, ro
 		order[i] = i
 	}
 	hop := modelWireSize(dim)
+	m := f.Server.metrics()
+	startHops, startBytes := m.trafficFor(opTrain)
 	for r := 0; r < rounds; r++ {
+		round := m.reg.StartSpan("training.round", m.roundDur)
 		local.LearningRate = cfg.LearningRate * math.Pow(cfg.LRDecay, float64(r))
 		orderRNG.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, pi := range order {
@@ -69,16 +75,18 @@ func (f *Federation) TrainRoundRobin(dim int, data map[string][]ltr.Instance, ro
 			}
 			// Server relays the current model to the party and receives
 			// the update back: two hops.
-			f.Server.record(hop)
+			m.record(name, opTrain, hop)
 			local.Seed = cfg.Seed + int64(r*len(names)+pi)
 			if err := local.Train(model, d); err != nil {
 				return nil, stats, fmt.Errorf("federation: round %d party %s: %w", r, name, err)
 			}
-			f.Server.record(hop)
-			stats.ModelHops += 2
-			stats.BytesRelayed += 2 * hop
+			m.record(name, opTrain, hop)
 		}
+		round.End()
 		stats.Rounds++
 	}
+	endHops, endBytes := m.trafficFor(opTrain)
+	stats.ModelHops = int(endHops - startHops)
+	stats.BytesRelayed = endBytes - startBytes
 	return model, stats, nil
 }

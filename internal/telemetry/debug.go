@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// StartRuntimeCollector registers process-level gauges (goroutines, heap
+// bytes, GC cycles) in r and refreshes them every interval until the
+// returned stop function is called. Collection also runs once
+// immediately so short-lived processes report something.
+func StartRuntimeCollector(r *Registry, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	goroutines := r.Gauge("csfltr_runtime_goroutines", "Number of live goroutines.")
+	heapAlloc := r.Gauge("csfltr_runtime_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := r.Gauge("csfltr_runtime_heap_sys_bytes", "Bytes of heap obtained from the OS.")
+	gcCycles := r.Gauge("csfltr_runtime_gc_cycles", "Completed GC cycles.")
+	gcPause := r.Gauge("csfltr_runtime_gc_pause_total_seconds", "Cumulative GC stop-the-world pause.")
+	collect := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+	}
+	collect()
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				collect()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// DebugMux returns the debug surface for a registry:
+//
+//	/metrics        Prometheus text format
+//	/debug/vars     expvar-style JSON snapshot
+//	/debug/pprof/*  net/http/pprof profiling endpoints
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug/profiling endpoint (see ServeDebug).
+type DebugServer struct {
+	Addr string // actual listen address
+
+	srv         *http.Server
+	ln          net.Listener
+	stopRuntime func()
+	once        sync.Once
+}
+
+// ServeDebug serves DebugMux(r) on addr (e.g. "127.0.0.1:6060", or port
+// 0 for ephemeral) and starts the runtime gauge collector. This is what
+// the -debug-addr flag of cmd/csfltr and cmd/expbench mounts.
+func ServeDebug(r *Registry, addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	d := &DebugServer{
+		Addr:        ln.Addr().String(),
+		srv:         &http.Server{Handler: DebugMux(r)},
+		ln:          ln,
+		stopRuntime: StartRuntimeCollector(r, 5*time.Second),
+	}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Close stops the debug server and the runtime collector.
+func (d *DebugServer) Close() error {
+	var err error
+	d.once.Do(func() {
+		d.stopRuntime()
+		err = d.srv.Close()
+	})
+	return err
+}

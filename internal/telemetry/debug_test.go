@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("csfltr_test_hits_total", "hits").Add(3)
+	d, err := ServeDebug(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + d.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "csfltr_test_hits_total 3") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	// The runtime collector ran at least once at startup.
+	if out := get("/metrics"); !strings.Contains(out, "csfltr_runtime_goroutines") {
+		t.Fatalf("/metrics missing runtime gauges:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, `"csfltr_test_hits_total"`) {
+		t.Fatalf("/debug/vars missing counter:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestRuntimeCollectorStop(t *testing.T) {
+	r := NewRegistry()
+	stop := StartRuntimeCollector(r, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	if r.Gauge("csfltr_runtime_goroutines", "").Value() <= 0 {
+		t.Fatal("runtime collector never collected")
+	}
+}

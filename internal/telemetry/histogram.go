@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default histogram bucket layout: inclusive upper
+// bounds in seconds spanning 25µs (an in-process sketch lookup) to 10s
+// (a pathological cross-silo round trip). Chosen once, fixed forever, so
+// dashboards of different runs line up.
+var LatencyBuckets = []float64{
+	25e-6, 100e-6, 250e-6,
+	1e-3, 2.5e-3, 10e-3, 25e-3, 100e-3, 250e-3,
+	1, 2.5, 10,
+}
+
+// SizeBuckets is a bucket layout for byte-size histograms: 64 B to 16 MB
+// in powers of four.
+var SizeBuckets = []float64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
+
+// Histogram counts observations into fixed buckets with inclusive upper
+// bounds (Prometheus `le` semantics: a value equal to a bound lands in
+// that bound's bucket). An implicit +Inf bucket catches the rest. Safe
+// for concurrent use; Observe is lock-free.
+type Histogram struct {
+	labels  []Label
+	bounds  []float64 // ascending, excluding +Inf
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram series; bounds must be ascending.
+func newHistogram(bounds []float64, labels []Label) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		labels: labels,
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v — the inclusive-upper-bound bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the finite bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns per-bucket (non-cumulative) counts; the last
+// entry is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the smallest bucket bound at which the cumulative count reaches
+// q*Count. Returns NaN when empty and +Inf when the quantile lies in the
+// overflow bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 || math.IsNaN(q) || q <= 0 || q > 1 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
+// Reset zeroes all buckets (experiment reruns only).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}

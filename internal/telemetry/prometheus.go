@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with # HELP and
+// # TYPE lines, histogram series expanded into cumulative _bucket /
+// _sum / _count samples.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		for _, s := range m.Series {
+			if err := writeSeries(w, m, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries writes one series' sample lines.
+func writeSeries(w io.Writer, m MetricSnapshot, s SeriesSnapshot) error {
+	if m.Type != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, renderLabels(s.Labels, "", 0), formatValue(s.Value))
+		return err
+	}
+	for _, b := range s.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.UpperBound, 1) {
+			le = formatValue(b.UpperBound)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.Name, renderLabels(s.Labels, le, 1), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, renderLabels(s.Labels, "", 0), formatValue(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, renderLabels(s.Labels, "", 0), s.Count)
+	return err
+}
+
+// renderLabels renders a sorted label block, optionally appending the
+// histogram `le` label (mode 1).
+func renderLabels(labels map[string]string, le string, mode int) string {
+	if len(labels) == 0 && mode == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if mode == 1 {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sortStrings sorts in place (tiny helper to avoid importing sort twice
+// conceptually; kept for symmetry with renderLabels' hot path).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// formatValue renders a float sample the way Prometheus expects.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /v1/metrics or /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+)
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	UpperBound float64 `json:"le"` // +Inf encodes as the string "+Inf" via MarshalJSON below
+	Count      int64   `json:"count"`
+}
+
+// SeriesSnapshot is one labeled series at snapshot time.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value carries the counter or gauge reading.
+	Value float64 `json:"value,omitempty"`
+	// Count, Sum and Buckets carry histogram state; Buckets are
+	// cumulative with an explicit +Inf terminal bucket.
+	Count   int64         `json:"count,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// MetricSnapshot is one family at snapshot time.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time JSON-able view of a whole registry — the
+// expvar-style API tests and benchmarks consume.
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+	Events  []Event          `json:"events,omitempty"`
+}
+
+// Snapshot captures every family, sorted by name, each with series
+// sorted by label signature.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var snap Snapshot
+	for _, f := range fams {
+		ms := MetricSnapshot{Name: f.name, Type: f.typ.String(), Help: f.help}
+		r.mu.Lock()
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		series := make([]any, 0, len(sigs))
+		for _, sig := range sigs {
+			series = append(series, f.series[sig])
+		}
+		r.mu.Unlock()
+		for _, s := range series {
+			ms.Series = append(ms.Series, snapshotSeries(s))
+		}
+		snap.Metrics = append(snap.Metrics, ms)
+	}
+	snap.Events = r.Events()
+	return snap
+}
+
+// snapshotSeries converts one live series into its snapshot form.
+func snapshotSeries(s any) SeriesSnapshot {
+	switch m := s.(type) {
+	case *Counter:
+		return SeriesSnapshot{Labels: labelMap(m.labels), Value: float64(m.Value())}
+	case *Gauge:
+		return SeriesSnapshot{Labels: labelMap(m.labels), Value: m.Value()}
+	case *Histogram:
+		out := SeriesSnapshot{Labels: labelMap(m.labels), Count: m.Count(), Sum: m.Sum()}
+		bounds := m.Bounds()
+		counts := m.BucketCounts()
+		var cum int64
+		for i, c := range counts {
+			cum += c
+			ub := math.Inf(1)
+			if i < len(bounds) {
+				ub = bounds[i]
+			}
+			out.Buckets = append(out.Buckets, BucketCount{UpperBound: ub, Count: cum})
+		}
+		return out
+	default:
+		return SeriesSnapshot{}
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of a histogram series
+// from its cumulative buckets, returning the upper bound of the bucket
+// the quantile falls into — the same estimate the live Histogram
+// reports. NaN when the series is empty or not a histogram; +Inf when
+// the quantile lands in the overflow bucket.
+func (s SeriesSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= rank {
+			return b.UpperBound
+		}
+	}
+	return math.Inf(1)
+}
+
+// MarshalJSON renders the +Inf bucket bound as the string "+Inf" (JSON
+// has no infinity literal).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	type bucket struct {
+		UpperBound any   `json:"le"`
+		Count      int64 `json:"count"`
+	}
+	ub := any(b.UpperBound)
+	if math.IsInf(b.UpperBound, 1) {
+		ub = "+Inf"
+	}
+	return json.Marshal(bucket{UpperBound: ub, Count: b.Count})
+}
+
+// labelMap converts sorted labels into a map for JSON.
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for _, l := range labels {
+		out[l.Key] = l.Value
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Metric returns the named family from the snapshot, or nil.
+func (s Snapshot) Metric(name string) *MetricSnapshot {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			return &s.Metrics[i]
+		}
+	}
+	return nil
+}
