@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments experiments-fast examples fmt vet clean telemetry-demo
+.PHONY: all build test race cover bench fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
 
 all: build test
 
@@ -28,6 +28,8 @@ fuzz:
 	$(GO) test -fuzz FuzzUnmarshalTable -fuzztime 30s ./internal/sketch/
 	$(GO) test -fuzz FuzzReadOwner -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzRTKQueryHandling -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzHTTPEnvelope -fuzztime 30s ./internal/federation/
+	$(GO) test -fuzz FuzzWritePrometheus -fuzztime 30s ./internal/telemetry/
 
 # Regenerate every table and figure at the shape-faithful default scale
 # (about 20 minutes; see EXPERIMENTS.md).
@@ -65,8 +67,20 @@ telemetry-demo:
 fmt:
 	gofmt -w .
 
+# Fail (listing the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis: privacy-boundary, map-iteration
+# determinism, dropped errors, metric-label cardinality. See DESIGN.md.
+analyze:
+	$(GO) run ./cmd/csfltr-vet ./...
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,70 @@
+// Command csfltr-vet runs the project's static-analysis suite (see
+// internal/analysis): privacy-boundary flow checks for //csfltr:private
+// data, nondeterministic map-iteration output, dropped errors, and
+// unbounded metric-label cardinality.
+//
+// Usage:
+//
+//	csfltr-vet [-list] [-root dir] [packages]
+//
+// packages are Go package patterns relative to the module root
+// (default "./..."). The exit status is 1 when any diagnostic is
+// reported, 2 on operational errors, 0 otherwise — so it slots into CI
+// next to go vet. Suppress an intentional finding at its line with
+//
+//	//csfltr:allow <analyzer> -- <justification>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"csfltr/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	root := flag.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	dir := *root
+	if dir == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		dir, err = analysis.FindModuleRoot(cwd)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := analysis.Run(dir, patterns, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "csfltr-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "csfltr-vet:", err)
+	os.Exit(2)
+}

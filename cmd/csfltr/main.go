@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -100,7 +101,7 @@ func startDebug(reg *telemetry.Registry, addr string) (func(), error) {
 		return nil, err
 	}
 	fmt.Printf("debug endpoint on http://%s (/metrics, /debug/vars, /debug/pprof)\n", ds.Addr)
-	return func() { ds.Close() }, nil
+	return func() { _ = ds.Close() }, nil
 }
 
 // partyCmd hosts one party in its own process (the fully distributed
@@ -114,7 +115,7 @@ func partyCmd(args []string) error {
 	scale := fs.String("scale", "default", "test or default (must match the federation's)")
 	seed := fs.Int64("seed", 1, "corpus seed (must match the federation's)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (optional)")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 	idx := int((*name)[0] - 'A')
 	cfg, params, err := scaleConfigs(*scale, *seed)
 	if err != nil {
@@ -184,7 +185,7 @@ func train(args []string) error {
 	scale := fs.String("scale", "default", "test or default")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	modelPath := fs.String("model", "csfltr-model.bin", "output model file")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 	cfg, err := pipelineConfig(*scale, *seed)
 	if err != nil {
 		return err
@@ -217,7 +218,7 @@ func evalCmd(args []string) error {
 	scale := fs.String("scale", "default", "test or default")
 	seed := fs.Int64("seed", 1, "corpus seed to evaluate against")
 	modelPath := fs.String("model", "csfltr-model.bin", "model file to load")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 	cfg, err := pipelineConfig(*scale, *seed)
 	if err != nil {
 		return err
@@ -246,7 +247,7 @@ func demo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	scale := fs.String("scale", "default", "test or default")
 	seed := fs.Int64("seed", 1, "simulation seed")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 	cfg := experiments.DefaultPipelineConfig()
 	if *scale == "test" {
 		cfg = experiments.TestPipelineConfig()
@@ -293,7 +294,7 @@ func serve(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (optional)")
 	var remotes remoteFlags
 	fs.Var(&remotes, "remote", "party-hosted silo to relay to, NAME=ADDR (repeatable; see 'csfltr party')")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 
 	cfg, params, err := scaleConfigs(*scale, *seed)
 	if err != nil {
@@ -349,7 +350,11 @@ func serve(args []string) error {
 			return err
 		}
 		hs := &http.Server{Handler: federation.HTTPHandler(server)}
-		go hs.Serve(ln)
+		go func() {
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "http gateway:", err)
+			}
+		}()
 		defer hs.Close()
 		fmt.Printf("HTTP gateway on http://%s (try GET /v1/metrics)\n", ln.Addr())
 	}
@@ -377,7 +382,7 @@ func query(args []string) error {
 	k := fs.Int("k", 10, "result count")
 	naive := fs.Bool("naive", false, "use the NAIVE algorithm instead of RTK")
 	scale := fs.String("scale", "default", "test or default (must match the server's)")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
 
 	_, params, err := scaleConfigs(*scale, 1)
 	if err != nil {

@@ -321,10 +321,12 @@ func runFig5(cfg experiments.Fig5Config, csvDir string, scatter bool, report *ex
 				return err
 			}
 			if err := experiments.WriteFig5PointsCSV(f, p); err != nil {
-				f.Close()
+				_ = f.Close()
 				return err
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				return err
+			}
 			fmt.Println("wrote", path)
 
 			svgPath := filepath.Join(csvDir, "fig5-"+p.Strategy.Name+".svg")
@@ -333,10 +335,12 @@ func runFig5(cfg experiments.Fig5Config, csvDir string, scatter bool, report *ex
 				return err
 			}
 			if err := experiments.WriteFig5SVG(sf, p, 360, 300); err != nil {
-				sf.Close()
+				_ = sf.Close()
 				return err
 			}
-			sf.Close()
+			if err := sf.Close(); err != nil {
+				return err
+			}
 			fmt.Println("wrote", svgPath)
 		}
 	}

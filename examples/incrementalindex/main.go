@@ -81,6 +81,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//csfltr:allow uncheckederr -- best-effort temp-dir cleanup in an example
 	defer os.RemoveAll(dir)
 	path := filepath.Join(dir, "owner.snap")
 	if err := store.SaveOwner(path, owner); err != nil {

@@ -1,0 +1,227 @@
+// Package analysis is the project-specific static-analysis suite behind
+// cmd/csfltr-vet. It enforces, at compile time, the two invariants the
+// CS-F-LTR system cannot test its way out of:
+//
+//   - the privacy boundary — raw term statistics, DH private keys and
+//     shared hash seeds (anything marked `//csfltr:private`) must never
+//     flow into wire-message structs, marshal paths, or fmt/log/metric
+//     label arguments;
+//   - determinism — paper tables and sketch contents must not depend on
+//     Go's randomized map iteration order.
+//
+// plus two hygiene properties that bite a concurrent federation hardest:
+// silently dropped errors on transport/store/encoder calls, and
+// unbounded metric-label cardinality.
+//
+// The suite is stdlib-only: packages are loaded by the Loader in this
+// package (go/parser + go/types with a source importer), not by
+// golang.org/x/tools. Findings can be suppressed at a specific line with
+// `//csfltr:allow <analyzer>[,<analyzer>] -- <justification>` on the
+// flagged line or the line above it; the justification is mandatory by
+// convention and reviewed like code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: an analyzer, a position, and a message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass is the per-package unit of work handed to an analyzer's Run.
+type Pass struct {
+	Fset    *token.FileSet
+	Pkg     *Package
+	Markers *Markers
+
+	diags *[]Diagnostic
+	name  string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the static type of an expression (nil if unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Analyzer is one named check.
+type Analyzer struct {
+	Name string // stable identifier, used in //csfltr:allow
+	Doc  string // one-line description for -list
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		PrivacyBoundary,
+		MapIter,
+		UncheckedErr,
+		TelemetryLabel,
+	}
+}
+
+// Run loads the packages matching patterns under the module rooted at
+// root, builds the federation-wide privacy-marker index, runs every
+// analyzer over every matched package, and returns the surviving
+// (non-suppressed) diagnostics sorted by position.
+func Run(root string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := loader.DiscoverPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	matched := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		p, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		matched = append(matched, p)
+	}
+	// Markers are collected over everything the loader saw — including
+	// dependencies pulled in outside the pattern set — so a marked type
+	// in internal/textkit is private everywhere.
+	markers := CollectMarkers(loader.Packages())
+	var diags []Diagnostic
+	for _, p := range matched {
+		RunPackage(loader.Fset, p, markers, analyzers, &diags)
+	}
+	diags = filterSuppressed(loader.Fset, matched, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// RunPackage applies analyzers to one package, appending to diags. It
+// does not apply suppressions; Run does.
+func RunPackage(fset *token.FileSet, pkg *Package, markers *Markers, analyzers []*Analyzer, diags *[]Diagnostic) {
+	for _, a := range analyzers {
+		pass := &Pass{Fset: fset, Pkg: pkg, Markers: markers, diags: diags, name: a.Name}
+		a.Run(pass)
+	}
+}
+
+// allowDirective is the suppression marker prefix.
+const allowDirective = "//csfltr:allow"
+
+// privateDirective marks a type, field, or variable as silo-private.
+const privateDirective = "//csfltr:private"
+
+// filterSuppressed drops diagnostics covered by a //csfltr:allow
+// directive on the same line or the line directly above.
+func filterSuppressed(fset *token.FileSet, pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// filename -> line -> analyzer names allowed there.
+	allowed := make(map[string]map[int]map[string]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					byLine := allowed[pos.Filename]
+					if byLine == nil {
+						byLine = make(map[int]map[string]bool)
+						allowed[pos.Filename] = byLine
+					}
+					// The directive covers its own line (trailing
+					// comment) and the next line (comment above).
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := byLine[line]
+						if set == nil {
+							set = make(map[string]bool)
+							byLine[line] = set
+						}
+						for _, n := range names {
+							set[n] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if set := allowed[d.Pos.Filename][d.Pos.Line]; set[d.Analyzer] || set["all"] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parseAllow parses "//csfltr:allow name1,name2 -- reason" into the
+// analyzer names; ok is false for non-allow comments.
+func parseAllow(text string) (names []string, ok bool) {
+	rest, found := strings.CutPrefix(text, allowDirective)
+	if !found {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	// Everything after " -- " is the human justification.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i]
+	}
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, true
+}
+
+// hasDirective reports whether a comment group contains the given
+// directive as a standalone comment line.
+func hasDirective(groups []*ast.CommentGroup, directive string) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(c.Text)
+			if text == directive || strings.HasPrefix(text, directive+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}

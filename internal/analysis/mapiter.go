@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` loops over maps whose body performs an
+// order-sensitive side effect in iteration order: writing to an
+// io.Writer / strings.Builder / hash.Hash (method Write*), or calling a
+// fmt print function. Go randomizes map iteration order, so such loops
+// produce nondeterministic output — which breaks golden-test tables,
+// sketch serialization, and anything hashed.
+//
+// Loops that only collect keys or values into a slice (to be sorted
+// afterwards) are the intended fix and are not flagged.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags range-over-map loops that write output or feed hashes in iteration order",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			reportOrderedSinks(pass, rng)
+			return true
+		})
+	}
+}
+
+// reportOrderedSinks walks a range-over-map body looking for calls with
+// order-dependent observable effects. Nested range statements over
+// non-map collections are still within iteration order of the outer map
+// and are included.
+func reportOrderedSinks(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || !isOrderedSink(fn) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"map iteration order is random: call to %s inside `range` over %s emits output in nondeterministic order; collect and sort keys first",
+			fn.Name(), typeLabel(pass, rng.X))
+		return true
+	})
+}
+
+// isOrderedSink reports whether a call's observable effect depends on
+// invocation order: stream writes and fmt printing.
+func isOrderedSink(fn *types.Func) bool {
+	name := fn.Name()
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		return strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}
+
+// typeLabel renders the ranged expression's type compactly.
+func typeLabel(pass *Pass, e ast.Expr) string {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return "map"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

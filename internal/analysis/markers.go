@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Markers is the federation-wide index of silo-private declarations:
+// every type name, struct field, or variable annotated with
+// `//csfltr:private`. A type *contains* private data if its own
+// declaration is marked or any type reachable through its structure
+// (struct fields, pointers, slices, arrays, maps, channels) is.
+type Markers struct {
+	objs  map[types.Object]bool
+	cache map[types.Type]bool
+}
+
+// CollectMarkers scans every package for //csfltr:private directives.
+// The directive attaches to:
+//
+//   - a type declaration — the whole named type is private;
+//   - a struct field — that field (and any struct embedding it) is
+//     private even if the field's type is public;
+//   - a var/const declaration — the variable itself is private.
+func CollectMarkers(pkgs []*Package) *Markers {
+	m := &Markers{
+		objs:  make(map[types.Object]bool),
+		cache: make(map[types.Type]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			m.collectFile(pkg, f)
+		}
+	}
+	return m
+}
+
+func (m *Markers) collectFile(pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.GenDecl:
+			declMarked := hasDirective([]*ast.CommentGroup{d.Doc}, privateDirective)
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if declMarked || hasDirective([]*ast.CommentGroup{s.Doc, s.Comment}, privateDirective) {
+						m.markDef(pkg, s.Name)
+					}
+				case *ast.ValueSpec:
+					if declMarked || hasDirective([]*ast.CommentGroup{s.Doc, s.Comment}, privateDirective) {
+						for _, name := range s.Names {
+							m.markDef(pkg, name)
+						}
+					}
+				}
+			}
+		case *ast.StructType:
+			for _, field := range d.Fields.List {
+				if hasDirective([]*ast.CommentGroup{field.Doc, field.Comment}, privateDirective) {
+					for _, name := range field.Names {
+						m.markDef(pkg, name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (m *Markers) markDef(pkg *Package, ident *ast.Ident) {
+	if obj := pkg.Info.Defs[ident]; obj != nil {
+		m.objs[obj] = true
+	}
+}
+
+// IsPrivate reports whether obj's declaration carries //csfltr:private.
+func (m *Markers) IsPrivate(obj types.Object) bool { return m.objs[obj] }
+
+// Empty reports whether no private declarations were found.
+func (m *Markers) Empty() bool { return len(m.objs) == 0 }
+
+// ContainsPrivate reports whether values of type t can carry
+// silo-private data: t is a marked named type, or private data is
+// reachable through t's structure.
+func (m *Markers) ContainsPrivate(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := m.cache[t]; ok {
+		return v
+	}
+	// Pre-seed false to terminate recursive types; overwrite below.
+	m.cache[t] = false
+	v := m.containsPrivate(t)
+	m.cache[t] = v
+	return v
+}
+
+func (m *Markers) containsPrivate(t types.Type) bool {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Named:
+		if m.objs[tt.Obj()] {
+			return true
+		}
+		return m.ContainsPrivate(tt.Underlying())
+	case *types.Pointer:
+		return m.ContainsPrivate(tt.Elem())
+	case *types.Slice:
+		return m.ContainsPrivate(tt.Elem())
+	case *types.Array:
+		return m.ContainsPrivate(tt.Elem())
+	case *types.Chan:
+		return m.ContainsPrivate(tt.Elem())
+	case *types.Map:
+		return m.ContainsPrivate(tt.Key()) || m.ContainsPrivate(tt.Elem())
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			f := tt.Field(i)
+			if m.objs[f] || m.ContainsPrivate(f.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PrivateName renders the first marked constituent of t for messages,
+// preferring the named type itself.
+func (m *Markers) PrivateName(t types.Type) string {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Named:
+		if m.objs[tt.Obj()] {
+			return tt.Obj().Pkg().Name() + "." + tt.Obj().Name()
+		}
+		return m.PrivateName(tt.Underlying())
+	case *types.Pointer:
+		return m.PrivateName(tt.Elem())
+	case *types.Slice:
+		return m.PrivateName(tt.Elem())
+	case *types.Array:
+		return m.PrivateName(tt.Elem())
+	case *types.Chan:
+		return m.PrivateName(tt.Elem())
+	case *types.Map:
+		if m.ContainsPrivate(tt.Key()) {
+			return m.PrivateName(tt.Key())
+		}
+		return m.PrivateName(tt.Elem())
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			f := tt.Field(i)
+			if m.objs[f] {
+				return f.Name()
+			}
+			if m.ContainsPrivate(f.Type()) {
+				return m.PrivateName(f.Type())
+			}
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// PrivacyBoundary flags silo-private data (declarations marked
+// //csfltr:private) escaping the silo:
+//
+//   - declared as a field of a wire-message struct (a struct with JSON
+//     field tags, or named *Args/*Reply/*Request/*Response/*Message);
+//   - passed to a marshal path (encoding/json, encoding/gob);
+//   - passed to fmt/log formatting or to a telemetry label constructor,
+//     where it would end up in process output or metric exposition.
+//
+// This is the paper's core invariant (PAPER.md §IV): only sketched,
+// DP-noised, or keyed-hashed values may cross the federation boundary.
+var PrivacyBoundary = &Analyzer{
+	Name: "privacyboundary",
+	Doc:  "flags //csfltr:private data flowing into wire structs, marshal paths, or fmt/log/metric labels",
+	Run:  runPrivacyBoundary,
+}
+
+// wireNameRE matches struct type names that are wire messages by naming
+// convention (the net/rpc argument/reply pattern).
+var wireNameRE = regexp.MustCompile(`(Args|Reply|Request|Response|Message)$`)
+
+func runPrivacyBoundary(pass *Pass) {
+	if pass.Markers.Empty() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.TypeSpec:
+				checkWireStruct(pass, node)
+			case *ast.CallExpr:
+				checkSinkCall(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkWireStruct flags private data declared inside a wire-message
+// struct.
+func checkWireStruct(pass *Pass, spec *ast.TypeSpec) {
+	st, ok := spec.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	if !wireNameRE.MatchString(spec.Name.Name) && !hasJSONTag(st) {
+		return
+	}
+	for _, field := range st.Fields.List {
+		t := pass.TypeOf(field.Type)
+		if t == nil || !pass.Markers.ContainsPrivate(t) {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"wire struct %s carries silo-private data (%s); only sketched, DP-noised, or keyed-hashed values may cross the federation boundary",
+			spec.Name.Name, pass.Markers.PrivateName(t))
+	}
+}
+
+// hasJSONTag reports whether any field of the struct carries a json
+// tag, the marker of a serialized wire shape.
+func hasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if field.Tag != nil && strings.Contains(field.Tag.Value, `json:"`) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSinkCall flags private values passed to marshal, format, or
+// metric-label calls.
+func checkSinkCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	kind := sinkKind(fn)
+	if kind == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		t := pass.TypeOf(arg)
+		if t == nil || !pass.Markers.ContainsPrivate(t) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"silo-private value (%s) passed to %s %s; private data must not reach %s",
+			pass.Markers.PrivateName(t), kind, fn.FullName(), sinkTarget(kind))
+	}
+}
+
+// sinkKind classifies a callee as a privacy sink; "" means not a sink.
+func sinkKind(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch {
+	case path == "fmt" && (strings.HasPrefix(name, "Print") ||
+		strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Sprint") ||
+		name == "Errorf" || name == "Sprintf" || name == "Appendf"):
+		return "format call"
+	case path == "log":
+		return "log call"
+	case path == "encoding/json" || path == "encoding/gob" || path == "encoding/xml":
+		return "marshal call"
+	case isTelemetryPath(path) && (name == "L" || name == "Label"):
+		return "telemetry label"
+	}
+	return ""
+}
+
+// sinkTarget names where the data would leak for the diagnostic text.
+func sinkTarget(kind string) string {
+	switch kind {
+	case "marshal call":
+		return "a serialized payload"
+	case "telemetry label":
+		return "metric exposition"
+	default:
+		return "process output"
+	}
+}
+
+// isTelemetryPath matches this repo's telemetry package (and a fixture
+// stand-in ending in /telemetry).
+func isTelemetryPath(path string) bool {
+	return path == "csfltr/internal/telemetry" || strings.HasSuffix(path, "/telemetry")
+}
+
+// calleeFunc resolves the *types.Func a call invokes (nil for builtins,
+// type conversions, and indirect calls through non-selector variables).
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.Pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Pkg.Info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = pass.Pkg.Info.Uses[fun.Sel]
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

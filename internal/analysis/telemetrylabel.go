@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// TelemetryLabel flags unbounded strings used as metric label values in
+// telemetry.L(...) calls. Every distinct label value materializes a new
+// series in the registry and a new line in the Prometheus exposition,
+// so per-query, per-document, or per-request identifiers as labels grow
+// memory without bound and blow up scrape size (classic cardinality
+// explosion).
+//
+// The check is a name-taint heuristic, tuned to this codebase: constant
+// values are always fine; non-constant values are flagged when the
+// expression mentions an identifier that names an identifier-like
+// quantity (id/docID/query/term/user/request...), calls
+// telemetry.RequestID, or builds a string with fmt.Sprintf/Sprint from
+// non-constant parts. Bounded dynamic values (route, method, field,
+// status code) pass.
+var TelemetryLabel = &Analyzer{
+	Name: "telemetrylabel",
+	Doc:  "flags unbounded per-query/per-doc identifiers used as metric label values",
+	Run:  runTelemetryLabel,
+}
+
+// taintedNameRE matches identifiers that denote unbounded identifier
+// spaces. Matched case-insensitively against each name segment.
+var taintedNameRE = regexp.MustCompile(`(?i)^(id|ids|uid|uuid|guid|rid|docid|queryid|query|term|doc|user|request|trace|session)$`)
+
+func runTelemetryLabel(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Name() != "L" || fn.Pkg() == nil || !isTelemetryPath(fn.Pkg().Path()) {
+				return true
+			}
+			if len(call.Args) != 2 {
+				return true
+			}
+			key, val := call.Args[0], call.Args[1]
+			if tv, ok := pass.Pkg.Info.Types[val]; ok && tv.Value != nil {
+				return true // constant label value: always bounded
+			}
+			if why := unboundedReason(pass, val); why != "" {
+				pass.Reportf(val.Pos(),
+					"metric label %s takes an unbounded value (%s); label values must be low-cardinality — put identifiers in logs or span events, not labels",
+					keyLabel(pass, key), why)
+			}
+			return true
+		})
+	}
+}
+
+// keyLabel renders the label key argument for the message.
+func keyLabel(pass *Pass, key ast.Expr) string {
+	if tv, ok := pass.Pkg.Info.Types[key]; ok && tv.Value != nil {
+		return tv.Value.String()
+	}
+	return "value"
+}
+
+// unboundedReason walks the label-value expression and returns a short
+// explanation if it is taint-matched, or "" if it looks bounded.
+func unboundedReason(pass *Pass, e ast.Expr) string {
+	var reason string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.Ident:
+			if isTaintedName(node.Name) {
+				reason = "identifier " + node.Name + " names a per-item id"
+			}
+		case *ast.SelectorExpr:
+			if isTaintedName(node.Sel.Name) {
+				reason = "field " + node.Sel.Name + " names a per-item id"
+				return false
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, node); fn != nil {
+				name := fn.Name()
+				if name == "RequestID" {
+					reason = "RequestID() is unique per request"
+					return false
+				}
+				if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+					(name == "Sprintf" || name == "Sprint" || name == "Sprintln") &&
+					!allConstant(pass, node.Args) {
+					reason = "fmt." + name + " formats a dynamic value"
+					// keep walking: an id inside gives a better reason
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// isTaintedName applies taintedNameRE to each underscore/camel-case
+// segment of an identifier.
+func isTaintedName(name string) bool {
+	for _, seg := range splitNameSegments(name) {
+		if taintedNameRE.MatchString(seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitNameSegments splits fooBarID / foo_bar_id into segments. An
+// all-caps run sticks to its own segment (docID -> [doc, ID]).
+func splitNameSegments(name string) []string {
+	var segs []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			segs = append(segs, cur.String())
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range name {
+		switch {
+		case r == '_':
+			flush()
+			prevLower = false
+			continue
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				flush()
+			}
+			prevLower = false
+		default:
+			prevLower = true
+		}
+		cur.WriteRune(r)
+	}
+	flush()
+	return segs
+}
+
+// allConstant reports whether every expression is a typed constant.
+func allConstant(pass *Pass, exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		tv, ok := pass.Pkg.Info.Types[e]
+		if !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,58 @@
+// Package mapiterfix exercises the mapiter analyzer: range-over-map
+// loops with order-sensitive writes versus the collect-and-sort idiom.
+package mapiterfix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func leakWriter(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "nondeterministic order"
+	}
+}
+
+func leakBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "nondeterministic order"
+	}
+	return b.String()
+}
+
+func leakNested(w io.Writer, m map[string][]int) {
+	for k, vs := range m {
+		for _, v := range vs {
+			fmt.Fprintf(w, "%s=%d\n", k, v) // want "nondeterministic order"
+		}
+	}
+}
+
+func sorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: collect, then sort below
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k]) // ok: slice iteration is ordered
+	}
+}
+
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: commutative fold, no ordered sink
+	}
+	return total
+}
+
+func allowedSink(w io.Writer, m map[string]int) {
+	for k := range m {
+		//csfltr:allow mapiter -- fixture: suppression must silence the finding below
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,59 @@
+// Package privacyfix exercises the privacyboundary analyzer: marked
+// types flowing into wire structs, marshal paths, and format calls.
+package privacyfix
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// TermVector is a stand-in for the raw term-count vector.
+//
+//csfltr:private
+type TermVector map[uint64]int
+
+// PrivateKey is a stand-in DH private key.
+//
+//csfltr:private
+type PrivateKey struct{ X int }
+
+// SketchPayload carries only derived values and may cross the wire.
+type SketchPayload struct {
+	Cols []uint32 `json:"cols"`
+}
+
+// LeakyArgs is a wire struct (by the *Args naming convention) carrying
+// raw counts.
+type LeakyArgs struct {
+	Counts TermVector // want "wire struct LeakyArgs carries silo-private data"
+}
+
+// LeakyMessage is a wire struct (by json tags) embedding a private key.
+type LeakyMessage struct {
+	Key  *PrivateKey `json:"key"` // want "wire struct LeakyMessage carries silo-private data"
+	Name string      `json:"name"`
+}
+
+// CleanArgs carries derived values only: no diagnostic.
+type CleanArgs struct {
+	Payload SketchPayload
+}
+
+// Holder embeds a private type one structural level down.
+type Holder struct{ tv TermVector }
+
+func sinks(tv TermVector, pk *PrivateKey, h Holder, p SketchPayload) {
+	fmt.Println(tv)         // want "passed to format call"
+	fmt.Printf("%v\n", pk)  // want "passed to format call"
+	fmt.Print(h)            // want "passed to format call"
+	_, _ = json.Marshal(tv) // want "passed to marshal call"
+	fmt.Println(len(tv))    // ok: an int, not the vector itself
+	_, _ = json.Marshal(p)  // ok: derived payload
+	fmt.Println(pk.X == 0)  // ok: a bool
+	_, _ = json.Marshal(&p) // ok: pointer to derived payload
+}
+
+func allowed(tv TermVector) {
+	//csfltr:allow privacyboundary -- fixture: suppression must silence the finding below
+	fmt.Println(tv)
+}

@@ -1,0 +1,27 @@
+// Package labelfix exercises the telemetrylabel analyzer: unbounded
+// per-item identifiers as metric label values versus bounded dynamic
+// values.
+package labelfix
+
+import (
+	"fmt"
+	"strconv"
+
+	"csfltr/internal/telemetry"
+)
+
+func labels(reg *telemetry.Registry, docID int, route, method, query string, code int) {
+	reg.Counter("a_total", "h", telemetry.L("route", route)).Inc()                     // ok: bounded route set
+	reg.Counter("b_total", "h", telemetry.L("method", method)).Inc()                   // ok: bounded method set
+	reg.Counter("c_total", "h", telemetry.L("code", strconv.Itoa(code))).Inc()         // ok: bounded status codes
+	reg.Counter("d_total", "h", telemetry.L("mode", "fast")).Inc()                     // ok: constant
+	reg.Counter("e_total", "h", telemetry.L("doc", strconv.Itoa(docID))).Inc()         // want "unbounded value"
+	reg.Counter("f_total", "h", telemetry.L("query", query)).Inc()                     // want "unbounded value"
+	reg.Counter("g_total", "h", telemetry.L("req", telemetry.RequestID())).Inc()       // want "unbounded value"
+	reg.Counter("i_total", "h", telemetry.L("shard", fmt.Sprintf("s%d", docID))).Inc() // want "unbounded value"
+}
+
+func allowedLabel(reg *telemetry.Registry, docID int) {
+	//csfltr:allow telemetrylabel -- fixture: suppression must silence the finding below
+	reg.Counter("j_total", "h", telemetry.L("doc", strconv.Itoa(docID))).Inc()
+}

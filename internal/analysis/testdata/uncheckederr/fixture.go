@@ -1,0 +1,39 @@
+// Package uncheckedfix exercises the uncheckederr analyzer: dropped
+// error results versus checked, explicitly discarded, and exempt calls.
+package uncheckedfix
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+)
+
+func dropped(w io.Writer, f *os.File) {
+	fmt.Fprintf(w, "hello") // want "error result of fmt.Fprintf is dropped"
+	f.Close()               // want "Close is dropped"
+	f.Sync()                // want "Sync is dropped"
+	go f.Sync()             // want "Sync is dropped"
+}
+
+func checked(w io.Writer, f *os.File) error {
+	if _, err := fmt.Fprintf(w, "hello"); err != nil { // ok: checked
+		return err
+	}
+	defer f.Close() // ok: deferred Close is idiomatic on read paths
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x") // ok: in-memory buffer cannot fail
+	b.WriteString("y")   // ok: bytes.Buffer never errors
+	h := sha256.New()
+	h.Write([]byte("z"))            // ok: hash.Hash documents no errors
+	fmt.Println("done")             // ok: stdout chatter
+	fmt.Fprintln(os.Stderr, "note") // ok: process stderr
+	_ = f.Sync()                    // ok: explicit, reviewable discard
+	return nil
+}
+
+func allowedDrop(f *os.File) {
+	//csfltr:allow uncheckederr -- fixture: suppression must silence the finding below
+	f.Sync()
+}

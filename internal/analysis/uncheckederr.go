@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UncheckedErr flags statements that call a function returning an error
+// and silently discard it — the failure mode that turns a transport
+// glitch, a truncated store write, or a failed encode into corrupted
+// federation state. An explicit `_ =` assignment is treated as a
+// deliberate, reviewable decision and is not flagged.
+//
+// Exemptions, matching idiomatic Go:
+//
+//   - fmt.Print/Printf/Println (stdout chatter) and fmt.Fprint* when
+//     the destination is an in-memory buffer (strings.Builder,
+//     bytes.Buffer) or the process's own stdout/stderr;
+//   - methods on strings.Builder / bytes.Buffer, and Write on a
+//     hash.Hash, all documented to never return a non-nil error;
+//   - `defer x.Close()` on read paths, where the error is meaningless.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "flags dropped errors on transport, store, and encoder calls",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					checkDroppedError(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				checkDroppedError(pass, stmt.Call, true)
+				return false // the call itself is handled above
+			case *ast.GoStmt:
+				checkDroppedError(pass, stmt.Call, false)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func checkDroppedError(pass *Pass, call *ast.CallExpr, deferred bool) {
+	if !returnsError(pass, call) {
+		return
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return // builtin, conversion, or func-typed variable: out of scope
+	}
+	if deferred && fn.Name() == "Close" {
+		return
+	}
+	if exemptErrorDrop(pass, fn, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is dropped; check it or assign to _ with a justification",
+		fn.FullName())
+}
+
+// returnsError reports whether the call's sole or last result is error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch tt := t.(type) {
+	case *types.Tuple:
+		return tt.Len() > 0 && isErrorType(tt.At(tt.Len()-1).Type())
+	default:
+		return isErrorType(tt)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptErrorDrop applies the idiomatic-Go exemptions.
+func exemptErrorDrop(pass *Pass, fn *types.Func, call *ast.CallExpr) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	name := fn.Name()
+	if pkg.Path() == "fmt" {
+		if strings.HasPrefix(name, "Print") {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return isBufferedDest(pass, call.Args[0])
+		}
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if isInMemoryWriter(recv.Type()) {
+			return true
+		}
+		// hash.Hash documents: "It never returns an error." The method
+		// resolves to (io.Writer).Write, so look at the receiver
+		// expression's static type.
+		if strings.HasPrefix(name, "Write") {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isHashHash(pass.TypeOf(sel.X)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isHashHash matches the hash.Hash / hash.Hash32 / hash.Hash64
+// interfaces.
+func isHashHash(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "hash" &&
+		strings.HasPrefix(named.Obj().Name(), "Hash")
+}
+
+// isBufferedDest reports whether an io.Writer argument is an in-memory
+// buffer or the process's own stdout/stderr.
+func isBufferedDest(pass *Pass, arg ast.Expr) bool {
+	if isInMemoryWriter(pass.TypeOf(arg)) {
+		return true
+	}
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "os" &&
+		(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+		if obj := pass.Pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			return true
+		}
+	}
+	return false
+}
+
+// isInMemoryWriter matches *strings.Builder and *bytes.Buffer, whose
+// write methods are documented to never fail.
+func isInMemoryWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

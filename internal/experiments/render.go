@@ -8,27 +8,46 @@ import (
 	"text/tabwriter"
 )
 
+// Every renderer below writes through a tabwriter into an in-memory
+// strings.Builder, so writes are structurally infallible; wprintf,
+// wprintln and flushTable state that contract once instead of
+// discarding an error at every call site.
+
+// wprintf is fmt.Fprintf to an in-memory destination; the error is
+// structurally nil.
+func wprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// wprintln is fmt.Fprintln to an in-memory destination.
+func wprintln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
+// flushTable flushes a tabwriter whose underlying writer is in-memory.
+func flushTable(tw *tabwriter.Writer) { _ = tw.Flush() }
+
 // RenderTable1 formats a Table1Result in the layout of the paper's
 // Table I.
 func RenderTable1(res *Table1Result) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "method\tparty\tERR\tnDCG@10\tnDCG")
+	wprintln(tw, "method\tparty\tERR\tnDCG@10\tnDCG")
 	for i, name := range res.PartyNames {
 		m := res.Local.PerParty[i]
-		fmt.Fprintf(tw, "Local\tParty %s\t%.3f\t%.3f\t%.3f\n", name, m.ERR, m.NDCG10, m.NDCG)
+		wprintf(tw, "Local\tParty %s\t%.3f\t%.3f\t%.3f\n", name, m.ERR, m.NDCG10, m.NDCG)
 	}
 	a := res.Local.Average
-	fmt.Fprintf(tw, "Local\tAverage\t%.3f\t%.3f\t%.3f\n", a.ERR, a.NDCG10, a.NDCG)
+	wprintf(tw, "Local\tAverage\t%.3f\t%.3f\t%.3f\n", a.ERR, a.NDCG10, a.NDCG)
 	for i, name := range res.PartyNames {
 		m := res.LocalPlus.PerParty[i]
-		fmt.Fprintf(tw, "Local+\tParty %s\t%.3f\t%.3f\t%.3f\n", name, m.ERR, m.NDCG10, m.NDCG)
+		wprintf(tw, "Local+\tParty %s\t%.3f\t%.3f\t%.3f\n", name, m.ERR, m.NDCG10, m.NDCG)
 	}
 	a = res.LocalPlus.Average
-	fmt.Fprintf(tw, "Local+\tAverage\t%.3f\t%.3f\t%.3f\n", a.ERR, a.NDCG10, a.NDCG)
-	fmt.Fprintf(tw, "Global\t\t%.3f\t%.3f\t%.3f\n", res.Global.ERR, res.Global.NDCG10, res.Global.NDCG)
-	fmt.Fprintf(tw, "CS-F-LTR\t\t%.3f\t%.3f\t%.3f\n", res.CSFLTR.ERR, res.CSFLTR.NDCG10, res.CSFLTR.NDCG)
-	tw.Flush()
+	wprintf(tw, "Local+\tAverage\t%.3f\t%.3f\t%.3f\n", a.ERR, a.NDCG10, a.NDCG)
+	wprintf(tw, "Global\t\t%.3f\t%.3f\t%.3f\n", res.Global.ERR, res.Global.NDCG10, res.Global.NDCG)
+	wprintf(tw, "CS-F-LTR\t\t%.3f\t%.3f\t%.3f\n", res.CSFLTR.ERR, res.CSFLTR.NDCG10, res.CSFLTR.NDCG)
+	flushTable(tw)
 	fmt.Fprintf(&b, "\naugmented instances per party: %v (local: %v)\n", res.AugSizes, res.LocalSizes)
 	fmt.Fprintf(&b, "augmentation cost: %d messages, %.1f KB received\n",
 		res.AugmentCost.Messages, float64(res.AugmentCost.BytesReceived)/1024)
@@ -41,7 +60,7 @@ func RenderTable1(res *Table1Result) string {
 func RenderFig4(points []Fig4Point) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "param\tvalue\tcover-rate\trtk-us\tnaive-us\trtk-KB\tnaive-KB\trtk-resp-B\tnaive-resp-B")
+	wprintln(tw, "param\tvalue\tcover-rate\trtk-us\tnaive-us\trtk-KB\tnaive-KB\trtk-resp-B\tnaive-resp-B")
 	for _, p := range points {
 		naiveUs := "-"
 		if p.NaiveQueryMicros > 0 {
@@ -51,12 +70,12 @@ func RenderFig4(points []Fig4Point) string {
 		if p.NaiveRespBytes > 0 {
 			naiveResp = fmt.Sprintf("%d", p.NaiveRespBytes)
 		}
-		fmt.Fprintf(tw, "%s\t%g\t%.3f\t%.1f\t%s\t%.1f\t%.1f\t%d\t%s\n",
+		wprintf(tw, "%s\t%g\t%.3f\t%.1f\t%s\t%.1f\t%.1f\t%d\t%s\n",
 			p.Param, p.Value, p.CoverRate, p.RTKQueryMicros, naiveUs,
 			float64(p.RTKSpaceBytes)/1024, float64(p.NaiveSpaceBytes)/1024,
 			p.RTKRespBytes, naiveResp)
 	}
-	tw.Flush()
+	flushTable(tw)
 	return b.String()
 }
 
@@ -80,12 +99,12 @@ func WriteFig4CSV(w io.Writer, points []Fig4Point) error {
 func RenderFig5(panels []Fig5Panel) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "strategy\tprobe-acc\tcentroid-margin\tsilhouette")
+	wprintln(tw, "strategy\tprobe-acc\tcentroid-margin\tsilhouette")
 	for _, p := range panels {
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n",
+		wprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n",
 			p.Strategy.Name, p.Probes.ProbeAccuracy, p.Probes.CentroidMargin, p.Probes.Silhouette)
 	}
-	tw.Flush()
+	flushTable(tw)
 	return b.String()
 }
 
@@ -154,12 +173,12 @@ func Scatter(points [][]float64, labels []int, width, height int) string {
 func RenderEstimatorAblation(ab *EstimatorAblation) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintf(tw, "%s\tcover(zero-fill)\tcover(present-rows)\n", ab.Param)
+	wprintf(tw, "%s\tcover(zero-fill)\tcover(present-rows)\n", ab.Param)
 	for i := range ab.ZeroFill {
-		fmt.Fprintf(tw, "%g\t%.3f\t%.3f\n",
+		wprintf(tw, "%g\t%.3f\t%.3f\n",
 			ab.ZeroFill[i].Value, ab.ZeroFill[i].CoverRate, ab.Present[i].CoverRate)
 	}
-	tw.Flush()
+	flushTable(tw)
 	return b.String()
 }
 
@@ -167,12 +186,12 @@ func RenderEstimatorAblation(ab *EstimatorAblation) string {
 func RenderAggregatorAblation(ab *AggregatorAblation) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "aggregator\tERR\tnDCG@10\tnDCG")
-	fmt.Fprintf(tw, "round-robin\t%.3f\t%.3f\t%.3f\n",
+	wprintln(tw, "aggregator\tERR\tnDCG@10\tnDCG")
+	wprintf(tw, "round-robin\t%.3f\t%.3f\t%.3f\n",
 		ab.RoundRobin.ERR, ab.RoundRobin.NDCG10, ab.RoundRobin.NDCG)
-	fmt.Fprintf(tw, "fedavg\t%.3f\t%.3f\t%.3f\n",
+	wprintf(tw, "fedavg\t%.3f\t%.3f\t%.3f\n",
 		ab.FedAvg.ERR, ab.FedAvg.NDCG10, ab.FedAvg.NDCG)
-	tw.Flush()
+	flushTable(tw)
 	return b.String()
 }
 
@@ -180,15 +199,15 @@ func RenderAggregatorAblation(ab *AggregatorAblation) string {
 func RenderFig6a(points []Fig6aPoint) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "epsilon\tERR\tnDCG@10\tnDCG")
+	wprintln(tw, "epsilon\tERR\tnDCG@10\tnDCG")
 	for _, p := range points {
 		eps := fmt.Sprintf("%g", p.Epsilon)
 		if p.Epsilon == 0 {
 			eps = "off"
 		}
-		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", eps, p.Metrics.ERR, p.Metrics.NDCG10, p.Metrics.NDCG)
+		wprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", eps, p.Metrics.ERR, p.Metrics.NDCG10, p.Metrics.NDCG)
 	}
-	tw.Flush()
+	flushTable(tw)
 	return b.String()
 }
 
@@ -196,11 +215,11 @@ func RenderFig6a(points []Fig6aPoint) string {
 func RenderFig6b(points []Fig6bPoint) string {
 	var b strings.Builder
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "parties\tERR\tnDCG@10\tnDCG")
+	wprintln(tw, "parties\tERR\tnDCG@10\tnDCG")
 	for _, p := range points {
-		fmt.Fprintf(tw, "%d\t%.3f\t%.3f\t%.3f\n", p.Parties, p.Metrics.ERR, p.Metrics.NDCG10, p.Metrics.NDCG)
+		wprintf(tw, "%d\t%.3f\t%.3f\t%.3f\n", p.Parties, p.Metrics.ERR, p.Metrics.NDCG10, p.Metrics.NDCG)
 	}
-	tw.Flush()
+	flushTable(tw)
 	return b.String()
 }
 

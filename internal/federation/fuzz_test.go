@@ -1,0 +1,88 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"csfltr/internal/textkit"
+)
+
+// FuzzHTTPEnvelope hardens the gateway's JSON envelope decoder: for any
+// request body thrown at the TF/RTK POST routes the handler must not
+// panic, must always answer with a JSON body, must echo the caller's
+// X-Request-ID in error envelopes, and must only use the documented
+// status codes.
+func FuzzHTTPEnvelope(f *testing.F) {
+	fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	a, _ := fed.Party("A")
+	if err := a.IngestAll([]*textkit.Document{doc(0, 5, 5, 6), doc(1, 6, 7)}); err != nil {
+		f.Fatal(err)
+	}
+	handler := HTTPHandler(fed.Server)
+
+	f.Add(uint8(0), []byte(`{"doc_id":0,"cols":[1,2,3,4,5,6,7,8,9]}`))
+	f.Add(uint8(1), []byte(`{"cols":[1,2,3,4,5,6,7,8,9]}`))
+	f.Add(uint8(0), []byte(`{not json`))
+	f.Add(uint8(1), []byte(``))
+	f.Add(uint8(2), []byte(`{"doc_id":99,"cols":[]}`))
+	f.Add(uint8(3), []byte(`{"cols":null}`))
+	f.Add(uint8(0), []byte(`{"doc_id":1e309,"cols":[0]}`))
+	f.Add(uint8(1), []byte(strings.Repeat(`[`, 10000)))
+
+	routes := []string{
+		"/v1/parties/A/body/tf",
+		"/v1/parties/A/body/rtk",
+		"/v1/parties/A/title/tf",
+		"/v1/parties/nobody/body/rtk",
+	}
+	allowed := map[int]bool{
+		http.StatusOK: true, http.StatusBadRequest: true, http.StatusNotFound: true,
+		http.StatusConflict: true, http.StatusMethodNotAllowed: true,
+		http.StatusInternalServerError: true,
+	}
+
+	f.Fuzz(func(t *testing.T, route uint8, body []byte) {
+		path := routes[int(route)%len(routes)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("X-Request-ID", "fuzz-rid")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+
+		if !allowed[rec.Code] {
+			t.Fatalf("%s: unexpected status %d for body %q", path, rec.Code, body)
+		}
+		if got := rec.Header().Get("X-Request-ID"); got != "fuzz-rid" {
+			t.Fatalf("%s: request id not propagated: %q", path, got)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s: non-JSON content type %q (status %d)", path, ct, rec.Code)
+		}
+		if rec.Code == http.StatusOK {
+			var ok map[string]any
+			if err := json.Unmarshal(rec.Body.Bytes(), &ok); err != nil {
+				t.Fatalf("%s: 200 body is not JSON: %v", path, err)
+			}
+			return
+		}
+		var env struct {
+			Error     string `json:"error"`
+			RequestID string `json:"request_id"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatalf("%s: error body is not an envelope: %v (%q)", path, err, rec.Body.String())
+		}
+		if env.Error == "" {
+			t.Fatalf("%s: error envelope with empty error (status %d)", path, rec.Code)
+		}
+		if env.RequestID != "fuzz-rid" {
+			t.Fatalf("%s: envelope request id %q, want fuzz-rid", path, env.RequestID)
+		}
+	})
+}

@@ -157,7 +157,7 @@ func ListenAndServe(srv *Server, addr string) (*RPCServer, error) {
 	}
 	rs := rpc.NewServer()
 	if err := rs.RegisterName(serviceName, &RPCService{server: srv}); err != nil {
-		ln.Close()
+		_ = ln.Close()
 		return nil, fmt.Errorf("federation: register rpc service: %w", err)
 	}
 	out := &RPCServer{Addr: ln.Addr().String(), ln: ln}
@@ -248,7 +248,7 @@ func (s *Server) RegisterRemote(name, addr string) (*Client, error) {
 		return nil, err
 	}
 	if err := s.register(name, &remoteEndpoint{client: c, name: name}); err != nil {
-		c.Close()
+		_ = c.Close()
 		return nil, err
 	}
 	return c, nil

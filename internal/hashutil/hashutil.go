@@ -83,9 +83,16 @@ type Family struct {
 	kind Kind
 	z    int
 	w    uint32
+	// seed is the shared federation hash seed: the server must never
+	// learn it (PAPER.md §IV-B Step 1), so a Family must not be
+	// marshalled, logged, or embedded in a wire message.
+	//
+	//csfltr:private
 	seed uint64
+	//csfltr:private
 	rows []rowParams // polynomial coefficients (also salts MD5 rows)
-	key  [16]byte    // MD5 key material derived from seed
+	//csfltr:private
+	key [16]byte // MD5 key material derived from seed
 }
 
 // NewFamily constructs a hash family of kind k with z rows and index range

@@ -68,7 +68,11 @@ func ModP2048() *Group {
 	return &Group{P: p, G: big.NewInt(2)}
 }
 
-// PrivateKey is one party's DH key pair within a group.
+// PrivateKey is one party's DH key pair within a group. The private
+// exponent (and anything embedding it) must never be marshalled,
+// logged, or placed in a wire message; only Public() may travel.
+//
+//csfltr:private
 type PrivateKey struct {
 	group *Group
 	x     *big.Int // private exponent

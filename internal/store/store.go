@@ -39,6 +39,7 @@ func writeAtomic(path string, payload []byte) error {
 		return fmt.Errorf("store: creating temp file: %w", err)
 	}
 	tmpName := tmp.Name()
+	//csfltr:allow uncheckederr -- best-effort cleanup; a leftover temp file is harmless
 	defer os.Remove(tmpName) // no-op after successful rename
 
 	var footer [footerSize]byte
@@ -48,11 +49,11 @@ func writeAtomic(path string, payload []byte) error {
 		_, err = tmp.Write(footer[:])
 	}
 	if err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("store: writing %s: %w", path, err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("store: syncing %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {

@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzWritePrometheus hardens the text-exposition writer against
+// hostile label values and help strings: whatever bytes land in a
+// label, the output must keep its line structure — every line is a
+// # HELP / # TYPE line or a sample of the registered families, so a
+// label value can never inject a forged sample or comment line.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("route", "request latency.")
+	f.Add("a\nb", `quo"te`)
+	f.Add(`back\slash`, "multi\nline help")
+	f.Add("", "")
+	f.Add("\n# HELP forged_metric bad\nforged_metric 1", "x")
+
+	f.Fuzz(func(t *testing.T, val, help string) {
+		reg := NewRegistry()
+		reg.Counter("csfltr_fuzz_total", help, L("k", val)).Add(3)
+		reg.Gauge("csfltr_fuzz_gauge", help, L("k", val)).Set(1.5)
+		reg.Histogram("csfltr_fuzz_seconds", help, []float64{0.1, 1}, L("k", val)).Observe(0.5)
+
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(b.String(), "\n") {
+			if line == "" {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(line, "# HELP csfltr_fuzz_"),
+				strings.HasPrefix(line, "# TYPE csfltr_fuzz_"),
+				strings.HasPrefix(line, "csfltr_fuzz_"):
+				// structurally sound line
+			default:
+				t.Fatalf("label value %q / help %q injected exposition line %q", val, help, line)
+			}
+		}
+	})
+}

@@ -137,6 +137,11 @@ func FilterStopwords(tokens []string) []string {
 }
 
 // TermVector maps a term to its count within one document or query field.
+// Raw term frequencies are exactly what the CS-F-LTR protocol exists to
+// keep inside the silo (PAPER.md §IV): only sketched, DP-noised values
+// derived from them may cross the federation boundary.
+//
+//csfltr:private
 type TermVector map[TermID]int
 
 // CountTerms builds a TermVector from a term sequence.
@@ -175,6 +180,11 @@ func (tv TermVector) Counts() []float64 {
 // sequences. ID is local to the owning party. Topic records the
 // generating topic for synthetic corpora (-1 when unknown); it is ground
 // truth only and never visible to the algorithms under test.
+//
+// Documents are silo-private: their raw term sequences must never be
+// marshalled, logged, or sent across the federation transport.
+//
+//csfltr:private
 type Document struct {
 	ID    int
 	Topic int
