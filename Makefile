@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
+.PHONY: all build test race cover bench bench-smoke bench-json fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
 
 all: build test
 
@@ -22,6 +22,18 @@ cover:
 # One benchmark per paper table/figure plus package micro-benches.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Compile every benchmark and run each for exactly one iteration under
+# the race detector — cheap rot protection, mirrored by the CI job.
+bench-smoke:
+	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./...
+
+# Refresh the machine-readable parallelism benchmark (ns/op, allocs/op,
+# speedup vs 1 worker for federated search and bulk ingestion). The
+# result is checked in as BENCH_federation.json so the perf trajectory is
+# tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/expbench -exp parallelism -bench-json BENCH_federation.json
 
 # Short fuzz sessions over every fuzz target.
 fuzz:

@@ -15,6 +15,7 @@
 //	expbench -exp latency           # per-stage protocol latency breakdown
 //	expbench -exp ablation          # estimator + aggregator ablations
 //	expbench -exp sse               # encryption-based comparator
+//	expbench -exp parallelism       # worker-pool speedup sweep (not in "all")
 //	expbench -exp all               # everything
 //
 // -scale selects the workload size: "test" (seconds), "default"
@@ -22,6 +23,10 @@
 // headline at the paper's document counts.
 // -csv DIR additionally writes CSV series and Fig. 5 SVG panels;
 // -json FILE writes one machine-readable report covering the run.
+// -workers N,N,... selects the pool sizes of the parallelism sweep and
+// -bench-json FILE writes its machine-readable result (ns/op, allocs/op,
+// speedup vs 1 worker) — `make bench-json` uses this to refresh the
+// checked-in BENCH_federation.json.
 // -debug-addr HOST:PORT serves Prometheus /metrics, an expvar-style
 // /debug/vars snapshot and /debug/pprof for the duration of the run.
 package main
@@ -32,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"csfltr/internal/corpus"
@@ -48,9 +54,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "experiment seed")
 		scatter   = flag.Bool("scatter", false, "print ASCII scatter plots for fig5 panels")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run (optional)")
+		workers   = flag.String("workers", "", "comma-separated pool sizes for the parallelism sweep (default 1,2,4,8; must start at 1)")
+		benchJSON = flag.String("bench-json", "", "file to write the parallelism sweep result into (optional)")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *csvDir, *jsonOut, *seed, *scatter, *debugAddr); err != nil {
+	if err := run(*exp, *scale, *csvDir, *jsonOut, *seed, *scatter, *debugAddr, *workers, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "expbench:", err)
 		os.Exit(1)
 	}
@@ -92,7 +100,7 @@ func configs(scale string, seed int64) (experiments.PipelineConfig, experiments.
 	return pipe, fig4, fig5, nil
 }
 
-func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr string) error {
+func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr, workers, benchJSON string) error {
 	pipe, fig4, fig5, err := configs(scale, seed)
 	if err != nil {
 		return err
@@ -185,6 +193,39 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			report.Add("latency", res)
 			return nil
 		},
+		"parallelism": func() error {
+			cfg := experiments.DefaultParallelismConfig()
+			if scale == "test" {
+				cfg = experiments.TestParallelismConfig()
+			}
+			cfg.Seed = seed
+			if workers != "" {
+				ws, err := parseWorkers(workers)
+				if err != nil {
+					return err
+				}
+				cfg.Workers = ws
+			}
+			res, err := experiments.RunParallelismSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Parallelism: federated search fan-out and bulk ingestion ==")
+			fmt.Print(experiments.RenderParallelism(res))
+			report.Add("parallelism", res)
+			if benchJSON != "" {
+				f, err := os.Create(benchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteParallelismJSON(f, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", benchJSON)
+			}
+			return nil
+		},
 		"traffic": func() error {
 			cfg := fig4
 			if cfg.Docs > 4000 {
@@ -236,6 +277,9 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			if strings.HasPrefix(n, "fig4-") {
 				continue // covered by "fig4"
 			}
+			if n == "parallelism" {
+				continue // a timing benchmark, not a paper figure; run explicitly
+			}
 			names = append(names, n)
 		}
 		sort.Strings(names)
@@ -255,6 +299,20 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 		return err
 	}
 	return writeReport()
+}
+
+// parseWorkers parses the -workers flag ("1,2,4,8").
+func parseWorkers(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -workers value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func runTable1(pipe experiments.PipelineConfig, report *experiments.Report) error {

@@ -124,7 +124,9 @@ func (q *Querier) RecoverSum(priv *MultiTFPrivate, resp *MultiTFResponse) (float
 		}
 		return min, nil
 	}
-	return sketch.Median(rowSums), nil
+	// rowSums is locally owned scratch, so the in-place selection avoids
+	// Median's defensive copy.
+	return sketch.MedianInPlace(rowSums), nil
 }
 
 func multiLen(r *MultiTFResponse) int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"csfltr/internal/dp"
 	"csfltr/internal/hashutil"
@@ -158,6 +159,120 @@ func (o *Owner) AddDocument(docID int, counts map[uint64]int64) error {
 	}
 	o.meta[docID] = docMeta{length: length, unique: len(counts)}
 	o.ids = append(o.ids, docID)
+	o.idsSorted = false
+	return nil
+}
+
+// DocCounts pairs a document id with its term counts — one unit of a
+// bulk-ingestion batch.
+type DocCounts struct {
+	DocID  int
+	Counts map[uint64]int64
+}
+
+// AddDocuments bulk-loads a batch of documents on a bounded worker pool
+// (workers <= 0 resolves to Params.Workers, i.e. GOMAXPROCS by default).
+// The final owner state is identical to calling AddDocument for each
+// element in slice order: per-document sketch tables are built in
+// parallel (the hashing-heavy stage), then folded into the RTK-Sketch
+// with the rows partitioned across workers — each worker owns a disjoint
+// row band and replays the documents in slice order, so every heap sees
+// the same push sequence the sequential path would issue.
+//
+// On error (duplicate id, geometry mismatch) the owner is left unchanged;
+// unlike a sequential AddDocument loop there is no partially-applied
+// prefix.
+func (o *Owner) AddDocuments(docs []DocCounts, workers int) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(docs) == 0 {
+		return nil
+	}
+	inBatch := make(map[int]struct{}, len(docs))
+	for _, d := range docs {
+		if _, dup := o.meta[d.DocID]; dup {
+			return fmt.Errorf("core: duplicate document id %d", d.DocID)
+		}
+		if _, dup := inBatch[d.DocID]; dup {
+			return fmt.Errorf("core: duplicate document id %d", d.DocID)
+		}
+		inBatch[d.DocID] = struct{}{}
+	}
+	if workers <= 0 {
+		workers = o.params.Workers(len(docs))
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+
+	// Stage 1: build one sketch table per document, documents striped
+	// across the pool. Nothing is mutated on the owner yet, so a failure
+	// here aborts cleanly.
+	tables := make([]*sketch.Table, len(docs))
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				t, err := sketch.New(o.params.SketchKind, o.fam)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				t.AddCounts(docs[i].Counts)
+				tables[i] = t
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Stage 2: fold every table into the RTK-Sketch, rows sharded across
+	// the pool; each band replays the batch in slice order (see
+	// updateRows for why this reproduces the sequential state).
+	z := o.params.Z
+	bands := workers
+	if bands > z {
+		bands = z
+	}
+	wg = sync.WaitGroup{}
+	for b := 0; b < bands; b++ {
+		lo := b * z / bands
+		hi := (b + 1) * z / bands
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i, d := range docs {
+				o.rtk.updateRows(d.DocID, tables[i], lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	o.rtk.addDocs(len(docs))
+
+	// Stage 3: metadata, in slice order.
+	for i, d := range docs {
+		length := 0
+		for _, c := range d.Counts {
+			length += int(c)
+		}
+		if o.keepDocTables {
+			o.docTables[d.DocID] = tables[i]
+		}
+		o.meta[d.DocID] = docMeta{length: length, unique: len(d.Counts)}
+		o.ids = append(o.ids, d.DocID)
+	}
 	o.idsSorted = false
 	return nil
 }

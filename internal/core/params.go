@@ -22,6 +22,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"csfltr/internal/hashutil"
 	"csfltr/internal/sketch"
@@ -69,6 +70,13 @@ type Params struct {
 	Beta       float64       // RTK soft-intersection fraction (beta)
 	K          int           // reverse top-K result size (K)
 	Estimator  EstimatorMode // RTK candidate count estimation strategy
+	// Parallelism bounds the worker pool used by the parallel federation
+	// operations (federated search fan-out, bulk ingestion). 0 — the
+	// default — resolves to runtime.GOMAXPROCS(0); 1 reproduces the
+	// sequential path exactly. It is a runtime knob, not a protocol
+	// parameter: it is not persisted with owner snapshots and does not
+	// affect protocol messages or cost accounting.
+	Parallelism int
 }
 
 // DefaultParams returns the paper's default parameter setting.
@@ -105,12 +113,31 @@ func (p Params) Validate() error {
 		return fmt.Errorf("%w: K=%d", ErrBadParams, p.K)
 	case p.Estimator != EstimatorZeroFill && p.Estimator != EstimatorPresentRows:
 		return fmt.Errorf("%w: Estimator=%d", ErrBadParams, int(p.Estimator))
+	case p.Parallelism < 0:
+		return fmt.Errorf("%w: Parallelism=%d", ErrBadParams, p.Parallelism)
 	}
 	return nil
 }
 
 // HeapCap returns the RTK cell capacity alpha*K.
 func (p Params) HeapCap() int { return p.Alpha * p.K }
+
+// Workers resolves the Parallelism knob to a concrete worker count for a
+// workload of n independent tasks: 0 means runtime.GOMAXPROCS(0), and the
+// result is clamped to [1, n].
+func (p Params) Workers(n int) int {
+	w := p.Parallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Family constructs the shared hash family for these parameters from the
 // federation seed (see hashutil.DeriveSeed / package keyex).

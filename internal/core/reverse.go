@@ -15,10 +15,19 @@ import (
 // one perturbed lookup per document, so computation is O(z*n) and the
 // response traffic grows linearly in n.
 func NaiveReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount, Cost, error) {
+	return NaiveWithPlan(q.Plan(term), owner, k)
+}
+
+// NaiveWithPlan is NaiveReverseTopK over a prebuilt query plan (see
+// Querier.Plan): the obfuscated hash vector is reused rather than
+// rebuilt, so the same plan can serve several owners. Cost accounting is
+// identical to the build-per-call path — the query is still sent (and its
+// bytes counted) once per owner.
+func NaiveWithPlan(plan *Plan, owner OwnerAPI, k int) ([]DocCount, Cost, error) {
 	if k <= 0 {
 		return nil, Cost{}, fmt.Errorf("%w: k=%d", ErrBadParams, k)
 	}
-	query, priv := q.BuildQuery(term)
+	query, priv := plan.query, plan.priv
 	var cost Cost
 	cost.BytesSent += query.WireSize()
 	ids := owner.DocIDs()
@@ -30,11 +39,16 @@ func NaiveReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCoun
 		}
 		cost.Messages++
 		cost.BytesReceived += resp.WireSize()
-		cost.SketchLookups += q.params.Z
-		count, err := q.Recover(priv, resp)
-		if err != nil {
-			return nil, cost, err
+		cost.SketchLookups += plan.params.Z
+		if len(resp.Values) != plan.params.Z {
+			return nil, cost, fmt.Errorf("%w: response has %d values, want %d",
+				ErrBadQuery, len(resp.Values), plan.params.Z)
 		}
+		vals := make([]float64, len(priv.PV))
+		for i, a := range priv.PV {
+			vals[i] = resp.Values[a]
+		}
+		count := sketch.EstimateFromRows(plan.params.SketchKind, plan.fam, priv.Term, priv.PV, vals)
 		results = append(results, DocCount{DocID: id, Count: count})
 	}
 	return topK(results, k), cost, nil
@@ -46,10 +60,20 @@ func NaiveReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCoun
 // standard sketch estimator over the rows it appeared in, and return the
 // top k. One round trip; traffic is O(z*alpha*K) independent of n.
 func RTKReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount, Cost, error) {
+	return RTKWithPlan(q.Plan(term), owner, k)
+}
+
+// RTKWithPlan is RTKReverseTopK over a prebuilt query plan (see
+// Querier.Plan). A federated search builds one plan per query term and
+// fans it out to every party concurrently; the plan is read-only here, so
+// concurrent calls sharing a plan are safe. Cost accounting is identical
+// to the build-per-call path — the query is still sent (and its bytes
+// counted) once per owner.
+func RTKWithPlan(plan *Plan, owner OwnerAPI, k int) ([]DocCount, Cost, error) {
 	if k <= 0 {
 		return nil, Cost{}, fmt.Errorf("%w: k=%d", ErrBadParams, k)
 	}
-	query, priv := q.BuildQuery(term)
+	query, priv := plan.query, plan.priv
 	var cost Cost
 	cost.BytesSent += query.WireSize()
 	resp, err := owner.AnswerRTK(query)
@@ -58,15 +82,17 @@ func RTKReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount,
 	}
 	cost.Messages = 1
 	cost.BytesReceived += resp.WireSize()
-	cost.SketchLookups = q.params.Z
-	if len(resp.Cells) != q.params.Z {
+	cost.SketchLookups = plan.params.Z
+	if len(resp.Cells) != plan.params.Z {
 		return nil, cost, fmt.Errorf("%w: response has %d cells, want %d",
-			ErrBadQuery, len(resp.Cells), q.params.Z)
+			ErrBadQuery, len(resp.Cells), plan.params.Z)
 	}
 
 	// Gather per-document (row, value) observations from the private rows
 	// only; decoy rows address unrelated cells and would pollute the
-	// intersection.
+	// intersection. PV is sorted ascending, so each document's observed
+	// rows come out sorted ascending too — the zero-fill branch below
+	// relies on that.
 	type obs struct {
 		rows []int
 		vals []float64
@@ -87,39 +113,54 @@ func RTKReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount,
 
 	// Soft intersection: keep documents present in >= beta*z1 private rows
 	// (the paper filters on beta*z with unobfuscated queries).
-	threshold := int(math.Ceil(q.params.Beta * float64(q.params.Z1)))
+	threshold := int(math.Ceil(plan.params.Beta * float64(plan.params.Z1)))
 	if threshold < 1 {
 		threshold = 1
 	}
+	var zeroFill []float64 // scratch reused across candidates
 	candidates := make([]DocCount, 0, len(byDoc))
 	for id, o := range byDoc {
 		if len(o.rows) < threshold {
 			continue
 		}
 		rows, vals := o.rows, o.vals
-		if q.params.Estimator == EstimatorZeroFill {
+		if plan.params.Estimator == EstimatorZeroFill {
 			// Estimate over ALL private rows, treating rows where the
 			// document was evicted from the heap as zeros. An absent
 			// entry means the document's cell value fell below the heap
 			// floor; scoring only the rows where it survived would bias
 			// borderline documents upward (they survive exactly where
 			// collision noise inflated them) and let weak candidates
-			// outrank true top-K members.
+			// outrank true top-K members. o.rows is a sorted subsequence
+			// of PV, so a single linear merge places each observation.
 			rows = priv.PV
-			vals = make([]float64, len(rows))
-			for i, a := range rows {
-				for j, oa := range o.rows {
-					if oa == a {
-						vals[i] = o.vals[j]
-						break
-					}
-				}
+			if zeroFill == nil {
+				zeroFill = make([]float64, len(rows))
 			}
+			vals = zeroFill
+			mergeZeroFill(priv.PV, o.rows, o.vals, vals)
 		}
-		est := sketch.EstimateFromRows(q.params.SketchKind, q.fam, priv.Term, rows, vals)
+		est := sketch.EstimateFromRows(plan.params.SketchKind, plan.fam, priv.Term, rows, vals)
 		candidates = append(candidates, DocCount{DocID: int(id), Count: est})
 	}
 	return topK(candidates, k), cost, nil
+}
+
+// mergeZeroFill scatters a document's observed per-row values into dst —
+// one slot per private row, zero where the document was evicted from the
+// cell heap. rows must be a sorted subsequence of pv and dst must have
+// len(pv); a single linear merge replaces the per-row lookup that made
+// the zero-fill estimator O(z^2) per candidate.
+func mergeZeroFill(pv, rows []int, vals, dst []float64) {
+	j := 0
+	for i, a := range pv {
+		if j < len(rows) && rows[j] == a {
+			dst[i] = vals[j]
+			j++
+		} else {
+			dst[i] = 0
+		}
+	}
 }
 
 // topK sorts results by descending count (ties by ascending id for

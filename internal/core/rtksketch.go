@@ -94,9 +94,21 @@ func (s *RTKSketch) Update(docID int, table *sketch.Table) error {
 	if table == nil || table.Z() != s.params.Z || table.W() != s.params.W {
 		return fmt.Errorf("%w: document table geometry mismatch", ErrBadParams)
 	}
+	s.updateRows(docID, table, 0, s.params.Z)
+	s.docs++
+	return nil
+}
+
+// updateRows is Update restricted to rows [lo, hi). Rows partition the
+// cell array, so concurrent updateRows calls over disjoint row ranges
+// never touch the same heap; when every range processes documents in the
+// same order, the combined state is exactly what sequential Update calls
+// in that order would produce — this is what makes the bulk loader's
+// row-sharded parallelism deterministic.
+func (s *RTKSketch) updateRows(docID int, table *sketch.Table, lo, hi int) {
 	cap := s.params.HeapCap()
 	w := s.params.W
-	for i := 0; i < s.params.Z; i++ {
+	for i := lo; i < hi; i++ {
 		for j := 0; j < w; j++ {
 			h := &s.cells[i*w+j]
 			heap.Push(h, Entry{DocID: int32(docID), Value: table.Cell(i, uint32(j))})
@@ -105,9 +117,10 @@ func (s *RTKSketch) Update(docID int, table *sketch.Table) error {
 			}
 		}
 	}
-	s.docs++
-	return nil
 }
+
+// addDocs bumps the summarized-document counter after a bulk load.
+func (s *RTKSketch) addDocs(n int) { s.docs += n }
 
 // Delete removes every entry of docID from the sketch (Algorithm 4's
 // deletion: enumerate all cells and drop the document). Returns the

@@ -94,6 +94,33 @@ func (q *Querier) BuildQuery(term uint64) (*TFQuery, *TFPrivate) {
 	return &TFQuery{Cols: cols}, &TFPrivate{Term: term, PV: pv}
 }
 
+// Plan is a reusable obfuscated query for one term: the wire-format query
+// plus the private recovery state, bound to the parameters and hash family
+// they were built with. Building a plan consumes querier randomness once;
+// the plan itself is immutable afterwards and safe to share across
+// goroutines, which lets a federated search obfuscate each query term once
+// and fan the same plan out to every party instead of rebuilding the hash
+// vector per (party, term).
+type Plan struct {
+	params Params
+	fam    *hashutil.Family
+	query  *TFQuery
+	priv   *TFPrivate
+}
+
+// Plan builds a reusable query plan for term (Algorithm 1 run once).
+func (q *Querier) Plan(term uint64) *Plan {
+	query, priv := q.BuildQuery(term)
+	return &Plan{params: q.params, fam: q.fam, query: query, priv: priv}
+}
+
+// Term returns the planned term.
+func (p *Plan) Term() uint64 { return p.priv.Term }
+
+// Query returns the shareable wire query (the private state stays
+// inside the plan).
+func (p *Plan) Query() *TFQuery { return p.query }
+
 // Recover combines the owner's perturbed values into the final count
 // estimate using only the private index set (Eq. (6)): sign-corrected
 // median for Count Sketch, minimum for Count-Min.

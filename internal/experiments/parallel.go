@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/federation"
+	"csfltr/internal/textkit"
+)
+
+// ParallelismConfig configures the parallelism sweep: how much a
+// federated search and a bulk sketch load speed up as the worker pool
+// grows. This is the reproducible benchmark behind `expbench -exp
+// parallelism` and `make bench-json`.
+type ParallelismConfig struct {
+	Parties      int         `json:"parties"`        // data-holding parties; one extra querier party is added
+	DocsPerParty int         `json:"docs_per_party"` // documents ingested per data party
+	DocLen       int         `json:"doc_len"`        // body terms per document
+	Vocab        int         `json:"vocab"`          // term universe size
+	Terms        int         `json:"terms"`          // query terms per federated search
+	Workers      []int       `json:"workers"`        // pool sizes to sweep; must start at 1 for speedups
+	RTTMicros    int64       `json:"rtt_micros"`     // simulated WAN round-trip per relayed owner call
+	Seed         int64       `json:"seed"`
+	Params       core.Params `json:"params"`
+}
+
+// DefaultParallelismConfig is the checked-in BENCH_federation.json
+// workload: a 4-party federation in the cross-silo regime — parties are
+// WAN-separated, so each relayed owner call carries a simulated 5ms
+// round trip (Server.SetLinkDelay). That round trip is what the
+// concurrent fan-out overlaps; CPU-bound stages only scale with
+// physical cores.
+func DefaultParallelismConfig() ParallelismConfig {
+	p := core.DefaultParams()
+	p.Epsilon = 0 // determinism across pool sizes; DP noise order is scheduling-dependent
+	p.K = 50
+	return ParallelismConfig{
+		Parties:      4,
+		DocsPerParty: 1200,
+		DocLen:       120,
+		Vocab:        5000,
+		Terms:        4,
+		Workers:      []int{1, 2, 4, 8},
+		RTTMicros:    5000,
+		Seed:         1,
+		Params:       p,
+	}
+}
+
+// TestParallelismConfig shrinks the sweep to unit-test scale.
+func TestParallelismConfig() ParallelismConfig {
+	cfg := DefaultParallelismConfig()
+	cfg.DocsPerParty = 150
+	cfg.DocLen = 40
+	cfg.Vocab = 1000
+	cfg.Workers = []int{1, 2, 4}
+	cfg.RTTMicros = 1000
+	cfg.Params.K = 20
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c ParallelismConfig) Validate() error {
+	switch {
+	case c.Parties < 1:
+		return fmt.Errorf("%w: Parties=%d", ErrBadConfig, c.Parties)
+	case c.DocsPerParty < 1 || c.DocLen < 1 || c.Vocab < 2 || c.Terms < 1:
+		return fmt.Errorf("%w: empty workload", ErrBadConfig)
+	case len(c.Workers) == 0 || c.Workers[0] != 1:
+		return fmt.Errorf("%w: Workers must start at 1 (the sequential baseline)", ErrBadConfig)
+	case c.RTTMicros < 0:
+		return fmt.Errorf("%w: RTTMicros=%d", ErrBadConfig, c.RTTMicros)
+	}
+	for _, w := range c.Workers {
+		if w < 1 {
+			return fmt.Errorf("%w: worker count %d", ErrBadConfig, w)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// ParallelismPoint is one measured pool size.
+type ParallelismPoint struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Speedup     float64 `json:"speedup_vs_1_worker"`
+}
+
+// ParallelismResult is the sweep outcome: the federated-search curve, the
+// bulk-ingestion curve, and the determinism cross-check (results at every
+// pool size must match the sequential baseline bit for bit).
+type ParallelismResult struct {
+	Config        ParallelismConfig  `json:"config"`
+	Search        []ParallelismPoint `json:"federated_search"`
+	Ingest        []ParallelismPoint `json:"bulk_ingest"`
+	Deterministic bool               `json:"deterministic"`
+}
+
+// parallelismDocs builds the synthetic per-party document sets (seeded,
+// Zipf-free uniform terms — the sweep measures orchestration, not sketch
+// accuracy).
+func parallelismDocs(cfg ParallelismConfig, party int) []*textkit.Document {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(party)*7919))
+	docs := make([]*textkit.Document, cfg.DocsPerParty)
+	for i := range docs {
+		body := make([]textkit.TermID, cfg.DocLen)
+		for j := range body {
+			body[j] = textkit.TermID(rng.Intn(cfg.Vocab))
+		}
+		docs[i] = textkit.NewDocument(i, -1, nil, body)
+	}
+	return docs
+}
+
+// parallelismFed builds the sweep federation: one querier party "Q" plus
+// cfg.Parties data parties, each bulk-loaded with its document set.
+func parallelismFed(cfg ParallelismConfig) (*federation.Federation, []uint64, error) {
+	names := []string{"Q"}
+	for i := 0; i < cfg.Parties; i++ {
+		names = append(names, partyName(i))
+	}
+	fed, err := federation.NewDeterministic(names, cfg.Params, uint64(cfg.Seed)+99, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < cfg.Parties; i++ {
+		if err := fed.Parties[i+1].IngestAllParallel(parallelismDocs(cfg, i), 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	// The simulated round trip applies to queries only — it is installed
+	// after ingestion, which is local to each party.
+	fed.Server.SetLinkDelay(time.Duration(cfg.RTTMicros) * time.Microsecond)
+	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	terms := make([]uint64, cfg.Terms)
+	for i := range terms {
+		terms[i] = uint64(rng.Intn(cfg.Vocab))
+	}
+	return fed, terms, nil
+}
+
+// RunParallelismSweep measures FederatedSearch latency and Owner bulk
+// ingestion at every configured pool size, verifying along the way that
+// ranked results and cost accounting are identical to the 1-worker
+// baseline. Timings use testing.Benchmark, so ns/op and allocs/op follow
+// the usual `go test -bench` semantics.
+func RunParallelismSweep(cfg ParallelismConfig) (*ParallelismResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ParallelismResult{Config: cfg, Deterministic: true}
+
+	// Federated search sweep. Each pool size gets a freshly seeded
+	// federation so the querier's obfuscation randomness is at the same
+	// state for the determinism probe.
+	var baseHits []federation.SearchHit
+	var baseCost core.Cost
+	for _, w := range cfg.Workers {
+		fed, terms, err := parallelismFed(cfg)
+		if err != nil {
+			return nil, err
+		}
+		fed.Params.Parallelism = w
+		hits, cost, err := fed.FederatedSearch("Q", terms, cfg.Params.K)
+		if err != nil {
+			return nil, err
+		}
+		if w == 1 {
+			baseHits, baseCost = hits, cost
+		} else if !searchEqual(baseHits, hits) || cost != baseCost {
+			res.Deterministic = false
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := fed.FederatedSearch("Q", terms, cfg.Params.K); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.Search = append(res.Search, ParallelismPoint{
+			Workers:     w,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	// Bulk ingestion sweep: one owner loading party 0's documents.
+	docs := parallelismDocs(cfg, 0)
+	batch := make([]core.DocCounts, len(docs))
+	for i, d := range docs {
+		batch[i] = core.DocCounts{DocID: d.ID, Counts: federation.CountsToUint64(d.BodyCounts())}
+	}
+	for _, w := range cfg.Workers {
+		w := w
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				owner, err := core.NewOwner(cfg.Params, uint64(cfg.Seed)+99, dp.Disabled())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := owner.AddDocuments(batch, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.Ingest = append(res.Ingest, ParallelismPoint{
+			Workers:     w,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	fillSpeedups(res.Search)
+	fillSpeedups(res.Ingest)
+	return res, nil
+}
+
+// fillSpeedups computes each point's speedup against the first (1-worker)
+// point.
+func fillSpeedups(points []ParallelismPoint) {
+	if len(points) == 0 || points[0].NsPerOp == 0 {
+		return
+	}
+	base := float64(points[0].NsPerOp)
+	for i := range points {
+		if points[i].NsPerOp > 0 {
+			points[i].Speedup = base / float64(points[i].NsPerOp)
+		}
+	}
+}
+
+// searchEqual compares two ranked hit lists exactly.
+func searchEqual(a, b []federation.SearchHit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderParallelism renders the sweep as the table expbench prints.
+func RenderParallelism(res *ParallelismResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "federation: %d parties x %d docs, %d-term query, K=%d (epsilon=%g, link RTT %s)\n",
+		res.Config.Parties, res.Config.DocsPerParty, res.Config.Terms,
+		res.Config.Params.K, res.Config.Params.Epsilon,
+		time.Duration(res.Config.RTTMicros)*time.Microsecond)
+	fmt.Fprintf(&b, "deterministic across pool sizes: %v\n", res.Deterministic)
+	render := func(name string, points []ParallelismPoint) {
+		fmt.Fprintf(&b, "%-18s %8s %12s %12s %12s %9s\n",
+			name, "workers", "ns/op", "B/op", "allocs/op", "speedup")
+		for _, p := range points {
+			fmt.Fprintf(&b, "%-18s %8d %12d %12d %12d %8.2fx\n",
+				"", p.Workers, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.Speedup)
+		}
+	}
+	render("federated search", res.Search)
+	render("bulk ingest", res.Ingest)
+	return b.String()
+}
+
+// WriteParallelismJSON writes the sweep result as indented JSON — the
+// payload of the checked-in BENCH_federation.json.
+func WriteParallelismJSON(w io.Writer, res *ParallelismResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

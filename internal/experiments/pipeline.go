@@ -190,7 +190,10 @@ func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
 	docSets := make([][]*textkit.Document, len(c.Parties))
 	for i, party := range c.Parties {
 		docSets[i] = party.Docs
-		if err := fed.Parties[i].IngestAll(party.Docs); err != nil {
+		// Parallel bulk load (worker count from Params.Parallelism, 0 =
+		// GOMAXPROCS); the resulting sketch state is identical to a
+		// sequential IngestAll, so experiment results are unaffected.
+		if err := fed.Parties[i].IngestAllParallel(party.Docs, 0); err != nil {
 			return nil, err
 		}
 	}

@@ -3,10 +3,58 @@ package federation
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"csfltr/internal/core"
 )
+
+// runPool executes fn(0..n-1) on at most `workers` goroutines, returning
+// when every task has finished. Tasks are claimed from an atomic counter
+// in index order, so workers stay busy without a scheduler goroutine or
+// per-task channel traffic. The pool reports its pressure into the
+// metrics' fanout gauges (in-flight tasks and queue depth); m may be nil
+// in tests. This is the single worker-pool implementation behind every
+// parallel federation operation (federated search fan-out, batch reverse
+// top-K).
+func runPool(workers, n int, m *serverMetrics, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if m != nil {
+		m.poolQueue.Add(float64(n))
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if m != nil {
+					m.poolQueue.Dec()
+					m.poolInFlight.Inc()
+				}
+				fn(i)
+				if m != nil {
+					m.poolInFlight.Dec()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // TopKRequest names one reverse top-K query of a batch.
 type TopKRequest struct {
@@ -56,36 +104,27 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		}
 		queriers[i] = q
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
-	for i := range reqs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r := &results[i]
-			if r.Request.To == from {
-				r.Err = ErrSelfQuery
-				return
-			}
-			owner, err := f.Server.OwnerFor(r.Request.To, r.Request.Field)
-			if err != nil {
-				r.Err = err
-				return
-			}
-			if err := src.account.Spend(r.Request.To, f.Params.Epsilon); err != nil {
-				r.Err = err
-				return
-			}
-			if useRTK {
-				r.Docs, r.Cost, r.Err = core.RTKReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
-			} else {
-				r.Docs, r.Cost, r.Err = core.NaiveReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
-			}
-		}(i)
-	}
-	wg.Wait()
+	runPool(parallelism, len(reqs), f.Server.metrics(), func(i int) {
+		r := &results[i]
+		if r.Request.To == from {
+			r.Err = ErrSelfQuery
+			return
+		}
+		owner, err := f.Server.OwnerFor(r.Request.To, r.Request.Field)
+		if err != nil {
+			r.Err = err
+			return
+		}
+		if err := src.account.Spend(r.Request.To, f.Params.Epsilon); err != nil {
+			r.Err = err
+			return
+		}
+		if useRTK {
+			r.Docs, r.Cost, r.Err = core.RTKReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+		} else {
+			r.Docs, r.Cost, r.Err = core.NaiveReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+		}
+	})
 	return results, nil
 }
 

@@ -1,9 +1,11 @@
 package federation
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"csfltr/internal/core"
 	"csfltr/internal/textkit"
@@ -89,13 +91,79 @@ func BenchmarkHTTPRTK(b *testing.B) {
 	}
 }
 
-// BenchmarkFederatedSearch measures a three-term whole-query search.
-func BenchmarkFederatedSearch(b *testing.B) {
+// BenchmarkFederatedSearchCPU measures a three-term whole-query search
+// with in-process owners and no simulated network: pure compute, the
+// regime where parallel dispatch only pays off with multiple physical
+// cores.
+func BenchmarkFederatedSearchCPU(b *testing.B) {
 	fed := benchFed(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := fed.FederatedSearch("A", []uint64{9999, 17, 23}, 20); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchFedN builds a federation with a querier party Q plus `parties`
+// data parties of 150 documents each, and a simulated per-message WAN
+// round trip of rtt (cross-silo parties are network-separated; see
+// Server.SetLinkDelay).
+func benchFedN(b *testing.B, parties int, rtt time.Duration) *Federation {
+	b.Helper()
+	p := core.DefaultParams()
+	p.Epsilon = 0
+	p.K = 20
+	names := []string{"Q"}
+	for i := 0; i < parties; i++ {
+		names = append(names, fmt.Sprintf("P%d", i))
+	}
+	fed, err := NewDeterministic(names, p, 42, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for pi, party := range fed.Parties[1:] {
+		rng := rand.New(rand.NewSource(int64(pi) + 1))
+		docs := make([]core.DocCounts, 150)
+		for id := range docs {
+			counts := make(map[uint64]int64)
+			for j := 0; j < 40; j++ {
+				counts[uint64(rng.Intn(3000))]++
+			}
+			docs[id] = core.DocCounts{DocID: id, Counts: counts}
+		}
+		if err := party.Owner(FieldBody).AddDocuments(docs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fed.Server.SetLinkDelay(rtt)
+	return fed
+}
+
+// BenchmarkFederatedSearch measures the concurrent query fan-out in the
+// cross-silo regime: every relayed message carries a simulated 2ms WAN
+// round trip, which is what the worker pool overlaps. The workers=1
+// entries are the sequential baseline; result equality across pool sizes
+// is asserted by TestFederatedSearchParallelMatchesSequential and the
+// expbench parallelism sweep (BENCH_federation.json).
+func BenchmarkFederatedSearch(b *testing.B) {
+	const rtt = 2 * time.Millisecond
+	terms := []uint64{17, 23, 99}
+	for _, parties := range []int{2, 4, 8} {
+		fed := benchFedN(b, parties, rtt)
+		for _, workers := range []int{1, 4, 8} {
+			if workers > parties*len(terms) {
+				continue
+			}
+			fed.Params.Parallelism = workers
+			b.Run(fmt.Sprintf("parties=%d/workers=%d", parties, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := fed.FederatedSearch("Q", terms, 20); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"csfltr/internal/core"
 	"csfltr/internal/dp"
@@ -88,6 +90,10 @@ type Server struct {
 	mu      sync.Mutex
 	parties map[string]endpoint
 	m       *serverMetrics
+
+	// linkDelayNanos simulates one-way-plus-return WAN latency per relayed
+	// owner call (see SetLinkDelay). Zero (the default) relays immediately.
+	linkDelayNanos atomic.Int64
 }
 
 // NewServer creates an empty server with a fresh telemetry registry.
@@ -187,6 +193,25 @@ func (s *Server) ResetTraffic() {
 	s.metrics().resetTraffic()
 }
 
+// SetLinkDelay installs a simulated network round-trip time applied to
+// every relayed owner call (one sleep per message, since each OwnerAPI
+// call is one request/response exchange). Cross-silo federations are
+// WAN-separated, so query latency is round-trip dominated; the delay
+// makes in-process benchmarks and experiments reproduce that regime —
+// in particular it is what the concurrent FederatedSearch fan-out
+// overlaps. Zero (the default) disables it. Results, cost accounting
+// and traffic counters are unaffected. Safe to call concurrently.
+func (s *Server) SetLinkDelay(d time.Duration) {
+	s.linkDelayNanos.Store(int64(d))
+}
+
+// linkDelay sleeps for the configured simulated round-trip, if any.
+func (s *Server) linkDelay() {
+	if d := s.linkDelayNanos.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
 // lookup resolves a party endpoint by name.
 func (s *Server) lookup(name string) (endpoint, error) {
 	s.mu.Lock()
@@ -213,7 +238,7 @@ func (s *Server) OwnerFor(name string, field Field) (core.OwnerAPI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &routedOwner{m: s.metrics(), party: name, api: api}, nil
+	return &routedOwner{m: s.metrics(), srv: s, party: name, api: api}, nil
 }
 
 // routedOwner proxies OwnerAPI calls through the server, recording
@@ -222,12 +247,14 @@ func (s *Server) OwnerFor(name string, field Field) (core.OwnerAPI, error) {
 // this is the single place bytes are counted.
 type routedOwner struct {
 	m     *serverMetrics
+	srv   *Server
 	party string
 	api   core.OwnerAPI
 }
 
 func (r *routedOwner) DocIDs() []int {
 	sp := r.m.apiSpan(apiDocIDs)
+	r.srv.linkDelay()
 	ids := r.api.DocIDs()
 	sp.End()
 	r.m.record(r.party, opQuery, int64(8*len(ids)))
@@ -236,6 +263,7 @@ func (r *routedOwner) DocIDs() []int {
 
 func (r *routedOwner) DocMeta(docID int) (int, int, error) {
 	sp := r.m.apiSpan(apiDocMeta)
+	r.srv.linkDelay()
 	length, unique, err := r.api.DocMeta(docID)
 	sp.End()
 	r.m.record(r.party, opQuery, 16)
@@ -246,6 +274,7 @@ func (r *routedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, er
 	sp := r.m.apiSpan(apiTF)
 	defer sp.End()
 	r.m.record(r.party, opQuery, q.WireSize())
+	r.srv.linkDelay()
 	resp, err := r.api.AnswerTF(docID, q)
 	if err != nil {
 		return nil, err
@@ -258,6 +287,7 @@ func (r *routedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 	sp := r.m.apiSpan(apiRTK)
 	defer sp.End()
 	r.m.record(r.party, opQuery, q.WireSize())
+	r.srv.linkDelay()
 	resp, err := r.api.AnswerRTK(q)
 	if err != nil {
 		return nil, err
@@ -388,6 +418,66 @@ func (p *Party) IngestAll(docs []*textkit.Document) error {
 		if err := p.IngestDocument(d); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// IngestAllParallel bulk-loads a document slice on a bounded worker pool
+// (workers <= 0 resolves to Params.Parallelism / GOMAXPROCS). Term-count
+// extraction runs in parallel per document, the two field owners load
+// concurrently with each other, and each owner shards its sketch build
+// across the pool (see core.Owner.AddDocuments); the resulting party
+// state is identical to a sequential IngestAll in slice order. On error
+// the party may hold one field's batch but not the other — callers
+// should treat the party as unusable, exactly as after a failed
+// IngestAll.
+func (p *Party) IngestAllParallel(docs []*textkit.Document, workers int) error {
+	if workers <= 0 {
+		workers = p.params.Workers(len(docs))
+	}
+	bodies := make([]core.DocCounts, len(docs))
+	titles := make([]core.DocCounts, len(docs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	n := workers
+	if n > len(docs) {
+		n = len(docs)
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) {
+					return
+				}
+				d := docs[i]
+				bodies[i] = core.DocCounts{DocID: d.ID, Counts: CountsToUint64(d.BodyCounts())}
+				titles[i] = core.DocCounts{DocID: d.ID, Counts: CountsToUint64(d.TitleCounts())}
+			}
+		}()
+	}
+	wg.Wait()
+	var bodyErr, titleErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		bodyErr = p.owners[FieldBody].AddDocuments(bodies, workers)
+	}()
+	go func() {
+		defer wg.Done()
+		titleErr = p.owners[FieldTitle].AddDocuments(titles, workers)
+	}()
+	wg.Wait()
+	if bodyErr != nil {
+		return fmt.Errorf("federation: bulk ingest bodies: %w", bodyErr)
+	}
+	if titleErr != nil {
+		return fmt.Errorf("federation: bulk ingest titles: %w", titleErr)
+	}
+	for _, d := range docs {
+		p.docRefs = append(p.docRefs, d.ID)
 	}
 	return nil
 }

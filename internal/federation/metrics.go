@@ -31,6 +31,12 @@ const (
 	MetricSearchRequests = "csfltr_search_requests_total"
 	// MetricTrainingRoundDuration times one round-robin training round.
 	MetricTrainingRoundDuration = "csfltr_training_round_duration_seconds"
+	// MetricFanoutInFlight / MetricFanoutQueueDepth instrument the bounded
+	// worker pool behind the parallel fan-out operations (federated search,
+	// batch reverse top-K): tasks currently executing and tasks still
+	// queued. Sampled gauges — scrape mid-search to see pool pressure.
+	MetricFanoutInFlight   = "csfltr_fanout_in_flight_tasks"
+	MetricFanoutQueueDepth = "csfltr_fanout_queue_depth"
 )
 
 // Relay op label values: what the server was relaying for.
@@ -52,11 +58,15 @@ const (
 	StageTFQuery  = "tf_query"
 	StageRTKQuery = "rtk_query"
 	StageDPNoise  = "dp_noise"
+	StageFanout   = "fanout"
 	StageMerge    = "merge"
 )
 
-// SearchStages lists the pipeline stages in execution order.
-var SearchStages = []string{StageTFQuery, StageRTKQuery, StageDPNoise, StageMerge}
+// SearchStages lists the pipeline stages in execution order. fanout spans
+// the whole parallel dispatch of one search, so its duration is wall
+// clock while the rtk_query stage it encloses accumulates per-query time
+// across workers; the ratio of the two is the realized parallelism.
+var SearchStages = []string{StageTFQuery, StageRTKQuery, StageDPNoise, StageFanout, StageMerge}
 
 // relayKey identifies one (party, op) relay counter pair.
 type relayKey struct{ party, op string }
@@ -79,6 +89,9 @@ type serverMetrics struct {
 
 	rpcInFlight  *telemetry.Gauge
 	httpInFlight *telemetry.Gauge
+
+	poolInFlight *telemetry.Gauge
+	poolQueue    *telemetry.Gauge
 
 	mu    sync.Mutex
 	relay map[relayKey]relayCounters
@@ -109,6 +122,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.searchReqs = reg.Counter(MetricSearchRequests, "Federated searches served.")
 	m.rpcInFlight = reg.Gauge("csfltr_rpc_in_flight_requests", "RPC calls currently executing.")
 	m.httpInFlight = reg.Gauge("csfltr_http_in_flight_requests", "HTTP requests currently executing.")
+	m.poolInFlight = reg.Gauge(MetricFanoutInFlight, "Fan-out pool tasks currently executing.")
+	m.poolQueue = reg.Gauge(MetricFanoutQueueDepth, "Fan-out pool tasks waiting for a worker.")
 	return m
 }
 

@@ -15,6 +15,14 @@ type SearchHit struct {
 	Score float64
 }
 
+// searchTask is one (party, term) reverse top-K query of a federated
+// search fan-out.
+type searchTask struct {
+	party string
+	owner core.OwnerAPI
+	plan  *core.Plan
+}
+
 // FederatedSearch runs a whole query against every other party: one
 // reverse top-K document query per (query term, party), merged by
 // summing per-term count estimates per document, truncated to the k
@@ -22,8 +30,19 @@ type SearchHit struct {
 // operation that the augmentation pipeline uses internally for training
 // data generation.
 //
+// The per-(party, term) queries are independent, so they are dispatched
+// onto a bounded worker pool (Params.Parallelism workers; 0 defaults to
+// GOMAXPROCS, 1 is the sequential baseline). The result is identical at
+// every pool size: each term's obfuscated query plan is built once, in
+// deterministic term order, and shared read-only by all parties' tasks;
+// per-task results land in a slot indexed by task and are merged in task
+// order, so score accumulation order — and therefore floating-point
+// rounding and the final ranking — never depends on scheduling.
+//
 // Privacy budget is spent per (term, party) query against the querier's
-// accountant; a budget refusal aborts the search.
+// accountant, and it is spent for the whole fan-out *before* dispatch:
+// a budget refusal aborts the search deterministically, before any query
+// leaves the party.
 func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]SearchHit, core.Cost, error) {
 	var total core.Cost
 	m := f.Server.metrics()
@@ -36,13 +55,26 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 	if k <= 0 {
 		k = f.Params.K
 	}
-	type key struct {
-		party string
-		doc   int
-	}
-	scores := make(map[key]float64)
-	// Deduplicate query terms.
+
+	// Deduplicate query terms, preserving first-seen order, and build
+	// each term's obfuscated plan exactly once. Plan construction draws
+	// from the querier's private randomness, so it stays on this
+	// goroutine, in deterministic order.
 	seen := make(map[uint64]struct{}, len(terms))
+	plans := make([]*core.Plan, 0, len(terms))
+	for _, term := range terms {
+		if _, dup := seen[term]; dup {
+			continue
+		}
+		seen[term] = struct{}{}
+		plans = append(plans, src.querier.Plan(term))
+	}
+
+	// Enumerate the (party, term) fan-out in roster order and spend the
+	// whole privacy budget up front: if any spend is refused the search
+	// aborts before a single query is dispatched, exactly where the
+	// sequential path would have stopped.
+	var tasks []searchTask
 	for _, party := range f.Parties {
 		if party.Name == from {
 			continue
@@ -51,33 +83,50 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 		if err != nil {
 			return nil, total, err
 		}
-		for t := range seen {
-			delete(seen, t)
-		}
-		for _, term := range terms {
-			if _, dup := seen[term]; dup {
-				continue
-			}
-			seen[term] = struct{}{}
+		for _, plan := range plans {
 			if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
 				return nil, total, err
 			}
-			sp := m.stageSpan(StageRTKQuery)
-			docs, cost, err := core.RTKReverseTopK(src.querier, owner, term, f.Params.K)
-			sp.End()
-			if err != nil {
-				return nil, total, err
-			}
-			total.Add(cost)
-			for _, dc := range docs {
-				if dc.Count <= 0 {
-					continue
-				}
-				scores[key{party: party.Name, doc: dc.DocID}] += dc.Count
-			}
+			tasks = append(tasks, searchTask{party: party.Name, owner: owner, plan: plan})
 		}
 	}
+
+	// Fan out on the worker pool. Each task writes only its own slot, so
+	// workers never contend on shared state; the fanout span measures the
+	// wall-clock of the whole dispatch while the per-task rtk_query spans
+	// accumulate worker time.
+	docs := make([][]core.DocCount, len(tasks))
+	costs := make([]core.Cost, len(tasks))
+	errs := make([]error, len(tasks))
+	fanout := m.stageSpan(StageFanout)
+	runPool(f.Params.Workers(len(tasks)), len(tasks), m, func(i int) {
+		sp := m.stageSpan(StageRTKQuery)
+		docs[i], costs[i], errs[i] = core.RTKWithPlan(tasks[i].plan, tasks[i].owner, f.Params.K)
+		sp.End()
+	})
+	fanout.End()
+
+	// Merge in task order: deterministic accumulation, no shared-map
+	// contention during the fan-out.
 	merge := m.stageSpan(StageMerge)
+	defer merge.End()
+	type key struct {
+		party string
+		doc   int
+	}
+	scores := make(map[key]float64)
+	for i := range tasks {
+		if errs[i] != nil {
+			return nil, total, errs[i]
+		}
+		total.Add(costs[i])
+		for _, dc := range docs[i] {
+			if dc.Count <= 0 {
+				continue
+			}
+			scores[key{party: tasks[i].party, doc: dc.DocID}] += dc.Count
+		}
+	}
 	hits := make([]SearchHit, 0, len(scores))
 	for kk, s := range scores {
 		hits = append(hits, SearchHit{Party: kk.party, DocID: kk.doc, Score: s})
@@ -94,6 +143,5 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 	if len(hits) > k {
 		hits = hits[:k]
 	}
-	merge.End()
 	return hits, total, nil
 }

@@ -22,7 +22,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"csfltr/internal/hashutil"
 )
@@ -207,17 +206,39 @@ func (t *Table) LookupColumns(cols []uint32) ([]int64, error) {
 	return out, nil
 }
 
+// smallRows is the row count up to which estimation scratch lives on the
+// stack. Typical configurations use z around 30 (the paper's default), so
+// the hot estimation paths run allocation-free.
+const smallRows = 64
+
 // Estimate returns the point estimate of term's count using all rows.
+// The per-row scratch is stack-allocated for z <= 64, so the call is
+// allocation-free at practical sketch depths.
 func (t *Table) Estimate(term uint64) int64 {
-	rows := make([]int, t.fam.Z())
-	for i := range rows {
-		rows[i] = i
+	z := t.fam.Z()
+	w := t.fam.W()
+	var stack [smallRows]float64
+	vals := stack[:0]
+	if z > smallRows {
+		vals = make([]float64, 0, z)
 	}
-	vals := make([]float64, len(rows))
-	for i, a := range rows {
-		vals[i] = float64(t.cells[a*t.fam.W()+int(t.fam.Index(a, term))])
+	for a := 0; a < z; a++ {
+		v := float64(t.cells[a*w+int(t.fam.Index(a, term))])
+		if t.kind == Count {
+			v *= float64(t.fam.Sign(a, term))
+		}
+		vals = append(vals, v)
 	}
-	return int64(math.Round(EstimateFromRows(t.kind, t.fam, term, rows, vals)))
+	if t.kind == Count {
+		return int64(math.Round(MedianInPlace(vals)))
+	}
+	min := vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return int64(math.Round(min))
 }
 
 // EstimateFromRows combines per-row (possibly noise-perturbed) cell values
@@ -232,39 +253,118 @@ func EstimateFromRows(kind Kind, fam *hashutil.Family, term uint64, rows []int, 
 	if len(rows) == 0 || len(rows) != len(values) {
 		return 0
 	}
-	adj := make([]float64, len(rows))
+	if kind != Count {
+		// Count-Min: the minimum needs no sign adjustment and no scratch.
+		min := values[0]
+		for _, v := range values[1:] {
+			if v < min {
+				min = v
+			}
+		}
+		return min
+	}
+	var stack [smallRows]float64
+	adj := stack[:0]
+	if len(rows) > smallRows {
+		adj = make([]float64, 0, len(rows))
+	}
 	for i, a := range rows {
-		if kind == Count {
-			adj[i] = float64(fam.Sign(a, term)) * values[i]
-		} else {
-			adj[i] = values[i]
-		}
+		adj = append(adj, float64(fam.Sign(a, term))*values[i])
 	}
-	if kind == Count {
-		return Median(adj)
-	}
-	min := adj[0]
-	for _, v := range adj[1:] {
-		if v < min {
-			min = v
-		}
-	}
-	return min
+	return MedianInPlace(adj)
 }
 
 // Median returns the median of xs (average of the two central values for
-// even length). xs is not modified.
+// even length). xs is not modified; use MedianInPlace on a slice you own
+// to avoid the defensive copy.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	n := len(s)
-	if n%2 == 1 {
-		return s[n/2]
+	var stack [smallRows]float64
+	s := stack[:0]
+	if len(xs) > smallRows {
+		s = make([]float64, 0, len(xs))
 	}
-	return (s[n/2-1] + s[n/2]) / 2
+	s = append(s, xs...)
+	return MedianInPlace(s)
+}
+
+// MedianInPlace returns the median of xs, reordering xs as scratch: a
+// full sort is replaced by insertion sort for small inputs and a Hoare
+// quickselect beyond that, so the common z-row estimation path costs
+// O(n) moves instead of O(n log n) plus a copy.
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	h := n / 2
+	if n <= 24 {
+		// Insertion sort: branch-predictable and allocation-free at the
+		// private-index-set sizes (z1 around 10) the protocol uses.
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+	} else {
+		quickselect(xs, h)
+	}
+	if n%2 == 1 {
+		return xs[h]
+	}
+	// Even length: the other central value is the maximum of the lower
+	// partition (quickselect leaves xs[:h] <= xs[h]).
+	lo := xs[0]
+	for _, v := range xs[1:h] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + xs[h]) / 2
+}
+
+// quickselect partially sorts xs so that xs[k] holds the k-th smallest
+// value, everything before it is <= xs[k] and everything after is >=.
+// Median-of-three pivoting keeps sorted and reversed inputs off the
+// quadratic path.
+func quickselect(xs []float64, k int) {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
 }
 
 // Merge adds other into t cell-wise. Both tables must share kind and hash
