@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-json fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
+.PHONY: all build test race cover bench bench-smoke bench-json chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
 
 all: build test
 
@@ -28,12 +28,21 @@ bench:
 bench-smoke:
 	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./...
 
-# Refresh the machine-readable parallelism benchmark (ns/op, allocs/op,
-# speedup vs 1 worker for federated search and bulk ingestion). The
-# result is checked in as BENCH_federation.json so the perf trajectory is
-# tracked across PRs.
+# Refresh the machine-readable benchmarks: the parallelism sweep
+# (BENCH_federation.json) and the resilience/chaos sweep
+# (BENCH_resilience.json). Both are checked in so the perf and
+# availability trajectories are tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/expbench -exp parallelism -bench-json BENCH_federation.json
+	$(GO) run ./cmd/expbench -exp chaos -bench-json BENCH_resilience.json
+
+# The seeded fault-injection suite under the race detector: the chaos
+# and resilience packages end to end, plus the degraded-mode search,
+# breaker, quorum, and per-party link tests in federation/experiments.
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/resilience/
+	$(GO) test -race -run 'Chaos|Degraded|Breaker|Resilience|Quorum|PartyLink|LinkDelay' \
+		./internal/federation/ ./internal/experiments/
 
 # Short fuzz sessions over every fuzz target.
 fuzz:
@@ -41,6 +50,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadOwner -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzRTKQueryHandling -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzHTTPEnvelope -fuzztime 30s ./internal/federation/
+	$(GO) test -fuzz FuzzRPCDecode -fuzztime 30s ./internal/federation/
 	$(GO) test -fuzz FuzzWritePrometheus -fuzztime 30s ./internal/telemetry/
 
 # Regenerate every table and figure at the shape-faithful default scale

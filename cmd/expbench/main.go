@@ -16,6 +16,7 @@
 //	expbench -exp ablation          # estimator + aggregator ablations
 //	expbench -exp sse               # encryption-based comparator
 //	expbench -exp parallelism       # worker-pool speedup sweep (not in "all")
+//	expbench -exp chaos             # fault-rate availability sweep (not in "all")
 //	expbench -exp all               # everything
 //
 // -scale selects the workload size: "test" (seconds), "default"
@@ -24,9 +25,9 @@
 // -csv DIR additionally writes CSV series and Fig. 5 SVG panels;
 // -json FILE writes one machine-readable report covering the run.
 // -workers N,N,... selects the pool sizes of the parallelism sweep and
-// -bench-json FILE writes its machine-readable result (ns/op, allocs/op,
-// speedup vs 1 worker) — `make bench-json` uses this to refresh the
-// checked-in BENCH_federation.json.
+// -bench-json FILE writes the parallelism or chaos sweep's
+// machine-readable result — `make bench-json` uses this to refresh the
+// checked-in BENCH_federation.json and BENCH_resilience.json.
 // -debug-addr HOST:PORT serves Prometheus /metrics, an expvar-style
 // /debug/vars snapshot and /debug/pprof for the duration of the run.
 package main
@@ -226,6 +227,32 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			}
 			return nil
 		},
+		"chaos": func() error {
+			cfg := experiments.DefaultChaosConfig()
+			if scale == "test" {
+				cfg = experiments.TestChaosConfig()
+			}
+			cfg.Seed = seed
+			res, err := experiments.RunChaosSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Chaos: degraded-mode search availability vs fault rate ==")
+			fmt.Print(experiments.RenderChaos(res))
+			report.Add("chaos", res)
+			if benchJSON != "" {
+				f, err := os.Create(benchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteBenchJSON(f, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", benchJSON)
+			}
+			return nil
+		},
 		"traffic": func() error {
 			cfg := fig4
 			if cfg.Docs > 4000 {
@@ -277,8 +304,8 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			if strings.HasPrefix(n, "fig4-") {
 				continue // covered by "fig4"
 			}
-			if n == "parallelism" {
-				continue // a timing benchmark, not a paper figure; run explicitly
+			if n == "parallelism" || n == "chaos" {
+				continue // timing benchmarks, not paper figures; run explicitly
 			}
 			names = append(names, n)
 		}

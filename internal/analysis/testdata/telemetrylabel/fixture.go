@@ -21,6 +21,18 @@ func labels(reg *telemetry.Registry, docID int, route, method, query string, cod
 	reg.Counter("i_total", "h", telemetry.L("shard", fmt.Sprintf("s%d", docID))).Inc() // want "unbounded value"
 }
 
+// resilienceLabels mirrors the labels the resilience substrate attaches
+// to its metrics: party names, breaker states, search outcomes and
+// fault kinds are bounded (roster plus small enums); the raw query term
+// that triggered a retry is not.
+func resilienceLabels(reg *telemetry.Registry, party, state, outcome, kind string, term uint64) {
+	reg.Gauge("k_state", "h", telemetry.L("party", party)).Set(2)                                   // ok: roster-bounded
+	reg.Counter("l_total", "h", telemetry.L("state", state)).Inc()                                  // ok: breaker state enum
+	reg.Counter("m_total", "h", telemetry.L("party", party), telemetry.L("outcome", outcome)).Inc() // ok: per-party outcome enum
+	reg.Counter("n_total", "h", telemetry.L("kind", kind)).Inc()                                    // ok: fault kind enum
+	reg.Counter("o_total", "h", telemetry.L("term", strconv.FormatUint(term, 10))).Inc()            // want "unbounded value"
+}
+
 func allowedLabel(reg *telemetry.Registry, docID int) {
 	//csfltr:allow telemetrylabel -- fixture: suppression must silence the finding below
 	reg.Counter("j_total", "h", telemetry.L("doc", strconv.Itoa(docID))).Inc()

@@ -1,0 +1,206 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestZeroProfileIsTransparent: with no profiles installed the injector
+// must be a no-op — no sleeps, no faults.
+func TestZeroProfileIsTransparent(t *testing.T) {
+	in := New(1)
+	in.setSleep(func(time.Duration) { t.Fatal("slept on a zero profile") })
+	for i := 0; i < 100; i++ {
+		if err := in.Intercept("A", "rtk", uint64(i)); err != nil {
+			t.Fatalf("call %d: unexpected fault %v", i, err)
+		}
+	}
+}
+
+// TestDownAndPartition: hard failure modes fail every call with the
+// right kind, and errors.Is recognises the ErrInjected class.
+func TestDownAndPartition(t *testing.T) {
+	in := New(1)
+	in.SetProfile("dead", Profile{Down: true})
+	in.SetProfile("cut", Profile{Partitioned: true})
+	for party, kind := range map[string]string{"dead": KindDown, "cut": KindPartition} {
+		err := in.Intercept(party, "rtk", 7)
+		if err == nil {
+			t.Fatalf("%s: no fault injected", party)
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("%s: fault %v is not ErrInjected", party, err)
+		}
+		if got := FaultKind(err); got != kind {
+			t.Fatalf("%s: kind %q, want %q", party, got, kind)
+		}
+	}
+	// A party without a profile is untouched.
+	if err := in.Intercept("alive", "rtk", 7); err != nil {
+		t.Fatalf("unprofiled party got fault %v", err)
+	}
+}
+
+// TestLatencyAndDefault: latency profiles sleep, the default applies to
+// unprofiled parties, and explicit profiles win over the default.
+func TestLatencyAndDefault(t *testing.T) {
+	in := New(1)
+	var slept []time.Duration
+	in.setSleep(func(d time.Duration) { slept = append(slept, d) })
+	in.SetDefault(Profile{Latency: 5 * time.Millisecond})
+	in.SetProfile("fast", Profile{Latency: time.Millisecond})
+	if err := in.Intercept("other", "rtk", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Intercept("fast", "rtk", 1); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{5 * time.Millisecond, time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	if got := in.ProfileFor("other").Latency; got != 5*time.Millisecond {
+		t.Fatalf("ProfileFor(other).Latency = %v", got)
+	}
+	if got := in.PartyProfile("other"); !got.zero() {
+		t.Fatalf("PartyProfile(other) = %+v, want zero", got)
+	}
+}
+
+// TestErrorRateDeterminism: the same seed must make identical fault
+// decisions for the same call sequence, and attempt counters must make
+// repeated identical calls draw independently (≈rate overall).
+func TestErrorRateDeterminism(t *testing.T) {
+	run := func(seed uint64) []bool {
+		in := New(seed)
+		in.SetProfile("flaky", Profile{ErrorRate: 0.3})
+		out := make([]bool, 400)
+		for i := range out {
+			// 40 logical calls, each retried 10 times.
+			out[i] = in.Intercept("flaky", "rtk", uint64(i%40)) != nil
+		}
+		return out
+	}
+	a, b := run(99), run(99)
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: run A fault=%v, run B fault=%v", i, a[i], b[i])
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults < 60 || faults > 180 {
+		t.Fatalf("30%% error rate produced %d/400 faults", faults)
+	}
+	// A different seed gives a different (but valid) pattern.
+	c := run(100)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 99 and 100 made identical decisions")
+	}
+}
+
+// TestResetAttemptsReplays: after ResetAttempts the same call sequence
+// must replay the exact fault pattern.
+func TestResetAttemptsReplays(t *testing.T) {
+	in := New(7)
+	in.SetProfile("flaky", Profile{ErrorRate: 0.5, TimeoutRate: 0.2})
+	seq := func() []string {
+		out := make([]string, 60)
+		for i := range out {
+			out[i] = FaultKind(in.Intercept("flaky", "tf", uint64(i%12)))
+		}
+		return out
+	}
+	first := seq()
+	in.ResetAttempts()
+	second := seq()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("call %d after reset: %q, want %q", i, second[i], first[i])
+		}
+	}
+}
+
+// TestOnFaultHook: every injected fault reaches the hook with its party
+// and kind.
+func TestOnFaultHook(t *testing.T) {
+	in := New(1)
+	in.SetProfile("dead", Profile{Down: true})
+	var mu sync.Mutex
+	counts := map[string]int{}
+	in.SetOnFault(func(party, kind string) {
+		mu.Lock()
+		counts[party+"/"+kind]++
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		if err := in.Intercept("dead", "rtk", uint64(i)); err == nil {
+			t.Fatal("no fault")
+		}
+	}
+	if counts["dead/"+KindDown] != 3 {
+		t.Fatalf("hook counts = %v", counts)
+	}
+}
+
+// TestConcurrentIntercept: concurrent calls against one injector are
+// race-free and every hard fault still fires (run under -race).
+func TestConcurrentIntercept(t *testing.T) {
+	in := New(3)
+	in.SetProfile("dead", Profile{Down: true})
+	in.SetProfile("flaky", Profile{ErrorRate: 0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := in.Intercept("dead", "rtk", uint64(i)); err == nil {
+					t.Error("dead party call succeeded")
+					return
+				}
+				in.Intercept("flaky", "rtk", uint64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestJitterBounded: realized jitter stays within [Latency, Latency+Jitter).
+func TestJitterBounded(t *testing.T) {
+	in := New(11)
+	var slept []time.Duration
+	in.setSleep(func(d time.Duration) { slept = append(slept, d) })
+	base, jit := 2*time.Millisecond, 4*time.Millisecond
+	in.SetProfile("far", Profile{Latency: base, Jitter: jit})
+	for i := 0; i < 50; i++ {
+		if err := in.Intercept("far", "rtk", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 50 {
+		t.Fatalf("%d sleeps, want 50", len(slept))
+	}
+	varied := false
+	for _, d := range slept {
+		if d < base || d >= base+jit {
+			t.Fatalf("jittered latency %v outside [%v, %v)", d, base, base+jit)
+		}
+		if d != slept[0] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter draws were all identical")
+	}
+}

@@ -77,6 +77,15 @@ type Params struct {
 	// parameter: it is not persisted with owner snapshots and does not
 	// affect protocol messages or cost accounting.
 	Parallelism int
+	// MinParties enables degraded-mode federated search: when > 0, a
+	// party whose circuit breaker is open is skipped (spending none of
+	// its privacy budget) and a party that fails mid-search is dropped
+	// from the merge; the search succeeds with a Partial result as long
+	// as at least MinParties data parties answered, and fails with a
+	// quorum error below that. 0 — the default — disables degraded mode:
+	// any party failure fails the whole search. Like Parallelism it is a
+	// runtime knob, not persisted with owner snapshots.
+	MinParties int
 }
 
 // DefaultParams returns the paper's default parameter setting.
@@ -115,6 +124,8 @@ func (p Params) Validate() error {
 		return fmt.Errorf("%w: Estimator=%d", ErrBadParams, int(p.Estimator))
 	case p.Parallelism < 0:
 		return fmt.Errorf("%w: Parallelism=%d", ErrBadParams, p.Parallelism)
+	case p.MinParties < 0:
+		return fmt.Errorf("%w: MinParties=%d", ErrBadParams, p.MinParties)
 	}
 	return nil
 }

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"csfltr/internal/chaos"
+	"csfltr/internal/core"
+	"csfltr/internal/federation"
+	"csfltr/internal/resilience"
+)
+
+// ChaosConfig configures the resilience sweep: availability and latency
+// of degraded-mode federated search as per-party fault rates grow, with
+// a fixed number of hard-down silos. This is the reproducible benchmark
+// behind `expbench -exp chaos` and the checked-in BENCH_resilience.json.
+type ChaosConfig struct {
+	Parties      int         `json:"parties"` // data-holding parties; one extra querier party is added
+	DocsPerParty int         `json:"docs_per_party"`
+	DocLen       int         `json:"doc_len"`
+	Vocab        int         `json:"vocab"`
+	Terms        int         `json:"terms"`        // query terms per federated search
+	Searches     int         `json:"searches"`     // searches per sweep point
+	DownParties  int         `json:"down_parties"` // leading parties configured hard-down
+	ErrorRates   []float64   `json:"error_rates"`  // per-call error rates for the surviving parties
+	RTTMicros    int64       `json:"rtt_micros"`   // simulated WAN round trip per relayed owner call
+	Seed         int64       `json:"seed"`         // workload randomness
+	ChaosSeed    uint64      `json:"chaos_seed"`   // fault-injection seed (bit-identical replays)
+	Params       core.Params `json:"params"`
+}
+
+// DefaultChaosConfig is the checked-in BENCH_resilience.json workload: a
+// 4-party federation with one dead silo, swept across error rates on
+// the surviving links, under a MinParties=1 quorum so searches degrade
+// instead of failing.
+func DefaultChaosConfig() ChaosConfig {
+	p := core.DefaultParams()
+	p.Epsilon = 0 // determinism across pool sizes; DP noise order is scheduling-dependent
+	p.K = 50
+	p.MinParties = 1
+	return ChaosConfig{
+		Parties:      4,
+		DocsPerParty: 600,
+		DocLen:       60,
+		Vocab:        2000,
+		Terms:        3,
+		Searches:     40,
+		DownParties:  1,
+		ErrorRates:   []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5},
+		RTTMicros:    200,
+		Seed:         1,
+		ChaosSeed:    42,
+		Params:       p,
+	}
+}
+
+// TestChaosConfig shrinks the sweep to unit-test scale.
+func TestChaosConfig() ChaosConfig {
+	cfg := DefaultChaosConfig()
+	cfg.DocsPerParty = 80
+	cfg.DocLen = 30
+	cfg.Vocab = 500
+	cfg.Searches = 12
+	cfg.ErrorRates = []float64{0, 0.3}
+	cfg.RTTMicros = 0
+	cfg.Params.K = 20
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c ChaosConfig) Validate() error {
+	switch {
+	case c.Parties < 1:
+		return fmt.Errorf("%w: Parties=%d", ErrBadConfig, c.Parties)
+	case c.DocsPerParty < 1 || c.DocLen < 1 || c.Vocab < 2 || c.Terms < 1:
+		return fmt.Errorf("%w: empty workload", ErrBadConfig)
+	case c.Searches < 1:
+		return fmt.Errorf("%w: Searches=%d", ErrBadConfig, c.Searches)
+	case c.DownParties < 0 || c.DownParties >= c.Parties:
+		return fmt.Errorf("%w: DownParties=%d must leave a survivor among %d parties",
+			ErrBadConfig, c.DownParties, c.Parties)
+	case len(c.ErrorRates) == 0:
+		return fmt.Errorf("%w: no error rates", ErrBadConfig)
+	case c.RTTMicros < 0:
+		return fmt.Errorf("%w: RTTMicros=%d", ErrBadConfig, c.RTTMicros)
+	case c.Params.MinParties < 1:
+		return fmt.Errorf("%w: chaos sweep needs the quorum policy (Params.MinParties >= 1)", ErrBadConfig)
+	}
+	for _, r := range c.ErrorRates {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("%w: error rate %v", ErrBadConfig, r)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// ChaosPoint is one measured fault rate.
+type ChaosPoint struct {
+	ErrorRate float64 `json:"error_rate"`
+	Searches  int     `json:"searches"`
+	// OK / Partial / Failed partition the searches: full-roster answers,
+	// degraded answers, and quorum losses or hard errors.
+	OK      int `json:"ok"`
+	Partial int `json:"partial"`
+	Failed  int `json:"failed"`
+	// Availability is the fraction of searches that returned a ranking
+	// (full or degraded).
+	Availability     float64 `json:"availability"`
+	AvgLatencyMicros int64   `json:"avg_latency_micros"`
+	Retries          int     `json:"retries"`
+	// OpenBreakers counts parties whose breaker finished the point open.
+	OpenBreakers int `json:"open_breakers"`
+}
+
+// ChaosResult is the sweep outcome.
+type ChaosResult struct {
+	Config ChaosConfig  `json:"config"`
+	Points []ChaosPoint `json:"points"`
+}
+
+// chaosFed builds one sweep federation: querier Q plus cfg.Parties data
+// parties with seeded synthetic documents, per-party links at
+// cfg.RTTMicros, the leading cfg.DownParties parties hard-down and the
+// rest at the given error rate, and a fast-retry resilience policy so a
+// sweep point is not dominated by backoff sleeps.
+func chaosFed(cfg ChaosConfig, rate float64) (*federation.Federation, []uint64, error) {
+	names := []string{"Q"}
+	for i := 0; i < cfg.Parties; i++ {
+		names = append(names, partyName(i))
+	}
+	fed, err := federation.NewDeterministic(names, cfg.Params, uint64(cfg.Seed)+99, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < cfg.Parties; i++ {
+		if err := fed.Parties[i+1].IngestAllParallel(parallelismDocs(ParallelismConfig{
+			Seed: cfg.Seed, DocsPerParty: cfg.DocsPerParty, DocLen: cfg.DocLen, Vocab: cfg.Vocab,
+		}, i), 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	in := chaos.New(cfg.ChaosSeed)
+	rtt := time.Duration(cfg.RTTMicros) * time.Microsecond
+	for i := 0; i < cfg.Parties; i++ {
+		p := chaos.Profile{Latency: rtt}
+		if i < cfg.DownParties {
+			p.Down = true
+		} else {
+			p.ErrorRate = rate
+		}
+		in.SetProfile(partyName(i), p)
+	}
+	fed.Server.SetChaos(in)
+	policy := resilience.DefaultPolicy()
+	policy.BaseBackoff = 100 * time.Microsecond
+	policy.MaxBackoff = time.Millisecond
+	policy.OpenTimeout = time.Hour // no half-open probes mid-sweep
+	fed.SetResiliencePolicy(policy)
+	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	terms := make([]uint64, cfg.Searches*cfg.Terms)
+	for i := range terms {
+		terms[i] = uint64(rng.Intn(cfg.Vocab))
+	}
+	return fed, terms, nil
+}
+
+// RunChaosSweep measures degraded-mode search availability, latency,
+// retries and breaker state at every configured error rate. Each rate
+// gets a fresh federation and a fresh injector with the same seed, so
+// the whole sweep replays bit-identically.
+func RunChaosSweep(cfg ChaosConfig) (*ChaosResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &ChaosResult{Config: cfg}
+	for _, rate := range cfg.ErrorRates {
+		fed, terms, err := chaosFed(cfg, rate)
+		if err != nil {
+			return nil, err
+		}
+		pt := ChaosPoint{ErrorRate: rate, Searches: cfg.Searches}
+		var elapsed time.Duration
+		for s := 0; s < cfg.Searches; s++ {
+			q := terms[s*cfg.Terms : (s+1)*cfg.Terms]
+			start := time.Now()
+			out, err := fed.Search("Q", q, cfg.Params.K)
+			elapsed += time.Since(start)
+			if out != nil {
+				for _, rep := range out.Parties {
+					pt.Retries += rep.Retries
+				}
+			}
+			switch {
+			case err != nil:
+				pt.Failed++
+			case out.Partial:
+				pt.Partial++
+			default:
+				pt.OK++
+			}
+		}
+		pt.Availability = float64(pt.OK+pt.Partial) / float64(pt.Searches)
+		pt.AvgLatencyMicros = elapsed.Microseconds() / int64(pt.Searches)
+		for i := 0; i < cfg.Parties; i++ {
+			if fed.BreakerState(partyName(i)) == resilience.Open {
+				pt.OpenBreakers++
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RenderChaos renders the sweep as the table expbench prints.
+func RenderChaos(res *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: %d parties (%d down) x %d docs, %d-term query, K=%d, quorum >= %d, %d searches/point, chaos seed %d\n",
+		res.Config.Parties, res.Config.DownParties, res.Config.DocsPerParty,
+		res.Config.Terms, res.Config.Params.K, res.Config.Params.MinParties,
+		res.Config.Searches, res.Config.ChaosSeed)
+	fmt.Fprintf(&b, "%10s %6s %8s %7s %13s %13s %8s %9s\n",
+		"error_rate", "ok", "partial", "failed", "availability", "avg_lat_us", "retries", "breakers")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%10.2f %6d %8d %7d %13.3f %13d %8d %9d\n",
+			p.ErrorRate, p.OK, p.Partial, p.Failed, p.Availability,
+			p.AvgLatencyMicros, p.Retries, p.OpenBreakers)
+	}
+	return b.String()
+}

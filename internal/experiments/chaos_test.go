@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestChaosConfigValidate(t *testing.T) {
+	good := TestChaosConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	cases := []func(*ChaosConfig){
+		func(c *ChaosConfig) { c.Parties = 0 },
+		func(c *ChaosConfig) { c.DocsPerParty = 0 },
+		func(c *ChaosConfig) { c.Searches = 0 },
+		func(c *ChaosConfig) { c.DownParties = -1 },
+		func(c *ChaosConfig) { c.DownParties = c.Parties }, // no survivor
+		func(c *ChaosConfig) { c.ErrorRates = nil },
+		func(c *ChaosConfig) { c.ErrorRates = []float64{1.5} },
+		func(c *ChaosConfig) { c.RTTMicros = -1 },
+		func(c *ChaosConfig) { c.Params.MinParties = 0 }, // quorum policy required
+	}
+	for i, mutate := range cases {
+		cfg := TestChaosConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+// TestRunChaosSweep runs the unit-scale sweep end to end: with one dead
+// silo every search degrades but none may fail (MinParties=1), retries
+// and the dead party's open breaker must be visible at a positive error
+// rate, and a same-config rerun must reproduce the availability numbers
+// exactly (fault injection is seeded, not random).
+func TestRunChaosSweep(t *testing.T) {
+	cfg := TestChaosConfig()
+	res, err := RunChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.ErrorRates) {
+		t.Fatalf("%d points for %d rates", len(res.Points), len(cfg.ErrorRates))
+	}
+	for i, pt := range res.Points {
+		if pt.Searches != cfg.Searches || pt.OK+pt.Partial+pt.Failed != pt.Searches {
+			t.Fatalf("point %d: outcome partition broken: %+v", i, pt)
+		}
+		if pt.OK != 0 {
+			t.Fatalf("point %d: %d full-roster answers despite a hard-down party", i, pt.OK)
+		}
+		if pt.Failed != 0 {
+			t.Fatalf("point %d: %d searches failed under MinParties=1: %+v", i, pt.Failed, pt)
+		}
+		if pt.Availability != 1 {
+			t.Fatalf("point %d: availability %v, want 1", i, pt.Availability)
+		}
+		if pt.OpenBreakers < 1 {
+			t.Fatalf("point %d: dead party's breaker never opened", i)
+		}
+	}
+	// The rate-0 point retries only the dead party; a 30% rate must add
+	// retries on the surviving links.
+	if last := res.Points[len(res.Points)-1]; last.Retries <= res.Points[0].Retries {
+		t.Fatalf("error rate added no retries: rate0=%d rate30=%d",
+			res.Points[0].Retries, last.Retries)
+	}
+
+	rerun, err := RunChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Points {
+		a, b := res.Points[i], rerun.Points[i]
+		a.AvgLatencyMicros, b.AvgLatencyMicros = 0, 0 // wall clock may differ
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("point %d not reproducible: %+v vs %+v", i, a, b)
+		}
+	}
+
+	table := RenderChaos(res)
+	for _, want := range []string{"chaos:", "error_rate", "availability", "breakers"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -34,7 +34,7 @@ type ParallelismConfig struct {
 // DefaultParallelismConfig is the checked-in BENCH_federation.json
 // workload: a 4-party federation in the cross-silo regime — parties are
 // WAN-separated, so each relayed owner call carries a simulated 5ms
-// round trip (Server.SetLinkDelay). That round trip is what the
+// round trip (Server.SetPartyLink). That round trip is what the
 // concurrent fan-out overlaps; CPU-bound stages only scale with
 // physical cores.
 func DefaultParallelismConfig() ParallelismConfig {
@@ -139,7 +139,9 @@ func parallelismFed(cfg ParallelismConfig) (*federation.Federation, []uint64, er
 	}
 	// The simulated round trip applies to queries only — it is installed
 	// after ingestion, which is local to each party.
-	fed.Server.SetLinkDelay(time.Duration(cfg.RTTMicros) * time.Microsecond)
+	for i := 0; i < cfg.Parties; i++ {
+		fed.Server.SetPartyLink(partyName(i), time.Duration(cfg.RTTMicros)*time.Microsecond)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
 	terms := make([]uint64, cfg.Terms)
 	for i := range terms {
@@ -276,10 +278,16 @@ func RenderParallelism(res *ParallelismResult) string {
 	return b.String()
 }
 
+// WriteBenchJSON writes any sweep result as indented JSON — the shared
+// writer behind the checked-in BENCH_*.json artifacts.
+func WriteBenchJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // WriteParallelismJSON writes the sweep result as indented JSON — the
 // payload of the checked-in BENCH_federation.json.
 func WriteParallelismJSON(w io.Writer, res *ParallelismResult) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(res)
+	return WriteBenchJSON(w, res)
 }

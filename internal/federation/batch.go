@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"csfltr/internal/core"
+	"csfltr/internal/resilience"
 )
 
 // runPool executes fn(0..n-1) on at most `workers` goroutines, returning
@@ -82,6 +83,14 @@ type TopKResult struct {
 // Each worker uses its own deterministically-seeded querier (obfuscation
 // randomness), so a batch is reproducible for a fixed federation and
 // request list regardless of scheduling.
+//
+// Queries run under the federation's resilience policy (per-attempt
+// deadline, bounded retries with deterministic backoff). When
+// Params.MinParties > 0, a request to a party whose circuit breaker is
+// open fails immediately with resilience.ErrBreakerOpen — before any
+// privacy budget is spent — and attempted requests feed the breaker in
+// request order after the pool drains, so breaker evolution does not
+// depend on scheduling.
 func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, parallelism int, useRTK bool) ([]TopKResult, error) {
 	if parallelism <= 0 {
 		parallelism = 1
@@ -90,22 +99,34 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 	if err != nil {
 		return nil, err
 	}
+	degraded := f.Params.MinParties > 0
+	policy := f.ResiliencePolicy()
 	results := make([]TopKResult, len(reqs))
+	attempted := make([]bool, len(reqs))
 	for i, r := range reqs {
 		results[i].Request = r
 	}
 	// Pre-resolve one querier per request (seeded by index) so results
-	// do not depend on worker scheduling.
+	// do not depend on worker scheduling, and settle breaker admission
+	// up front in request order.
 	queriers := make([]*core.Querier, len(reqs))
 	for i := range reqs {
+		if degraded && reqs[i].To != from && !f.breakerFor(reqs[i].To).Allow() {
+			results[i].Err = resilience.ErrBreakerOpen
+			continue
+		}
 		q, err := core.NewQuerier(f.Params, f.HashSeed, rand.New(rand.NewSource(int64(i)*7919+1)))
 		if err != nil {
 			return nil, err
 		}
 		queriers[i] = q
 	}
-	runPool(parallelism, len(reqs), f.Server.metrics(), func(i int) {
+	m := f.Server.metrics()
+	runPool(parallelism, len(reqs), m, func(i int) {
 		r := &results[i]
+		if r.Err != nil { // breaker refused above
+			return
+		}
 		if r.Request.To == from {
 			r.Err = ErrSelfQuery
 			return
@@ -119,12 +140,30 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 			r.Err = err
 			return
 		}
-		if useRTK {
-			r.Docs, r.Cost, r.Err = core.RTKReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
-		} else {
-			r.Docs, r.Cost, r.Err = core.NaiveReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+		attempted[i] = true
+		out, attempts, err := resilience.Call(policy, f.callSeed(r.Request.To, r.Request.Term),
+			func() (rtkOut, error) {
+				var o rtkOut
+				var err error
+				if useRTK {
+					o.docs, o.cost, err = core.RTKReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+				} else {
+					o.docs, o.cost, err = core.NaiveReverseTopK(queriers[i], owner, r.Request.Term, r.Request.K)
+				}
+				return o, err
+			})
+		r.Docs, r.Cost, r.Err = out.docs, out.cost, err
+		if attempts > 1 {
+			m.retriesFor(r.Request.To).Add(int64(attempts - 1))
 		}
 	})
+	if degraded {
+		for i := range results {
+			if attempted[i] {
+				f.breakerFor(results[i].Request.To).Record(results[i].Err == nil)
+			}
+		}
+	}
 	return results, nil
 }
 

@@ -107,8 +107,8 @@ func BenchmarkFederatedSearchCPU(b *testing.B) {
 
 // benchFedN builds a federation with a querier party Q plus `parties`
 // data parties of 150 documents each, and a simulated per-message WAN
-// round trip of rtt (cross-silo parties are network-separated; see
-// Server.SetLinkDelay).
+// round trip of rtt on every data party's link (cross-silo parties are
+// network-separated; see Server.SetPartyLink).
 func benchFedN(b *testing.B, parties int, rtt time.Duration) *Federation {
 	b.Helper()
 	p := core.DefaultParams()
@@ -136,7 +136,9 @@ func benchFedN(b *testing.B, parties int, rtt time.Duration) *Federation {
 			b.Fatal(err)
 		}
 	}
-	fed.Server.SetLinkDelay(rtt)
+	for _, party := range fed.Parties[1:] {
+		fed.Server.SetPartyLink(party.Name, rtt)
+	}
 	return fed
 }
 

@@ -22,10 +22,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"csfltr/internal/chaos"
 	"csfltr/internal/core"
 	"csfltr/internal/dp"
 	"csfltr/internal/hashutil"
 	"csfltr/internal/keyex"
+	"csfltr/internal/resilience"
 	"csfltr/internal/telemetry"
 	"csfltr/internal/textkit"
 )
@@ -91,9 +93,11 @@ type Server struct {
 	parties map[string]endpoint
 	m       *serverMetrics
 
-	// linkDelayNanos simulates one-way-plus-return WAN latency per relayed
-	// owner call (see SetLinkDelay). Zero (the default) relays immediately.
-	linkDelayNanos atomic.Int64
+	// chaosInj simulates the links between the server and each party:
+	// per-party latency and fault profiles, all deterministic from the
+	// injector's seed (see SetChaos / SetPartyLink). Nil (the default)
+	// relays immediately and faultlessly.
+	chaosInj atomic.Pointer[chaos.Injector]
 }
 
 // NewServer creates an empty server with a fresh telemetry registry.
@@ -193,23 +197,80 @@ func (s *Server) ResetTraffic() {
 	s.metrics().resetTraffic()
 }
 
-// SetLinkDelay installs a simulated network round-trip time applied to
-// every relayed owner call (one sleep per message, since each OwnerAPI
-// call is one request/response exchange). Cross-silo federations are
-// WAN-separated, so query latency is round-trip dominated; the delay
-// makes in-process benchmarks and experiments reproduce that regime —
-// in particular it is what the concurrent FederatedSearch fan-out
-// overlaps. Zero (the default) disables it. Results, cost accounting
-// and traffic counters are unaffected. Safe to call concurrently.
-func (s *Server) SetLinkDelay(d time.Duration) {
-	s.linkDelayNanos.Store(int64(d))
+// SetChaos installs a fault injector simulating the server↔party links:
+// per-party latency, jitter, error/timeout rates, crashes and
+// partitions, every decision deterministic from the injector's seed.
+// Injected faults are counted in the server's telemetry
+// (csfltr_chaos_injected_faults_total by party and kind). Passing nil
+// removes injection entirely. Safe to call concurrently; results, cost
+// accounting and traffic counters are unaffected by pure-latency
+// profiles.
+func (s *Server) SetChaos(in *chaos.Injector) {
+	if in != nil {
+		in.SetOnFault(func(party, kind string) {
+			s.metrics().faultFor(party, kind).Inc()
+		})
+	}
+	s.chaosInj.Store(in)
 }
 
-// linkDelay sleeps for the configured simulated round-trip, if any.
-func (s *Server) linkDelay() {
-	if d := s.linkDelayNanos.Load(); d > 0 {
-		time.Sleep(time.Duration(d))
+// Chaos returns the installed injector (nil if none).
+func (s *Server) Chaos() *chaos.Injector { return s.chaosInj.Load() }
+
+// ensureChaos returns the installed injector, creating a seed-0 one on
+// first use so the link-configuration helpers work without an explicit
+// SetChaos.
+func (s *Server) ensureChaos() *chaos.Injector {
+	if in := s.chaosInj.Load(); in != nil {
+		return in
 	}
+	in := chaos.New(0)
+	in.SetOnFault(func(party, kind string) {
+		s.metrics().faultFor(party, kind).Inc()
+	})
+	if s.chaosInj.CompareAndSwap(nil, in) {
+		return in
+	}
+	return s.chaosInj.Load()
+}
+
+// SetPartyLink installs a simulated network round-trip time for one
+// party's link, applied to every owner call relayed to that party (one
+// sleep per message, since each OwnerAPI call is one request/response
+// exchange). Cross-silo federations are WAN-separated with
+// heterogeneous links, so query latency is round-trip dominated; the
+// delay makes in-process benchmarks and experiments reproduce that
+// regime — in particular it is what the concurrent FederatedSearch
+// fan-out overlaps. Zero removes the delay. The party's other fault
+// knobs are preserved.
+func (s *Server) SetPartyLink(party string, rtt time.Duration) {
+	in := s.ensureChaos()
+	p := in.PartyProfile(party)
+	p.Latency = rtt
+	in.SetProfile(party, p)
+}
+
+// SetLinkDelay installs one simulated round-trip time for every party's
+// link.
+//
+// Deprecated: links are per-party now — use SetPartyLink for one party
+// or SetChaos for full fault profiles. This shim sets the injector's
+// default profile, preserving the old all-parties semantics.
+func (s *Server) SetLinkDelay(d time.Duration) {
+	in := s.ensureChaos()
+	p := in.Default()
+	p.Latency = d
+	in.SetDefault(p)
+}
+
+// intercept applies the installed chaos profile to one relayed owner
+// call: simulated link latency, then the injected fault, if any.
+func (s *Server) intercept(party, op string, content uint64) error {
+	in := s.chaosInj.Load()
+	if in == nil {
+		return nil
+	}
+	return in.Intercept(party, op, content)
 }
 
 // lookup resolves a party endpoint by name.
@@ -254,7 +315,10 @@ type routedOwner struct {
 
 func (r *routedOwner) DocIDs() []int {
 	sp := r.m.apiSpan(apiDocIDs)
-	r.srv.linkDelay()
+	if err := r.srv.intercept(r.party, apiDocIDs, 0); err != nil {
+		sp.End()
+		return nil
+	}
 	ids := r.api.DocIDs()
 	sp.End()
 	r.m.record(r.party, opQuery, int64(8*len(ids)))
@@ -263,7 +327,10 @@ func (r *routedOwner) DocIDs() []int {
 
 func (r *routedOwner) DocMeta(docID int) (int, int, error) {
 	sp := r.m.apiSpan(apiDocMeta)
-	r.srv.linkDelay()
+	if err := r.srv.intercept(r.party, apiDocMeta, uint64(docID)); err != nil {
+		sp.End()
+		return 0, 0, err
+	}
 	length, unique, err := r.api.DocMeta(docID)
 	sp.End()
 	r.m.record(r.party, opQuery, 16)
@@ -274,7 +341,9 @@ func (r *routedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, er
 	sp := r.m.apiSpan(apiTF)
 	defer sp.End()
 	r.m.record(r.party, opQuery, q.WireSize())
-	r.srv.linkDelay()
+	if err := r.srv.intercept(r.party, apiTF, chaosContent(uint64(docID)+1, q.Cols)); err != nil {
+		return nil, err
+	}
 	resp, err := r.api.AnswerTF(docID, q)
 	if err != nil {
 		return nil, err
@@ -287,13 +356,29 @@ func (r *routedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 	sp := r.m.apiSpan(apiRTK)
 	defer sp.End()
 	r.m.record(r.party, opQuery, q.WireSize())
-	r.srv.linkDelay()
+	if err := r.srv.intercept(r.party, apiRTK, chaosContent(0, q.Cols)); err != nil {
+		return nil, err
+	}
 	resp, err := r.api.AnswerRTK(q)
 	if err != nil {
 		return nil, err
 	}
 	r.m.record(r.party, opQuery, resp.WireSize())
 	return resp, nil
+}
+
+// chaosContent folds a query's column vector (and a discriminator) into
+// the call-content identity chaos keys fault decisions on: the same
+// logical query draws the same fate no matter when or on which worker
+// it is relayed, which is what keeps fault replays bit-identical under
+// a concurrent fan-out.
+func chaosContent(disc uint64, cols []uint32) uint64 {
+	h := disc ^ 0xcbf29ce484222325
+	for _, c := range cols {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+	}
+	return h
 }
 
 // Party is one silo: a name, the owner-side sketch state for each
@@ -505,6 +590,12 @@ type Federation struct {
 	// exposed for feature extraction within parties; in the deployed
 	// system it never reaches the server.
 	HashSeed uint64
+
+	// Resilience state (see resilience.go): the retry/breaker policy
+	// and the lazily-created per-party circuit breakers.
+	resMu    sync.Mutex
+	policy   *resilience.Policy
+	breakers map[string]*resilience.Breaker
 }
 
 // New runs the full setup ceremony for the named parties: Diffie-Hellman

@@ -2,12 +2,14 @@ package federation
 
 import (
 	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"csfltr/internal/core"
 	"csfltr/internal/textkit"
 )
 
@@ -83,6 +85,92 @@ func FuzzHTTPEnvelope(f *testing.F) {
 		}
 		if env.RequestID != "fuzz-rid" {
 			t.Fatalf("%s: envelope request id %q, want fuzz-rid", path, env.RequestID)
+		}
+	})
+}
+
+// gobBytes encodes a value for the FuzzRPCDecode seed corpus.
+func gobBytes(f *testing.F, v any) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRPCDecode hardens the net/rpc message decode path: for any byte
+// stream presented as a gob-encoded argument struct, decoding plus the
+// dispatched RPCService method must not panic. Malformed streams must
+// fail in the decoder; well-formed but hostile arguments (unknown
+// parties, out-of-range sketch columns, absurd document ids) must come
+// back as ordinary errors from the service.
+func FuzzRPCDecode(f *testing.F) {
+	fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	a, _ := fed.Party("A")
+	if err := a.IngestAll([]*textkit.Document{doc(0, 5, 5, 6), doc(1, 6, 7)}); err != nil {
+		f.Fatal(err)
+	}
+	svc := &RPCService{server: fed.Server}
+
+	cols := make([]uint32, testParams().Z)
+	for i := range cols {
+		cols[i] = uint32(i)
+	}
+	valid := [][]byte{
+		gobBytes(f, &DocIDsArgs{Party: "A", Field: FieldBody}),
+		gobBytes(f, &DocMetaArgs{Party: "A", Field: FieldBody, DocID: 0}),
+		gobBytes(f, &TFArgs{Party: "A", Field: FieldBody, DocID: 0, Query: core.TFQuery{Cols: cols}}),
+		gobBytes(f, &RTKArgs{Party: "A", Field: FieldTitle, Query: core.TFQuery{Cols: cols}}),
+	}
+	for method, payload := range valid {
+		f.Add(uint8(method), payload)
+		// Truncated and bit-flipped variants of each valid stream.
+		f.Add(uint8(method), payload[:len(payload)/2])
+		flipped := bytes.Clone(payload)
+		flipped[len(flipped)-1] ^= 0xff
+		f.Add(uint8(method), flipped)
+	}
+	f.Add(uint8(1), gobBytes(f, &DocMetaArgs{Party: "nobody", Field: Field(99), DocID: -1}))
+	f.Add(uint8(3), gobBytes(f, &RTKArgs{Party: "A", Field: FieldBody,
+		Query: core.TFQuery{Cols: []uint32{1 << 30, 2, 3, 4, 5, 6, 7, 8, 9}}}))
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(2), []byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, method uint8, payload []byte) {
+		dec := gob.NewDecoder(bytes.NewReader(payload))
+		switch method % 4 {
+		case 0:
+			var args DocIDsArgs
+			if dec.Decode(&args) != nil {
+				return
+			}
+			var reply DocIDsReply
+			_ = svc.DocIDs(&args, &reply)
+		case 1:
+			var args DocMetaArgs
+			if dec.Decode(&args) != nil {
+				return
+			}
+			var reply DocMetaReply
+			_ = svc.DocMeta(&args, &reply)
+		case 2:
+			var args TFArgs
+			if dec.Decode(&args) != nil {
+				return
+			}
+			var reply TFReply
+			_ = svc.AnswerTF(&args, &reply)
+		case 3:
+			var args RTKArgs
+			if dec.Decode(&args) != nil {
+				return
+			}
+			var reply RTKReply
+			_ = svc.AnswerRTK(&args, &reply)
 		}
 	})
 }

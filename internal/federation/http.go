@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"csfltr/internal/chaos"
 	"csfltr/internal/core"
 	"csfltr/internal/telemetry"
 )
@@ -407,4 +408,70 @@ func (h *HTTPOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 		resp.Cells[i] = core.RTKCell{IDs: c.IDs, Values: c.Values}
 	}
 	return resp, nil
+}
+
+// ChaosTransport wraps an http.RoundTripper with the fault injector, so
+// HTTP-transport federations can run under the same per-party chaos
+// profiles as the in-process relay: it extracts the target party from
+// the gateway path (/v1/parties/{name}/...), applies the party's
+// profile (latency sleep, injected fault) and only then forwards the
+// request. base nil means http.DefaultTransport. Install it on the
+// client used by NewHTTPOwner:
+//
+//	c := &http.Client{Transport: federation.ChaosTransport(in, nil)}
+//	owner := federation.NewHTTPOwner(url, "B", federation.FieldBody, c)
+func ChaosTransport(in *chaos.Injector, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &chaosRoundTripper{in: in, base: base}
+}
+
+// chaosRoundTripper implements http.RoundTripper over an injector.
+type chaosRoundTripper struct {
+	in   *chaos.Injector
+	base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (c *chaosRoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	path := req.URL.Path
+	if party := partyFromPath(path); party != "" {
+		if err := c.in.Intercept(party, "http", chaosContent(uint64(len(path)), pathContent(path))); err != nil {
+			return nil, err
+		}
+	}
+	return c.base.RoundTrip(req)
+}
+
+// partyFromPath extracts {name} from a /v1/parties/{name}/... gateway
+// path ("" if the path has another shape).
+func partyFromPath(path string) string {
+	const prefix = "/v1/parties/"
+	if !strings.HasPrefix(path, prefix) {
+		return ""
+	}
+	rest := path[len(prefix):]
+	if i := strings.IndexByte(rest, '/'); i > 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+// pathContent folds a URL path into the column-vector shape
+// chaosContent consumes.
+func pathContent(path string) []uint32 {
+	out := make([]uint32, 0, (len(path)+3)/4)
+	var cur uint32
+	for i := 0; i < len(path); i++ {
+		cur = cur<<8 | uint32(path[i])
+		if i%4 == 3 {
+			out = append(out, cur)
+			cur = 0
+		}
+	}
+	if len(path)%4 != 0 {
+		out = append(out, cur)
+	}
+	return out
 }

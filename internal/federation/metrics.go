@@ -37,6 +37,29 @@ const (
 	// queued. Sampled gauges — scrape mid-search to see pool pressure.
 	MetricFanoutInFlight   = "csfltr_fanout_in_flight_tasks"
 	MetricFanoutQueueDepth = "csfltr_fanout_queue_depth"
+	// MetricBreakerState is the per-party circuit breaker position,
+	// labeled by party: 0 closed, 1 half-open, 2 open (the numeric
+	// contract of resilience.State).
+	MetricBreakerState = "csfltr_resilience_breaker_state"
+	// MetricRetries counts retry attempts beyond the first try, labeled
+	// by party.
+	MetricRetries = "csfltr_resilience_retries_total"
+	// MetricPartyOutcome counts per-party outcomes of federated
+	// searches, labeled by party and outcome (ok, failed, skipped).
+	MetricPartyOutcome = "csfltr_search_party_outcome_total"
+	// MetricDegradedSearches counts federated searches that completed
+	// without the full roster (Partial results).
+	MetricDegradedSearches = "csfltr_search_degraded_total"
+	// MetricInjectedFaults counts faults injected by the chaos layer,
+	// labeled by party and kind (error, timeout, down, partition).
+	MetricInjectedFaults = "csfltr_chaos_injected_faults_total"
+)
+
+// Per-party search outcome label values (bounded).
+const (
+	OutcomeOK      = "ok"      // every query to the party succeeded
+	OutcomeFailed  = "failed"  // the party was queried but failed
+	OutcomeSkipped = "skipped" // the party was skipped (breaker open)
 )
 
 // Relay op label values: what the server was relaying for.
@@ -86,6 +109,7 @@ type serverMetrics struct {
 
 	searchDur  *telemetry.Histogram
 	searchReqs *telemetry.Counter
+	degraded   *telemetry.Counter
 
 	rpcInFlight  *telemetry.Gauge
 	httpInFlight *telemetry.Gauge
@@ -93,17 +117,25 @@ type serverMetrics struct {
 	poolInFlight *telemetry.Gauge
 	poolQueue    *telemetry.Gauge
 
-	mu    sync.Mutex
-	relay map[relayKey]relayCounters
+	mu       sync.Mutex
+	relay    map[relayKey]relayCounters
+	breaker  map[string]*telemetry.Gauge
+	retries  map[string]*telemetry.Counter
+	outcomes map[relayKey]*telemetry.Counter // reusing relayKey as (party, outcome)
+	faults   map[relayKey]*telemetry.Counter // (party, kind)
 }
 
 // newServerMetrics creates the handle cache over reg.
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m := &serverMetrics{
-		reg:   reg,
-		api:   make(map[string]*telemetry.Histogram, 4),
-		stage: make(map[string]*telemetry.Histogram, 4),
-		relay: make(map[relayKey]relayCounters),
+		reg:      reg,
+		api:      make(map[string]*telemetry.Histogram, 4),
+		stage:    make(map[string]*telemetry.Histogram, 4),
+		relay:    make(map[relayKey]relayCounters),
+		breaker:  make(map[string]*telemetry.Gauge),
+		retries:  make(map[string]*telemetry.Counter),
+		outcomes: make(map[relayKey]*telemetry.Counter),
+		faults:   make(map[relayKey]*telemetry.Counter),
 	}
 	for _, api := range []string{apiDocIDs, apiDocMeta, apiTF, apiRTK} {
 		m.api[api] = reg.Histogram(MetricAPILatency,
@@ -120,6 +152,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 	m.searchDur = reg.Histogram(MetricSearchDuration,
 		"End-to-end federated search latency.", nil)
 	m.searchReqs = reg.Counter(MetricSearchRequests, "Federated searches served.")
+	m.degraded = reg.Counter(MetricDegradedSearches,
+		"Federated searches that completed without the full roster.")
 	m.rpcInFlight = reg.Gauge("csfltr_rpc_in_flight_requests", "RPC calls currently executing.")
 	m.httpInFlight = reg.Gauge("csfltr_http_in_flight_requests", "HTTP requests currently executing.")
 	m.poolInFlight = reg.Gauge(MetricFanoutInFlight, "Fan-out pool tasks currently executing.")
@@ -143,6 +177,68 @@ func (m *serverMetrics) relayFor(party, op string) relayCounters {
 		m.relay[k] = rc
 	}
 	return rc
+}
+
+// breakerGauge returns (creating on first use) one party's breaker
+// state gauge. The gauge carries resilience.State's numeric contract:
+// 0 closed, 1 half-open, 2 open.
+func (m *serverMetrics) breakerGauge(party string) *telemetry.Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.breaker[party]
+	if !ok {
+		g = m.reg.Gauge(MetricBreakerState,
+			"Per-party circuit breaker state (0 closed, 1 half-open, 2 open).",
+			telemetry.L("party", party))
+		m.breaker[party] = g
+	}
+	return g
+}
+
+// retriesFor returns one party's retry counter.
+func (m *serverMetrics) retriesFor(party string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.retries[party]
+	if !ok {
+		c = m.reg.Counter(MetricRetries,
+			"Retry attempts beyond the first try, per party.",
+			telemetry.L("party", party))
+		m.retries[party] = c
+	}
+	return c
+}
+
+// outcomeFor returns the counter for one (party, outcome) of federated
+// searches.
+func (m *serverMetrics) outcomeFor(party, outcome string) *telemetry.Counter {
+	k := relayKey{party: party, op: outcome}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.outcomes[k]
+	if !ok {
+		c = m.reg.Counter(MetricPartyOutcome,
+			"Per-party outcomes of federated searches.",
+			telemetry.L("party", party), telemetry.L("outcome", outcome))
+		m.outcomes[k] = c
+	}
+	return c
+}
+
+// faultFor returns the counter for one (party, fault kind) of injected
+// chaos faults.
+func (m *serverMetrics) faultFor(party, kind string) *telemetry.Counter {
+	k := relayKey{party: party, op: kind}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.faults[k]
+	if !ok {
+		c = m.reg.Counter(MetricInjectedFaults,
+			"Faults injected by the chaos layer.",
+			telemetry.L("party", party), telemetry.L("kind", kind))
+		m.faults[k] = c
+	}
+	return c
 }
 
 // record accounts one relayed message of n bytes — the single byte

@@ -190,12 +190,13 @@ func TestIngestAllParallelMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestSetLinkDelay: a configured round trip must be observable on a
-// relayed owner call and removable again.
-func TestSetLinkDelay(t *testing.T) {
+// TestSetPartyLink: a configured per-party round trip must be
+// observable on that party's relayed owner calls only, and removable
+// again.
+func TestSetPartyLink(t *testing.T) {
 	fed := searchFed(t)
 	const rtt = 30 * time.Millisecond
-	fed.Server.SetLinkDelay(rtt)
+	fed.Server.SetPartyLink("B", rtt)
 	owner, err := fed.Server.OwnerFor("B", FieldBody)
 	if err != nil {
 		t.Fatal(err)
@@ -207,8 +208,48 @@ func TestSetLinkDelay(t *testing.T) {
 	if elapsed := time.Since(start); elapsed < rtt {
 		t.Fatalf("relayed call took %v, want >= %v", elapsed, rtt)
 	}
-	fed.Server.SetLinkDelay(0)
+	// Another party's link is untouched.
+	other, err := fed.Server.OwnerFor("C", FieldBody)
+	if err != nil {
+		t.Fatal(err)
+	}
 	start = time.Now()
+	other.DocIDs()
+	if elapsed := time.Since(start); elapsed >= rtt {
+		t.Fatalf("unconfigured party's call took %v", elapsed)
+	}
+	fed.Server.SetPartyLink("B", 0)
+	start = time.Now()
+	if _, _, err := owner.DocMeta(0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > rtt {
+		t.Fatalf("delay did not reset: call took %v", elapsed)
+	}
+}
+
+// TestSetLinkDelayShim: the deprecated global knob must still apply one
+// round trip to every party's link.
+func TestSetLinkDelayShim(t *testing.T) {
+	fed := searchFed(t)
+	const rtt = 30 * time.Millisecond
+	fed.Server.SetLinkDelay(rtt)
+	for _, party := range []string{"B", "C"} {
+		owner, err := fed.Server.OwnerFor(party, FieldBody)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		if _, _, err := owner.DocMeta(0); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed < rtt {
+			t.Fatalf("party %s: relayed call took %v, want >= %v", party, elapsed, rtt)
+		}
+	}
+	fed.Server.SetLinkDelay(0)
+	owner, _ := fed.Server.OwnerFor("B", FieldBody)
+	start := time.Now()
 	if _, _, err := owner.DocMeta(0); err != nil {
 		t.Fatal(err)
 	}

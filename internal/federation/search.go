@@ -1,10 +1,17 @@
 package federation
 
 import (
+	"errors"
+	"fmt"
 	"sort"
 
 	"csfltr/internal/core"
+	"csfltr/internal/resilience"
 )
+
+// ErrQuorum is returned when degraded-mode search loses so many parties
+// that fewer than Params.MinParties answered.
+var ErrQuorum = errors.New("federation: quorum lost: too few parties answered")
 
 // SearchHit is one federated search result: a document at some party
 // with its aggregated relevance score (sum of estimated per-term counts,
@@ -15,6 +22,33 @@ type SearchHit struct {
 	Score float64
 }
 
+// PartyReport is one party's outcome in a federated search.
+type PartyReport struct {
+	Party string
+	// Outcome is OutcomeOK, OutcomeFailed or OutcomeSkipped.
+	Outcome string
+	// Err describes the first failure for a failed party ("" otherwise).
+	Err string
+	// Queries is the number of reverse top-K queries addressed to the
+	// party (0 for a skipped party — no query sent, no budget spent).
+	Queries int
+	// Retries is the number of retry attempts beyond each query's first
+	// try.
+	Retries int
+}
+
+// SearchResult is the full outcome of one federated search: the merged
+// ranking plus the per-party availability report.
+type SearchResult struct {
+	Hits []SearchHit
+	Cost core.Cost
+	// Partial is true when at least one party was skipped or failed, so
+	// Hits covers only the surviving parties.
+	Partial bool
+	// Parties reports every data party's outcome, in roster order.
+	Parties []PartyReport
+}
+
 // searchTask is one (party, term) reverse top-K query of a federated
 // search fan-out.
 type searchTask struct {
@@ -23,12 +57,33 @@ type searchTask struct {
 	plan  *core.Plan
 }
 
-// FederatedSearch runs a whole query against every other party: one
-// reverse top-K document query per (query term, party), merged by
-// summing per-term count estimates per document, truncated to the k
-// globally best hits. This is the user-facing "search the federation"
-// operation that the augmentation pipeline uses internally for training
-// data generation.
+// rtkOut is one task's result, produced inside a resilience.Call so a
+// timed-out attempt can be abandoned without racing the merge.
+type rtkOut struct {
+	docs []core.DocCount
+	cost core.Cost
+}
+
+// FederatedSearch runs a whole query against every other party and
+// returns the merged top-k hits. It is the strict variant of Search:
+// any party failure fails the whole search (even under a MinParties
+// policy the quorum machinery runs, but the flat signature drops the
+// per-party report — callers that want degraded results should use
+// Search). Kept for compatibility with existing call sites.
+func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]SearchHit, core.Cost, error) {
+	res, err := f.Search(from, terms, k)
+	if err != nil {
+		return nil, core.Cost{}, err
+	}
+	return res.Hits, res.Cost, nil
+}
+
+// Search runs a whole query against every other party: one reverse
+// top-K document query per (query term, party), merged by summing
+// per-term count estimates per document, truncated to the k globally
+// best hits. This is the user-facing "search the federation" operation
+// that the augmentation pipeline uses internally for training data
+// generation.
 //
 // The per-(party, term) queries are independent, so they are dispatched
 // onto a bounded worker pool (Params.Parallelism workers; 0 defaults to
@@ -43,18 +98,31 @@ type searchTask struct {
 // accountant, and it is spent for the whole fan-out *before* dispatch:
 // a budget refusal aborts the search deterministically, before any query
 // leaves the party.
-func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]SearchHit, core.Cost, error) {
-	var total core.Cost
+//
+// Each query runs under the federation's resilience policy: bounded
+// retries with deterministic backoff and a per-attempt deadline. With
+// Params.MinParties > 0 the search degrades instead of failing: a party
+// whose circuit breaker is open is skipped before any of its budget is
+// spent, a party with any failed query is dropped from the merge (its
+// outcomes feed the breaker), and the search succeeds with Partial set
+// as long as at least MinParties parties fully answered — otherwise it
+// returns ErrQuorum alongside the per-party report. A failed party
+// contributes nothing to Hits even for its succeeded queries, so the
+// ranking never depends on which fraction of a party's queries happened
+// to finish.
+func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, error) {
 	m := f.Server.metrics()
 	m.searchReqs.Inc()
 	defer m.reg.StartSpan("search", m.searchDur).End()
 	src, err := f.Party(from)
 	if err != nil {
-		return nil, total, err
+		return nil, err
 	}
 	if k <= 0 {
 		k = f.Params.K
 	}
+	degraded := f.Params.MinParties > 0
+	policy := f.ResiliencePolicy()
 
 	// Deduplicate query terms, preserving first-seen order, and build
 	// each term's obfuscated plan exactly once. Plan construction draws
@@ -73,60 +141,138 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 	// Enumerate the (party, term) fan-out in roster order and spend the
 	// whole privacy budget up front: if any spend is refused the search
 	// aborts before a single query is dispatched, exactly where the
-	// sequential path would have stopped.
+	// sequential path would have stopped. Under the quorum policy a
+	// party with an open breaker is skipped here, BEFORE its budget is
+	// spent — the paper's accountant never charges for queries that are
+	// never sent.
+	result := &SearchResult{}
 	var tasks []searchTask
+	taskStart := make(map[string]int) // party -> first task index
+	taskCount := make(map[string]int)
 	for _, party := range f.Parties {
 		if party.Name == from {
 			continue
 		}
+		if degraded && !f.breakerFor(party.Name).Allow() {
+			result.Parties = append(result.Parties, PartyReport{
+				Party:   party.Name,
+				Outcome: OutcomeSkipped,
+				Err:     resilience.ErrBreakerOpen.Error(),
+			})
+			continue
+		}
 		owner, err := f.Server.OwnerFor(party.Name, FieldBody)
 		if err != nil {
-			return nil, total, err
+			return nil, err
 		}
+		taskStart[party.Name] = len(tasks)
 		for _, plan := range plans {
 			if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
-				return nil, total, err
+				return nil, err
 			}
 			tasks = append(tasks, searchTask{party: party.Name, owner: owner, plan: plan})
 		}
+		taskCount[party.Name] = len(plans)
+		result.Parties = append(result.Parties, PartyReport{
+			Party:   party.Name,
+			Outcome: OutcomeOK,
+			Queries: len(plans),
+		})
 	}
 
 	// Fan out on the worker pool. Each task writes only its own slot, so
 	// workers never contend on shared state; the fanout span measures the
 	// wall-clock of the whole dispatch while the per-task rtk_query spans
-	// accumulate worker time.
+	// accumulate worker time. The resilience wrapper bounds each attempt
+	// with the policy deadline and retries transient failures with
+	// deterministic backoff.
 	docs := make([][]core.DocCount, len(tasks))
 	costs := make([]core.Cost, len(tasks))
 	errs := make([]error, len(tasks))
+	retries := make([]int, len(tasks))
 	fanout := m.stageSpan(StageFanout)
 	runPool(f.Params.Workers(len(tasks)), len(tasks), m, func(i int) {
 		sp := m.stageSpan(StageRTKQuery)
-		docs[i], costs[i], errs[i] = core.RTKWithPlan(tasks[i].plan, tasks[i].owner, f.Params.K)
+		t := tasks[i]
+		out, attempts, err := resilience.Call(policy, f.callSeed(t.party, t.plan.Term()),
+			func() (rtkOut, error) {
+				var o rtkOut
+				var err error
+				o.docs, o.cost, err = core.RTKWithPlan(t.plan, t.owner, f.Params.K)
+				return o, err
+			})
+		docs[i], costs[i], errs[i], retries[i] = out.docs, out.cost, err, attempts-1
 		sp.End()
 	})
 	fanout.End()
 
 	// Merge in task order: deterministic accumulation, no shared-map
-	// contention during the fan-out.
+	// contention during the fan-out. Party inclusion is all-or-nothing:
+	// either every one of a party's queries succeeded and all contribute,
+	// or the party is dropped entirely. Breaker outcomes are recorded
+	// here, in task order, so breaker state evolves deterministically.
 	merge := m.stageSpan(StageMerge)
 	defer merge.End()
 	type key struct {
 		party string
 		doc   int
 	}
+	survivors := 0
 	scores := make(map[key]float64)
-	for i := range tasks {
-		if errs[i] != nil {
-			return nil, total, errs[i]
+	for ri := range result.Parties {
+		rep := &result.Parties[ri]
+		if rep.Outcome == OutcomeSkipped {
+			m.outcomeFor(rep.Party, OutcomeSkipped).Inc()
+			continue
 		}
-		total.Add(costs[i])
-		for _, dc := range docs[i] {
-			if dc.Count <= 0 {
-				continue
+		start, count := taskStart[rep.Party], taskCount[rep.Party]
+		var firstErr error
+		for i := start; i < start+count; i++ {
+			rep.Retries += retries[i]
+			if errs[i] != nil && firstErr == nil {
+				firstErr = errs[i]
 			}
-			scores[key{party: tasks[i].party, doc: dc.DocID}] += dc.Count
+		}
+		if rep.Retries > 0 {
+			m.retriesFor(rep.Party).Add(int64(rep.Retries))
+		}
+		if firstErr != nil && !degraded {
+			// Strict mode: pre-PR behavior, first error fails the search.
+			return nil, firstErr
+		}
+		if degraded {
+			b := f.breakerFor(rep.Party)
+			for i := start; i < start+count; i++ {
+				b.Record(errs[i] == nil)
+			}
+		}
+		if firstErr != nil {
+			rep.Outcome = OutcomeFailed
+			rep.Err = firstErr.Error()
+			m.outcomeFor(rep.Party, OutcomeFailed).Inc()
+			continue
+		}
+		m.outcomeFor(rep.Party, OutcomeOK).Inc()
+		survivors++
+		for i := start; i < start+count; i++ {
+			result.Cost.Add(costs[i])
+			for _, dc := range docs[i] {
+				if dc.Count <= 0 {
+					continue
+				}
+				scores[key{party: rep.Party, doc: dc.DocID}] += dc.Count
+			}
 		}
 	}
+	result.Partial = survivors < len(result.Parties)
+	if result.Partial {
+		m.degraded.Inc()
+	}
+	if degraded && survivors < f.Params.MinParties {
+		return result, fmt.Errorf("%w: %d of %d parties answered, need %d",
+			ErrQuorum, survivors, len(result.Parties), f.Params.MinParties)
+	}
+
 	hits := make([]SearchHit, 0, len(scores))
 	for kk, s := range scores {
 		hits = append(hits, SearchHit{Party: kk.party, DocID: kk.doc, Score: s})
@@ -143,5 +289,6 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 	if len(hits) > k {
 		hits = hits[:k]
 	}
-	return hits, total, nil
+	result.Hits = hits
+	return result, nil
 }

@@ -1,0 +1,147 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position. The numeric values are stable
+// and exported via the telemetry breaker-state gauge, so they are part
+// of the metrics contract: 0 closed, 1 half-open, 2 open.
+type State int
+
+const (
+	Closed   State = 0
+	HalfOpen State = 1
+	Open     State = 2
+)
+
+// String implements fmt.Stringer with bounded, metric-safe values.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "invalid"
+}
+
+// Breaker is a per-target circuit breaker. Closed passes calls through
+// and counts consecutive failures; FailureThreshold of them open it.
+// Open refuses calls until OpenTimeout has elapsed, then a probe moves
+// it to half-open. Half-open passes calls; HalfOpenSuccesses in a row
+// close it again, any failure reopens it. Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	policy    Policy
+	state     State
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive successes while half-open
+	openedAt  time.Time // when the breaker last opened
+	now       func() time.Time
+	onChange  func(State)
+}
+
+// NewBreaker creates a closed breaker governed by p's
+// FailureThreshold / OpenTimeout / HalfOpenSuccesses.
+func NewBreaker(p Policy) *Breaker {
+	if p.FailureThreshold < 1 {
+		p.FailureThreshold = 1
+	}
+	if p.HalfOpenSuccesses < 1 {
+		p.HalfOpenSuccesses = 1
+	}
+	return &Breaker{policy: p, now: time.Now}
+}
+
+// WithClock swaps the breaker's clock (tests) and returns it.
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	return b
+}
+
+// OnChange installs a hook called (outside any locked section user code
+// can observe, but under the breaker's own mutex) on every state
+// transition — e.g. to publish the state gauge.
+func (b *Breaker) OnChange(fn func(State)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = fn
+}
+
+// State returns the current state without side effects.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed now. An open breaker whose
+// OpenTimeout has elapsed transitions to half-open and admits the call
+// as a probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed, HalfOpen:
+		return true
+	default: // Open
+		if b.policy.OpenTimeout > 0 && b.now().Sub(b.openedAt) >= b.policy.OpenTimeout {
+			b.transition(HalfOpen)
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one call outcome into the state machine. Outcomes
+// recorded while the breaker is open (late results from calls admitted
+// earlier) are ignored.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.policy.FailureThreshold {
+			b.transition(Open)
+		}
+	case HalfOpen:
+		if !ok {
+			b.transition(Open)
+			return
+		}
+		b.successes++
+		if b.successes >= b.policy.HalfOpenSuccesses {
+			b.transition(Closed)
+		}
+	case Open:
+		// Late record; the open timer alone decides when to probe.
+	}
+}
+
+// transition moves to s and resets the relevant counters; callers hold
+// b.mu.
+func (b *Breaker) transition(s State) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.failures = 0
+	b.successes = 0
+	if s == Open {
+		b.openedAt = b.now()
+	}
+	if b.onChange != nil {
+		b.onChange(s)
+	}
+}

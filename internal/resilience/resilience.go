@@ -1,0 +1,185 @@
+// Package resilience provides the client-side fault-tolerance
+// primitives the federation uses when silos are slow or flaky: retry
+// with capped exponential backoff and deterministic jitter, per-call
+// deadlines, and per-party circuit breakers (breaker.go). Everything
+// that affects control flow is deterministic given a seed so that
+// degraded-mode federated search stays reproducible under test.
+package resilience
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrDeadlineExceeded marks a call abandoned because one attempt
+// outlived Policy.CallTimeout.
+var ErrDeadlineExceeded = errors.New("resilience: call deadline exceeded")
+
+// ErrBreakerOpen marks a call refused without being sent because the
+// target's circuit breaker is open.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// Policy bundles the retry, deadline, and breaker knobs for calls to
+// one class of target (here: one federated party).
+type Policy struct {
+	// MaxAttempts is the total number of tries per call (1 = no retry).
+	MaxAttempts int
+	// BaseBackoff is the pause before the first retry; each further
+	// retry doubles it, capped at MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac in [0, 1] scales a deterministic jitter subtracted
+	// from each backoff so retries don't synchronise: the realized
+	// pause is backoff * (1 - JitterFrac*u) for a seeded u in [0, 1).
+	JitterFrac float64
+	// CallTimeout bounds one attempt; 0 means no deadline.
+	CallTimeout time.Duration
+	// Retryable classifies errors; nil retries everything. Permanent
+	// errors (bad query, budget exhausted, ...) must return false so
+	// retries don't burn time on calls that can never succeed.
+	Retryable func(error) bool
+
+	// FailureThreshold consecutive failures open a breaker.
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker waits before letting a
+	// half-open probe through.
+	OpenTimeout time.Duration
+	// HalfOpenSuccesses probes must succeed to close a half-open
+	// breaker again.
+	HalfOpenSuccesses int
+
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
+}
+
+// DefaultPolicy returns the federation's default resilience posture:
+// three attempts with millisecond-scale capped backoff, a generous
+// per-attempt deadline, and a breaker that trips after three
+// consecutive failures.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:       3,
+		BaseBackoff:       2 * time.Millisecond,
+		MaxBackoff:        250 * time.Millisecond,
+		JitterFrac:        0.5,
+		CallTimeout:       10 * time.Second,
+		FailureThreshold:  3,
+		OpenTimeout:       30 * time.Second,
+		HalfOpenSuccesses: 2,
+	}
+}
+
+// WithSleep returns a copy of p that pauses via fn instead of
+// time.Sleep (tests).
+func (p Policy) WithSleep(fn func(time.Duration)) Policy {
+	p.sleep = fn
+	return p
+}
+
+// attempts normalizes MaxAttempts.
+func (p Policy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// retryable applies the classifier (nil = retry everything).
+func (p Policy) retryable(err error) bool {
+	if p.Retryable == nil {
+		return true
+	}
+	return p.Retryable(err)
+}
+
+// Backoff returns the deterministic pause before retry attempt
+// `attempt` (1-based: the pause after the attempt-th failure) for a
+// call identified by seed.
+func (p Policy) Backoff(attempt int, seed uint64) time.Duration {
+	if p.BaseBackoff <= 0 || attempt < 1 {
+		return 0
+	}
+	d := p.BaseBackoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.JitterFrac > 0 {
+		u := unitFloat(splitmix64(seed ^ uint64(attempt)*0x9e3779b97f4a7c15))
+		d = time.Duration(float64(d) * (1 - p.JitterFrac*u))
+	}
+	return d
+}
+
+// result carries one attempt's outcome across the deadline boundary.
+type result[T any] struct {
+	v   T
+	err error
+}
+
+// Call runs f under p: up to MaxAttempts tries, each bounded by
+// CallTimeout, with deterministic jittered backoff (from seed) between
+// tries. It returns the value, the number of attempts actually made,
+// and the final error. A timed-out attempt's goroutine is abandoned —
+// its eventual result goes to a buffered channel nobody reads, so a
+// late f can never race with the caller's use of the returned value.
+func Call[T any](p Policy, seed uint64, f func() (T, error)) (T, int, error) {
+	var zero T
+	sleep := p.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		var v T
+		v, err = callOnce(p.CallTimeout, f)
+		if err == nil {
+			return v, attempt, nil
+		}
+		if attempt >= p.attempts() || !p.retryable(err) {
+			return zero, attempt, err
+		}
+		if d := p.Backoff(attempt, seed); d > 0 {
+			sleep(d)
+		}
+	}
+}
+
+// callOnce runs one attempt with an optional deadline.
+func callOnce[T any](timeout time.Duration, f func() (T, error)) (T, error) {
+	if timeout <= 0 {
+		return f()
+	}
+	ch := make(chan result[T], 1)
+	go func() {
+		v, err := f()
+		ch <- result[T]{v: v, err: err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-timer.C:
+		var zero T
+		return zero, ErrDeadlineExceeded
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer (same PRF family as package
+// chaos, duplicated to keep both packages dependency-free leaves).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a 64-bit value to [0, 1).
+func unitFloat(x uint64) float64 { return float64(x>>11) / float64(1<<53) }

@@ -1,0 +1,202 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// TestCallSucceedsFirstTry: a healthy call makes exactly one attempt
+// and returns its value untouched.
+func TestCallSucceedsFirstTry(t *testing.T) {
+	p := DefaultPolicy().WithSleep(func(time.Duration) { t.Fatal("slept with no retry") })
+	v, attempts, err := Call(p, 1, func() (int, error) { return 42, nil })
+	if err != nil || v != 42 || attempts != 1 {
+		t.Fatalf("got (%d, %d, %v), want (42, 1, nil)", v, attempts, err)
+	}
+}
+
+// TestCallRetriesThenSucceeds: transient failures are retried with
+// backoff until success, within MaxAttempts.
+func TestCallRetriesThenSucceeds(t *testing.T) {
+	var slept []time.Duration
+	p := DefaultPolicy().WithSleep(func(d time.Duration) { slept = append(slept, d) })
+	p.MaxAttempts = 5
+	calls := 0
+	v, attempts, err := Call(p, 1, func() (string, error) {
+		calls++
+		if calls < 3 {
+			return "", errBoom
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" || attempts != 3 {
+		t.Fatalf("got (%q, %d, %v), want (ok, 3, nil)", v, attempts, err)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+}
+
+// TestCallExhaustsAttempts: a persistent failure surfaces the last
+// error after exactly MaxAttempts tries.
+func TestCallExhaustsAttempts(t *testing.T) {
+	p := DefaultPolicy().WithSleep(func(time.Duration) {})
+	p.MaxAttempts = 3
+	calls := 0
+	_, attempts, err := Call(p, 1, func() (int, error) { calls++; return 0, errBoom })
+	if !errors.Is(err, errBoom) || attempts != 3 || calls != 3 {
+		t.Fatalf("got (attempts=%d, calls=%d, err=%v), want 3 attempts of errBoom", attempts, calls, err)
+	}
+}
+
+// TestCallPermanentErrorNotRetried: the Retryable classifier short-
+// circuits retries for errors that can never succeed.
+func TestCallPermanentErrorNotRetried(t *testing.T) {
+	permanent := errors.New("bad request")
+	p := DefaultPolicy().WithSleep(func(time.Duration) { t.Fatal("slept on a permanent error") })
+	p.MaxAttempts = 5
+	p.Retryable = func(err error) bool { return !errors.Is(err, permanent) }
+	calls := 0
+	_, attempts, err := Call(p, 1, func() (int, error) { calls++; return 0, permanent })
+	if !errors.Is(err, permanent) || attempts != 1 || calls != 1 {
+		t.Fatalf("got (attempts=%d, calls=%d, err=%v), want 1 attempt", attempts, calls, err)
+	}
+}
+
+// TestCallDeadline: an attempt that outlives CallTimeout surfaces
+// ErrDeadlineExceeded, and a late completion cannot corrupt the
+// returned value (the abandoned goroutine writes a buffered channel).
+func TestCallDeadline(t *testing.T) {
+	p := Policy{MaxAttempts: 1, CallTimeout: 5 * time.Millisecond}
+	release := make(chan struct{})
+	_, _, err := Call(p, 1, func() (int, error) {
+		<-release
+		return 7, nil
+	})
+	close(release)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+// TestBackoffDeterministicCappedJittered: backoff grows exponentially,
+// caps at MaxBackoff, never exceeds the uncapped schedule, and is
+// bit-identical for the same seed.
+func TestBackoffDeterministicCappedJittered(t *testing.T) {
+	p := Policy{BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond, JitterFrac: 0.5}
+	for attempt := 1; attempt <= 6; attempt++ {
+		a := p.Backoff(attempt, 42)
+		b := p.Backoff(attempt, 42)
+		if a != b {
+			t.Fatalf("attempt %d: backoff not deterministic: %v vs %v", attempt, a, b)
+		}
+		if a > p.MaxBackoff {
+			t.Fatalf("attempt %d: backoff %v exceeds cap %v", attempt, a, p.MaxBackoff)
+		}
+		if a <= 0 {
+			t.Fatalf("attempt %d: non-positive backoff %v", attempt, a)
+		}
+	}
+	// Jitter must stay within [d*(1-frac), d].
+	noJitter := Policy{BaseBackoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond}
+	for attempt := 1; attempt <= 4; attempt++ {
+		full := noJitter.Backoff(attempt, 0)
+		jit := p.Backoff(attempt, 42)
+		if jit > full || float64(jit) < float64(full)*(1-p.JitterFrac)-1 {
+			t.Fatalf("attempt %d: jittered %v outside [%v, %v]",
+				attempt, jit, time.Duration(float64(full)*(1-p.JitterFrac)), full)
+		}
+	}
+	// Different seeds should not all collide.
+	if p.Backoff(1, 1) == p.Backoff(1, 2) && p.Backoff(2, 1) == p.Backoff(2, 2) {
+		t.Fatal("jitter ignores the seed")
+	}
+	// Zero policy: no backoff at all.
+	if d := (Policy{}).Backoff(3, 1); d != 0 {
+		t.Fatalf("zero policy backoff = %v, want 0", d)
+	}
+}
+
+// TestBreakerLifecycle drives closed → open → half-open → closed and
+// the reopen-on-probe-failure path with a fake clock.
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	p := Policy{FailureThreshold: 3, OpenTimeout: time.Minute, HalfOpenSuccesses: 2}
+	var transitions []State
+	b := NewBreaker(p).WithClock(clock)
+	b.OnChange(func(s State) { transitions = append(transitions, s) })
+
+	// Closed: failures below threshold keep it closed; a success resets.
+	b.Record(false)
+	b.Record(false)
+	b.Record(true)
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Closed || !b.Allow() {
+		t.Fatalf("state %v after sub-threshold failures, want Closed", b.State())
+	}
+	// Third consecutive failure opens it.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %v after threshold failures, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before OpenTimeout")
+	}
+	// Late outcomes while open are ignored.
+	b.Record(true)
+	if b.State() != Open {
+		t.Fatal("late Record while open changed state")
+	}
+
+	// After OpenTimeout, one probe is admitted and the state is half-open.
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused after OpenTimeout")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after probe, want HalfOpen", b.State())
+	}
+	// A probe failure reopens immediately.
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want Open", b.State())
+	}
+
+	// Probe again; two successes close it.
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(true)
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after one probe success, want HalfOpen", b.State())
+	}
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state %v after enough probe successes, want Closed", b.State())
+	}
+
+	want := []State{Open, HalfOpen, Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestStateString: gauge-facing state names are bounded and stable.
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", HalfOpen: "half-open", Open: "open", State(9): "invalid"} {
+		if got := s.String(); got != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -2,7 +2,9 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -300,5 +302,119 @@ func BenchmarkSaveLoadOwner(b *testing.B) {
 		if _, err := LoadOwner(path, dp.Disabled()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestSaveLoadSaveDeterminism: persisting, restoring, and persisting
+// again must produce byte-identical files — the serialization is
+// canonical, so snapshots can be compared and deduplicated by content.
+func TestSaveLoadSaveDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	o := testOwner(t, true)
+	first := filepath.Join(dir, "owner1.snap")
+	if err := SaveOwner(first, o); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadOwner(first, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := filepath.Join(dir, "owner2.snap")
+	if err := SaveOwner(second, restored); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("owner snapshot not canonical: save/load/save differs (%d vs %d bytes)",
+			len(a), len(b))
+	}
+
+	fam, err := hashutil.NewFamily(hashutil.KindPolynomial, 4, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := sketch.MustNew(sketch.Count, fam)
+	for i := uint64(0); i < 100; i++ {
+		tbl.Add(i, int64(i%7)+1)
+	}
+	s1 := filepath.Join(dir, "t1.sk")
+	if err := SaveSketch(s1, tbl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSketch(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := filepath.Join(dir, "t2.sk")
+	if err := SaveSketch(s2, back); err != nil {
+		t.Fatal(err)
+	}
+	a, _ = os.ReadFile(s1)
+	b, _ = os.ReadFile(s2)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sketch snapshot not canonical: save/load/save differs (%d vs %d bytes)",
+			len(a), len(b))
+	}
+}
+
+// TestFooterTampering attacks the integrity trailer field by field: a
+// flipped CRC, a lying length field, and a file that is nothing but a
+// footer must all be rejected with the documented sentinel errors.
+func TestFooterTampering(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.sk")
+	fam, _ := hashutil.NewFamily(hashutil.KindPolynomial, 2, 16, 1)
+	tbl := sketch.MustNew(sketch.Count, fam)
+	tbl.Add(5, 3)
+	if err := SaveSketch(path, tbl); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(name string, mutate func([]byte)) {
+		data := append([]byte(nil), pristine...)
+		mutate(data)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSketch(path); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("%s: want ErrChecksum, got %v", name, err)
+		}
+	}
+	tamper("flipped CRC field", func(d []byte) {
+		d[len(d)-footerSize] ^= 0x01
+	})
+	tamper("lying length field", func(d []byte) {
+		d[len(d)-1] ^= 0x01 // high byte of the uint64 payload length
+	})
+	tamper("truncated payload, intact footer", func(d []byte) {
+		copy(d[1:], d[2:]) // shift payload left; footer fields untouched
+	})
+
+	// Shorter than a footer: rejected before any field is read.
+	if err := os.WriteFile(path, pristine[:footerSize-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSketch(path); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("sub-footer file: want ErrTooShort, got %v", err)
+	}
+	// A footer-only file with consistent fields (empty payload, CRC of
+	// nothing) passes the integrity layer and must then be rejected by the
+	// payload decoder.
+	empty := make([]byte, footerSize)
+	binary.LittleEndian.PutUint32(empty[:4], crc32.ChecksumIEEE(nil))
+	if err := os.WriteFile(path, empty, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSketch(path); err == nil || errors.Is(err, ErrChecksum) || errors.Is(err, ErrTooShort) {
+		t.Fatalf("footer-only file: want a payload decode error, got %v", err)
 	}
 }
