@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-json chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
+.PHONY: all build test race cover bench bench-smoke bench-json cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
 
 all: build test
 
@@ -29,19 +29,30 @@ bench-smoke:
 	$(GO) test -race -run='^$$' -bench=. -benchtime=1x ./...
 
 # Refresh the machine-readable benchmarks: the parallelism sweep
-# (BENCH_federation.json) and the resilience/chaos sweep
-# (BENCH_resilience.json). Both are checked in so the perf and
-# availability trajectories are tracked across PRs.
+# (BENCH_federation.json), the resilience/chaos sweep
+# (BENCH_resilience.json) and the answer-cache sweep (BENCH_cache.json).
+# All are checked in so the perf and availability trajectories are
+# tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/expbench -exp parallelism -bench-json BENCH_federation.json
 	$(GO) run ./cmd/expbench -exp chaos -bench-json BENCH_resilience.json
+	$(GO) run ./cmd/expbench -exp cache -bench-json BENCH_cache.json
+
+# The answer-cache suite under the race detector: every Cache-named
+# test/benchmark (one iteration each) plus a test-scale Zipf-repeat
+# sweep through expbench — cheap rot protection for the replay path,
+# mirrored by the CI job.
+cache-bench:
+	$(GO) test -race -run 'Cache|Coalesce|Stale|Warm' -bench 'Cache' -benchtime=1x \
+		./internal/qcache/ ./internal/federation/ ./internal/experiments/
+	$(GO) run ./cmd/expbench -exp cache -scale test
 
 # The seeded fault-injection suite under the race detector: the chaos
 # and resilience packages end to end, plus the degraded-mode search,
 # breaker, quorum, and per-party link tests in federation/experiments.
 chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/resilience/
-	$(GO) test -race -run 'Chaos|Degraded|Breaker|Resilience|Quorum|PartyLink|LinkDelay' \
+	$(GO) test -race -run 'Chaos|Degraded|Breaker|Resilience|Quorum|PartyLink' \
 		./internal/federation/ ./internal/experiments/
 
 # Short fuzz sessions over every fuzz target.
@@ -52,6 +63,7 @@ fuzz:
 	$(GO) test -fuzz FuzzHTTPEnvelope -fuzztime 30s ./internal/federation/
 	$(GO) test -fuzz FuzzRPCDecode -fuzztime 30s ./internal/federation/
 	$(GO) test -fuzz FuzzWritePrometheus -fuzztime 30s ./internal/telemetry/
+	$(GO) test -fuzz FuzzCacheKey -fuzztime 30s ./internal/qcache/
 
 # Regenerate every table and figure at the shape-faithful default scale
 # (about 20 minutes; see EXPERIMENTS.md).

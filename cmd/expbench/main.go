@@ -17,6 +17,7 @@
 //	expbench -exp sse               # encryption-based comparator
 //	expbench -exp parallelism       # worker-pool speedup sweep (not in "all")
 //	expbench -exp chaos             # fault-rate availability sweep (not in "all")
+//	expbench -exp cache             # answer-cache Zipf-repeat benchmark (not in "all")
 //	expbench -exp all               # everything
 //
 // -scale selects the workload size: "test" (seconds), "default"
@@ -25,9 +26,10 @@
 // -csv DIR additionally writes CSV series and Fig. 5 SVG panels;
 // -json FILE writes one machine-readable report covering the run.
 // -workers N,N,... selects the pool sizes of the parallelism sweep and
-// -bench-json FILE writes the parallelism or chaos sweep's
+// -bench-json FILE writes the parallelism, chaos or cache sweep's
 // machine-readable result — `make bench-json` uses this to refresh the
-// checked-in BENCH_federation.json and BENCH_resilience.json.
+// checked-in BENCH_federation.json, BENCH_resilience.json and
+// BENCH_cache.json.
 // -debug-addr HOST:PORT serves Prometheus /metrics, an expvar-style
 // /debug/vars snapshot and /debug/pprof for the duration of the run.
 package main
@@ -253,6 +255,32 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			}
 			return nil
 		},
+		"cache": func() error {
+			cfg := experiments.DefaultCacheConfig()
+			if scale == "test" {
+				cfg = experiments.TestCacheConfig()
+			}
+			cfg.Seed = seed
+			res, err := experiments.RunCacheSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Answer cache: Zipf-repeat search stream, cache off vs on ==")
+			fmt.Print(experiments.RenderCache(res))
+			report.Add("cache", res)
+			if benchJSON != "" {
+				f, err := os.Create(benchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteBenchJSON(f, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", benchJSON)
+			}
+			return nil
+		},
 		"traffic": func() error {
 			cfg := fig4
 			if cfg.Docs > 4000 {
@@ -304,7 +332,7 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			if strings.HasPrefix(n, "fig4-") {
 				continue // covered by "fig4"
 			}
-			if n == "parallelism" || n == "chaos" {
+			if n == "parallelism" || n == "chaos" || n == "cache" {
 				continue // timing benchmarks, not paper figures; run explicitly
 			}
 			names = append(names, n)

@@ -57,3 +57,25 @@ func allowed(tv TermVector) {
 	//csfltr:allow privacyboundary -- fixture: suppression must silence the finding below
 	fmt.Println(tv)
 }
+
+// LeakyCacheEntry is a wire struct (by json tags) keying a cache on the
+// raw term vector — the shape the answer cache must never take.
+type LeakyCacheEntry struct {
+	Terms TermVector `json:"terms"` // want "wire struct LeakyCacheEntry carries silo-private data"
+	Docs  []uint64   `json:"docs"`
+}
+
+// CacheEntryMessage is the sound shape: entries are addressed by a
+// fixed-width keyed hash and carry derived values only.
+type CacheEntryMessage struct {
+	Key        [16]byte `json:"key"`
+	Generation uint64   `json:"generation"`
+	Docs       []uint64 `json:"docs"`
+}
+
+func cacheSinks(tv TermVector, m CacheEntryMessage) {
+	_, _ = json.Marshal(m)     // ok: hashed key + derived docs
+	fmt.Println(m.Key)         // ok: the hash is not private
+	_, _ = json.Marshal(tv)    // want "passed to marshal call"
+	fmt.Printf("key=%x\n", tv) // want "passed to format call"
+}

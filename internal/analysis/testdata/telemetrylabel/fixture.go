@@ -33,6 +33,16 @@ func resilienceLabels(reg *telemetry.Registry, party, state, outcome, kind strin
 	reg.Counter("o_total", "h", telemetry.L("term", strconv.FormatUint(term, 10))).Inc()            // want "unbounded value"
 }
 
+// cacheLabels mirrors the answer-cache metrics: the lookup tier and
+// result are tiny enums and the stale-served party is roster-bounded,
+// but a rendered cache key (or any digest of one) is one series per
+// distinct query and must never become a label.
+func cacheLabels(reg *telemetry.Registry, tier, result, party string, key [16]byte) {
+	reg.Counter("p_total", "h", telemetry.L("tier", tier), telemetry.L("result", result)).Inc() // ok: {query,task} x {hit,miss}
+	reg.Counter("q_total", "h", telemetry.L("party", party)).Inc()                              // ok: roster-bounded
+	reg.Counter("r_total", "h", telemetry.L("key", fmt.Sprintf("%x", key))).Inc()               // want "unbounded value"
+}
+
 func allowedLabel(reg *telemetry.Registry, docID int) {
 	//csfltr:allow telemetrylabel -- fixture: suppression must silence the finding below
 	reg.Counter("j_total", "h", telemetry.L("doc", strconv.Itoa(docID))).Inc()

@@ -79,6 +79,9 @@ type Owner struct {
 	rtk           *RTKSketch
 	ids           []int
 	idsSorted     bool
+	// generation counts corpus mutations (atomic so readers need not
+	// take the owner mutex); see Generation.
+	generation atomic.Uint64
 }
 
 // OwnerOption customizes Owner construction.
@@ -133,6 +136,13 @@ func (o *Owner) Family() *hashutil.Family { return o.fam }
 // RTK exposes the owner's RTK-Sketch (e.g. for space accounting).
 func (o *Owner) RTK() *RTKSketch { return o.rtk }
 
+// Generation returns the owner's ingest generation: a counter bumped by
+// every corpus mutation (AddDocument, one bump per AddDocuments batch,
+// RemoveDocument). Query answers cached under one generation are
+// invalid for any later one — the federated answer cache folds this
+// value into its keys so ingestion naturally invalidates stale entries.
+func (o *Owner) Generation() uint64 { return o.generation.Load() }
+
 // AddDocument ingests a document given its term counts (Step 1 of the
 // protocol: sketch construction). unique and the total length are
 // derived from counts.
@@ -160,6 +170,7 @@ func (o *Owner) AddDocument(docID int, counts map[uint64]int64) error {
 	o.meta[docID] = docMeta{length: length, unique: len(counts)}
 	o.ids = append(o.ids, docID)
 	o.idsSorted = false
+	o.generation.Add(1)
 	return nil
 }
 
@@ -274,6 +285,7 @@ func (o *Owner) AddDocuments(docs []DocCounts, workers int) error {
 		o.ids = append(o.ids, d.DocID)
 	}
 	o.idsSorted = false
+	o.generation.Add(1)
 	return nil
 }
 
@@ -294,6 +306,7 @@ func (o *Owner) RemoveDocument(docID int) error {
 			break
 		}
 	}
+	o.generation.Add(1)
 	return nil
 }
 

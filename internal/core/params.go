@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"csfltr/internal/hashutil"
 	"csfltr/internal/sketch"
@@ -86,6 +87,21 @@ type Params struct {
 	// any party failure fails the whole search. Like Parallelism it is a
 	// runtime knob, not persisted with owner snapshots.
 	MinParties int
+	// CacheBytes enables the federated answer cache (internal/qcache)
+	// when > 0: per-(party, term) noisy RTK answers and merged query
+	// results are retained up to this byte capacity and replayed at zero
+	// additional privacy cost (DP post-processing invariance). 0 — the
+	// default — disables caching entirely, reproducing the uncached
+	// protocol exactly. A runtime knob like Parallelism: not persisted,
+	// no effect on protocol messages.
+	CacheBytes int64
+	// CacheMaxStale bounds degraded-mode stale serving: when > 0 and a
+	// party is skipped (breaker open) or fails mid-search, its
+	// contribution may be backfilled from a cache entry at most this old
+	// — possibly from before the party's latest ingest — instead of
+	// being dropped from the merge. 0 — the default — never serves stale
+	// answers. Only meaningful with CacheBytes > 0 and MinParties > 0.
+	CacheMaxStale time.Duration
 }
 
 // DefaultParams returns the paper's default parameter setting.
@@ -126,6 +142,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("%w: Parallelism=%d", ErrBadParams, p.Parallelism)
 	case p.MinParties < 0:
 		return fmt.Errorf("%w: MinParties=%d", ErrBadParams, p.MinParties)
+	case p.CacheBytes < 0:
+		return fmt.Errorf("%w: CacheBytes=%d", ErrBadParams, p.CacheBytes)
+	case p.CacheMaxStale < 0:
+		return fmt.Errorf("%w: CacheMaxStale=%v", ErrBadParams, p.CacheMaxStale)
 	}
 	return nil
 }

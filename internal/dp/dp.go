@@ -164,15 +164,20 @@ func ForEpsilon(eps float64, rng *rand.Rand) (Mechanism, error) {
 // composition: total cost is the sum of per-query epsilons. It is safe for
 // concurrent use.
 type Accountant struct {
-	mu     sync.Mutex
-	budget float64 // 0 means unlimited
-	spent  map[string]float64
+	mu      sync.Mutex
+	budget  float64 // 0 means unlimited
+	spent   map[string]float64
+	replays map[string]int64
 }
 
 // NewAccountant creates an accountant with the given total per-peer
 // budget. A budget of 0 means "track but never refuse".
 func NewAccountant(budget float64) *Accountant {
-	return &Accountant{budget: budget, spent: make(map[string]float64)}
+	return &Accountant{
+		budget:  budget,
+		spent:   make(map[string]float64),
+		replays: make(map[string]int64),
+	}
 }
 
 // Spend records a query against peer costing eps, returning
@@ -196,6 +201,26 @@ func (a *Accountant) Spent(peer string) float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.spent[peer]
+}
+
+// Replayed records that a previously released answer from peer was
+// served again — the zero-spend replay path. Differential privacy is
+// closed under post-processing: once a noisy answer has been released,
+// re-serving those exact bytes (e.g. from the federated answer cache)
+// reveals nothing further about peer's data, so the spend is zero.
+// Replays are counted separately so experiments can report how much of
+// the workload was answered without touching the budget.
+func (a *Accountant) Replayed(peer string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.replays[peer]++
+}
+
+// Replays returns how many zero-spend replays were recorded for peer.
+func (a *Accountant) Replays(peer string) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.replays[peer]
 }
 
 // Remaining returns the unspent budget for peer, or +Inf when unlimited.

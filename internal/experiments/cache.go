@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"csfltr/internal/core"
+	"csfltr/internal/federation"
+	"csfltr/internal/qcache"
+	"csfltr/internal/textkit"
+)
+
+// CacheConfig configures the answer-cache benchmark: the same
+// Zipf-repeated query stream is executed against two identical
+// federations — one with the cache disabled, one with it enabled — and
+// the per-request latency distributions, cache counters and privacy
+// spend are compared. This is the reproducible benchmark behind
+// `expbench -exp cache` and the checked-in BENCH_cache.json.
+type CacheConfig struct {
+	Parties       int         `json:"parties"`          // data-holding parties; one extra querier party is added
+	DocsPerParty  int         `json:"docs_per_party"`   // documents ingested per data party
+	DocLen        int         `json:"doc_len"`          // body terms per document
+	Vocab         int         `json:"vocab"`            // term universe size
+	Distinct      int         `json:"distinct_queries"` // distinct queries in the pool
+	Requests      int         `json:"requests"`         // total requests drawn from the pool
+	TermsPerQuery int         `json:"terms_per_query"`  // terms per distinct query
+	ZipfS         float64     `json:"zipf_s"`           // Zipf skew over the query pool (>1)
+	RTTMicros     int64       `json:"rtt_micros"`       // simulated WAN round trip per relayed owner call
+	CacheBytes    int64       `json:"cache_bytes"`      // capacity of the enabled run's cache
+	Seed          int64       `json:"seed"`
+	Params        core.Params `json:"params"`
+}
+
+// DefaultCacheConfig is the checked-in BENCH_cache.json workload: a
+// 4-party cross-silo federation (5ms simulated round trips), epsilon
+// 0.5 per released answer, and a 200-request stream Zipf-repeated over
+// 50 distinct 3-term queries — the regime the paper's dashboards live
+// in, where the same popular queries arrive over and over.
+func DefaultCacheConfig() CacheConfig {
+	p := core.DefaultParams()
+	p.Epsilon = 0.5
+	p.K = 50
+	return CacheConfig{
+		Parties:       4,
+		DocsPerParty:  1200,
+		DocLen:        120,
+		Vocab:         5000,
+		Distinct:      50,
+		Requests:      200,
+		TermsPerQuery: 3,
+		ZipfS:         1.2,
+		RTTMicros:     5000,
+		CacheBytes:    1 << 22,
+		Seed:          1,
+		Params:        p,
+	}
+}
+
+// TestCacheConfig shrinks the workload to unit-test scale.
+func TestCacheConfig() CacheConfig {
+	cfg := DefaultCacheConfig()
+	cfg.DocsPerParty = 120
+	cfg.DocLen = 40
+	cfg.Vocab = 800
+	cfg.Distinct = 8
+	cfg.Requests = 30
+	cfg.RTTMicros = 500
+	cfg.Params.K = 20
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.Parties < 1:
+		return fmt.Errorf("%w: Parties=%d", ErrBadConfig, c.Parties)
+	case c.DocsPerParty < 1 || c.DocLen < 1 || c.Vocab < 2:
+		return fmt.Errorf("%w: empty corpus", ErrBadConfig)
+	case c.Distinct < 1 || c.Requests < 1 || c.TermsPerQuery < 1:
+		return fmt.Errorf("%w: empty query stream", ErrBadConfig)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("%w: ZipfS=%g (must be > 1)", ErrBadConfig, c.ZipfS)
+	case c.RTTMicros < 0:
+		return fmt.Errorf("%w: RTTMicros=%d", ErrBadConfig, c.RTTMicros)
+	case c.CacheBytes < 1:
+		return fmt.Errorf("%w: CacheBytes=%d", ErrBadConfig, c.CacheBytes)
+	}
+	return c.Params.Validate()
+}
+
+// CacheRun is one side of the comparison (cache off or on).
+type CacheRun struct {
+	MedianNs     int64        `json:"median_ns"`
+	P90Ns        int64        `json:"p90_ns"`
+	TotalNs      int64        `json:"total_ns"`
+	EpsilonSpent float64      `json:"epsilon_spent"`
+	Replays      int64        `json:"replays"`
+	Stats        qcache.Stats `json:"cache_stats"`
+}
+
+// CacheResult is the benchmark outcome. ReplayIdentical is the
+// correctness cross-check: within the cached run, every repeat of a
+// query must return exactly the result of its first occurrence.
+type CacheResult struct {
+	Config          CacheConfig `json:"config"`
+	Off             CacheRun    `json:"cache_off"`
+	On              CacheRun    `json:"cache_on"`
+	MedianSpeedup   float64     `json:"median_speedup"`
+	HitRate         float64     `json:"hit_rate"`
+	ReplayIdentical bool        `json:"replay_identical"`
+}
+
+// cacheFed builds one benchmark federation: querier Q plus
+// cfg.Parties data parties under simulated WAN links.
+func cacheFed(cfg CacheConfig, cacheBytes int64) (*federation.Federation, error) {
+	p := cfg.Params
+	p.CacheBytes = cacheBytes
+	names := []string{"Q"}
+	for i := 0; i < cfg.Parties; i++ {
+		names = append(names, partyName(i))
+	}
+	fed, err := federation.NewDeterministic(names, p, uint64(cfg.Seed)+99, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Parties; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		docs := make([]*textkit.Document, cfg.DocsPerParty)
+		for d := range docs {
+			body := make([]textkit.TermID, cfg.DocLen)
+			for j := range body {
+				body[j] = textkit.TermID(rng.Intn(cfg.Vocab))
+			}
+			docs[d] = textkit.NewDocument(d, -1, nil, body)
+		}
+		if err := fed.Parties[i+1].IngestAllParallel(docs, 0); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Parties; i++ {
+		fed.Server.SetPartyLink(partyName(i), time.Duration(cfg.RTTMicros)*time.Microsecond)
+	}
+	return fed, nil
+}
+
+// cacheStream draws the request stream: a pool of Distinct queries and
+// a Zipf-skewed index sequence over it, both fixed by the seed so the
+// off and on runs see byte-identical work.
+func cacheStream(cfg CacheConfig) (pool [][]uint64, stream []int) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	pool = make([][]uint64, cfg.Distinct)
+	for i := range pool {
+		q := make([]uint64, cfg.TermsPerQuery)
+		for j := range q {
+			q[j] = uint64(rng.Intn(cfg.Vocab))
+		}
+		pool[i] = q
+	}
+	z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Distinct-1))
+	stream = make([]int, cfg.Requests)
+	for i := range stream {
+		stream[i] = int(z.Uint64())
+	}
+	return pool, stream
+}
+
+// runCacheStream executes the stream sequentially and returns the
+// per-request latencies plus, when check is true, whether every repeat
+// replayed its query's first result exactly.
+func runCacheStream(fed *federation.Federation, pool [][]uint64, stream []int, k int, check bool) ([]int64, bool, error) {
+	lat := make([]int64, len(stream))
+	first := make(map[int]*federation.SearchResult)
+	identical := true
+	for i, qi := range stream {
+		start := time.Now()
+		res, err := fed.Search("Q", pool[qi], k)
+		if err != nil {
+			return nil, false, fmt.Errorf("request %d (query %d): %w", i, qi, err)
+		}
+		lat[i] = time.Since(start).Nanoseconds()
+		if !check {
+			continue
+		}
+		if prev, ok := first[qi]; ok {
+			if !reflect.DeepEqual(prev, res) {
+				identical = false
+			}
+		} else {
+			first[qi] = res
+		}
+	}
+	return lat, identical, nil
+}
+
+// spentEpsilon totals the querier's spend across every data party.
+func spentEpsilon(fed *federation.Federation, cfg CacheConfig) (spent float64, replays int64) {
+	q, err := fed.Party("Q")
+	if err != nil {
+		return 0, 0
+	}
+	for i := 0; i < cfg.Parties; i++ {
+		spent += q.Accountant().Spent(partyName(i))
+		replays += q.Accountant().Replays(partyName(i))
+	}
+	return spent, replays
+}
+
+// percentileNs returns the p-quantile (0..1) of the latency sample.
+func percentileNs(lat []int64, p float64) int64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return s[idx]
+}
+
+func sumNs(lat []int64) int64 {
+	var t int64
+	for _, v := range lat {
+		t += v
+	}
+	return t
+}
+
+// RunCacheSweep executes the Zipf-repeat stream against a cache-off and
+// a cache-on federation and reports the latency, hit-rate and privacy
+// spend comparison.
+func RunCacheSweep(cfg CacheConfig) (*CacheResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pool, stream := cacheStream(cfg)
+	res := &CacheResult{Config: cfg}
+
+	off, err := cacheFed(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	offLat, _, err := runCacheStream(off, pool, stream, cfg.Params.K, false)
+	if err != nil {
+		return nil, fmt.Errorf("cache off: %w", err)
+	}
+	res.Off = CacheRun{
+		MedianNs: percentileNs(offLat, 0.5),
+		P90Ns:    percentileNs(offLat, 0.9),
+		TotalNs:  sumNs(offLat),
+	}
+	res.Off.EpsilonSpent, res.Off.Replays = spentEpsilon(off, cfg)
+
+	on, err := cacheFed(cfg, cfg.CacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	onLat, identical, err := runCacheStream(on, pool, stream, cfg.Params.K, true)
+	if err != nil {
+		return nil, fmt.Errorf("cache on: %w", err)
+	}
+	res.On = CacheRun{
+		MedianNs: percentileNs(onLat, 0.5),
+		P90Ns:    percentileNs(onLat, 0.9),
+		TotalNs:  sumNs(onLat),
+		Stats:    on.CacheStats(),
+	}
+	res.On.EpsilonSpent, res.On.Replays = spentEpsilon(on, cfg)
+	res.ReplayIdentical = identical
+
+	if res.On.MedianNs > 0 {
+		res.MedianSpeedup = float64(res.Off.MedianNs) / float64(res.On.MedianNs)
+	}
+	if total := res.On.Stats.Hits + res.On.Stats.Misses; total > 0 {
+		res.HitRate = float64(res.On.Stats.Hits) / float64(total)
+	}
+	return res, nil
+}
+
+// RenderCache renders the comparison as the table expbench prints.
+func RenderCache(res *CacheResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cache: %d parties x %d docs, %d requests over %d distinct %d-term queries (zipf s=%g, epsilon=%g, link RTT %s)\n",
+		res.Config.Parties, res.Config.DocsPerParty, res.Config.Requests,
+		res.Config.Distinct, res.Config.TermsPerQuery, res.Config.ZipfS,
+		res.Config.Params.Epsilon, time.Duration(res.Config.RTTMicros)*time.Microsecond)
+	fmt.Fprintf(&b, "%-10s %14s %14s %14s %14s %9s\n",
+		"", "median", "p90", "total", "eps spent", "replays")
+	row := func(name string, r CacheRun) {
+		fmt.Fprintf(&b, "%-10s %14s %14s %14s %14.1f %9d\n", name,
+			time.Duration(r.MedianNs), time.Duration(r.P90Ns),
+			time.Duration(r.TotalNs), r.EpsilonSpent, r.Replays)
+	}
+	row("cache off", res.Off)
+	row("cache on", res.On)
+	fmt.Fprintf(&b, "median speedup: %.1fx, hit rate: %.1f%%, replay-identical: %v\n",
+		res.MedianSpeedup, 100*res.HitRate, res.ReplayIdentical)
+	fmt.Fprintf(&b, "cache: %d entries, %d bytes, %d stores, %d evictions, %d coalesced\n",
+		res.On.Stats.Entries, res.On.Stats.Bytes, res.On.Stats.Stores,
+		res.On.Stats.Evictions, res.On.Stats.Coalesced)
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunCacheSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark")
+	}
+	cfg := TestCacheConfig()
+	res, err := RunCacheSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReplayIdentical {
+		t.Fatal("cached repeats diverged from their first occurrence")
+	}
+	if res.On.Replays == 0 {
+		t.Fatal("no replays recorded despite a Zipf-repeat stream")
+	}
+	if res.Off.Replays != 0 {
+		t.Fatalf("cache-off run recorded %d replays", res.Off.Replays)
+	}
+	// The cached run must spend strictly less budget than the uncached
+	// one — repeats replay instead of re-querying.
+	if res.On.EpsilonSpent >= res.Off.EpsilonSpent {
+		t.Fatalf("cache saved no budget: on=%g off=%g",
+			res.On.EpsilonSpent, res.Off.EpsilonSpent)
+	}
+	if res.HitRate <= 0 {
+		t.Fatalf("hit rate %v", res.HitRate)
+	}
+	if res.On.Stats.Stores == 0 {
+		t.Fatalf("cache never stored: %+v", res.On.Stats)
+	}
+	out := RenderCache(res)
+	for _, want := range []string{"cache off", "cache on", "median speedup", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	ok := TestCacheConfig()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*CacheConfig){
+		func(c *CacheConfig) { c.Parties = 0 },
+		func(c *CacheConfig) { c.DocsPerParty = 0 },
+		func(c *CacheConfig) { c.Distinct = 0 },
+		func(c *CacheConfig) { c.Requests = 0 },
+		func(c *CacheConfig) { c.TermsPerQuery = 0 },
+		func(c *CacheConfig) { c.ZipfS = 1 },
+		func(c *CacheConfig) { c.RTTMicros = -1 },
+		func(c *CacheConfig) { c.CacheBytes = 0 },
+		func(c *CacheConfig) { c.Params.K = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := TestCacheConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d passed validation", i)
+		}
+	}
+}

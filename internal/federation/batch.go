@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"csfltr/internal/core"
+	"csfltr/internal/qcache"
 	"csfltr/internal/resilience"
 )
 
@@ -91,6 +92,13 @@ type TopKResult struct {
 // privacy budget is spent — and attempted requests feed the breaker in
 // request order after the pool drains, so breaker evolution does not
 // depend on scheduling.
+//
+// With Params.CacheBytes > 0, RTK requests to local parties consult the
+// federated answer cache first: a hit replays the previously released
+// noisy answer without spending budget (recorded as a replay with the
+// accountant). Note the reproducibility caveat: which duplicate of a
+// repeated request populates the cache depends on worker scheduling, so
+// enable caching only where replays are acceptable.
 func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, parallelism int, useRTK bool) ([]TopKResult, error) {
 	if parallelism <= 0 {
 		parallelism = 1
@@ -122,6 +130,12 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		queriers[i] = q
 	}
 	m := f.Server.metrics()
+	// With the answer cache enabled, each request first consults the
+	// batch task tier; a hit replays the released noisy answer at zero
+	// budget spend. Keys bind the answering owner's ingest generation,
+	// which is only observable for local parties — requests to remote
+	// (RPC/HTTP-registered) parties always take the live path.
+	c := f.cache()
 	runPool(parallelism, len(reqs), m, func(i int) {
 		r := &results[i]
 		if r.Err != nil { // breaker refused above
@@ -130,6 +144,23 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		if r.Request.To == from {
 			r.Err = ErrSelfQuery
 			return
+		}
+		var full, base qcache.Key
+		cacheable := false
+		if c != nil && useRTK {
+			if dst, err := f.Party(r.Request.To); err == nil {
+				gen := dst.owner(r.Request.Field).Generation()
+				full, base = f.batchKeys(from, r.Request, gen)
+				cacheable = true
+				if v, ok := c.Get(full, base); ok {
+					m.cacheFor(cacheTierTask, cacheHit).Inc()
+					hit := v.(cachedTask)
+					r.Docs, r.Cost = hit.docs, hit.cost
+					src.account.Replayed(r.Request.To)
+					return
+				}
+				m.cacheFor(cacheTierTask, cacheMiss).Inc()
+			}
 		}
 		owner, err := f.Server.OwnerFor(r.Request.To, r.Request.Field)
 		if err != nil {
@@ -155,6 +186,9 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		r.Docs, r.Cost, r.Err = out.docs, out.cost, err
 		if attempts > 1 {
 			m.retriesFor(r.Request.To).Add(int64(attempts - 1))
+		}
+		if cacheable && r.Err == nil {
+			c.Put(full, base, cachedTaskSize(r.Docs), cachedTask{docs: r.Docs, cost: r.Cost})
 		}
 	})
 	if degraded {

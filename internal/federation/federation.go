@@ -27,6 +27,7 @@ import (
 	"csfltr/internal/dp"
 	"csfltr/internal/hashutil"
 	"csfltr/internal/keyex"
+	"csfltr/internal/qcache"
 	"csfltr/internal/resilience"
 	"csfltr/internal/telemetry"
 	"csfltr/internal/textkit"
@@ -98,6 +99,11 @@ type Server struct {
 	// injector's seed (see SetChaos / SetPartyLink). Nil (the default)
 	// relays immediately and faultlessly.
 	chaosInj atomic.Pointer[chaos.Injector]
+
+	// cacheStats, when set, reads the federation answer cache's counters
+	// for the HTTP gateway's /v1/cache route (see cache.go). Nil until a
+	// cache-enabled federation runs its first search.
+	cacheStats atomic.Pointer[func() qcache.Stats]
 }
 
 // NewServer creates an empty server with a fresh telemetry registry.
@@ -250,17 +256,20 @@ func (s *Server) SetPartyLink(party string, rtt time.Duration) {
 	in.SetProfile(party, p)
 }
 
-// SetLinkDelay installs one simulated round-trip time for every party's
-// link.
-//
-// Deprecated: links are per-party now — use SetPartyLink for one party
-// or SetChaos for full fault profiles. This shim sets the injector's
-// default profile, preserving the old all-parties semantics.
-func (s *Server) SetLinkDelay(d time.Duration) {
-	in := s.ensureChaos()
-	p := in.Default()
-	p.Latency = d
-	in.SetDefault(p)
+// setCacheStats installs the answer-cache stats reader the /v1/cache
+// route serves (done once, when the federation's cache is created).
+func (s *Server) setCacheStats(fn func() qcache.Stats) {
+	s.cacheStats.Store(&fn)
+}
+
+// CacheStats returns the answer cache's counters and whether a cache is
+// attached at all.
+func (s *Server) CacheStats() (qcache.Stats, bool) {
+	fn := s.cacheStats.Load()
+	if fn == nil {
+		return qcache.Stats{}, false
+	}
+	return (*fn)(), true
 }
 
 // intercept applies the installed chaos profile to one relayed owner
@@ -596,6 +605,13 @@ type Federation struct {
 	resMu    sync.Mutex
 	policy   *resilience.Policy
 	breakers map[string]*resilience.Breaker
+
+	// Answer cache state (see cache.go), created lazily on the first
+	// search when Params.CacheBytes > 0.
+	cacheOnce sync.Once
+	qc        *qcache.Cache
+	flight    *qcache.Group
+	keyer     *qcache.Keyer
 }
 
 // New runs the full setup ceremony for the named parties: Diffie-Hellman

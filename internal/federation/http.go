@@ -24,6 +24,7 @@ import (
 //	POST /v1/parties/{name}/{field}/tf                -> perturbed values
 //	POST /v1/parties/{name}/{field}/rtk               -> RTK cells
 //	GET  /v1/metrics                                  -> Prometheus text format
+//	GET  /v1/cache                                    -> answer-cache counters (404 when disabled)
 //
 // field is "body" or "title". POST bodies carry the obfuscated column
 // vector; the gateway never sees hash keys or private index sets, same
@@ -107,6 +108,14 @@ func HTTPHandler(s *Server) http.Handler {
 	})
 	handle(http.MethodGet, "/v1/metrics", "/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		telemetry.Handler(s.Metrics()).ServeHTTP(w, r)
+	})
+	handle(http.MethodGet, "/v1/cache", "/v1/cache", func(w http.ResponseWriter, r *http.Request) {
+		stats, ok := s.CacheStats()
+		if !ok {
+			writeError(w, r, http.StatusNotFound, "federation: answer cache not enabled")
+			return
+		}
+		writeJSON(w, http.StatusOK, stats)
 	})
 	handle(http.MethodGet, "/v1/parties/{name}/{field}/docs", "/v1/parties/{name}/{field}/docs",
 		func(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +54,23 @@ const (
 	// MetricInjectedFaults counts faults injected by the chaos layer,
 	// labeled by party and kind (error, timeout, down, partition).
 	MetricInjectedFaults = "csfltr_chaos_injected_faults_total"
+	// MetricCacheLookups counts answer-cache lookups, labeled by tier
+	// (query, task) and result (hit, miss).
+	MetricCacheLookups = "csfltr_qcache_lookups_total"
+	// MetricCacheCoalesced counts searches that were absorbed into
+	// another identical in-flight search instead of fanning out.
+	MetricCacheCoalesced = "csfltr_qcache_coalesced_total"
+	// MetricCacheStaleServed counts parties backfilled from stale cache
+	// entries in degraded searches, labeled by party.
+	MetricCacheStaleServed = "csfltr_qcache_stale_served_total"
+	// MetricCacheSizeBytes / MetricCacheEntries are callback gauges over
+	// the answer cache's residency, current at scrape time.
+	MetricCacheSizeBytes = "csfltr_qcache_size_bytes"
+	MetricCacheEntries   = "csfltr_qcache_entries"
+	// MetricBudgetRemaining is the unspent per-peer privacy budget of a
+	// querier's accountant, labeled by party (the querier) and peer (who
+	// the budget is against). -1 encodes an unlimited budget.
+	MetricBudgetRemaining = "csfltr_dp_budget_remaining_epsilon"
 )
 
 // Per-party search outcome label values (bounded).
@@ -60,6 +78,15 @@ const (
 	OutcomeOK      = "ok"      // every query to the party succeeded
 	OutcomeFailed  = "failed"  // the party was queried but failed
 	OutcomeSkipped = "skipped" // the party was skipped (breaker open)
+	OutcomeStale   = "stale"   // lost, but backfilled from cache entries
+)
+
+// Answer-cache lookup label values (bounded).
+const (
+	cacheTierQuery = "query"
+	cacheTierTask  = "task"
+	cacheHit       = "hit"
+	cacheMiss      = "miss"
 )
 
 // Relay op label values: what the server was relaying for.
@@ -123,6 +150,10 @@ type serverMetrics struct {
 	retries  map[string]*telemetry.Counter
 	outcomes map[relayKey]*telemetry.Counter // reusing relayKey as (party, outcome)
 	faults   map[relayKey]*telemetry.Counter // (party, kind)
+	cache    map[relayKey]*telemetry.Counter // (tier, result)
+	stale    map[string]*telemetry.Counter   // party
+	budget   map[relayKey]struct{}           // (querier, peer) gauges registered
+	coalesce *telemetry.Counter              // lazily created
 }
 
 // newServerMetrics creates the handle cache over reg.
@@ -136,6 +167,9 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		retries:  make(map[string]*telemetry.Counter),
 		outcomes: make(map[relayKey]*telemetry.Counter),
 		faults:   make(map[relayKey]*telemetry.Counter),
+		cache:    make(map[relayKey]*telemetry.Counter),
+		stale:    make(map[string]*telemetry.Counter),
+		budget:   make(map[relayKey]struct{}),
 	}
 	for _, api := range []string{apiDocIDs, apiDocMeta, apiTF, apiRTK} {
 		m.api[api] = reg.Histogram(MetricAPILatency,
@@ -239,6 +273,72 @@ func (m *serverMetrics) faultFor(party, kind string) *telemetry.Counter {
 		m.faults[k] = c
 	}
 	return c
+}
+
+// cacheFor returns the lookup counter for one (tier, result) of the
+// answer cache.
+func (m *serverMetrics) cacheFor(tier, result string) *telemetry.Counter {
+	k := relayKey{party: tier, op: result}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cache[k]
+	if !ok {
+		c = m.reg.Counter(MetricCacheLookups,
+			"Answer-cache lookups, by tier and result.",
+			telemetry.L("tier", tier), telemetry.L("result", result))
+		m.cache[k] = c
+	}
+	return c
+}
+
+// staleFor returns the stale-served counter for one party.
+func (m *serverMetrics) staleFor(party string) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.stale[party]
+	if !ok {
+		c = m.reg.Counter(MetricCacheStaleServed,
+			"Parties backfilled from stale cache entries in degraded searches.",
+			telemetry.L("party", party))
+		m.stale[party] = c
+	}
+	return c
+}
+
+// coalescedCounter returns the singleflight-absorption counter.
+func (m *serverMetrics) coalescedCounter() *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.coalesce == nil {
+		m.coalesce = m.reg.Counter(MetricCacheCoalesced,
+			"Searches absorbed into an identical in-flight search.")
+	}
+	return m.coalesce
+}
+
+// budgetGauge registers (once per (querier, peer)) a callback gauge
+// reading the querier's remaining privacy budget against peer. The
+// callback evaluates at scrape time, so the exported value tracks the
+// accountant without per-spend bookkeeping; +Inf (unlimited budget) is
+// encoded as -1 to stay representable in JSON snapshots.
+func (m *serverMetrics) budgetGauge(querier, peer string, acct *dp.Accountant) {
+	k := relayKey{party: querier, op: peer}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.budget[k]; ok {
+		return
+	}
+	m.budget[k] = struct{}{}
+	m.reg.GaugeFunc(MetricBudgetRemaining,
+		"Unspent per-peer privacy budget of a querier's accountant (-1 = unlimited).",
+		func() float64 {
+			r := acct.Remaining(peer)
+			if math.IsInf(r, 1) {
+				return -1
+			}
+			return r
+		},
+		telemetry.L("party", querier), telemetry.L("peer", peer))
 }
 
 // record accounts one relayed message of n bytes — the single byte

@@ -228,12 +228,15 @@ func TestSetPartyLink(t *testing.T) {
 	}
 }
 
-// TestSetLinkDelayShim: the deprecated global knob must still apply one
-// round trip to every party's link.
-func TestSetLinkDelayShim(t *testing.T) {
+// TestSetPartyLinkAllParties: configuring every party's link one by one
+// applies one round trip per relayed call to each of them (the
+// per-party replacement for the removed global SetLinkDelay knob).
+func TestSetPartyLinkAllParties(t *testing.T) {
 	fed := searchFed(t)
 	const rtt = 30 * time.Millisecond
-	fed.Server.SetLinkDelay(rtt)
+	for _, party := range []string{"B", "C"} {
+		fed.Server.SetPartyLink(party, rtt)
+	}
 	for _, party := range []string{"B", "C"} {
 		owner, err := fed.Server.OwnerFor(party, FieldBody)
 		if err != nil {
@@ -247,7 +250,9 @@ func TestSetLinkDelayShim(t *testing.T) {
 			t.Fatalf("party %s: relayed call took %v, want >= %v", party, elapsed, rtt)
 		}
 	}
-	fed.Server.SetLinkDelay(0)
+	for _, party := range []string{"B", "C"} {
+		fed.Server.SetPartyLink(party, 0)
+	}
 	owner, _ := fed.Server.OwnerFor("B", FieldBody)
 	start := time.Now()
 	if _, _, err := owner.DocMeta(0); err != nil {

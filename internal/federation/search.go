@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"csfltr/internal/core"
+	"csfltr/internal/qcache"
 	"csfltr/internal/resilience"
 )
 
@@ -25,16 +27,24 @@ type SearchHit struct {
 // PartyReport is one party's outcome in a federated search.
 type PartyReport struct {
 	Party string
-	// Outcome is OutcomeOK, OutcomeFailed or OutcomeSkipped.
+	// Outcome is OutcomeOK, OutcomeFailed, OutcomeSkipped or
+	// OutcomeStale.
 	Outcome string
 	// Err describes the first failure for a failed party ("" otherwise).
 	Err string
-	// Queries is the number of reverse top-K queries addressed to the
-	// party (0 for a skipped party — no query sent, no budget spent).
+	// Queries is the number of reverse top-K queries actually sent to
+	// the party (0 for a skipped party; cache replays are counted in
+	// Cached instead — no query sent, no budget spent).
 	Queries int
 	// Retries is the number of retry attempts beyond each query's first
 	// try.
 	Retries int
+	// Cached is the number of this party's answers served from the
+	// federated answer cache at zero privacy cost.
+	Cached int
+	// StaleFor is the age of the oldest cache entry used to backfill
+	// this party when Outcome is OutcomeStale (0 otherwise).
+	StaleFor time.Duration
 }
 
 // SearchResult is the full outcome of one federated search: the merged
@@ -42,8 +52,9 @@ type PartyReport struct {
 type SearchResult struct {
 	Hits []SearchHit
 	Cost core.Cost
-	// Partial is true when at least one party was skipped or failed, so
-	// Hits covers only the surviving parties.
+	// Partial is true when at least one party contributed nothing —
+	// skipped or failed with no stale backfill — so Hits covers only
+	// the parties that answered (freshly or from cache).
 	Partial bool
 	// Parties reports every data party's outcome, in roster order.
 	Parties []PartyReport
@@ -55,6 +66,11 @@ type searchTask struct {
 	party string
 	owner core.OwnerAPI
 	plan  *core.Plan
+	// Cache identity and state (zero-valued when the cache is off): a
+	// cached task is never dispatched — its slot is prefilled from hit.
+	full, base qcache.Key
+	cached     bool
+	hit        cachedTask
 }
 
 // rtkOut is one task's result, produced inside a resilience.Call so a
@@ -78,12 +94,35 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 	return res.Hits, res.Cost, nil
 }
 
+// dedupeTerms drops repeated terms, preserving first-seen order.
+func dedupeTerms(terms []uint64) []uint64 {
+	seen := make(map[uint64]struct{}, len(terms))
+	out := make([]uint64, 0, len(terms))
+	for _, term := range terms {
+		if _, dup := seen[term]; dup {
+			continue
+		}
+		seen[term] = struct{}{}
+		out = append(out, term)
+	}
+	return out
+}
+
 // Search runs a whole query against every other party: one reverse
 // top-K document query per (query term, party), merged by summing
 // per-term count estimates per document, truncated to the k globally
 // best hits. This is the user-facing "search the federation" operation
 // that the augmentation pipeline uses internally for training data
 // generation.
+//
+// With Params.CacheBytes > 0 the search goes through the federated
+// answer cache (see cache.go and internal/qcache): a repeat of a recent
+// identical query replays the cached merged result bit-identically,
+// spending zero privacy budget (DP post-processing); concurrent
+// identical searches are coalesced onto one fan-out via singleflight;
+// and individual (party, term) answers are replayed from the task tier
+// even when the whole query misses. With CacheBytes == 0 (the default)
+// the uncached path below runs unchanged.
 //
 // The per-(party, term) queries are independent, so they are dispatched
 // onto a bounded worker pool (Params.Parallelism workers; 0 defaults to
@@ -97,7 +136,8 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 // Privacy budget is spent per (term, party) query against the querier's
 // accountant, and it is spent for the whole fan-out *before* dispatch:
 // a budget refusal aborts the search deterministically, before any query
-// leaves the party.
+// leaves the party. Cache replays spend nothing and are recorded with
+// dp.Accountant.Replayed.
 //
 // Each query runs under the federation's resilience policy: bounded
 // retries with deterministic backoff and a per-attempt deadline. With
@@ -105,11 +145,15 @@ func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]Sear
 // whose circuit breaker is open is skipped before any of its budget is
 // spent, a party with any failed query is dropped from the merge (its
 // outcomes feed the breaker), and the search succeeds with Partial set
-// as long as at least MinParties parties fully answered — otherwise it
+// as long as at least MinParties parties answered — otherwise it
 // returns ErrQuorum alongside the per-party report. A failed party
 // contributes nothing to Hits even for its succeeded queries, so the
 // ranking never depends on which fraction of a party's queries happened
-// to finish.
+// to finish. When Params.CacheMaxStale > 0 a skipped or failed party
+// may instead be backfilled from recent cache entries (all of the
+// query's terms, bounded age — reported per party as OutcomeStale with
+// StaleFor); a backfilled party counts toward the quorum and toward a
+// complete (non-Partial) result.
 func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, error) {
 	m := f.Server.metrics()
 	m.searchReqs.Inc()
@@ -121,20 +165,76 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 	if k <= 0 {
 		k = f.Params.K
 	}
+	c := f.cache()
+	if c == nil {
+		return f.searchUncached(src, from, terms, k)
+	}
+
+	uniq := dedupeTerms(terms)
+	full, base := f.queryKeys(from, uniq, k)
+	if v, ok := c.Get(full, base); ok {
+		m.cacheFor(cacheTierQuery, cacheHit).Inc()
+		res := v.(*SearchResult)
+		// Every party's whole contribution is a zero-spend replay.
+		for _, rep := range res.Parties {
+			for range uniq {
+				src.account.Replayed(rep.Party)
+			}
+		}
+		return cloneSearchResult(res), nil
+	}
+	m.cacheFor(cacheTierQuery, cacheMiss).Inc()
+
+	// Coalesce concurrent identical searches: one leader fans out, every
+	// concurrent duplicate shares its result (and its budget spend).
+	v, err, leader := f.flight.Do(full, func() (any, error) {
+		res, err := f.searchUncached(src, from, uniq, k)
+		if err == nil && res != nil && allOK(res) {
+			// Only fully-fresh complete results are cached at the query
+			// tier: a degraded or stale-backfilled merge must not be
+			// frozen past the outage that produced it.
+			c.Put(full, base, searchResultSize(res), cloneSearchResult(res))
+		}
+		return res, err
+	})
+	if !leader {
+		m.coalescedCounter().Inc()
+	}
+	res, _ := v.(*SearchResult)
+	if res != nil && !leader {
+		res = cloneSearchResult(res) // followers must not alias the leader's slices
+	}
+	return res, err
+}
+
+// allOK reports whether every party answered freshly and fully.
+func allOK(res *SearchResult) bool {
+	for _, rep := range res.Parties {
+		if rep.Outcome != OutcomeOK {
+			return false
+		}
+	}
+	return true
+}
+
+// searchUncached is the fan-out path of Search: everything except the
+// query-tier cache and singleflight, which wrap it. With the cache
+// enabled it still consults the task tier per (party, term) and
+// backfills lost parties from stale entries; with the cache disabled it
+// is byte-for-byte the pre-cache search.
+func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k int) (*SearchResult, error) {
+	m := f.Server.metrics()
 	degraded := f.Params.MinParties > 0
 	policy := f.ResiliencePolicy()
+	c := f.cache() // nil when disabled
 
 	// Deduplicate query terms, preserving first-seen order, and build
 	// each term's obfuscated plan exactly once. Plan construction draws
 	// from the querier's private randomness, so it stays on this
 	// goroutine, in deterministic order.
-	seen := make(map[uint64]struct{}, len(terms))
-	plans := make([]*core.Plan, 0, len(terms))
-	for _, term := range terms {
-		if _, dup := seen[term]; dup {
-			continue
-		}
-		seen[term] = struct{}{}
+	uniq := dedupeTerms(terms)
+	plans := make([]*core.Plan, 0, len(uniq))
+	for _, term := range uniq {
 		plans = append(plans, src.querier.Plan(term))
 	}
 
@@ -144,7 +244,9 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 	// sequential path would have stopped. Under the quorum policy a
 	// party with an open breaker is skipped here, BEFORE its budget is
 	// spent — the paper's accountant never charges for queries that are
-	// never sent.
+	// never sent. A task whose answer is already cached is likewise
+	// never spent for: the replay is free (post-processing) and the
+	// accountant records it separately.
 	result := &SearchResult{}
 	var tasks []searchTask
 	taskStart := make(map[string]int) // party -> first task index
@@ -153,6 +255,7 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 		if party.Name == from {
 			continue
 		}
+		m.budgetGauge(from, party.Name, src.account)
 		if degraded && !f.breakerFor(party.Name).Allow() {
 			result.Parties = append(result.Parties, PartyReport{
 				Party:   party.Name,
@@ -165,19 +268,36 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 		if err != nil {
 			return nil, err
 		}
+		var gen uint64
+		if c != nil {
+			gen = party.owner(FieldBody).Generation()
+		}
 		taskStart[party.Name] = len(tasks)
+		rep := PartyReport{Party: party.Name, Outcome: OutcomeOK}
 		for _, plan := range plans {
-			if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
-				return nil, err
+			t := searchTask{party: party.Name, owner: owner, plan: plan}
+			if c != nil {
+				t.full, t.base = f.taskKeys(from, party.Name, plan.Term(), gen)
+				if v, ok := c.Get(t.full, t.base); ok {
+					m.cacheFor(cacheTierTask, cacheHit).Inc()
+					t.cached = true
+					t.hit = v.(cachedTask)
+					src.account.Replayed(party.Name)
+					rep.Cached++
+				} else {
+					m.cacheFor(cacheTierTask, cacheMiss).Inc()
+				}
 			}
-			tasks = append(tasks, searchTask{party: party.Name, owner: owner, plan: plan})
+			if !t.cached {
+				if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
+					return nil, err
+				}
+				rep.Queries++
+			}
+			tasks = append(tasks, t)
 		}
 		taskCount[party.Name] = len(plans)
-		result.Parties = append(result.Parties, PartyReport{
-			Party:   party.Name,
-			Outcome: OutcomeOK,
-			Queries: len(plans),
-		})
+		result.Parties = append(result.Parties, rep)
 	}
 
 	// Fan out on the worker pool. Each task writes only its own slot, so
@@ -185,13 +305,23 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 	// wall-clock of the whole dispatch while the per-task rtk_query spans
 	// accumulate worker time. The resilience wrapper bounds each attempt
 	// with the policy deadline and retries transient failures with
-	// deterministic backoff.
+	// deterministic backoff. Cached tasks are prefilled and never
+	// dispatched.
 	docs := make([][]core.DocCount, len(tasks))
 	costs := make([]core.Cost, len(tasks))
 	errs := make([]error, len(tasks))
 	retries := make([]int, len(tasks))
+	var pending []int
+	for i := range tasks {
+		if tasks[i].cached {
+			docs[i], costs[i] = tasks[i].hit.docs, tasks[i].hit.cost
+			continue
+		}
+		pending = append(pending, i)
+	}
 	fanout := m.stageSpan(StageFanout)
-	runPool(f.Params.Workers(len(tasks)), len(tasks), m, func(i int) {
+	runPool(f.Params.Workers(len(pending)), len(pending), m, func(pi int) {
+		i := pending[pi]
 		sp := m.stageSpan(StageRTKQuery)
 		t := tasks[i]
 		out, attempts, err := resilience.Call(policy, f.callSeed(t.party, t.plan.Term()),
@@ -219,9 +349,43 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 	}
 	survivors := 0
 	scores := make(map[key]float64)
+	addDocs := func(party string, dcs []core.DocCount) {
+		for _, dc := range dcs {
+			if dc.Count <= 0 {
+				continue
+			}
+			scores[key{party: party, doc: dc.DocID}] += dc.Count
+		}
+	}
+	// backfill serves a lost party from recent cache entries when the
+	// staleness policy allows; it counts as a survivor with OutcomeStale.
+	backfill := func(rep *PartyReport) bool {
+		if c == nil || f.Params.CacheMaxStale <= 0 {
+			return false
+		}
+		hits, oldest, ok := f.staleBackfill(c, from, rep.Party, uniq)
+		if !ok {
+			return false
+		}
+		rep.Outcome = OutcomeStale
+		rep.StaleFor = oldest
+		rep.Cached = len(uniq)
+		m.outcomeFor(rep.Party, OutcomeStale).Inc()
+		m.staleFor(rep.Party).Inc()
+		survivors++
+		for _, h := range hits {
+			result.Cost.Add(h.cost)
+			addDocs(rep.Party, h.docs)
+			src.account.Replayed(rep.Party)
+		}
+		return true
+	}
 	for ri := range result.Parties {
 		rep := &result.Parties[ri]
 		if rep.Outcome == OutcomeSkipped {
+			if backfill(rep) {
+				continue
+			}
 			m.outcomeFor(rep.Party, OutcomeSkipped).Inc()
 			continue
 		}
@@ -243,12 +407,17 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 		if degraded {
 			b := f.breakerFor(rep.Party)
 			for i := start; i < start+count; i++ {
-				b.Record(errs[i] == nil)
+				if !tasks[i].cached {
+					b.Record(errs[i] == nil)
+				}
 			}
 		}
 		if firstErr != nil {
-			rep.Outcome = OutcomeFailed
 			rep.Err = firstErr.Error()
+			if backfill(rep) {
+				continue
+			}
+			rep.Outcome = OutcomeFailed
 			m.outcomeFor(rep.Party, OutcomeFailed).Inc()
 			continue
 		}
@@ -256,11 +425,10 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 		survivors++
 		for i := start; i < start+count; i++ {
 			result.Cost.Add(costs[i])
-			for _, dc := range docs[i] {
-				if dc.Count <= 0 {
-					continue
-				}
-				scores[key{party: rep.Party, doc: dc.DocID}] += dc.Count
+			addDocs(rep.Party, docs[i])
+			if c != nil && !tasks[i].cached {
+				c.Put(tasks[i].full, tasks[i].base,
+					cachedTaskSize(docs[i]), cachedTask{docs: docs[i], cost: costs[i]})
 			}
 		}
 	}

@@ -1,0 +1,84 @@
+package qcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzCacheKey exercises the key derivation's two privacy-critical
+// properties. First, keys must never echo the bytes of what they
+// identify: the term id, the generation, and the party string must not
+// appear in the key in any common encoding — a key that leaked its term
+// would turn the cache into a plaintext query log. Second, keys must
+// collide only on identical (party, term, epsilon, k, generation)
+// tuples: perturbing any single component must change the key, or
+// entries from different plans or ingest generations would alias.
+func FuzzCacheKey(f *testing.F) {
+	f.Add("siloA", uint64(7), 0.5, 10, uint64(1))
+	f.Add("", uint64(0), 0.0, 0, uint64(0))
+	f.Add("party-with-a-long-name", uint64(1<<63), 8.25, 1000, uint64(42))
+	f.Fuzz(func(t *testing.T, party string, term uint64, epsilon float64, k int, gen uint64) {
+		keyer := NewKeyer(0x5eed)
+		derive := func(party string, term uint64, eps float64, k int, gen uint64) Key {
+			return keyer.Begin(1).String(party).U64(term).F64(eps).Int(k).U64(gen).Key()
+		}
+		key := derive(party, term, epsilon, k, gen)
+
+		// No echo: neither the term nor the generation appears in the
+		// key bytes little- or big-endian, and no 4+ byte run of the
+		// party string survives into the key.
+		var le, be [8]byte
+		for _, v := range []uint64{term, gen} {
+			binary.LittleEndian.PutUint64(le[:], v)
+			binary.BigEndian.PutUint64(be[:], v)
+			if bytes.Contains(key[:], le[:]) && v != 0 {
+				t.Fatalf("key echoes %d (LE)", v)
+			}
+			if bytes.Contains(key[:], be[:]) && v != 0 {
+				t.Fatalf("key echoes %d (BE)", v)
+			}
+		}
+		for i := 0; i+4 <= len(party); i++ {
+			if bytes.Contains(key[:], []byte(party[i:i+4])) {
+				t.Fatalf("key echoes party substring %q", party[i:i+4])
+			}
+		}
+
+		// Determinism: same tuple, same key — across keyer instances.
+		if derive(party, term, epsilon, k, gen) != key {
+			t.Fatal("derivation not deterministic")
+		}
+		if NewKeyer(0x5eed).Begin(1).String(party).U64(term).F64(epsilon).Int(k).U64(gen).Key() != key {
+			t.Fatal("derivation depends on keyer instance state")
+		}
+
+		// Sensitivity: any single-component perturbation changes the key.
+		if derive(party+"x", term, epsilon, k, gen) == key {
+			t.Fatal("party not bound into key")
+		}
+		if derive(party, term+1, epsilon, k, gen) == key {
+			t.Fatal("term not bound into key")
+		}
+		if math.Float64bits(epsilon+1) != math.Float64bits(epsilon) &&
+			derive(party, term, epsilon+1, k, gen) == key {
+			t.Fatal("epsilon not bound into key")
+		}
+		if derive(party, term, epsilon, k+1, gen) == key {
+			t.Fatal("k not bound into key")
+		}
+		if derive(party, term, epsilon, k, gen+1) == key {
+			t.Fatal("generation not bound into key")
+		}
+
+		// Domain separation: the same tuple under another kind or
+		// another federation secret derives a different key.
+		if keyer.Begin(2).String(party).U64(term).F64(epsilon).Int(k).U64(gen).Key() == key {
+			t.Fatal("kind not bound into key")
+		}
+		if NewKeyer(0x5eee).Begin(1).String(party).U64(term).F64(epsilon).Int(k).U64(gen).Key() == key {
+			t.Fatal("federation secret not bound into key")
+		}
+	})
+}

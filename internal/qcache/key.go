@@ -1,0 +1,105 @@
+package qcache
+
+import (
+	"encoding/binary"
+	"math"
+
+	"csfltr/internal/hashutil"
+)
+
+// Key is a 128-bit keyed-hash digest identifying one cacheable answer.
+// Keys are the ONLY identity the cache ever stores or exposes: raw
+// query terms, party-private state, and hash seeds are folded through
+// the federation-keyed hash below and never appear in the key bytes,
+// in telemetry, or in any serialized form. Two independent 64-bit lanes
+// keep the accidental-collision probability negligible (~2^-64 even
+// across billions of entries).
+type Key [16]byte
+
+// lane64 returns the first lane as an integer (shard selection).
+func (k Key) lane64() uint64 { return binary.LittleEndian.Uint64(k[:8]) }
+
+// Keyer derives cache keys under a secret derived from the federation
+// hash seed, so key values are unlinkable to query terms by anyone who
+// does not hold the federation secret (the same trust model as the
+// sketch hashes themselves: the coordinating server may see keys but
+// must not be able to evaluate the mapping).
+type Keyer struct {
+	// The two lane seeds expand the federation hash seed; like the seed
+	// itself they must never be marshalled, logged, or exposed as a
+	// metric label.
+	//
+	//csfltr:private
+	k0 uint64
+	//csfltr:private
+	k1 uint64
+}
+
+// NewKeyer derives a keyer from the federation hash seed. Every party
+// of a federation derives the same keyer, so cache entries survive
+// across queriers while staying opaque to outsiders.
+func NewKeyer(seed uint64) *Keyer {
+	sm := hashutil.NewSplitMix64(seed ^ 0x71ca2e1db95c00a5)
+	return &Keyer{k0: sm.Next(), k1: sm.Next()}
+}
+
+// Builder accumulates the components of one cache key. Every absorbed
+// component is mixed into both lanes with a strong 64-bit finalizer and
+// a per-component position tag, so (a, b) and (b, a) — and ("ab", "c")
+// and ("a", "bc") — derive different keys.
+type Builder struct {
+	h0, h1 uint64
+	n      uint64 // components absorbed (position tag)
+}
+
+// Begin starts a key derivation for one key kind. kind separates the
+// key domains (task-level vs query-level entries can never collide).
+func (k *Keyer) Begin(kind uint64) *Builder {
+	b := &Builder{h0: k.k0, h1: k.k1}
+	b.U64(kind)
+	return b
+}
+
+// mix64 is the SplitMix64 finalizer — a full-avalanche 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// U64 absorbs one 64-bit component.
+func (b *Builder) U64(v uint64) *Builder {
+	b.n++
+	b.h0 = mix64(b.h0 ^ mix64(v+b.n*0x9e3779b97f4a7c15))
+	b.h1 = mix64(b.h1 + mix64(v^(b.n*0xc2b2ae3d27d4eb4f)))
+	return b
+}
+
+// F64 absorbs a float64 component by bit pattern.
+func (b *Builder) F64(v float64) *Builder { return b.U64(math.Float64bits(v)) }
+
+// Int absorbs an int component.
+func (b *Builder) Int(v int) *Builder { return b.U64(uint64(v)) }
+
+// String absorbs a string component: its bytes in 8-byte chunks,
+// terminated by the length, so concatenation ambiguities cannot
+// collide.
+func (b *Builder) String(s string) *Builder {
+	var chunk [8]byte
+	for i := 0; i < len(s); i += 8 {
+		n := copy(chunk[:], s[i:])
+		for j := n; j < 8; j++ {
+			chunk[j] = 0
+		}
+		b.U64(binary.LittleEndian.Uint64(chunk[:]))
+	}
+	return b.U64(uint64(len(s)))
+}
+
+// Key finalizes the derivation.
+func (b *Builder) Key() Key {
+	var out Key
+	binary.LittleEndian.PutUint64(out[:8], mix64(b.h0^b.n))
+	binary.LittleEndian.PutUint64(out[8:], mix64(b.h1+b.n))
+	return out
+}

@@ -1,0 +1,283 @@
+// Package qcache is the privacy-aware federated answer cache: a
+// byte-capacity-bounded, sharded LRU holding per-(party, term) noisy
+// RTK estimates and merged per-query search results.
+//
+// Why caching noisy answers is sound: differential privacy is closed
+// under post-processing. Once a (ε)-DP answer has been released,
+// replaying the *same released bytes* to the same querier reveals
+// nothing further about the underlying corpus, so a cache hit costs
+// zero additional privacy budget. The cache therefore turns the
+// workload's Zipfian repeat structure (see internal/zipf) into both a
+// latency win and a budget win.
+//
+// Privacy boundary: the cache never stores or derives identity from raw
+// query terms. Callers key entries with qcache.Key values produced by a
+// Keyer — a keyed hash over the logical query identity (term id, party,
+// parameters, ingest generation) under lanes derived from the
+// federation hash seed. Key bytes are unlinkable to terms without the
+// federation secret, and the privacyboundary analyzer enforces that no
+// raw term reaches a key, a log line, or a metric label.
+//
+// Entries are stored under a *full* key (including the owner's ingest
+// generation) and indexed by a *base* key (excluding it). A normal Get
+// demands the full key — any ingest bumps the generation and naturally
+// invalidates every prior entry. GetStale consults the base index and
+// returns the most recent entry regardless of generation, bounded by a
+// caller-supplied maximum age; that path backs the degraded-mode
+// stale-serve in federation.Search.
+package qcache
+
+import (
+	"sync"
+	"time"
+)
+
+// shardCount is a power of two so shard selection is a mask. 16 shards
+// keep lock contention negligible at the federation's fan-out widths.
+const shardCount = 16
+
+// Stats is a point-in-time counter snapshot across all shards.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	StaleHits int64 `json:"stale_hits"`
+	Stores    int64 `json:"stores"`
+	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int64 `json:"entries"`
+}
+
+// entry is one cached answer. Entries form a doubly-linked LRU list
+// per shard, most recent at the front.
+type entry struct {
+	full     Key
+	base     Key
+	val      any
+	size     int64
+	storedAt time.Time
+
+	prev, next *entry
+}
+
+// shard is one lock domain: a full-key map, a base-key recency index
+// (for stale lookups), and the LRU list.
+type shard struct {
+	mu      sync.Mutex
+	byFull  map[Key]*entry
+	byBase  map[Key]*entry // most recently stored entry per base key
+	head    *entry         // most recently used
+	tail    *entry         // least recently used
+	bytes   int64
+	hits    int64
+	misses  int64
+	stale   int64
+	stores  int64
+	evicted int64
+}
+
+// Cache is a sharded byte-capacity-bounded LRU. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	shards   [shardCount]shard
+	capacity int64 // bytes, per cache (split evenly across shards)
+
+	coalesced func() int64 // singleflight group's counter, set by NewGroup
+
+	// now is the clock, injectable for staleness tests.
+	now func() time.Time
+}
+
+// New creates a cache bounded to capacityBytes across all shards.
+// capacityBytes must be positive.
+func New(capacityBytes int64) *Cache {
+	if capacityBytes <= 0 {
+		panic("qcache: non-positive capacity")
+	}
+	c := &Cache{capacity: capacityBytes, now: time.Now}
+	for i := range c.shards {
+		c.shards[i].byFull = make(map[Key]*entry)
+		c.shards[i].byBase = make(map[Key]*entry)
+	}
+	return c
+}
+
+// SetClock replaces the cache's time source (tests only).
+func (c *Cache) SetClock(now func() time.Time) { c.now = now }
+
+// shardFor selects the shard by *base* key, so an entry and its stale
+// index row always live under the same lock.
+func (c *Cache) shardFor(base Key) *shard {
+	return &c.shards[base.lane64()&(shardCount-1)]
+}
+
+// Get returns the value stored under the full key, or (nil, false).
+// A hit promotes the entry to most-recently-used.
+func (c *Cache) Get(full, base Key) (any, bool) {
+	s := c.shardFor(base)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byFull[full]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.moveFront(e)
+	return e.val, true
+}
+
+// GetStale returns the most recently stored value under the base key —
+// regardless of generation — provided it is no older than maxAge.
+// The returned age is how long ago the entry was stored. Stale reads do
+// not promote the entry (they must not outcompete fresh traffic for
+// residency).
+func (c *Cache) GetStale(base Key, maxAge time.Duration) (any, time.Duration, bool) {
+	s := c.shardFor(base)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byBase[base]
+	if !ok {
+		return nil, 0, false
+	}
+	age := c.now().Sub(e.storedAt)
+	if age < 0 {
+		age = 0
+	}
+	if age > maxAge {
+		return nil, 0, false
+	}
+	s.stale++
+	return e.val, age, true
+}
+
+// Put stores val under (full, base). size is the caller's estimate of
+// the entry's resident bytes and must be positive; entries larger than
+// a shard's capacity are rejected outright (returning false) rather
+// than flushing the whole shard. Storing an existing full key refreshes
+// its value, size and timestamp.
+func (c *Cache) Put(full, base Key, size int64, val any) bool {
+	if size <= 0 {
+		panic("qcache: non-positive entry size")
+	}
+	perShard := c.capacity / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	if size > perShard {
+		return false
+	}
+	s := c.shardFor(base)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.byFull[full]; ok {
+		s.bytes += size - e.size
+		e.val, e.size, e.storedAt = val, size, c.now()
+		s.byBase[base] = e
+		s.moveFront(e)
+	} else {
+		e = &entry{full: full, base: base, val: val, size: size, storedAt: c.now()}
+		s.byFull[full] = e
+		s.byBase[base] = e
+		s.bytes += size
+		s.pushFront(e)
+		s.stores++
+	}
+	for s.bytes > perShard && s.tail != nil {
+		s.evict(s.tail)
+	}
+	return true
+}
+
+// Len returns the live entry count.
+func (c *Cache) Len() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += int64(len(s.byFull))
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the resident byte total.
+func (c *Cache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates counters across shards.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.StaleHits += s.stale
+		st.Stores += s.stores
+		st.Evictions += s.evicted
+		st.Bytes += s.bytes
+		st.Entries += int64(len(s.byFull))
+		s.mu.Unlock()
+	}
+	if c.coalesced != nil {
+		st.Coalesced = c.coalesced()
+	}
+	return st
+}
+
+// pushFront links e at the head. Caller holds the shard lock.
+func (s *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+// unlink removes e from the list. Caller holds the shard lock.
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveFront promotes e to most-recently-used. Caller holds the lock.
+func (s *shard) moveFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// evict removes e entirely. Caller holds the shard lock.
+func (s *shard) evict(e *entry) {
+	s.unlink(e)
+	delete(s.byFull, e.full)
+	if s.byBase[e.base] == e {
+		delete(s.byBase, e.base)
+	}
+	s.bytes -= e.size
+	s.evicted++
+}

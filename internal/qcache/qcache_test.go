@@ -1,0 +1,321 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testKeyer returns a fixed-seed keyer for deterministic tests.
+func testKeyer() *Keyer { return NewKeyer(0xfeedc0ffee) }
+
+// taskKey builds a representative task-level key.
+func taskKey(k *Keyer, party string, term, gen uint64) (full, base Key) {
+	base = k.Begin(1).String(party).U64(term).F64(0.5).Int(10).Key()
+	full = k.Begin(1).String(party).U64(term).F64(0.5).Int(10).U64(gen).Key()
+	return full, base
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	k := testKeyer()
+	full, base := taskKey(k, "A", 7, 1)
+	if _, ok := c.Get(full, base); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if !c.Put(full, base, 100, "answer") {
+		t.Fatal("Put rejected")
+	}
+	v, ok := c.Get(full, base)
+	if !ok || v.(string) != "answer" {
+		t.Fatalf("Get = %v, %v; want answer, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGenerationChangeForcesMiss(t *testing.T) {
+	c := New(1 << 20)
+	k := testKeyer()
+	full1, base := taskKey(k, "A", 7, 1)
+	c.Put(full1, base, 64, "gen1")
+	full2, base2 := taskKey(k, "A", 7, 2)
+	if base2 != base {
+		t.Fatal("base key must not depend on generation")
+	}
+	if full2 == full1 {
+		t.Fatal("full key must depend on generation")
+	}
+	if _, ok := c.Get(full2, base); ok {
+		t.Fatal("hit across generations: ingest must invalidate")
+	}
+	// But the stale path still sees the old answer via the base key.
+	if v, _, ok := c.GetStale(base, time.Hour); !ok || v.(string) != "gen1" {
+		t.Fatalf("GetStale = %v, %v; want gen1, true", v, ok)
+	}
+}
+
+func TestGetStaleRespectsMaxAge(t *testing.T) {
+	c := New(1 << 20)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	k := testKeyer()
+	full, base := taskKey(k, "A", 7, 1)
+	c.Put(full, base, 64, "v")
+
+	now = now.Add(30 * time.Second)
+	if _, age, ok := c.GetStale(base, time.Minute); !ok || age != 30*time.Second {
+		t.Fatalf("GetStale within bound: ok=%v age=%v", ok, age)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, _, ok := c.GetStale(base, time.Minute); ok {
+		t.Fatal("GetStale returned an entry older than maxAge")
+	}
+}
+
+func TestByteBoundEviction(t *testing.T) {
+	// Capacity of 16 shards × 64 bytes each. Fill one logical stream of
+	// entries; residency must never exceed capacity and the oldest
+	// entries must go first within a shard.
+	c := New(16 * 64)
+	k := testKeyer()
+	for i := uint64(0); i < 200; i++ {
+		full, base := taskKey(k, "A", i, 1)
+		c.Put(full, base, 48, i)
+	}
+	if got := c.Bytes(); got > 16*64 {
+		t.Fatalf("resident bytes %d exceed capacity", got)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions")
+	}
+	if st.Entries*48 != st.Bytes {
+		t.Fatalf("entries/bytes inconsistent: %+v", st)
+	}
+}
+
+func TestLRUOrderWithinShard(t *testing.T) {
+	// A 1-shard-sized workload: use one base key's shard by brute force.
+	c := New(16 * 100) // 100 bytes per shard
+	k := testKeyer()
+	// Find three distinct terms landing in the same shard.
+	var terms []uint64
+	var shardIdx uint64
+	for i := uint64(0); len(terms) < 3; i++ {
+		_, base := taskKey(k, "A", i, 1)
+		idx := base.lane64() & (shardCount - 1)
+		if len(terms) == 0 {
+			shardIdx = idx
+		}
+		if idx == shardIdx {
+			terms = append(terms, i)
+		}
+	}
+	keys := make([][2]Key, 3)
+	for i, term := range terms {
+		full, base := taskKey(k, "A", term, 1)
+		keys[i] = [2]Key{full, base}
+		c.Put(full, base, 40, term)
+	}
+	// Shard holds 100 bytes; the third Put (120 resident) evicted the
+	// least-recently-used first entry.
+	if _, ok := c.Get(keys[0][0], keys[0][1]); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if _, ok := c.Get(keys[2][0], keys[2][1]); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	// Touch entry 1, insert a fourth: entry 1 must now survive over 2.
+	if _, ok := c.Get(keys[1][0], keys[1][1]); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	var fourth uint64
+	for i := terms[2] + 1; ; i++ {
+		_, base := taskKey(k, "A", i, 1)
+		if base.lane64()&(shardCount-1) == shardIdx {
+			fourth = i
+			break
+		}
+	}
+	f4, b4 := taskKey(k, "A", fourth, 1)
+	c.Put(f4, b4, 40, fourth)
+	if _, ok := c.Get(keys[1][0], keys[1][1]); !ok {
+		t.Fatal("recently-used entry evicted before older one")
+	}
+	if _, ok := c.Get(keys[2][0], keys[2][1]); ok {
+		t.Fatal("LRU order not respected after Get promotion")
+	}
+}
+
+func TestPutRejectsOversizedEntry(t *testing.T) {
+	c := New(16 * 64)
+	k := testKeyer()
+	full, base := taskKey(k, "A", 1, 1)
+	if c.Put(full, base, 65, "big") {
+		t.Fatal("oversized entry accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversized entry resident")
+	}
+}
+
+func TestPutRefreshExistingKey(t *testing.T) {
+	c := New(1 << 20)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	k := testKeyer()
+	full, base := taskKey(k, "A", 1, 1)
+	c.Put(full, base, 50, "old")
+	now = now.Add(time.Minute)
+	c.Put(full, base, 80, "new")
+	v, ok := c.Get(full, base)
+	if !ok || v.(string) != "new" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 80 || st.Stores != 1 {
+		t.Fatalf("refresh stats = %+v", st)
+	}
+	if _, age, ok := c.GetStale(base, time.Hour); !ok || age != 0 {
+		t.Fatalf("refresh must reset storedAt: age=%v ok=%v", age, ok)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	c := New(1 << 20)
+	g := NewGroup(c)
+	k := testKeyer()
+	full, _ := taskKey(k, "A", 1, 1)
+
+	const n = 16
+	var executions atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	leaders := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, leader := g.Do(full, func() (any, error) {
+				executions.Add(1)
+				<-release
+				return "shared", nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+			leaders[i] = leader
+		}(i)
+	}
+	// Wait until the leader is inside fn and every follower is queued,
+	// then release.
+	deadline := time.After(5 * time.Second)
+	for {
+		g.mu.Lock()
+		var waiting int64
+		waiting = g.coalesced
+		g.mu.Unlock()
+		if executions.Load() == 1 && waiting == n-1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("coalescing never converged: exec=%d coalesced=%d",
+				executions.Load(), g.Coalesced())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if got := executions.Load(); got != 1 {
+		t.Fatalf("fn executed %d times; want 1", got)
+	}
+	var leaderCount int
+	for i := 0; i < n; i++ {
+		if results[i].(string) != "shared" {
+			t.Fatalf("result[%d] = %v", i, results[i])
+		}
+		if leaders[i] {
+			leaderCount++
+		}
+	}
+	if leaderCount != 1 {
+		t.Fatalf("leader count = %d; want 1", leaderCount)
+	}
+	if c.Stats().Coalesced != n-1 {
+		t.Fatalf("Stats.Coalesced = %d; want %d", c.Stats().Coalesced, n-1)
+	}
+}
+
+func TestSingleflightSequentialNotCoalesced(t *testing.T) {
+	g := NewGroup(nil)
+	k := testKeyer()
+	full, _ := taskKey(k, "A", 1, 1)
+	for i := 0; i < 3; i++ {
+		_, _, leader := g.Do(full, func() (any, error) { return i, nil })
+		if !leader {
+			t.Fatalf("sequential call %d coalesced", i)
+		}
+	}
+	if g.Coalesced() != 0 {
+		t.Fatalf("Coalesced = %d; want 0", g.Coalesced())
+	}
+}
+
+func TestCacheConcurrency(t *testing.T) {
+	c := New(1 << 16)
+	k := testKeyer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := uint64(0); i < 500; i++ {
+				term := i % 37
+				full, base := taskKey(k, fmt.Sprintf("P%d", w%3), term, 1)
+				if i%3 == 0 {
+					c.Put(full, base, 64, term)
+				} else if i%3 == 1 {
+					c.Get(full, base)
+				} else {
+					c.GetStale(base, time.Hour)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Bytes() > 1<<16 {
+		t.Fatalf("capacity exceeded: %d", c.Bytes())
+	}
+}
+
+func TestKeyDeterminismAndSeparation(t *testing.T) {
+	k1 := NewKeyer(42)
+	k2 := NewKeyer(42)
+	k3 := NewKeyer(43)
+	a := k1.Begin(1).String("A").U64(7).Key()
+	if b := k2.Begin(1).String("A").U64(7).Key(); a != b {
+		t.Fatal("same seed, same components: keys differ")
+	}
+	if b := k3.Begin(1).String("A").U64(7).Key(); a == b {
+		t.Fatal("different seeds collide")
+	}
+	if b := k1.Begin(2).String("A").U64(7).Key(); a == b {
+		t.Fatal("different kinds collide")
+	}
+	if b := k1.Begin(1).String("A").U64(8).Key(); a == b {
+		t.Fatal("different terms collide")
+	}
+	// Concatenation ambiguity: ("ab","c") vs ("a","bc").
+	if k1.Begin(1).String("ab").String("c").Key() == k1.Begin(1).String("a").String("bc").Key() {
+		t.Fatal("string boundary ambiguity collides")
+	}
+}

@@ -1,0 +1,68 @@
+package qcache
+
+import "sync"
+
+// Group coalesces concurrent calls sharing a key: the first caller
+// (the leader) runs fn; every caller that arrives while the leader is
+// in flight blocks and receives the leader's result instead of running
+// fn itself. For federated search this means N concurrent identical
+// queries perform exactly one fan-out and one budget spend.
+//
+// This is a minimal, dependency-free variant of the well-known
+// singleflight pattern, keyed by qcache.Key and counting coalesced
+// (non-leader) calls for telemetry.
+type Group struct {
+	mu        sync.Mutex
+	inflight  map[Key]*flightCall
+	coalesced int64
+}
+
+// flightCall is one in-flight leader execution.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewGroup creates a Group. If cache is non-nil, the group's coalesced
+// counter is wired into the cache's Stats.
+func NewGroup(cache *Cache) *Group {
+	g := &Group{inflight: make(map[Key]*flightCall)}
+	if cache != nil {
+		cache.coalesced = g.Coalesced
+	}
+	return g
+}
+
+// Do runs fn under key, coalescing concurrent duplicates. The boolean
+// reports whether this caller was the leader (ran fn itself); followers
+// receive the leader's exact (val, err) and must treat val as shared —
+// clone before mutating.
+func (g *Group) Do(key Key, fn func() (any, error)) (any, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.inflight[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.inflight[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, true
+}
+
+// Coalesced returns how many calls were served by another caller's
+// execution since the group was created.
+func (g *Group) Coalesced() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}

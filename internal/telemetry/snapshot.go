@@ -81,6 +81,8 @@ func snapshotSeries(s any) SeriesSnapshot {
 		return SeriesSnapshot{Labels: labelMap(m.labels), Value: float64(m.Value())}
 	case *Gauge:
 		return SeriesSnapshot{Labels: labelMap(m.labels), Value: m.Value()}
+	case *GaugeFunc:
+		return SeriesSnapshot{Labels: labelMap(m.labels), Value: m.Value()}
 	case *Histogram:
 		out := SeriesSnapshot{Labels: labelMap(m.labels), Count: m.Count(), Sum: m.Sum()}
 		bounds := m.Bounds()

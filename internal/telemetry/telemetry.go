@@ -228,6 +228,31 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 // see a counter reset, which rate() handles).
 func (c *Counter) Reset() { c.v.Store(0) }
 
+// GaugeFunc returns the callback-gauge series for name and labels,
+// creating it on first use. The callback is evaluated at observation
+// time (snapshot / Prometheus scrape), so the exported value is always
+// current without the owner having to push updates — the right shape
+// for values that are views over live state (cache occupancy, remaining
+// privacy budget). fn must be safe for concurrent use; the first
+// registration of a series fixes its callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) *GaugeFunc {
+	labels = sortLabels(labels)
+	sig := signature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.lookup(name, help, gaugeType, nil)
+	if g, ok := f.series[sig]; ok {
+		gf, isFunc := g.(*GaugeFunc)
+		if !isFunc {
+			panic(fmt.Sprintf("telemetry: gauge %q re-registered as a callback gauge", name))
+		}
+		return gf
+	}
+	g := &GaugeFunc{labels: labels, fn: fn}
+	f.series[sig] = g
+	return g
+}
+
 // Gauge is an instantaneous float64 metric.
 type Gauge struct {
 	labels []Label
@@ -256,6 +281,22 @@ func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// GaugeFunc is a gauge whose value is computed by a callback at
+// observation time. It carries no state of its own, so Registry.Reset
+// leaves it untouched.
+type GaugeFunc struct {
+	labels []Label
+	fn     func() float64
+}
+
+// Value evaluates the callback (0 if nil).
+func (g *GaugeFunc) Value() float64 {
+	if g.fn == nil {
+		return 0
+	}
+	return g.fn()
+}
 
 // requestIDPrefix is a per-process random prefix so request IDs from
 // different silos never collide.

@@ -284,3 +284,55 @@ func TestRequestIDUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	var live float64 = 3
+	g := r.GaugeFunc("csfltr_live", "view over live state", func() float64 { return live })
+	if got := g.Value(); got != 3 {
+		t.Fatalf("GaugeFunc value = %v, want 3", got)
+	}
+	// The callback is evaluated at observation time, so snapshots track
+	// the backing state without pushes.
+	live = 9
+	snap := r.Snapshot()
+	m := snap.Metric("csfltr_live")
+	if m == nil || m.Series[0].Value != 9 {
+		t.Fatalf("snapshot of callback gauge wrong: %+v", m)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "csfltr_live 9") {
+		t.Fatalf("callback gauge missing from exposition:\n%s", b.String())
+	}
+	// Re-registration returns the existing series; the first callback
+	// stays fixed.
+	g2 := r.GaugeFunc("csfltr_live", "", func() float64 { return -1 })
+	if g2 != g || g2.Value() != 9 {
+		t.Fatalf("re-registration replaced the callback: %v", g2.Value())
+	}
+	// Reset leaves callback gauges untouched — they carry no state.
+	r.Reset()
+	if got := g.Value(); got != 9 {
+		t.Fatalf("Reset broke callback gauge: %v", got)
+	}
+	// Labelled series are independent.
+	a := r.GaugeFunc("csfltr_live_l", "", func() float64 { return 1 }, Label{"p", "a"})
+	bb := r.GaugeFunc("csfltr_live_l", "", func() float64 { return 2 }, Label{"p", "b"})
+	if a.Value() != 1 || bb.Value() != 2 {
+		t.Fatalf("labelled callback gauges collided: %v %v", a.Value(), bb.Value())
+	}
+}
+
+func TestGaugeFuncConflictsWithPlainGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("csfltr_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a callback gauge over a plain gauge did not panic")
+		}
+	}()
+	r.GaugeFunc("csfltr_conflict", "", func() float64 { return 0 })
+}
