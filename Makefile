@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-json cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo
+.PHONY: all build test race cover bench bench-smoke bench-json cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo trace-demo
 
 all: build test
 
@@ -30,13 +30,14 @@ bench-smoke:
 
 # Refresh the machine-readable benchmarks: the parallelism sweep
 # (BENCH_federation.json), the resilience/chaos sweep
-# (BENCH_resilience.json) and the answer-cache sweep (BENCH_cache.json).
-# All are checked in so the perf and availability trajectories are
-# tracked across PRs.
+# (BENCH_resilience.json), the answer-cache sweep (BENCH_cache.json) and
+# the tracing-overhead comparison (BENCH_trace.json). All are checked in
+# so the perf and availability trajectories are tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/expbench -exp parallelism -bench-json BENCH_federation.json
 	$(GO) run ./cmd/expbench -exp chaos -bench-json BENCH_resilience.json
 	$(GO) run ./cmd/expbench -exp cache -bench-json BENCH_cache.json
+	$(GO) run ./cmd/expbench -exp trace -bench-json BENCH_trace.json
 
 # The answer-cache suite under the race detector: every Cache-named
 # test/benchmark (one iteration each) plus a test-scale Zipf-repeat
@@ -63,6 +64,7 @@ fuzz:
 	$(GO) test -fuzz FuzzHTTPEnvelope -fuzztime 30s ./internal/federation/
 	$(GO) test -fuzz FuzzRPCDecode -fuzztime 30s ./internal/federation/
 	$(GO) test -fuzz FuzzWritePrometheus -fuzztime 30s ./internal/telemetry/
+	$(GO) test -fuzz FuzzTraceExport -fuzztime 30s ./internal/telemetry/
 	$(GO) test -fuzz FuzzCacheKey -fuzztime 30s ./internal/qcache/
 
 # Regenerate every table and figure at the shape-faithful default scale
@@ -95,6 +97,29 @@ telemetry-demo:
 	echo "--- GET /v1/metrics ---"; \
 	curl -sf http://127.0.0.1:7080/v1/metrics | head -40; \
 	STATUS=$$?; \
+	kill $$SRV 2>/dev/null; \
+	exit $$STATUS
+
+# End-to-end smoke for the flight recorder, built with the race
+# detector: start a test-scale federation with -trace (which runs seeded
+# demo searches), list the audit ledger over the gateway, then dump the
+# first trace's span tree and its Chrome trace-event JSON. Mirrored by
+# the CI job.
+trace-demo:
+	$(GO) build -race -o /tmp/csfltr-trace-demo ./cmd/csfltr
+	/tmp/csfltr-trace-demo serve -scale test -trace -addr 127.0.0.1:7170 -http 127.0.0.1:7180 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -sf http://127.0.0.1:7180/v1/audit 2>/dev/null | grep -q trace_id && break; \
+		sleep 0.2; \
+	done; \
+	/tmp/csfltr-trace-demo trace -http 127.0.0.1:7180; \
+	STATUS=$$?; \
+	if [ $$STATUS -eq 0 ]; then \
+		ID=$$(curl -sf http://127.0.0.1:7180/v1/audit | sed -n 's/.*"trace_id":"\([^"]*\)".*/\1/p' | head -1); \
+		/tmp/csfltr-trace-demo trace -http 127.0.0.1:7180 -id $$ID -chrome /tmp/csfltr-trace.json; \
+		STATUS=$$?; \
+	fi; \
 	kill $$SRV 2>/dev/null; \
 	exit $$STATUS
 

@@ -47,6 +47,8 @@ func main() {
 		err = train(os.Args[2:])
 	case "eval":
 		err = evalCmd(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,11 +64,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   csfltr demo  [-scale test|default] [-seed N]
-  csfltr serve [-addr HOST:PORT] [-scale test|default] [-seed N] [-http HOST:PORT] [-debug-addr HOST:PORT]
+  csfltr serve [-addr HOST:PORT] [-scale test|default] [-seed N] [-http HOST:PORT] [-debug-addr HOST:PORT] [-trace]
   csfltr query -addr HOST:PORT [-party NAME] [-term ID] [-k N] [-naive] [-scale test|default]
   csfltr party -name NAME [-addr HOST:PORT] [-scale test|default] [-seed N] [-debug-addr HOST:PORT]
   csfltr train [-scale test|default] [-seed N] -model FILE
-  csfltr eval  [-scale test|default] [-seed N] -model FILE`)
+  csfltr eval  [-scale test|default] [-seed N] -model FILE
+  csfltr trace [-http HOST:PORT] [-id TRACE] [-chrome FILE]`)
 }
 
 // scaleConfigs maps a -scale flag to the corpus and protocol parameters
@@ -292,6 +295,7 @@ func serve(args []string) error {
 	seed := fs.Int64("seed", 1, "corpus seed")
 	httpAddr := fs.String("http", "", "also serve the HTTP gateway (REST API + GET /v1/metrics) on this address (optional)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (optional)")
+	trace := fs.Bool("trace", false, "enable the distributed-tracing flight recorder and run demo searches (inspect with 'csfltr trace')")
 	var remotes remoteFlags
 	fs.Var(&remotes, "remote", "party-hosted silo to relay to, NAME=ADDR (repeatable; see 'csfltr party')")
 	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
@@ -311,6 +315,10 @@ func serve(args []string) error {
 		remoteNames[name] = raddr
 	}
 	server := federation.NewServer()
+	if *trace {
+		server.EnableTracing(federation.TraceConfig{EventCapacity: 256})
+	}
+	var locals []*federation.Party
 	for i := 0; i < cfg.NumParties; i++ {
 		name := string(rune('A' + i))
 		if raddr, remote := remoteNames[name]; remote {
@@ -337,6 +345,7 @@ func serve(args []string) error {
 		if err := server.Register(party); err != nil {
 			return err
 		}
+		locals = append(locals, party)
 	}
 	srv, err := federation.ListenAndServe(server, *addr)
 	if err != nil {
@@ -366,6 +375,31 @@ func serve(args []string) error {
 	fmt.Println("sample query terms (salient topic terms):")
 	for t := 0; t < 3 && t < len(c.Topics()); t++ {
 		fmt.Printf("  topic %d: %v\n", t, c.Topics()[t][:5])
+	}
+	if *trace && len(locals) >= 2 {
+		// Seed the flight recorder so `csfltr trace` (and the /v1/trace,
+		// /v1/audit routes) have something to show: one federated search
+		// per sampled topic, issued by the first local party.
+		fed := &federation.Federation{
+			Server:   server,
+			Parties:  locals,
+			Params:   params,
+			HashSeed: demoSeed,
+		}
+		for t := 0; t < 3 && t < len(c.Topics()); t++ {
+			topic := c.Topics()[t]
+			terms := make([]uint64, 0, 3)
+			for _, id := range topic[:min(3, len(topic))] {
+				terms = append(terms, uint64(id))
+			}
+			res, traceID, err := fed.SearchTraced(locals[0].Name, terms, params.K)
+			if err != nil {
+				return fmt.Errorf("trace demo search (topic %d): %w", t, err)
+			}
+			fmt.Printf("traced demo search: topic %d -> %d hits, trace %s\n",
+				t, len(res.Hits), traceID)
+		}
+		fmt.Printf("inspect with: csfltr trace -http %s [-id TRACE]\n", *httpAddr)
 	}
 	fmt.Println("press Ctrl-C to stop")
 	sig := make(chan os.Signal, 1)

@@ -50,7 +50,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment to run (table1, fig4[-alpha|-beta|-k|-w|-z], fig5, fig6a, fig6b, headline, latency, traffic, all)")
+		exp       = flag.String("exp", "all", "experiment to run (table1, fig4[-alpha|-beta|-k|-w|-z], fig5, fig6a, fig6b, headline, latency, trace, traffic, all)")
 		scale     = flag.String("scale", "default", "workload scale: test, default or paper")
 		csvDir    = flag.String("csv", "", "directory to write CSV series into (optional)")
 		jsonOut   = flag.String("json", "", "file to write a machine-readable JSON report into (optional)")
@@ -281,6 +281,32 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			}
 			return nil
 		},
+		"trace": func() error {
+			cfg := experiments.DefaultTraceConfig()
+			if scale == "test" {
+				cfg = experiments.TestTraceConfig()
+			}
+			cfg.Seed = seed
+			res, err := experiments.RunTraceOverhead(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Tracing: flight-recorder overhead, identical workload off vs on ==")
+			fmt.Print(experiments.RenderTrace(res))
+			report.Add("trace", res)
+			if benchJSON != "" {
+				f, err := os.Create(benchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteBenchJSON(f, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", benchJSON)
+			}
+			return nil
+		},
 		"traffic": func() error {
 			cfg := fig4
 			if cfg.Docs > 4000 {
@@ -332,7 +358,7 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			if strings.HasPrefix(n, "fig4-") {
 				continue // covered by "fig4"
 			}
-			if n == "parallelism" || n == "chaos" || n == "cache" {
+			if n == "parallelism" || n == "chaos" || n == "cache" || n == "trace" {
 				continue // timing benchmarks, not paper figures; run explicitly
 			}
 			names = append(names, n)

@@ -13,14 +13,16 @@ import (
 //   - declared as a field of a wire-message struct (a struct with JSON
 //     field tags, or named *Args/*Reply/*Request/*Response/*Message);
 //   - passed to a marshal path (encoding/json, encoding/gob);
-//   - passed to fmt/log formatting or to a telemetry label constructor,
-//     where it would end up in process output or metric exposition.
+//   - passed to fmt/log formatting, a telemetry label constructor, or a
+//     trace attribute constructor (AStr/AInt/AFloat/ABool), where it
+//     would end up in process output, metric exposition, or the flight
+//     recorder's span trees and audit records.
 //
 // This is the paper's core invariant (PAPER.md §IV): only sketched,
 // DP-noised, or keyed-hashed values may cross the federation boundary.
 var PrivacyBoundary = &Analyzer{
 	Name: "privacyboundary",
-	Doc:  "flags //csfltr:private data flowing into wire structs, marshal paths, or fmt/log/metric labels",
+	Doc:  "flags //csfltr:private data flowing into wire structs, marshal paths, fmt/log/metric labels, or trace attributes",
 	Run:  runPrivacyBoundary,
 }
 
@@ -89,14 +91,41 @@ func checkSinkCall(pass *Pass, call *ast.CallExpr) {
 		return
 	}
 	for _, arg := range call.Args {
-		t := pass.TypeOf(arg)
+		expr := arg
+		t := pass.TypeOf(expr)
 		if t == nil || !pass.Markers.ContainsPrivate(t) {
-			continue
+			// A type conversion does not launder privacy: string(rq)
+			// carries the same bytes as rq.
+			inner := conversionOperand(pass, arg)
+			if inner == nil {
+				continue
+			}
+			it := pass.TypeOf(inner)
+			if it == nil || !pass.Markers.ContainsPrivate(it) {
+				continue
+			}
+			expr, t = inner, it
 		}
-		pass.Reportf(arg.Pos(),
+		pass.Reportf(expr.Pos(),
 			"silo-private value (%s) passed to %s %s; private data must not reach %s",
 			pass.Markers.PrivateName(t), kind, fn.FullName(), sinkTarget(kind))
 	}
+}
+
+// conversionOperand returns the operand of a type-conversion expression
+// (T(x) -> x), or nil if e is not a conversion. Conversions preserve the
+// value, so a private operand stays private through them; builtin and
+// ordinary calls (len, hash functions...) return nil since their results
+// are derived.
+func conversionOperand(pass *Pass, e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return call.Args[0]
+	}
+	return nil
 }
 
 // sinkKind classifies a callee as a privacy sink; "" means not a sink.
@@ -117,6 +146,9 @@ func sinkKind(fn *types.Func) string {
 		return "marshal call"
 	case isTelemetryPath(path) && (name == "L" || name == "Label"):
 		return "telemetry label"
+	case isTelemetryPath(path) && (name == "AStr" || name == "AInt" ||
+		name == "AFloat" || name == "ABool"):
+		return "trace attribute"
 	}
 	return ""
 }
@@ -128,6 +160,8 @@ func sinkTarget(kind string) string {
 		return "a serialized payload"
 	case "telemetry label":
 		return "metric exposition"
+	case "trace attribute":
+		return "the flight recorder"
 	default:
 		return "process output"
 	}

@@ -5,6 +5,8 @@ package privacyfix
 import (
 	"encoding/json"
 	"fmt"
+
+	"csfltr/internal/telemetry"
 )
 
 // TermVector is a stand-in for the raw term-count vector.
@@ -78,4 +80,37 @@ func cacheSinks(tv TermVector, m CacheEntryMessage) {
 	fmt.Println(m.Key)         // ok: the hash is not private
 	_, _ = json.Marshal(tv)    // want "passed to marshal call"
 	fmt.Printf("key=%x\n", tv) // want "passed to format call"
+}
+
+// RawQuery is a stand-in for a raw (unhashed) query term string.
+//
+//csfltr:private
+type RawQuery string
+
+// traceAttrs exercises the flight-recorder boundary: span attributes are
+// exported over /v1/trace and in Chrome dumps, so only keyed hashes and
+// derived values may become attribute values — never a private value,
+// whether passed directly or laundered through fmt.
+func traceAttrs(tv TermVector, rq RawQuery, termHash string) {
+	_ = telemetry.AStr("term", termHash)           // ok: keyed hash
+	_ = telemetry.AInt("terms", int64(len(tv)))    // ok: a count, not the vector
+	_ = telemetry.AStr("query", string(rq))        // want "passed to trace attribute"
+	_ = telemetry.AStr("terms", fmt.Sprint(tv))    // want "passed to format call"
+	_ = telemetry.AStr("q", fmt.Sprintf("%s", rq)) // want "passed to format call"
+}
+
+// LeakyAuditRow is an audit-ledger row shape (wire struct by json tags)
+// carrying the raw query — the shape AuditParty/AuditRecord must never
+// take.
+type LeakyAuditRow struct {
+	Query   RawQuery `json:"query"` // want "wire struct LeakyAuditRow carries silo-private data"
+	Epsilon float64  `json:"epsilon"`
+}
+
+// CleanAuditRow is the sound audit row: keyed term hash plus derived
+// accounting values only.
+type CleanAuditRow struct {
+	Term    string  `json:"term"` // keyed hash, not the raw term
+	Queries int     `json:"queries"`
+	Epsilon float64 `json:"epsilon"`
 }

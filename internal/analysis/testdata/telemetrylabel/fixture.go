@@ -43,6 +43,21 @@ func cacheLabels(reg *telemetry.Registry, tier, result, party string, key [16]by
 	reg.Counter("r_total", "h", telemetry.L("key", fmt.Sprintf("%x", key))).Inc()               // want "unbounded value"
 }
 
+// traceLabels draws the line between span attributes and metric labels
+// for trace-scoped identifiers: a trace or request ID costs one attr on
+// one span (bounded by the trace ring), but as a metric label it is one
+// series per query — the canonical cardinality explosion.
+func traceLabels(reg *telemetry.Registry, traceID, requestID string) {
+	_ = telemetry.AStr("trace", traceID)                                           // ok: span attr, not a metric label
+	_ = telemetry.AStr("request", requestID)                                       // ok: span attr, not a metric label
+	reg.Counter("s_total", "h", telemetry.L("trace", traceID)).Inc()               // want "unbounded value"
+	reg.Counter("t_total", "h", telemetry.L("request", requestID)).Inc()           // want "unbounded value"
+	reg.Counter("u_total", "h", telemetry.L("transport", "http")).Inc()            // ok: tiny transport enum
+	reg.Counter("v_total", "h", telemetry.L("tier", "query")).Inc()                // ok: cache tier enum
+	reg.Counter("w_total", "h", telemetry.L("outcome", "budget_refused")).Inc()    // ok: audit outcome enum
+	reg.Counter("x_total", "h", telemetry.L("span", telemetry.NewTraceID())).Inc() // want "unbounded value"
+}
+
 func allowedLabel(reg *telemetry.Registry, docID int) {
 	//csfltr:allow telemetrylabel -- fixture: suppression must silence the finding below
 	reg.Counter("j_total", "h", telemetry.L("doc", strconv.Itoa(docID))).Inc()

@@ -223,6 +223,37 @@ func (a *Accountant) Replays(peer string) int64 {
 	return a.replays[peer]
 }
 
+// PeerSpend is one peer's row in a Ledger snapshot.
+type PeerSpend struct {
+	Peer    string  `json:"peer"`
+	Spent   float64 `json:"spent"`
+	Replays int64   `json:"replays"`
+}
+
+// Ledger returns a consistent point-in-time snapshot of the accountant's
+// per-peer state — every peer that has ever been spent against or
+// replayed from, sorted by name. This is the reconciliation surface the
+// federation's per-query audit records are checked against: summing the
+// audit ledger's epsilon per peer must reproduce each row's Spent
+// exactly (cache replays contribute zero).
+func (a *Accountant) Ledger() []PeerSpend {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	names := make(map[string]struct{}, len(a.spent))
+	for p := range a.spent {
+		names[p] = struct{}{}
+	}
+	for p := range a.replays {
+		names[p] = struct{}{}
+	}
+	out := make([]PeerSpend, 0, len(names))
+	for p := range names {
+		out = append(out, PeerSpend{Peer: p, Spent: a.spent[p], Replays: a.replays[p]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
 // Remaining returns the unspent budget for peer, or +Inf when unlimited.
 func (a *Accountant) Remaining(peer string) float64 {
 	a.mu.Lock()

@@ -18,6 +18,7 @@ type StageLatency struct {
 	MeanUS  float64 `json:"mean_us"`
 	P50US   float64 `json:"p50_us"` // bucket upper-bound estimates
 	P99US   float64 `json:"p99_us"`
+	P999US  float64 `json:"p999_us"`
 }
 
 // LatencyResult is the output of RunLatencyProbe: where the cross-party
@@ -49,6 +50,7 @@ func StageBreakdown(reg *telemetry.Registry) []StageLatency {
 			row.MeanUS = s.Sum / float64(s.Count) * 1e6
 			row.P50US = s.Quantile(0.5) * 1e6
 			row.P99US = s.Quantile(0.99) * 1e6
+			row.P999US = s.Quantile(0.999) * 1e6
 		}
 		out = append(out, row)
 	}
@@ -97,15 +99,15 @@ func RunLatencyProbe(p *Pipeline) (*LatencyResult, error) {
 // RenderStageBreakdown renders the per-stage table expbench prints.
 func RenderStageBreakdown(stages []StageLatency) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-10s %8s %12s %12s %12s %12s\n",
-		"stage", "calls", "total(ms)", "mean(us)", "p50(us)", "p99(us)")
+	fmt.Fprintf(&b, "%-10s %8s %12s %12s %12s %12s %12s\n",
+		"stage", "calls", "total(ms)", "mean(us)", "p50(us)", "p99(us)", "p999(us)")
 	for _, s := range stages {
 		if s.Calls == 0 {
-			fmt.Fprintf(&b, "%-10s %8d %12s %12s %12s %12s\n", s.Stage, 0, "-", "-", "-", "-")
+			fmt.Fprintf(&b, "%-10s %8d %12s %12s %12s %12s %12s\n", s.Stage, 0, "-", "-", "-", "-", "-")
 			continue
 		}
-		fmt.Fprintf(&b, "%-10s %8d %12.3f %12.1f %12s %12s\n",
-			s.Stage, s.Calls, s.TotalMS, s.MeanUS, renderUS(s.P50US), renderUS(s.P99US))
+		fmt.Fprintf(&b, "%-10s %8d %12.3f %12.1f %12s %12s %12s\n",
+			s.Stage, s.Calls, s.TotalMS, s.MeanUS, renderUS(s.P50US), renderUS(s.P99US), renderUS(s.P999US))
 	}
 	return b.String()
 }

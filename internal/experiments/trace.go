@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"csfltr/internal/core"
+	"csfltr/internal/federation"
+	"csfltr/internal/telemetry"
+)
+
+// TraceConfig configures the tracing-overhead benchmark behind
+// `expbench -exp trace` and the checked-in BENCH_trace.json: the same
+// federated-search workload runs on two identical federations, one with
+// the flight recorder off and one with it on, and the per-search latency
+// distributions are compared sample-exactly. The acceptance bar is a
+// median overhead under 5%.
+type TraceConfig struct {
+	Parties      int         `json:"parties"` // data-holding parties; one extra querier is added
+	DocsPerParty int         `json:"docs_per_party"`
+	DocLen       int         `json:"doc_len"`
+	Vocab        int         `json:"vocab"`
+	Terms        int         `json:"terms"`    // query terms per federated search
+	Searches     int         `json:"searches"` // measured searches per side
+	Warmup       int         `json:"warmup"`   // unmeasured searches per side
+	Seed         int64       `json:"seed"`
+	Params       core.Params `json:"params"`
+}
+
+// DefaultTraceConfig is the checked-in BENCH_trace.json workload.
+func DefaultTraceConfig() TraceConfig {
+	p := core.DefaultParams()
+	p.Epsilon = 0
+	p.K = 50
+	return TraceConfig{
+		Parties:      3,
+		DocsPerParty: 600,
+		DocLen:       60,
+		Vocab:        2000,
+		Terms:        3,
+		Searches:     120,
+		Warmup:       10,
+		Seed:         1,
+		Params:       p,
+	}
+}
+
+// TestTraceConfig shrinks the benchmark to unit-test scale.
+func TestTraceConfig() TraceConfig {
+	cfg := DefaultTraceConfig()
+	cfg.DocsPerParty = 80
+	cfg.DocLen = 30
+	cfg.Vocab = 500
+	cfg.Searches = 20
+	cfg.Warmup = 2
+	cfg.Params.K = 20
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c TraceConfig) Validate() error {
+	switch {
+	case c.Parties < 1:
+		return fmt.Errorf("%w: Parties=%d", ErrBadConfig, c.Parties)
+	case c.DocsPerParty < 1 || c.DocLen < 1 || c.Vocab < 2 || c.Terms < 1:
+		return fmt.Errorf("%w: empty workload", ErrBadConfig)
+	case c.Searches < 2:
+		return fmt.Errorf("%w: Searches=%d", ErrBadConfig, c.Searches)
+	case c.Warmup < 0:
+		return fmt.Errorf("%w: Warmup=%d", ErrBadConfig, c.Warmup)
+	}
+	return c.Params.Validate()
+}
+
+// TraceSide is one side's exact-sample latency distribution.
+type TraceSide struct {
+	Searches int     `json:"searches"`
+	P50US    float64 `json:"p50_us"`
+	P99US    float64 `json:"p99_us"`
+	P999US   float64 `json:"p999_us"`
+	MeanUS   float64 `json:"mean_us"`
+}
+
+// TraceResult is the benchmark outcome.
+type TraceResult struct {
+	Config TraceConfig `json:"config"`
+	Off    TraceSide   `json:"tracing_off"`
+	On     TraceSide   `json:"tracing_on"`
+	// MedianOverheadPct is the p50 latency delta of tracing on vs off, in
+	// percent. The PR's acceptance bar is < 5.
+	MedianOverheadPct float64 `json:"median_overhead_pct"`
+	// TracedSpans / TracedSearches summarize the recorder's output on the
+	// traced side, proving it actually recorded while being measured.
+	TracedSpans    int  `json:"traced_spans"`
+	TracedSearches int  `json:"traced_searches"`
+	ChromeValid    bool `json:"chrome_export_valid"`
+}
+
+// traceFed builds one side's federation plus its query stream.
+func traceFed(cfg TraceConfig) (*federation.Federation, []uint64, error) {
+	names := []string{"Q"}
+	for i := 0; i < cfg.Parties; i++ {
+		names = append(names, partyName(i))
+	}
+	fed, err := federation.NewDeterministic(names, cfg.Params, uint64(cfg.Seed)+99, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < cfg.Parties; i++ {
+		if err := fed.Parties[i+1].IngestAllParallel(parallelismDocs(ParallelismConfig{
+			Seed: cfg.Seed, DocsPerParty: cfg.DocsPerParty, DocLen: cfg.DocLen, Vocab: cfg.Vocab,
+		}, i), 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 104729))
+	total := cfg.Warmup + cfg.Searches
+	terms := make([]uint64, total*cfg.Terms)
+	for i := range terms {
+		terms[i] = uint64(rng.Intn(cfg.Vocab))
+	}
+	return fed, terms, nil
+}
+
+// sampleInterleaved runs the workload on both federations, alternating
+// which side goes first each iteration so machine noise (GC, cold
+// caches, scheduler drift) lands on both distributions equally instead
+// of biasing whichever side ran first. Returns the sorted per-search
+// latency samples for each side in microseconds.
+func sampleInterleaved(offFed, onFed *federation.Federation, cfg TraceConfig, terms []uint64) (off, on []float64, err error) {
+	off = make([]float64, 0, cfg.Searches)
+	on = make([]float64, 0, cfg.Searches)
+	one := func(fed *federation.Federation, q []uint64) (float64, error) {
+		start := time.Now()
+		if _, err := fed.Search("Q", q, cfg.Params.K); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Microseconds()), nil
+	}
+	for s := 0; s < cfg.Warmup+cfg.Searches; s++ {
+		q := terms[s*cfg.Terms : (s+1)*cfg.Terms]
+		first, second := offFed, onFed
+		if s%2 == 1 {
+			first, second = onFed, offFed
+		}
+		d1, err := one(first, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		d2, err := one(second, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		if s < cfg.Warmup {
+			continue
+		}
+		dOff, dOn := d1, d2
+		if first == onFed {
+			dOff, dOn = d2, d1
+		}
+		off = append(off, dOff)
+		on = append(on, dOn)
+	}
+	sort.Float64s(off)
+	sort.Float64s(on)
+	return off, on, nil
+}
+
+// exactQuantile reads a quantile from sorted samples (nearest rank).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// sideOf summarizes sorted samples.
+func sideOf(sorted []float64) TraceSide {
+	side := TraceSide{
+		Searches: len(sorted),
+		P50US:    exactQuantile(sorted, 0.5),
+		P99US:    exactQuantile(sorted, 0.99),
+		P999US:   exactQuantile(sorted, 0.999),
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	if len(sorted) > 0 {
+		side.MeanUS = sum / float64(len(sorted))
+	}
+	return side
+}
+
+// RunTraceOverhead measures what end-to-end distributed tracing costs a
+// federated search: the same workload on two identical federations,
+// flight recorder off vs on, compared at exact sample quantiles. The
+// traced side's output is validated as a side effect — every measured
+// search must yield a retrievable trace tree, and the last tree must
+// export as valid Chrome trace-event JSON.
+func RunTraceOverhead(cfg TraceConfig) (*TraceResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &TraceResult{Config: cfg}
+
+	offFed, terms, err := traceFed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	onFed, _, err := traceFed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	onFed.Server.EnableTracing(federation.TraceConfig{
+		MaxTraces: cfg.Warmup + cfg.Searches + 1,
+	})
+	offSamples, onSamples, err := sampleInterleaved(offFed, onFed, cfg, terms)
+	if err != nil {
+		return nil, err
+	}
+	res.Off = sideOf(offSamples)
+	res.On = sideOf(onSamples)
+	if res.Off.P50US > 0 {
+		res.MedianOverheadPct = (res.On.P50US - res.Off.P50US) / res.Off.P50US * 100
+	}
+
+	ids := onFed.Server.Metrics().TraceIDs()
+	res.TracedSearches = len(ids)
+	var last []telemetry.SpanRecord
+	for _, id := range ids {
+		if spans, ok := onFed.Server.TraceTree(id); ok {
+			res.TracedSpans += len(spans)
+			last = spans
+		}
+	}
+	if len(last) > 0 {
+		var buf bytes.Buffer
+		if err := telemetry.WriteChromeTrace(&buf, last); err == nil {
+			res.ChromeValid = json.Valid(buf.Bytes())
+		}
+	}
+	return res, nil
+}
+
+// RenderTrace renders the overhead comparison expbench prints.
+func RenderTrace(res *TraceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace overhead: %d parties x %d docs, %d-term query, K=%d, %d searches/side\n",
+		res.Config.Parties, res.Config.DocsPerParty, res.Config.Terms,
+		res.Config.Params.K, res.Config.Searches)
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %10s\n", "side", "p50(us)", "p99(us)", "p999(us)", "mean(us)")
+	row := func(name string, s TraceSide) {
+		fmt.Fprintf(&b, "%-12s %10.1f %10.1f %10.1f %10.1f\n", name, s.P50US, s.P99US, s.P999US, s.MeanUS)
+	}
+	row("tracing off", res.Off)
+	row("tracing on", res.On)
+	fmt.Fprintf(&b, "median overhead: %+.2f%% (bar: <5%%); %d traces, %d spans, chrome export valid: %v\n",
+		res.MedianOverheadPct, res.TracedSearches, res.TracedSpans, res.ChromeValid)
+	return b.String()
+}

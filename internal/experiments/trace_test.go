@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTraceConfigValidate(t *testing.T) {
+	good := TestTraceConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	cases := []func(*TraceConfig){
+		func(c *TraceConfig) { c.Parties = 0 },
+		func(c *TraceConfig) { c.DocsPerParty = 0 },
+		func(c *TraceConfig) { c.Terms = 0 },
+		func(c *TraceConfig) { c.Searches = 1 },
+		func(c *TraceConfig) { c.Warmup = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := TestTraceConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+// TestRunTraceOverhead runs the unit-scale overhead benchmark end to
+// end: both sides must complete the full workload, the traced side must
+// retain one trace tree per search with spans in it, and the last tree
+// must round-trip through the Chrome trace-event exporter as valid
+// JSON. Overhead itself is not asserted at this scale — latencies are
+// microseconds and too noisy for a percentage bound; BENCH_trace.json
+// records the default-scale number.
+func TestRunTraceOverhead(t *testing.T) {
+	cfg := TestTraceConfig()
+	res, err := RunTraceOverhead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Off.Searches != cfg.Searches || res.On.Searches != cfg.Searches {
+		t.Fatalf("sample counts off=%d on=%d, want %d both",
+			res.Off.Searches, res.On.Searches, cfg.Searches)
+	}
+	for _, side := range []TraceSide{res.Off, res.On} {
+		if side.P50US <= 0 || side.P999US < side.P99US || side.P99US < side.P50US {
+			t.Fatalf("quantiles not monotone: %+v", side)
+		}
+	}
+	if res.TracedSearches != cfg.Warmup+cfg.Searches {
+		t.Fatalf("traced side retained %d traces, want %d",
+			res.TracedSearches, cfg.Warmup+cfg.Searches)
+	}
+	if res.TracedSpans <= res.TracedSearches {
+		t.Fatalf("only %d spans over %d traces — trees are empty",
+			res.TracedSpans, res.TracedSearches)
+	}
+	if !res.ChromeValid {
+		t.Fatal("chrome trace export invalid")
+	}
+
+	table := RenderTrace(res)
+	for _, want := range []string{"trace overhead:", "tracing off", "tracing on", "median overhead"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"csfltr/internal/core"
 	"csfltr/internal/qcache"
 	"csfltr/internal/resilience"
+	"csfltr/internal/telemetry"
 )
 
 // runPool executes fn(0..n-1) on at most `workers` goroutines, returning
@@ -107,13 +110,23 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 	if err != nil {
 		return nil, err
 	}
+	m := f.Server.metrics()
 	degraded := f.Params.MinParties > 0
 	policy := f.ResiliencePolicy()
 	results := make([]TopKResult, len(reqs))
 	attempted := make([]bool, len(reqs))
+	cached := make([]bool, len(reqs))
+	retried := make([]int, len(reqs))
 	for i, r := range reqs {
 		results[i].Request = r
 	}
+	root := m.reg.StartRootSpan("batch", nil)
+	if root.Context().Valid() {
+		root.AddAttr(
+			telemetry.AStr("querier", from),
+			telemetry.AInt("requests", int64(len(reqs))))
+	}
+	start := time.Now()
 	// Pre-resolve one querier per request (seeded by index) so results
 	// do not depend on worker scheduling, and settle breaker admission
 	// up front in request order.
@@ -125,11 +138,11 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		}
 		q, err := core.NewQuerier(f.Params, f.HashSeed, rand.New(rand.NewSource(int64(i)*7919+1)))
 		if err != nil {
+			root.End()
 			return nil, err
 		}
 		queriers[i] = q
 	}
-	m := f.Server.metrics()
 	// With the answer cache enabled, each request first consults the
 	// batch task tier; a hit replays the released noisy answer at zero
 	// budget spend. Keys bind the answering owner's ingest generation,
@@ -145,6 +158,23 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 			r.Err = ErrSelfQuery
 			return
 		}
+		sp := m.reg.StartChildSpan("batch.rtk_query", root.Context(), nil)
+		traced := sp.Context().Valid()
+		if traced {
+			sp.AddAttr(
+				telemetry.AStr("party", r.Request.To),
+				telemetry.AStr("term", f.TermHash(r.Request.Term)))
+		}
+		defer func() {
+			if traced {
+				if r.Err != nil {
+					markFault(sp, r.Err)
+					sp.AddAttr(telemetry.AStr("error", r.Err.Error()))
+				}
+				sp.AddAttr(telemetry.ABool("cached", cached[i]))
+			}
+			sp.End()
+		}()
 		var full, base qcache.Key
 		cacheable := false
 		if c != nil && useRTK {
@@ -157,6 +187,7 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 					hit := v.(cachedTask)
 					r.Docs, r.Cost = hit.docs, hit.cost
 					src.account.Replayed(r.Request.To)
+					cached[i] = true
 					return
 				}
 				m.cacheFor(cacheTierTask, cacheMiss).Inc()
@@ -166,6 +197,11 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		if err != nil {
 			r.Err = err
 			return
+		}
+		if traced {
+			if tc, ok := owner.(traceCarrier); ok {
+				owner = tc.WithTrace(sp.Context())
+			}
 		}
 		if err := src.account.Spend(r.Request.To, f.Params.Epsilon); err != nil {
 			r.Err = err
@@ -184,6 +220,10 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 				return o, err
 			})
 		r.Docs, r.Cost, r.Err = out.docs, out.cost, err
+		retried[i] = attempts - 1
+		if traced {
+			sp.AddAttr(telemetry.AInt("attempts", int64(attempts)))
+		}
 		if attempts > 1 {
 			m.retriesFor(r.Request.To).Add(int64(attempts - 1))
 		}
@@ -198,7 +238,74 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 			}
 		}
 	}
+	d := root.End()
+	f.commitBatchAudit(root.Context().TraceID, from, results, attempted, cached, retried, start, d)
 	return results, nil
+}
+
+// commitBatchAudit turns one finished batch into its audit record
+// (no-op when the flight recorder is off). Per-party rows aggregate the
+// batch's requests in request order: Queries counts exactly the
+// accountant's Spend calls (attempted requests), Cached the zero-spend
+// replays, so epsilon reconciliation against dp.Accountant holds for
+// batches the same way it does for searches.
+func (f *Federation) commitBatchAudit(traceID, from string, results []TopKResult,
+	attempted, cached []bool, retried []int, start time.Time, d time.Duration) {
+	if !f.Server.TracingEnabled() {
+		return
+	}
+	eps := f.Params.Epsilon
+	rows := make(map[string]*AuditParty)
+	var order []string
+	for i := range results {
+		r := &results[i]
+		p := rows[r.Request.To]
+		if p == nil {
+			p = &AuditParty{
+				Party:     r.Request.To,
+				Transport: f.Server.transportFor(r.Request.To),
+				Outcome:   OutcomeOK,
+			}
+			rows[r.Request.To] = p
+			order = append(order, r.Request.To)
+		}
+		if attempted[i] {
+			p.Queries++
+			p.Epsilon += eps
+		}
+		if cached[i] {
+			p.Cached++
+		}
+		p.Retries += retried[i]
+		p.Bytes += r.Cost.BytesSent + r.Cost.BytesReceived
+		p.Messages += int64(r.Cost.Messages)
+		if r.Err != nil && p.Err == "" {
+			p.Outcome = OutcomeFailed
+			p.Err = r.Err.Error()
+		}
+	}
+	sort.Strings(order)
+	rec := AuditRecord{
+		TraceID:       traceID,
+		Op:            "batch",
+		Querier:       from,
+		Terms:         len(results),
+		StartUnixNano: start.UnixNano(),
+		DurationNanos: int64(d),
+		Outcome:       AuditOK,
+	}
+	for _, name := range order {
+		p := rows[name]
+		if p.Outcome != OutcomeOK {
+			rec.Outcome = AuditPartial
+			rec.Partial = true
+		}
+		rec.EpsilonSpent += p.Epsilon
+		rec.Bytes += p.Bytes
+		rec.Messages += p.Messages
+		rec.Parties = append(rec.Parties, *p)
+	}
+	f.Server.auditAppend(rec)
 }
 
 // BatchErrors collects the non-nil errors of a batch, labelled by

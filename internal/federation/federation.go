@@ -75,10 +75,27 @@ type TrafficStats struct {
 }
 
 // endpoint resolves a party's owner API per field. Local parties resolve
-// in-process; remote (party-hosted) endpoints resolve to an RPC-backed
-// client.
+// in-process; remote (party-hosted) endpoints resolve to an RPC- or
+// HTTP-backed client. transport names the wire for telemetry
+// ("inproc", "rpc", "http").
 type endpoint interface {
 	ownerAPI(f Field) (core.OwnerAPI, error)
+	transport() string
+}
+
+// Transport label values (bounded).
+const (
+	transportInproc = "inproc"
+	transportRPC    = "rpc"
+	transportHTTP   = "http"
+)
+
+// traceCarrier is implemented by owner views that can forward a trace
+// context downstream: the routed owner (span parenting) and the RPC/HTTP
+// clients (on-the-wire propagation). WithTrace returns a shallow copy
+// bound to ctx; the receiver is never mutated.
+type traceCarrier interface {
+	WithTrace(ctx telemetry.SpanContext) core.OwnerAPI
 }
 
 // Server is the coordinating server: a message router with traffic
@@ -104,6 +121,10 @@ type Server struct {
 	// for the HTTP gateway's /v1/cache route (see cache.go). Nil until a
 	// cache-enabled federation runs its first search.
 	cacheStats atomic.Pointer[func() qcache.Stats]
+
+	// audit is the per-query flight recorder (see trace.go). Nil until
+	// EnableTracing.
+	audit atomic.Pointer[auditLog]
 }
 
 // NewServer creates an empty server with a fresh telemetry registry.
@@ -308,7 +329,7 @@ func (s *Server) OwnerFor(name string, field Field) (core.OwnerAPI, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &routedOwner{m: s.metrics(), srv: s, party: name, api: api}, nil
+	return &routedOwner{m: s.metrics(), srv: s, party: name, api: api, transport: p.transport()}, nil
 }
 
 // routedOwner proxies OwnerAPI calls through the server, recording
@@ -316,10 +337,114 @@ func (s *Server) OwnerFor(name string, field Field) (core.OwnerAPI, error) {
 // net/rpc and in-process) resolves owners through Server.OwnerFor, so
 // this is the single place bytes are counted.
 type routedOwner struct {
-	m     *serverMetrics
-	srv   *Server
-	party string
-	api   core.OwnerAPI
+	m         *serverMetrics
+	srv       *Server
+	party     string
+	api       core.OwnerAPI
+	transport string
+}
+
+// WithTrace implements traceCarrier: the returned owner parents each API
+// call's span under ctx, tags it with party/transport/fault attributes,
+// and forwards the per-call span context over trace-carrying transports.
+// The untraced methods below stay allocation-identical to pre-tracing
+// behaviour.
+func (r *routedOwner) WithTrace(ctx telemetry.SpanContext) core.OwnerAPI {
+	if !ctx.Valid() {
+		return r
+	}
+	return &tracedOwner{r: r, ctx: ctx}
+}
+
+// tracedOwner decorates routedOwner with a parent span context.
+type tracedOwner struct {
+	r   *routedOwner
+	ctx telemetry.SpanContext
+}
+
+// apiSpan starts the per-call child span with the standard attributes.
+func (t *tracedOwner) apiSpan(api string) *telemetry.TraceSpan {
+	return t.r.m.reg.StartChildSpan("server.api."+api, t.ctx, t.r.m.api[api],
+		telemetry.AStr("party", t.r.party), telemetry.AStr("transport", t.r.transport))
+}
+
+// wireAPI forwards the call-level span context to the transport client
+// when it can carry one (RPC args fields, HTTP X-Trace-* headers).
+func (t *tracedOwner) wireAPI(ctx telemetry.SpanContext) core.OwnerAPI {
+	if tc, ok := t.r.api.(traceCarrier); ok {
+		return tc.WithTrace(ctx)
+	}
+	return t.r.api
+}
+
+// markFault tags the span with the injected-fault kind (or nothing for
+// ordinary errors, which the caller's span records itself).
+func markFault(sp *telemetry.TraceSpan, err error) {
+	if kind := chaos.FaultKind(err); kind != "" {
+		sp.AddAttr(telemetry.AStr("fault", kind))
+	}
+}
+
+func (t *tracedOwner) DocIDs() []int {
+	sp := t.apiSpan(apiDocIDs)
+	defer sp.End()
+	r := t.r
+	if err := r.srv.intercept(r.party, apiDocIDs, 0); err != nil {
+		markFault(sp, err)
+		return nil
+	}
+	ids := t.wireAPI(sp.Context()).DocIDs()
+	r.m.record(r.party, opQuery, int64(8*len(ids)))
+	return ids
+}
+
+func (t *tracedOwner) DocMeta(docID int) (int, int, error) {
+	sp := t.apiSpan(apiDocMeta)
+	defer sp.End()
+	r := t.r
+	if err := r.srv.intercept(r.party, apiDocMeta, uint64(docID)); err != nil {
+		markFault(sp, err)
+		return 0, 0, err
+	}
+	length, unique, err := t.wireAPI(sp.Context()).DocMeta(docID)
+	r.m.record(r.party, opQuery, 16)
+	return length, unique, err
+}
+
+func (t *tracedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
+	sp := t.apiSpan(apiTF)
+	defer sp.End()
+	r := t.r
+	r.m.record(r.party, opQuery, q.WireSize())
+	if err := r.srv.intercept(r.party, apiTF, chaosContent(uint64(docID)+1, q.Cols)); err != nil {
+		markFault(sp, err)
+		return nil, err
+	}
+	resp, err := t.wireAPI(sp.Context()).AnswerTF(docID, q)
+	if err != nil {
+		return nil, err
+	}
+	r.m.record(r.party, opQuery, resp.WireSize())
+	sp.AddAttr(telemetry.AInt("bytes", q.WireSize()+resp.WireSize()))
+	return resp, nil
+}
+
+func (t *tracedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
+	sp := t.apiSpan(apiRTK)
+	defer sp.End()
+	r := t.r
+	r.m.record(r.party, opQuery, q.WireSize())
+	if err := r.srv.intercept(r.party, apiRTK, chaosContent(0, q.Cols)); err != nil {
+		markFault(sp, err)
+		return nil, err
+	}
+	resp, err := t.wireAPI(sp.Context()).AnswerRTK(q)
+	if err != nil {
+		return nil, err
+	}
+	r.m.record(r.party, opQuery, resp.WireSize())
+	sp.AddAttr(telemetry.AInt("bytes", q.WireSize()+resp.WireSize()))
+	return resp, nil
 }
 
 func (r *routedOwner) DocIDs() []int {
@@ -471,6 +596,9 @@ func NewParty(name string, cfg PartyConfig) (*Party, error) {
 
 // owner returns the owner endpoint for a field.
 func (p *Party) owner(f Field) *core.Owner { return p.owners[f] }
+
+// transport implements endpoint.
+func (p *Party) transport() string { return transportInproc }
 
 // ownerAPI implements endpoint for in-process parties.
 func (p *Party) ownerAPI(f Field) (core.OwnerAPI, error) {

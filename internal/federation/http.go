@@ -85,6 +85,26 @@ func HTTPRequestID(r *http.Request) string {
 	return id
 }
 
+// Trace-propagation headers, carried alongside X-Request-ID. A caller
+// inside a traced federation search stamps both; the gateway parents its
+// route span (and the party-side work under it) below the caller's span
+// so the coordinator-side tree stays coherent across process hops.
+const (
+	headerTraceID     = "X-Trace-ID"
+	headerTraceParent = "X-Trace-Parent"
+)
+
+// traceCtxKey is the context key for the propagated span context.
+type traceCtxKey struct{}
+
+// HTTPTraceContext returns the span context propagated to r via the
+// X-Trace-* headers (zero value when the request was untraced or the
+// server has tracing disabled).
+func HTTPTraceContext(r *http.Request) telemetry.SpanContext {
+	ctx, _ := r.Context().Value(traceCtxKey{}).(telemetry.SpanContext)
+	return ctx
+}
+
 // statusWriter captures the response status for route metrics.
 type statusWriter struct {
 	http.ResponseWriter
@@ -116,6 +136,33 @@ func HTTPHandler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, stats)
+	})
+	handle(http.MethodGet, "/v1/events", "/v1/events", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"events": s.Metrics().Events()})
+	})
+	handle(http.MethodGet, "/v1/audit", "/v1/audit", func(w http.ResponseWriter, r *http.Request) {
+		if !s.TracingEnabled() {
+			writeError(w, r, http.StatusNotFound, "federation: tracing not enabled")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"records": s.AuditRecords(),
+			"slow":    s.Metrics().SlowQueries(),
+		})
+	})
+	handle(http.MethodGet, "/v1/trace/{id}", "/v1/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans, haveSpans := s.TraceTree(id)
+		audit, haveAudit := s.AuditFor(id)
+		if !haveSpans && !haveAudit {
+			writeError(w, r, http.StatusNotFound, "federation: unknown trace "+id)
+			return
+		}
+		out := map[string]any{"trace_id": id, "spans": spans}
+		if haveAudit {
+			out["audit"] = audit
+		}
+		writeJSON(w, http.StatusOK, out)
 	})
 	handle(http.MethodGet, "/v1/parties/{name}/{field}/docs", "/v1/parties/{name}/{field}/docs",
 		func(w http.ResponseWriter, r *http.Request) {
@@ -190,9 +237,10 @@ func HTTPHandler(s *Server) http.Handler {
 }
 
 // instrumentHTTP wraps one route handler with the gateway middleware:
-// request-ID assignment/propagation, method enforcement (405 + Allow),
-// the in-flight gauge, the per-route latency histogram and the
-// per-route/status request and error counters. method "" accepts any.
+// request-ID assignment/propagation, trace-context propagation via the
+// X-Trace-* headers, method enforcement (405 + Allow), the in-flight
+// gauge, the per-route latency histogram and the per-route/status
+// request and error counters. method "" accepts any.
 func instrumentHTTP(s *Server, method, route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m := s.metrics()
@@ -206,9 +254,19 @@ func instrumentHTTP(s *Server, method, route string, h http.HandlerFunc) http.Ha
 		m.httpInFlight.Inc()
 		defer m.httpInFlight.Dec()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		sp := m.reg.StartSpan("http."+route, m.reg.Histogram(
+		parent := telemetry.SpanContext{
+			TraceID: r.Header.Get(headerTraceID),
+			SpanID:  r.Header.Get(headerTraceParent),
+		}
+		sp := m.reg.StartChildSpan("http."+route, parent, m.reg.Histogram(
 			"csfltr_http_request_duration_seconds", "HTTP gateway request latency.", nil,
 			telemetry.L("route", route)))
+		if ctx := sp.Context(); ctx.Valid() {
+			sp.AddAttr(telemetry.AStr("transport", transportHTTP))
+			sp.SetRequestID(rid)
+			w.Header().Set(headerTraceID, ctx.TraceID)
+			r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, ctx))
+		}
 		switch {
 		case method == "" || r.Method == method,
 			method == http.MethodGet && r.Method == http.MethodHead:
@@ -227,7 +285,8 @@ func instrumentHTTP(s *Server, method, route string, h http.HandlerFunc) http.Ha
 	})
 }
 
-// resolveOwner extracts {name}/{field} and resolves the routed owner,
+// resolveOwner extracts {name}/{field} and resolves the routed owner —
+// re-parented under the request's propagated span context when present —
 // writing the error response itself on failure.
 func resolveOwner(w http.ResponseWriter, r *http.Request, s *Server) (core.OwnerAPI, bool) {
 	field, err := parseField(r.PathValue("field"))
@@ -240,7 +299,7 @@ func resolveOwner(w http.ResponseWriter, r *http.Request, s *Server) (core.Owner
 		writeError(w, r, statusFor(err), err.Error())
 		return nil, false
 	}
-	return owner, true
+	return traceOwner(owner, HTTPTraceContext(r)), true
 }
 
 // parseField maps the path segment to a Field.
@@ -297,12 +356,22 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // HTTPOwner is a core.OwnerAPI backed by the HTTP gateway — the Go
-// client for non-RPC deployments. Construct with NewHTTPOwner.
+// client for non-RPC deployments. Construct with NewHTTPOwner. A
+// trace-bound copy (WithTrace) stamps the X-Trace-* headers on every
+// request so the gateway continues the caller's span tree.
 type HTTPOwner struct {
 	base   string
 	party  string
 	field  Field
 	client *http.Client
+	ctx    telemetry.SpanContext
+}
+
+// WithTrace implements traceCarrier.
+func (h *HTTPOwner) WithTrace(ctx telemetry.SpanContext) core.OwnerAPI {
+	cp := *h
+	cp.ctx = ctx
+	return &cp
 }
 
 // NewHTTPOwner builds an HTTP-backed owner view. base is the gateway
@@ -325,6 +394,16 @@ func (h *HTTPOwner) url(suffix string) string {
 	return fmt.Sprintf("%s/v1/parties/%s/%s%s", h.base, h.party, h.field, suffix)
 }
 
+// stamp tags a request with a fresh request ID and, when this owner is
+// trace-bound, the trace-propagation headers.
+func (h *HTTPOwner) stamp(req *http.Request) {
+	req.Header.Set("X-Request-ID", telemetry.RequestID())
+	if h.ctx.Valid() {
+		req.Header.Set(headerTraceID, h.ctx.TraceID)
+		req.Header.Set(headerTraceParent, h.ctx.SpanID)
+	}
+}
+
 // getJSON performs a GET (tagged with a fresh request ID) and decodes
 // the response.
 func (h *HTTPOwner) getJSON(url string, v any) error {
@@ -332,7 +411,7 @@ func (h *HTTPOwner) getJSON(url string, v any) error {
 	if err != nil {
 		return err
 	}
-	req.Header.Set("X-Request-ID", telemetry.RequestID())
+	h.stamp(req)
 	resp, err := h.client.Do(req)
 	if err != nil {
 		return err
@@ -353,7 +432,7 @@ func (h *HTTPOwner) postJSON(url string, body, v any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Request-ID", telemetry.RequestID())
+	h.stamp(req)
 	resp, err := h.client.Do(req)
 	if err != nil {
 		return err
@@ -417,6 +496,36 @@ func (h *HTTPOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 		resp.Cells[i] = core.RTKCell{IDs: c.IDs, Values: c.Values}
 	}
 	return resp, nil
+}
+
+// httpEndpoint adapts an HTTP-gateway party host to the server's
+// endpoint registry, the third transport next to in-process relay and
+// net/rpc.
+type httpEndpoint struct {
+	base   string
+	name   string
+	client *http.Client
+}
+
+func (e *httpEndpoint) ownerAPI(f Field) (core.OwnerAPI, error) {
+	if f < 0 || f >= numFields {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownField, int(f))
+	}
+	return NewHTTPOwner(e.base, e.name, f, e.client), nil
+}
+
+// transport implements endpoint.
+func (e *httpEndpoint) transport() string { return transportHTTP }
+
+// RegisterHTTPRemote connects the coordinator to a party served behind
+// an HTTP gateway rooted at base and adds it to the roster under name.
+// client may be nil for http.DefaultClient. Queries to the remote party
+// are still traffic-accounted by this server, which relays them.
+func (s *Server) RegisterHTTPRemote(name, base string, client *http.Client) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return s.register(name, &httpEndpoint{base: base, name: name, client: client})
 }
 
 // ChaosTransport wraps an http.RoundTripper with the fault injector, so

@@ -397,6 +397,12 @@ func (m *serverMetrics) stageSpan(stage string) telemetry.Span {
 	return m.reg.StartSpan("search.stage."+stage, m.stage[stage])
 }
 
+// stageTrace starts a pipeline-stage span parented under ctx; with an
+// invalid ctx (tracing off) it degrades to stageSpan behaviour.
+func (m *serverMetrics) stageTrace(stage string, ctx telemetry.SpanContext) *telemetry.TraceSpan {
+	return m.reg.StartChildSpan("search.stage."+stage, ctx, m.stage[stage])
+}
+
 // timedMechanism decorates a dp.Mechanism so the time spent drawing
 // noise is attributed to the dp_noise pipeline stage. The histogram is
 // attached when the party joins a server; until then the mechanism is a

@@ -16,10 +16,31 @@ const serviceName = "CSFLTR"
 
 // RPC argument/reply types. All fields are exported for encoding/gob.
 
+// traceMeta is the trace context embedded in every RPC argument struct.
+// Empty fields mean "untraced". Gob tolerates both directions of version
+// skew: old decoders ignore unknown fields, missing fields decode to
+// zero values — so tracing-aware and tracing-unaware peers interoperate.
+type traceMeta struct {
+	TraceID    string
+	ParentSpan string
+	RequestID  string
+}
+
+// context converts the wire fields back into a span context.
+func (t traceMeta) context() telemetry.SpanContext {
+	return telemetry.SpanContext{TraceID: t.TraceID, SpanID: t.ParentSpan}
+}
+
+// metaFor builds the wire fields from a caller's span context.
+func metaFor(ctx telemetry.SpanContext) traceMeta {
+	return traceMeta{TraceID: ctx.TraceID, ParentSpan: ctx.SpanID}
+}
+
 // DocIDsArgs requests the document id roster of one party field.
 type DocIDsArgs struct {
 	Party string
 	Field Field
+	Trace traceMeta
 }
 
 // DocIDsReply carries the roster.
@@ -30,6 +51,7 @@ type DocMetaArgs struct {
 	Party string
 	Field Field
 	DocID int
+	Trace traceMeta
 }
 
 // DocMetaReply carries document length metadata.
@@ -42,6 +64,7 @@ type TFArgs struct {
 	Field Field
 	DocID int
 	Query core.TFQuery
+	Trace traceMeta
 }
 
 // TFReply carries the perturbed owner response (Algorithm 2).
@@ -52,6 +75,7 @@ type RTKArgs struct {
 	Party string
 	Field Field
 	Query core.TFQuery
+	Trace traceMeta
 }
 
 // RTKReply carries the RTK-Sketch cells.
@@ -63,15 +87,21 @@ type RTKReply struct{ Resp core.RTKResponse }
 type RPCService struct{ server *Server }
 
 // instrument starts the per-method RPC telemetry (in-flight gauge,
-// latency span) and returns the completion hook to defer: it records the
-// request into the per-method request and error counters.
-func (s *RPCService) instrument(method string, errp *error) func() {
+// latency span — parented under the caller's propagated trace context
+// when present and tracing is on) and returns the server-side span
+// context plus the completion hook to defer: it records the request into
+// the per-method request and error counters.
+func (s *RPCService) instrument(method string, meta traceMeta, errp *error) (telemetry.SpanContext, func()) {
 	m := s.server.metrics()
 	m.rpcInFlight.Inc()
-	sp := m.reg.StartSpan("rpc."+method, m.reg.Histogram(
+	sp := m.reg.StartChildSpan("rpc."+method, meta.context(), m.reg.Histogram(
 		"csfltr_rpc_request_duration_seconds", "net/rpc request latency.", nil,
 		telemetry.L("method", method)))
-	return func() {
+	if sp.Context().Valid() {
+		sp.AddAttr(telemetry.AStr("transport", transportRPC))
+		sp.SetRequestID(meta.RequestID)
+	}
+	return sp.Context(), func() {
 		sp.End()
 		m.rpcInFlight.Dec()
 		m.reg.Counter("csfltr_rpc_requests_total", "net/rpc requests served.",
@@ -83,25 +113,39 @@ func (s *RPCService) instrument(method string, errp *error) func() {
 	}
 }
 
+// traceOwner re-parents a resolved owner under the request's span
+// context when the request carried one.
+func traceOwner(owner core.OwnerAPI, ctx telemetry.SpanContext) core.OwnerAPI {
+	if !ctx.Valid() {
+		return owner
+	}
+	if tc, ok := owner.(traceCarrier); ok {
+		return tc.WithTrace(ctx)
+	}
+	return owner
+}
+
 // DocIDs serves the roster of a party field.
 func (s *RPCService) DocIDs(args *DocIDsArgs, reply *DocIDsReply) (err error) {
-	defer s.instrument("DocIDs", &err)()
+	ctx, done := s.instrument("DocIDs", args.Trace, &err)
+	defer done()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
 	}
-	reply.IDs = owner.DocIDs()
+	reply.IDs = traceOwner(owner, ctx).DocIDs()
 	return nil
 }
 
 // DocMeta serves non-private document metadata.
 func (s *RPCService) DocMeta(args *DocMetaArgs, reply *DocMetaReply) (err error) {
-	defer s.instrument("DocMeta", &err)()
+	ctx, done := s.instrument("DocMeta", args.Trace, &err)
+	defer done()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
 	}
-	length, unique, err := owner.DocMeta(args.DocID)
+	length, unique, err := traceOwner(owner, ctx).DocMeta(args.DocID)
 	if err != nil {
 		return err
 	}
@@ -111,12 +155,13 @@ func (s *RPCService) DocMeta(args *DocMetaArgs, reply *DocMetaReply) (err error)
 
 // AnswerTF relays a TF query to the owning party.
 func (s *RPCService) AnswerTF(args *TFArgs, reply *TFReply) (err error) {
-	defer s.instrument("AnswerTF", &err)()
+	ctx, done := s.instrument("AnswerTF", args.Trace, &err)
+	defer done()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
 	}
-	resp, err := owner.AnswerTF(args.DocID, &args.Query)
+	resp, err := traceOwner(owner, ctx).AnswerTF(args.DocID, &args.Query)
 	if err != nil {
 		return err
 	}
@@ -126,12 +171,13 @@ func (s *RPCService) AnswerTF(args *TFArgs, reply *TFReply) (err error) {
 
 // AnswerRTK relays a reverse top-K query to the owning party.
 func (s *RPCService) AnswerRTK(args *RTKArgs, reply *RTKReply) (err error) {
-	defer s.instrument("AnswerRTK", &err)()
+	ctx, done := s.instrument("AnswerRTK", args.Trace, &err)
+	defer done()
 	owner, err := s.server.OwnerFor(args.Party, args.Field)
 	if err != nil {
 		return err
 	}
-	resp, err := owner.AnswerRTK(&args.Query)
+	resp, err := traceOwner(owner, ctx).AnswerRTK(&args.Query)
 	if err != nil {
 		return err
 	}
@@ -237,6 +283,9 @@ func (r *remoteEndpoint) ownerAPI(f Field) (core.OwnerAPI, error) {
 	return r.client.OwnerFor(r.name, f), nil
 }
 
+// transport implements endpoint.
+func (r *remoteEndpoint) transport() string { return transportRPC }
+
 // RegisterRemote connects the coordinator to a party-hosted endpoint
 // (see ServeParty) and adds it to the roster under name. The returned
 // client should be closed when the party is unregistered. Queries to
@@ -254,16 +303,27 @@ func (s *Server) RegisterRemote(name, addr string) (*Client, error) {
 	return c, nil
 }
 
-// remoteOwner implements core.OwnerAPI over net/rpc.
+// remoteOwner implements core.OwnerAPI over net/rpc. A trace-bound copy
+// (WithTrace) stamps its span context into every argument struct so the
+// party host can continue the tree.
 type remoteOwner struct {
 	client *rpc.Client
 	party  string
 	field  Field
+	ctx    telemetry.SpanContext
+}
+
+// WithTrace implements traceCarrier.
+func (r *remoteOwner) WithTrace(ctx telemetry.SpanContext) core.OwnerAPI {
+	cp := *r
+	cp.ctx = ctx
+	return &cp
 }
 
 func (r *remoteOwner) DocIDs() []int {
 	var reply DocIDsReply
-	if err := r.client.Call(serviceName+".DocIDs", &DocIDsArgs{Party: r.party, Field: r.field}, &reply); err != nil {
+	args := &DocIDsArgs{Party: r.party, Field: r.field, Trace: metaFor(r.ctx)}
+	if err := r.client.Call(serviceName+".DocIDs", args, &reply); err != nil {
 		return nil
 	}
 	return reply.IDs
@@ -272,7 +332,7 @@ func (r *remoteOwner) DocIDs() []int {
 func (r *remoteOwner) DocMeta(docID int) (int, int, error) {
 	var reply DocMetaReply
 	err := r.client.Call(serviceName+".DocMeta",
-		&DocMetaArgs{Party: r.party, Field: r.field, DocID: docID}, &reply)
+		&DocMetaArgs{Party: r.party, Field: r.field, DocID: docID, Trace: metaFor(r.ctx)}, &reply)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -282,7 +342,7 @@ func (r *remoteOwner) DocMeta(docID int) (int, int, error) {
 func (r *remoteOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
 	var reply TFReply
 	err := r.client.Call(serviceName+".AnswerTF",
-		&TFArgs{Party: r.party, Field: r.field, DocID: docID, Query: *q}, &reply)
+		&TFArgs{Party: r.party, Field: r.field, DocID: docID, Query: *q, Trace: metaFor(r.ctx)}, &reply)
 	if err != nil {
 		return nil, err
 	}
@@ -292,7 +352,7 @@ func (r *remoteOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, er
 func (r *remoteOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 	var reply RTKReply
 	err := r.client.Call(serviceName+".AnswerRTK",
-		&RTKArgs{Party: r.party, Field: r.field, Query: *q}, &reply)
+		&RTKArgs{Party: r.party, Field: r.field, Query: *q, Trace: metaFor(r.ctx)}, &reply)
 	if err != nil {
 		return nil, err
 	}

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"csfltr/internal/core"
 	"csfltr/internal/qcache"
 	"csfltr/internal/resilience"
+	"csfltr/internal/telemetry"
 )
 
 // ErrQuorum is returned when degraded-mode search loses so many parties
@@ -155,22 +157,57 @@ func dedupeTerms(terms []uint64) []uint64 {
 // StaleFor); a backfilled party counts toward the quorum and toward a
 // complete (non-Partial) result.
 func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, error) {
+	res, _, err := f.SearchTraced(from, terms, k)
+	return res, err
+}
+
+// SearchTraced is Search plus its trace identity: with tracing enabled
+// (Server.EnableTracing) it returns the trace ID under which the whole
+// query's span tree was recorded — fan-out, per-(party, term) reverse
+// top-K queries with retry attempts and injected faults, cache replays,
+// stale serves and the merge — retrievable via Server.TraceTree or
+// GET /v1/trace/{id}, alongside one flight-recorder audit record. With
+// tracing off the trace ID is "" and the search runs the untraced hot
+// path unchanged.
+func (f *Federation) SearchTraced(from string, terms []uint64, k int) (*SearchResult, string, error) {
 	m := f.Server.metrics()
 	m.searchReqs.Inc()
-	defer m.reg.StartSpan("search", m.searchDur).End()
 	src, err := f.Party(from)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if k <= 0 {
 		k = f.Params.K
 	}
+	uniq := dedupeTerms(terms)
+	root := m.reg.StartRootSpan("search", m.searchDur)
+	if root.Context().Valid() {
+		root.AddAttr(
+			telemetry.AStr("querier", from),
+			telemetry.AInt("terms", int64(len(uniq))),
+			telemetry.AInt("k", int64(k)))
+	}
+	run := &searchRun{parent: root.Context(), audit: f.Server.TracingEnabled(), terms: len(uniq)}
+	start := time.Now()
+	res, err := f.searchDispatch(src, from, uniq, k, run)
+	if err != nil && root.Context().Valid() {
+		root.AddAttr(telemetry.AStr("error", err.Error()))
+	}
+	d := root.End()
+	f.commitSearchAudit(run, from, k, start, d, res, err)
+	return res, root.Context().TraceID, err
+}
+
+// searchDispatch runs the cache and coalescing tiers in front of the
+// fan-out, threading the per-query trace/audit state through.
+func (f *Federation) searchDispatch(src *Party, from string, uniq []uint64, k int,
+	run *searchRun) (*SearchResult, error) {
+	m := f.Server.metrics()
 	c := f.cache()
 	if c == nil {
-		return f.searchUncached(src, from, terms, k)
+		return f.searchUncached(src, from, uniq, k, run)
 	}
 
-	uniq := dedupeTerms(terms)
 	full, base := f.queryKeys(from, uniq, k)
 	if v, ok := c.Get(full, base); ok {
 		m.cacheFor(cacheTierQuery, cacheHit).Inc()
@@ -181,6 +218,16 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 				src.account.Replayed(rep.Party)
 			}
 		}
+		run.outcome = AuditReplay
+		for _, rep := range res.Parties {
+			run.replayed = append(run.replayed, rep.Party)
+		}
+		if run.parent.Valid() {
+			sp := m.reg.StartChildSpan("search.cache.replay", run.parent, nil,
+				telemetry.AStr("tier", cacheTierQuery),
+				telemetry.AInt("parties", int64(len(res.Parties))))
+			sp.End()
+		}
 		return cloneSearchResult(res), nil
 	}
 	m.cacheFor(cacheTierQuery, cacheMiss).Inc()
@@ -188,7 +235,7 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 	// Coalesce concurrent identical searches: one leader fans out, every
 	// concurrent duplicate shares its result (and its budget spend).
 	v, err, leader := f.flight.Do(full, func() (any, error) {
-		res, err := f.searchUncached(src, from, uniq, k)
+		res, err := f.searchUncached(src, from, uniq, k, run)
 		if err == nil && res != nil && allOK(res) {
 			// Only fully-fresh complete results are cached at the query
 			// tier: a degraded or stale-backfilled merge must not be
@@ -198,7 +245,15 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 		return res, err
 	})
 	if !leader {
+		// The leader's closure — and therefore the leader's searchRun —
+		// owns the fan-out's budget, bytes and spans. This caller's audit
+		// record is a bare coalesced marker so budgets never double-count.
 		m.coalescedCounter().Inc()
+		run.outcome = AuditCoalesced
+		if run.parent.Valid() {
+			sp := m.reg.StartChildSpan("search.coalesced", run.parent, nil)
+			sp.End()
+		}
 	}
 	res, _ := v.(*SearchResult)
 	if res != nil && !leader {
@@ -222,7 +277,8 @@ func allOK(res *SearchResult) bool {
 // enabled it still consults the task tier per (party, term) and
 // backfills lost parties from stale entries; with the cache disabled it
 // is byte-for-byte the pre-cache search.
-func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k int) (*SearchResult, error) {
+func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k int,
+	run *searchRun) (*SearchResult, error) {
 	m := f.Server.metrics()
 	degraded := f.Params.MinParties > 0
 	policy := f.ResiliencePolicy()
@@ -257,6 +313,12 @@ func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k i
 		}
 		m.budgetGauge(from, party.Name, src.account)
 		if degraded && !f.breakerFor(party.Name).Allow() {
+			if run.parent.Valid() {
+				sp := m.reg.StartChildSpan("search.skip", run.parent, nil,
+					telemetry.AStr("party", party.Name),
+					telemetry.AStr("reason", "breaker_open"))
+				sp.End()
+			}
 			result.Parties = append(result.Parties, PartyReport{
 				Party:   party.Name,
 				Outcome: OutcomeSkipped,
@@ -290,6 +352,15 @@ func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k i
 			}
 			if !t.cached {
 				if err := src.account.Spend(party.Name, f.Params.Epsilon); err != nil {
+					// Snapshot the roster state for the audit record:
+					// earlier parties' spends — and this party's partial
+					// spend — already happened and stay on the books.
+					if run.audit {
+						rep.Outcome = OutcomeFailed
+						rep.Err = err.Error()
+						run.refused = append(
+							append([]PartyReport(nil), result.Parties...), rep)
+					}
 					return nil, err
 				}
 				rep.Queries++
@@ -315,34 +386,75 @@ func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k i
 	for i := range tasks {
 		if tasks[i].cached {
 			docs[i], costs[i] = tasks[i].hit.docs, tasks[i].hit.cost
+			if run.parent.Valid() {
+				sp := m.reg.StartChildSpan("search.cache.replay", run.parent, nil,
+					telemetry.AStr("tier", cacheTierTask),
+					telemetry.AStr("party", tasks[i].party),
+					telemetry.AStr("term", f.TermHash(tasks[i].plan.Term())))
+				sp.End()
+			}
 			continue
 		}
 		pending = append(pending, i)
 	}
-	fanout := m.stageSpan(StageFanout)
+	fanout := m.stageTrace(StageFanout, run.parent)
 	runPool(f.Params.Workers(len(pending)), len(pending), m, func(pi int) {
 		i := pending[pi]
-		sp := m.stageSpan(StageRTKQuery)
 		t := tasks[i]
+		sp := m.stageTrace(StageRTKQuery, fanout.Context())
+		traced := sp.Context().Valid()
+		if traced {
+			sp.AddAttr(
+				telemetry.AStr("party", t.party),
+				telemetry.AStr("term", f.TermHash(t.plan.Term())))
+		}
+		// The attempt counter is atomic because resilience.Call abandons
+		// timed-out attempt goroutines: a late attempt can still be
+		// running when the retry fires.
+		var attemptN int64
 		out, attempts, err := resilience.Call(policy, f.callSeed(t.party, t.plan.Term()),
 			func() (rtkOut, error) {
+				owner := t.owner
+				var asp *telemetry.TraceSpan
+				if traced {
+					asp = m.reg.StartChildSpan("search.attempt", sp.Context(), nil,
+						telemetry.AStr("party", t.party),
+						telemetry.AInt("attempt", atomic.AddInt64(&attemptN, 1)))
+					if tc, ok := owner.(traceCarrier); ok {
+						owner = tc.WithTrace(asp.Context())
+					}
+				}
 				var o rtkOut
 				var err error
-				o.docs, o.cost, err = core.RTKWithPlan(t.plan, t.owner, f.Params.K)
+				o.docs, o.cost, err = core.RTKWithPlan(t.plan, owner, f.Params.K)
+				if asp != nil {
+					markFault(asp, err)
+					if err != nil {
+						asp.AddAttr(telemetry.AStr("error", err.Error()))
+					}
+					asp.End()
+				}
 				return o, err
 			})
 		docs[i], costs[i], errs[i], retries[i] = out.docs, out.cost, err, attempts-1
+		if traced {
+			sp.AddAttr(telemetry.AInt("attempts", int64(attempts)))
+			if err != nil {
+				markFault(sp, err)
+				sp.AddAttr(telemetry.AStr("error", err.Error()))
+			}
+		}
 		sp.End()
 	})
-	fanout.End()
+	run.addStage(StageFanout, fanout.End())
 
 	// Merge in task order: deterministic accumulation, no shared-map
 	// contention during the fan-out. Party inclusion is all-or-nothing:
 	// either every one of a party's queries succeeded and all contribute,
 	// or the party is dropped entirely. Breaker outcomes are recorded
 	// here, in task order, so breaker state evolves deterministically.
-	merge := m.stageSpan(StageMerge)
-	defer merge.End()
+	merge := m.stageTrace(StageMerge, run.parent)
+	defer func() { run.addStage(StageMerge, merge.End()) }()
 	type key struct {
 		party string
 		doc   int
@@ -372,11 +484,19 @@ func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k i
 		rep.Cached = len(uniq)
 		m.outcomeFor(rep.Party, OutcomeStale).Inc()
 		m.staleFor(rep.Party).Inc()
+		if merge.Context().Valid() {
+			sp := m.reg.StartChildSpan("search.cache.stale_serve", merge.Context(), nil,
+				telemetry.AStr("party", rep.Party),
+				telemetry.AInt("terms", int64(len(uniq))),
+				telemetry.AInt("stale_for_nanos", int64(oldest)))
+			sp.End()
+		}
 		survivors++
 		for _, h := range hits {
 			result.Cost.Add(h.cost)
 			addDocs(rep.Party, h.docs)
 			src.account.Replayed(rep.Party)
+			run.addCost(rep.Party, h.cost)
 		}
 		return true
 	}
@@ -426,6 +546,7 @@ func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k i
 		for i := start; i < start+count; i++ {
 			result.Cost.Add(costs[i])
 			addDocs(rep.Party, docs[i])
+			run.addCost(rep.Party, costs[i])
 			if c != nil && !tasks[i].cached {
 				c.Put(tasks[i].full, tasks[i].base,
 					cachedTaskSize(docs[i]), cachedTask{docs: docs[i], cost: costs[i]})

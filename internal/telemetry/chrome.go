@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: converts retained SpanRecords into the
+// Trace Event Format consumed by chrome://tracing, Perfetto and
+// speedscope, for flame-graph inspection of one federated query.
+//
+// Each span becomes one complete ("ph":"X") event. All spans share one
+// process row; thread rows (tid) are synthesized per root-level branch —
+// the root span on lane 0 and each direct child of the root opening its
+// own lane that its descendants inherit — so concurrent fan-out branches
+// render side by side instead of overlapping.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`  // microseconds
+	Dur   float64           `json:"dur"` // microseconds
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level Trace Event Format document.
+type ChromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes spans as Chrome trace-event JSON. Spans may
+// arrive in any order and may span multiple traces; lane assignment is
+// deterministic for a given span set.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	ordered := append([]SpanRecord(nil), spans...)
+	SortSpans(ordered)
+
+	// Assign lanes: roots (no parent, or parent not in the set) get lane
+	// 0; each of their direct children opens a fresh lane; deeper spans
+	// inherit the parent's lane.
+	present := make(map[string]bool, len(ordered))
+	for _, s := range ordered {
+		if s.SpanID != "" {
+			present[s.SpanID] = true
+		}
+	}
+	lane := make(map[string]int, len(ordered))
+	isRoot := make(map[string]bool, len(ordered))
+	nextLane := 1
+	for _, s := range ordered {
+		switch {
+		case s.ParentID == "" || !present[s.ParentID]:
+			lane[s.SpanID] = 0
+			isRoot[s.SpanID] = true
+		case isRoot[s.ParentID]:
+			lane[s.SpanID] = nextLane
+			nextLane++
+		default:
+			lane[s.SpanID] = lane[s.ParentID]
+		}
+	}
+
+	doc := ChromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, s := range ordered {
+		ev := chromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    float64(s.StartUnixNano) / 1e3,
+			Dur:   float64(s.DurationNanos) / 1e3,
+			PID:   1,
+			TID:   lane[s.SpanID],
+		}
+		if ev.Dur < 0 {
+			ev.Dur = 0
+		}
+		if len(s.Attrs) > 0 || s.SpanID != "" {
+			ev.Args = make(map[string]string, len(s.Attrs)+3)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+			if s.SpanID != "" {
+				ev.Args["span_id"] = s.SpanID
+			}
+			if s.ParentID != "" {
+				ev.Args["parent_id"] = s.ParentID
+			}
+			if s.RequestID != "" {
+				ev.Args["request_id"] = s.RequestID
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	// Stable output: events sorted by timestamp then lane.
+	sort.SliceStable(doc.TraceEvents, func(i, j int) bool {
+		if doc.TraceEvents[i].TS != doc.TraceEvents[j].TS {
+			return doc.TraceEvents[i].TS < doc.TraceEvents[j].TS
+		}
+		return doc.TraceEvents[i].TID < doc.TraceEvents[j].TID
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

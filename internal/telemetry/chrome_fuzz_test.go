@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTraceExport hardens the Chrome trace-event writer against hostile
+// span records: whatever bytes land in span names, IDs or attribute
+// values — quotes, newlines, invalid UTF-8, negative durations, dangling
+// parent references — the writer must emit a syntactically valid JSON
+// document with a traceEvents array covering every input span.
+func FuzzTraceExport(f *testing.F) {
+	f.Add("search", "t1", "s1", "", "party", "A", int64(12345), int64(-7))
+	f.Add(`quo"te`, "t\n2", "s2", "missing-parent", "k\x00ey", "v\xffal", int64(-1), int64(1e9))
+	f.Add("", "", "", "", "", "", int64(0), int64(0))
+	f.Add("rtk_query", "t1", "s3", "s1", "term", "deadbeef", int64(99), int64(42))
+
+	f.Fuzz(func(t *testing.T, name, traceID, spanID, parentID, key, val string, start, dur int64) {
+		spans := []SpanRecord{
+			{Name: name, TraceID: traceID, SpanID: spanID, ParentID: parentID,
+				StartUnixNano: start, DurationNanos: dur,
+				Attrs: []Attr{{Key: key, Value: val}}},
+			{Name: "child-" + name, TraceID: traceID, SpanID: spanID + "c", ParentID: spanID,
+				StartUnixNano: start + 1, DurationNanos: dur / 2,
+				Attrs: []Attr{AStr(key, val), AInt("attempt", dur)}},
+		}
+		var b bytes.Buffer
+		if err := WriteChromeTrace(&b, spans); err != nil {
+			t.Fatalf("WriteChromeTrace: %v", err)
+		}
+		if !json.Valid(b.Bytes()) {
+			t.Fatalf("invalid JSON output: %q", b.String())
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if len(doc.TraceEvents) != len(spans) {
+			t.Fatalf("got %d events for %d spans", len(doc.TraceEvents), len(spans))
+		}
+	})
+}

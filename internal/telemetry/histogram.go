@@ -1,9 +1,12 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // LatencyBuckets is the default histogram bucket layout: inclusive upper
@@ -30,6 +33,36 @@ type Histogram struct {
 	counts  []atomic.Int64
 	count   atomic.Int64
 	sumBits atomic.Uint64
+
+	// exemplars holds one most-recent traced observation per bucket,
+	// linking histogram tails back to the trace that produced them.
+	// Lazily allocated on the first ObserveTraced.
+	exMu      sync.Mutex
+	exemplars []Exemplar
+}
+
+// Exemplar is one traced observation pinned to a histogram bucket.
+type Exemplar struct {
+	UpperBound float64 `json:"-"` // bucket bound; +Inf for the overflow bucket
+	Value      float64 `json:"value"`
+	TraceID    string  `json:"trace_id"`
+	UnixNano   int64   `json:"unix_nano"`
+}
+
+// MarshalJSON renders the bucket bound alongside the sample, encoding
+// +Inf as the string "+Inf" (JSON has no infinity literal).
+func (e Exemplar) MarshalJSON() ([]byte, error) {
+	type exemplar struct {
+		UpperBound any     `json:"le"`
+		Value      float64 `json:"value"`
+		TraceID    string  `json:"trace_id"`
+		UnixNano   int64   `json:"unix_nano"`
+	}
+	ub := any(e.UpperBound)
+	if math.IsInf(e.UpperBound, 1) {
+		ub = "+Inf"
+	}
+	return json.Marshal(exemplar{UpperBound: ub, Value: e.Value, TraceID: e.TraceID, UnixNano: e.UnixNano})
 }
 
 // newHistogram builds a histogram series; bounds must be ascending.
@@ -56,6 +89,41 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveTraced records one value and pins it as the exemplar of the
+// bucket it lands in, so tail buckets always point at a recent trace ID
+// that can be pulled up in full from the trace store.
+func (h *Histogram) ObserveTraced(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	ub := math.Inf(1)
+	if i < len(h.bounds) {
+		ub = h.bounds[i]
+	}
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.counts))
+	}
+	h.exemplars[i] = Exemplar{UpperBound: ub, Value: v, TraceID: traceID, UnixNano: time.Now().UnixNano()}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the buckets' pinned traced observations, ascending
+// by bucket bound; buckets without one are skipped.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	var out []Exemplar
+	for _, e := range h.exemplars {
+		if e.TraceID != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -107,4 +175,7 @@ func (h *Histogram) Reset() {
 	}
 	h.count.Store(0)
 	h.sumBits.Store(0)
+	h.exMu.Lock()
+	h.exemplars = nil
+	h.exMu.Unlock()
 }

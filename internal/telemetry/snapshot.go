@@ -23,6 +23,9 @@ type SeriesSnapshot struct {
 	Count   int64         `json:"count,omitempty"`
 	Sum     float64       `json:"sum,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Exemplars link tail buckets to the trace IDs that last landed in
+	// them; present only for histograms observed through traced spans.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // MetricSnapshot is one family at snapshot time.
@@ -96,6 +99,7 @@ func snapshotSeries(s any) SeriesSnapshot {
 			}
 			out.Buckets = append(out.Buckets, BucketCount{UpperBound: ub, Count: cum})
 		}
+		out.Exemplars = m.Exemplars()
 		return out
 	default:
 		return SeriesSnapshot{}

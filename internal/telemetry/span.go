@@ -5,11 +5,16 @@ import (
 	"time"
 )
 
-// Event is one completed span in the structured event log.
+// Event is one completed span in the structured event log. The first
+// three fields are the stable contract existing JSON consumers parse;
+// the trace fields are additive and omitted for untraced spans.
 type Event struct {
 	Name          string `json:"name"`
 	StartUnixNano int64  `json:"start_unix_nano"`
 	DurationNanos int64  `json:"duration_nanos"`
+	TraceID       string `json:"trace_id,omitempty"`
+	SpanID        string `json:"span_id,omitempty"`
+	RequestID     string `json:"request_id,omitempty"`
 }
 
 // eventLog is a bounded ring buffer of completed spans.

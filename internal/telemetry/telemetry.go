@@ -79,7 +79,9 @@ type family struct {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
-	events   *eventLog // nil until EnableEvents
+	events   *eventLog   // nil until EnableEvents
+	traces   *traceStore // nil until EnableTracing
+	slow     *slowLog    // nil until EnableSlowLog
 }
 
 // NewRegistry creates an empty registry.
@@ -201,6 +203,12 @@ func (r *Registry) Reset() {
 	}
 	if r.events != nil {
 		r.events.reset()
+	}
+	if r.traces != nil {
+		r.traces.reset()
+	}
+	if r.slow != nil {
+		r.slow.reset()
 	}
 }
 
