@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-json cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze clean telemetry-demo trace-demo
+.PHONY: all build test race cover bench bench-smoke bench-json cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze vet-v2 analyze-fixtures clean telemetry-demo trace-demo
 
 all: build test
 
@@ -136,10 +136,21 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis: privacy-boundary, map-iteration
-# determinism, dropped errors, metric-label cardinality. See DESIGN.md.
+# Project-specific static analysis, v2 suite: interprocedural privacy
+# taint, lock-copy/lock-hold concurrency hygiene, merge-path
+# determinism, epsilon budget-flow, dropped errors, metric-label
+# cardinality, and suppression auditing. See DESIGN.md §14.
 analyze:
 	$(GO) run ./cmd/csfltr-vet ./...
+
+# Alias kept so "the v2 analyzers" are one obvious command.
+vet-v2: analyze
+
+# The analyzers' own fixture suite (testdata packages with // want
+# expectations plus the harness meta-test), shuffled so fixture results
+# cannot depend on execution order. Mirrored by the CI job.
+analyze-fixtures:
+	$(GO) test -shuffle=on -short -run 'TestFixtures|TestFixtureHarness|TestParseAllow|TestReasonless' ./internal/analysis/
 
 clean:
 	$(GO) clean ./...

@@ -13,9 +13,15 @@ var fixtureCases = []struct {
 	analyzer *Analyzer
 }{
 	{"privacy", PrivacyBoundary},
+	{"taint", PrivacyBoundary},
 	{"mapiter", MapIter},
 	{"uncheckederr", UncheckedErr},
 	{"telemetrylabel", TelemetryLabel},
+	{"lockcopy", LockCopy},
+	{"lockhold", LockHold},
+	{"determinism", Determinism},
+	{"budgetflow", BudgetFlow},
+	{"allowaudit", MapIter},
 }
 
 // TestFixtures runs each analyzer over its testdata package and checks
@@ -29,26 +35,37 @@ func TestFixtures(t *testing.T) {
 			if len(wants) == 0 {
 				t.Fatalf("fixture %s declares no // want expectations", tc.dir)
 			}
-			matched := make([]bool, len(diags))
-			for _, w := range wants {
-				found := false
-				for i, d := range diags {
-					if !matched[i] && d.Pos.Line == w.line && strings.Contains(d.Message, w.substr) {
-						matched[i] = true
-						found = true
-						break
-					}
-				}
-				if !found {
-					t.Errorf("line %d: wanted diagnostic containing %q, got none", w.line, w.substr)
-				}
-			}
-			for i, d := range diags {
-				if !matched[i] {
-					t.Errorf("unexpected diagnostic: %s", d)
-				}
+			for _, problem := range compareFixture(diags, wants) {
+				t.Error(problem)
 			}
 		})
+	}
+}
+
+// TestFixtureHarness is the harness's own fixture: testdata/meta holds
+// one want comment nothing matches and one diagnostic nothing wants,
+// and compareFixture must fail on both — otherwise every other fixture
+// could rot silently.
+func TestFixtureHarness(t *testing.T) {
+	diags, wants := runFixture(t, "meta", MapIter)
+	problems := compareFixture(diags, wants)
+	var unmatchedWant, unexpectedDiag bool
+	for _, p := range problems {
+		if strings.Contains(p, "wanted diagnostic") {
+			unmatchedWant = true
+		}
+		if strings.Contains(p, "unexpected diagnostic") {
+			unexpectedDiag = true
+		}
+	}
+	if !unmatchedWant {
+		t.Errorf("harness did not fail the unmatched want comment; problems: %v", problems)
+	}
+	if !unexpectedDiag {
+		t.Errorf("harness did not fail the unexpected diagnostic; problems: %v", problems)
+	}
+	if len(problems) != 2 {
+		t.Errorf("expected exactly 2 problems from testdata/meta, got %d: %v", len(problems), problems)
 	}
 }
 
@@ -56,6 +73,34 @@ func TestFixtures(t *testing.T) {
 type want struct {
 	line   int
 	substr string
+}
+
+// compareFixture matches diagnostics against want expectations and
+// returns every discrepancy: a want with no diagnostic on its line
+// containing its substring, or a diagnostic no want claims.
+func compareFixture(diags []Diagnostic, wants []want) []string {
+	var problems []string
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.Pos.Line == w.line && strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems,
+				fmt.Sprintf("line %d: wanted diagnostic containing %q, got none", w.line, w.substr))
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	return problems
 }
 
 // runFixture loads one testdata package, runs a single analyzer with
@@ -74,16 +119,21 @@ func runFixture(t *testing.T, dir string, a *Analyzer) ([]Diagnostic, []want) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	markers := CollectMarkers(loader.Packages())
+	ctx := NewContext(loader.Fset, loader.Packages())
 	var diags []Diagnostic
-	RunPackage(loader.Fset, pkg, markers, []*Analyzer{a}, &diags)
-	diags = filterSuppressed(loader.Fset, []*Package{pkg}, diags)
+	RunPackage(ctx, pkg, []*Analyzer{a}, &diags)
+	diags = ctx.applySuppressions([]*Package{pkg}, diags)
 
 	var wants []want
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// Both comment forms carry wants; the block form lets a
+				// want share a line with a directive under test.
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, `want "`)
 				if !ok {
 					continue
@@ -120,25 +170,44 @@ func TestRepoIsClean(t *testing.T) {
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text  string
-		names []string
-		ok    bool
+		text   string
+		names  []string
+		reason string
+		ok     bool
 	}{
-		{"//csfltr:allow uncheckederr -- best-effort cleanup", []string{"uncheckederr"}, true},
-		{"//csfltr:allow privacyboundary,mapiter -- two at once", []string{"privacyboundary", "mapiter"}, true},
-		{"//csfltr:allow all", []string{"all"}, true},
-		{"//csfltr:allowed nothing", nil, false},
-		{"// regular comment", nil, false},
+		{"//csfltr:allow uncheckederr -- best-effort cleanup", []string{"uncheckederr"}, "best-effort cleanup", true},
+		{"//csfltr:allow privacyboundary,mapiter -- two at once", []string{"privacyboundary", "mapiter"}, "two at once", true},
+		{"//csfltr:allow all", []string{"all"}, "", true},
+		{"//csfltr:allowed nothing", nil, "", false},
+		{"// regular comment", nil, "", false},
 	}
 	for _, tc := range cases {
-		names, ok := parseAllow(tc.text)
+		names, reason, ok := parseAllow(tc.text)
 		if ok != tc.ok {
 			t.Errorf("parseAllow(%q) ok = %v, want %v", tc.text, ok, tc.ok)
 			continue
 		}
 		if fmt.Sprint(names) != fmt.Sprint(tc.names) {
-			t.Errorf("parseAllow(%q) = %v, want %v", tc.text, names, tc.names)
+			t.Errorf("parseAllow(%q) names = %v, want %v", tc.text, names, tc.names)
 		}
+		if reason != tc.reason {
+			t.Errorf("parseAllow(%q) reason = %q, want %q", tc.text, reason, tc.reason)
+		}
+	}
+}
+
+// TestReasonlessAllowDoesNotSuppress pins the v2 suppression contract:
+// a //csfltr:allow without `-- reason` must not cover anything and must
+// itself surface as an "allow" finding (exercised end-to-end by the
+// allowaudit fixture; this covers the index directly).
+func TestReasonlessAllowDoesNotSuppress(t *testing.T) {
+	names, reason, ok := parseAllow("//csfltr:allow mapiter")
+	if !ok || reason != "" {
+		t.Fatalf("parseAllow = (%v, %q, %v)", names, reason, ok)
+	}
+	names, reason, ok = parseAllow("//csfltr:allow mapiter --   ")
+	if !ok || reason != "" {
+		t.Fatalf("whitespace-only reason must parse empty, got %q (ok=%v, names=%v)", reason, ok, names)
 	}
 }
 

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BudgetFlow enforces the epsilon accounting contract: a function
+// marked //csfltr:releases hands previously-unreleased estimates to a
+// querying peer, so somewhere on its call paths (to a bounded depth) it
+// must either charge the privacy budget — dp.Accountant.Spend or
+// dp.Accountant.Replayed — or delegate to a function declared
+// //csfltr:replay, the qcache zero-epsilon contract for re-serving
+// bytes that were already paid for. A releases-marked function with
+// neither is an unaccounted release: the silo's epsilon ledger drifts
+// from what actually left the building.
+//
+// The check is containment-based, not path-sensitive: it proves a spend
+// exists somewhere under the function, not that every branch spends.
+// Branch-level auditing is what the flight recorder's per-query cost
+// records are for; this analyzer catches the structural omission.
+var BudgetFlow = &Analyzer{
+	Name: "budgetflow",
+	Doc:  "flags //csfltr:releases functions with no dp.Accountant spend/replay on any path",
+	Run:  runBudgetFlow,
+}
+
+// maxBudgetDepth bounds the descent looking for the spend.
+const maxBudgetDepth = 4
+
+func runBudgetFlow(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			facts := pass.Graph.FactsOf(obj)
+			if facts == nil || !facts.Releases {
+				continue
+			}
+			if facts.Replay {
+				continue
+			}
+			if spendsWithin(pass, obj, map[*types.Func]bool{}, 0) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(),
+				"%s is marked //csfltr:releases but no reachable path spends privacy budget; call dp.Accountant.Spend/Replayed or mark the replay contract with //csfltr:replay",
+				funcDisplayName(obj))
+		}
+	}
+}
+
+// spendsWithin reports whether fn's body — or a callee within the depth
+// bound — charges the accountant or delegates to a declared replay.
+func spendsWithin(pass *Pass, fn *types.Func, visited map[*types.Func]bool, depth int) bool {
+	if depth > maxBudgetDepth || visited[fn] {
+		return false
+	}
+	facts := pass.Graph.FactsOf(fn)
+	if facts == nil || facts.Decl.Body == nil {
+		return false
+	}
+	visited[fn] = true
+
+	found := false
+	inner := &Pass{Context: pass.Context, Pkg: facts.Pkg}
+	ast.Inspect(facts.Decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(inner, call)
+		if callee == nil {
+			return true
+		}
+		if isBudgetSpend(callee) {
+			found = true
+			return false
+		}
+		if cf := pass.Graph.FactsOf(callee); cf != nil && cf.Replay {
+			found = true
+			return false
+		}
+		if spendsWithin(pass, callee, visited, depth+1) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBudgetSpend matches the dp.Accountant charge points.
+func isBudgetSpend(fn *types.Func) bool {
+	if fn.Name() != "Spend" && fn.Name() != "Replayed" {
+		return false
+	}
+	pkg := fn.Pkg()
+	return pkg != nil && strings.HasSuffix(pkg.Path(), "/dp")
+}

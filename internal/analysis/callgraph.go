@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Function-level directives recognized by the v2 analyzers. Each
+// attaches to a FuncDecl's doc comment:
+//
+//   - //csfltr:sanitizes — the function's results are derived values
+//     (keyed hashes, sketches, DP-noised estimates); privacy taint does
+//     not propagate through its return values;
+//   - //csfltr:deterministic — the function is part of a merge/ranking
+//     path pinned bit-identical; it and its bounded in-module callees
+//     must not consult wall-clock time, global math/rand state, or
+//     order-sensitive map iteration (see determinism.go);
+//   - //csfltr:releases — the function returns released estimates to a
+//     querying peer; every such path must pay via dp.Accountant (Spend
+//     or Replayed) or be a declared replay (see budgetflow.go);
+//   - //csfltr:replay — the function re-serves previously released
+//     bytes; the zero-epsilon replay contract satisfies budgetflow.
+const (
+	sanitizesDirective     = "//csfltr:sanitizes"
+	deterministicDirective = "//csfltr:deterministic"
+	releasesDirective      = "//csfltr:releases"
+	replayDirective        = "//csfltr:replay"
+)
+
+// FuncFacts is everything the interprocedural analyzers know about one
+// declared function: its body, its home package (for type info), and
+// its directives.
+type FuncFacts struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Sanitizes     bool
+	Deterministic bool
+	Releases      bool
+	Replay        bool
+}
+
+// CallGraph is the federation-wide index of function declarations the
+// interprocedural analyzers resolve call sites against. It is a
+// lightweight type-based graph: nodes are *types.Func objects with
+// bodies in loaded packages; edges are discovered lazily at call sites
+// via the type-checker's Uses/Selections maps, so only statically
+// resolvable calls (direct calls and concrete method calls) are
+// followed. Interface dispatch, func-typed variables, and method values
+// are deliberately out of scope — analyzers treat them conservatively.
+type CallGraph struct {
+	funcs map[*types.Func]*FuncFacts
+}
+
+// BuildCallGraph indexes every function declaration of every loaded
+// package, including dependencies outside the analyzed pattern set, so
+// a helper in internal/hashutil resolves from internal/federation.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{funcs: make(map[*types.Func]*FuncFacts)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.funcs[obj] = &FuncFacts{
+					Decl:          fd,
+					Pkg:           pkg,
+					Sanitizes:     hasDirective([]*ast.CommentGroup{fd.Doc}, sanitizesDirective),
+					Deterministic: hasDirective([]*ast.CommentGroup{fd.Doc}, deterministicDirective),
+					Releases:      hasDirective([]*ast.CommentGroup{fd.Doc}, releasesDirective),
+					Replay:        hasDirective([]*ast.CommentGroup{fd.Doc}, replayDirective),
+				}
+			}
+		}
+	}
+	return g
+}
+
+// FactsOf returns the declaration facts for fn, or nil when fn has no
+// body in any loaded package (stdlib, interface methods, builtins).
+func (g *CallGraph) FactsOf(fn *types.Func) *FuncFacts {
+	if g == nil || fn == nil {
+		return nil
+	}
+	return g.funcs[fn]
+}
+
+// isSanitizer reports whether a call to fn launders privacy taint by
+// construction: the sketch/hash/DP packages only ever release derived
+// values, and any function can opt in with //csfltr:sanitizes.
+func (g *CallGraph) isSanitizer(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if facts := g.FactsOf(fn); facts != nil && facts.Sanitizes {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	for _, suffix := range []string{"/hashutil", "/sketch", "/dp", "/keyex"} {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	// Cryptographic digests are one-way by definition.
+	return strings.HasPrefix(path, "crypto/") || path == "hash" || strings.HasPrefix(path, "hash/")
+}
+
+// receiverExpr extracts the receiver expression of a method call
+// (x.M(...) -> x), or nil for plain function calls.
+func receiverExpr(pass *Pass, call *ast.CallExpr) ast.Expr {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.Pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return sel.X
+	}
+	return nil
+}
+
+// funcDisplayName renders fn for diagnostics and call chains:
+// pkg.Func or pkg.(*Recv).Method, shortened to the package base name.
+func funcDisplayName(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		qual := func(p *types.Package) string { return "" }
+		return strings.TrimPrefix(types.TypeString(rt, qual), "*") + "." + name
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + name
+	}
+	return name
+}

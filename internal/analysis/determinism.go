@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the bit-identical contract on merge/ranking
+// paths: a function marked //csfltr:deterministic — and everything it
+// calls in this module, to a bounded depth — must not consult the wall
+// clock (time.Now/Since/Until), the global math/rand state, or emit in
+// map-iteration order. The fan-out merge (PR 3) and the quorum
+// degrade paths (PR 4) pin cross-silo results bit-identical so replicas
+// agree on released bytes; any of these three sources silently breaks
+// that, and with it the qcache replay contract.
+//
+// Within a deterministic function, this analyzer subsumes mapiter: map
+// ranges with order-sensitive effects are reported here (mapiter skips
+// marked functions), and additionally a map range that appends into a
+// slice which is never sorted in the same function is flagged — the
+// collect-then-sort idiom is the intended fix, collecting alone is not.
+//
+// Descent stops at: functions themselves marked deterministic (they are
+// checked at their own root), sanitizer packages, and the resilience
+// and telemetry packages, whose internal timing (backoff, timestamps)
+// is infrastructure that never feeds released bytes.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags wall-clock, global math/rand, and map-order dependence on //csfltr:deterministic paths",
+	Run:  runDeterminism,
+}
+
+// maxDetDepth bounds the callee descent from a deterministic root.
+const maxDetDepth = 3
+
+// detViolation is one nondeterminism source found in a callee, carried
+// up to the root for reporting at the call site.
+type detViolation struct {
+	desc  string
+	chain []string
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			facts := pass.Graph.FactsOf(obj)
+			if facts == nil || !facts.Deterministic {
+				continue
+			}
+			checkDetBody(pass, facts, map[*types.Func]bool{obj: true})
+		}
+	}
+}
+
+// checkDetBody reports nondeterminism in one deterministic root: direct
+// violations at their own position, callee violations at the call site
+// with the supporting chain.
+func checkDetBody(pass *Pass, facts *FuncFacts, visited map[*types.Func]bool) {
+	ast.Inspect(facts.Decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			checkDetMapRange(pass, facts, node)
+		case *ast.CallExpr:
+			fn := calleeFunc(&Pass{Context: pass.Context, Pkg: facts.Pkg}, node)
+			if fn == nil {
+				return true
+			}
+			if desc := directNondeterminism(fn); desc != "" {
+				pass.Reportf(node.Pos(),
+					"deterministic path %s; merge/ranking output must be bit-identical across replicas", desc)
+				return true
+			}
+			for _, v := range calleeViolations(pass, fn, visited, 1) {
+				chain := append([]string{funcDisplayName(fn)}, v.chain...)
+				pass.ReportChain(node.Pos(), chain,
+					"deterministic path %s via %s; merge/ranking output must be bit-identical across replicas",
+					v.desc, strings.Join(chain, " -> "))
+			}
+		}
+		return true
+	})
+}
+
+// calleeViolations collects the nondeterminism sources inside fn's body
+// (and its callees, to the depth bound). Violations suppressed by a
+// //csfltr:allow at their own site are not carried up.
+func calleeViolations(pass *Pass, fn *types.Func, visited map[*types.Func]bool, depth int) []detViolation {
+	if depth > maxDetDepth || visited[fn] || !descendForDeterminism(pass, fn) {
+		return nil
+	}
+	facts := pass.Graph.FactsOf(fn)
+	if facts == nil || facts.Decl.Body == nil {
+		return nil
+	}
+	visited[fn] = true
+	defer delete(visited, fn)
+
+	var out []detViolation
+	ast.Inspect(facts.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(&Pass{Context: pass.Context, Pkg: facts.Pkg}, call)
+		if callee == nil {
+			return true
+		}
+		if pass.allows.covers(pass.Fset.Position(call.Pos()), "determinism") {
+			return true
+		}
+		if desc := directNondeterminism(callee); desc != "" {
+			out = append(out, detViolation{desc: desc, chain: nil})
+			return true
+		}
+		for _, v := range calleeViolations(pass, callee, visited, depth+1) {
+			out = append(out, detViolation{
+				desc:  v.desc,
+				chain: append([]string{funcDisplayName(callee)}, v.chain...),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// descendForDeterminism gates the callee descent: functions with their
+// own deterministic mark are checked at their own root, sanitizers and
+// the resilience/telemetry infrastructure own their timing.
+func descendForDeterminism(pass *Pass, fn *types.Func) bool {
+	facts := pass.Graph.FactsOf(fn)
+	if facts == nil || facts.Deterministic {
+		return false
+	}
+	if pass.Graph.isSanitizer(fn) {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		path := pkg.Path()
+		if strings.HasSuffix(path, "/resilience") || strings.HasSuffix(path, "/telemetry") {
+			return false
+		}
+	}
+	return true
+}
+
+// directNondeterminism classifies a callee as a nondeterminism source:
+// wall clock reads and global math/rand state. Seeded *rand.Rand
+// methods and the rand.New*/NewSource constructors are deterministic
+// given their seed and are not flagged.
+func directNondeterminism(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch path {
+	case "time":
+		if name == "Now" || name == "Since" || name == "Until" {
+			return "reads the wall clock (time." + name + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		sig, _ := fn.Type().(*types.Signature)
+		if sig != nil && sig.Recv() == nil && !strings.HasPrefix(name, "New") {
+			return "draws from the global math/rand state (rand." + name + "); use a seeded *rand.Rand"
+		}
+	}
+	return ""
+}
+
+// checkDetMapRange flags order-sensitive map iteration inside a
+// deterministic function: ordered sinks in the body (the mapiter rule),
+// and appends into a slice that the function never sorts.
+func checkDetMapRange(pass *Pass, facts *FuncFacts, rng *ast.RangeStmt) {
+	inner := &Pass{Context: pass.Context, Pkg: facts.Pkg}
+	t := inner.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+		return
+	}
+	appendTargets := make(map[types.Object]ast.Expr)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(inner, node); fn != nil && isOrderedSink(fn) {
+				pass.Reportf(node.Pos(),
+					"deterministic path emits during `range` over %s; map iteration order is random — collect and sort first",
+					typeLabel(inner, rng.X))
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(node.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if base := baseIdent(node.Lhs[i]); base != nil {
+					if obj := inner.Pkg.Info.ObjectOf(base); obj != nil {
+						appendTargets[obj] = node.Lhs[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj, lhs := range appendTargets {
+		if !sortedInFunc(inner, facts.Decl, obj) {
+			pass.Reportf(lhs.Pos(),
+				"deterministic path appends to %s in map-iteration order and never sorts it; sort before the slice is used",
+				obj.Name())
+		}
+	}
+}
+
+// sortedInFunc reports whether obj is passed to a sort/slices sorting
+// call anywhere in fn — the collect-then-sort idiom.
+func sortedInFunc(pass *Pass, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		path := callee.Pkg().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		if !strings.Contains(callee.Name(), "Sort") && callee.Name() != "Strings" &&
+			callee.Name() != "Ints" && callee.Name() != "Float64s" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if base := baseIdent(arg); base != nil && pass.Pkg.Info.ObjectOf(base) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockCopy flags values of mutex-containing types being copied: passed
+// or returned by value in a function signature, or copied by an
+// assignment/range from an existing value. A copied sync.Mutex is a
+// *different* mutex — the copy guards nothing, and under contention the
+// original's critical sections silently stop excluding each other. In
+// this codebase the fan-out pool, breaker registry, and cache shards
+// all embed mutexes in long-lived structs; every one of them must move
+// by pointer.
+//
+// Fresh values (composite literals, new(T)) are fine; only copies of an
+// existing value are flagged.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "flags mutex-containing structs passed, returned, or assigned by value",
+	Run:  runLockCopy,
+}
+
+func runLockCopy(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkLockSignature(pass, node.Type)
+			case *ast.FuncLit:
+				checkLockSignature(pass, node.Type)
+			case *ast.AssignStmt:
+				checkLockAssign(pass, node)
+			case *ast.RangeStmt:
+				if node.Value != nil {
+					if lock := lockInside(pass.TypeOf(node.Value)); lock != "" {
+						pass.Reportf(node.Value.Pos(),
+							"range value copies a %s-containing element by value; iterate by index or store pointers",
+							lock)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockSignature flags by-value parameters and results whose type
+// contains a lock.
+func checkLockSignature(pass *Pass, ft *ast.FuncType) {
+	check := func(list *ast.FieldList, what string) {
+		if list == nil {
+			return
+		}
+		for _, field := range list.List {
+			lock := lockInside(pass.TypeOf(field.Type))
+			if lock == "" {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(),
+				"%s %s a %s by value; the copy is a different lock — use a pointer",
+				what, passVerb(what), lock)
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+}
+
+func passVerb(what string) string {
+	if what == "result" {
+		return "returns"
+	}
+	return "passes"
+}
+
+// checkLockAssign flags x = y / x := y where y is an existing value (an
+// identifier, selector, dereference, or index — not a fresh composite
+// literal or call result) of a lock-containing type.
+func checkLockAssign(pass *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Lhs) != len(stmt.Rhs) {
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		switch ast.Unparen(rhs).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		if id, ok := ast.Unparen(stmt.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if lock := lockInside(pass.TypeOf(rhs)); lock != "" {
+			pass.Reportf(rhs.Pos(),
+				"assignment copies a %s by value; the copy is a different lock — use a pointer",
+				lock)
+		}
+	}
+}
+
+// lockInside reports the sync primitive a by-value copy of t would
+// duplicate ("sync.Mutex", ...), or "". Pointers, slices, maps, and
+// channels share the underlying value and are not copies; struct fields
+// and array elements are traversed.
+func lockInside(t types.Type) string {
+	return lockInType(t, make(map[types.Type]bool))
+}
+
+func lockInType(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Map", "Pool":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockInType(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInType(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInType(u.Elem(), seen)
+	}
+	return ""
+}

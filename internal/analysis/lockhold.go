@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHold flags blocking operations performed while a mutex is held:
+// channel sends, net/http and net/rpc round-trips, and resilience.Call
+// attempts. Any of these inside a critical section couples lock wait
+// time to peer latency — with the PR 3 fan-out pool that is deadlock
+// fuel: a worker blocked on a send while holding the shard lock stalls
+// every sibling, and a breaker probe under a registry lock serializes
+// the whole silo.
+//
+// The scan is region-based and intra-procedural: mu.Lock()/mu.RLock()
+// opens a held region in the enclosing statement list, the matching
+// Unlock closes it, and a deferred Unlock holds until function exit.
+// Nested blocks inherit (a copy of) the held set, so an early unlock
+// inside a branch correctly ends the region for that branch only.
+// Goroutine and closure bodies do not inherit the held set — they run
+// on their own stacks.
+var LockHold = &Analyzer{
+	Name: "lockhold",
+	Doc:  "flags channel sends and RPC/HTTP/resilience calls made while a mutex is held",
+	Run:  runLockHold,
+}
+
+func runLockHold(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanHeld(pass, fn.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				scanHeld(pass, fn.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// scanHeld walks one statement list tracking which mutexes are held.
+// Nested statement lists get a copy of the held set: acquisitions and
+// releases inside a branch do not leak past it (conservative in both
+// directions, precise for the early-unlock-inside-if idiom).
+func scanHeld(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				name, kind := lockOp(pass, call)
+				switch kind {
+				case lockAcquire:
+					held[name] = true
+					continue
+				case lockRelease:
+					delete(held, name)
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock runs at return: the lock stays held for
+			// the rest of this list. Other deferred calls don't run here.
+			continue
+		case *ast.BlockStmt:
+			scanHeld(pass, s.List, copyHeld(held))
+			continue
+		case *ast.IfStmt:
+			if len(held) > 0 {
+				if s.Init != nil {
+					checkBlockingNode(pass, s.Init, held)
+				}
+				checkBlockingNode(pass, s.Cond, held)
+			}
+			scanHeld(pass, s.Body.List, copyHeld(held))
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				scanHeld(pass, e.List, copyHeld(held))
+			case *ast.IfStmt:
+				scanHeld(pass, []ast.Stmt{e}, copyHeld(held))
+			}
+			continue
+		case *ast.ForStmt:
+			if len(held) > 0 {
+				if s.Init != nil {
+					checkBlockingNode(pass, s.Init, held)
+				}
+				if s.Cond != nil {
+					checkBlockingNode(pass, s.Cond, held)
+				}
+			}
+			scanHeld(pass, s.Body.List, copyHeld(held))
+			continue
+		case *ast.RangeStmt:
+			if len(held) > 0 {
+				checkBlockingNode(pass, s.X, held)
+			}
+			scanHeld(pass, s.Body.List, copyHeld(held))
+			continue
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanHeld(pass, cc.Body, copyHeld(held))
+				}
+			}
+			continue
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					scanHeld(pass, cc.Body, copyHeld(held))
+				}
+			}
+			continue
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if len(held) > 0 && cc.Comm != nil {
+						checkBlockingNode(pass, cc.Comm, held)
+					}
+					scanHeld(pass, cc.Body, copyHeld(held))
+				}
+			}
+			continue
+		case *ast.LabeledStmt:
+			scanHeld(pass, []ast.Stmt{s.Stmt}, held)
+			continue
+		}
+		if len(held) > 0 {
+			checkBlockingNode(pass, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// checkBlockingNode reports blocking operations inside one node while
+// held is non-empty. Closure bodies are skipped — they run elsewhere.
+func checkBlockingNode(pass *Pass, n ast.Node, held map[string]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch node := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			reportBlocked(pass, node.Pos(), "channel send", held)
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, node); fn != nil {
+				if desc := blockingCallee(fn); desc != "" {
+					reportBlocked(pass, node.Pos(), desc, held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportBlocked(pass *Pass, pos token.Pos, desc string, held map[string]bool) {
+	names := make([]string, 0, len(held))
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	pass.Reportf(pos,
+		"%s while holding %s; release the mutex before blocking, or the fan-out pool deadlocks behind it",
+		desc, strings.Join(names, ", "))
+}
+
+// blockingCallee classifies calls that can block on a peer or a
+// consumer: HTTP/RPC round-trips and resilience attempts.
+func blockingCallee(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	path, name := pkg.Path(), fn.Name()
+	switch {
+	case path == "net/http":
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head", "Serve", "ListenAndServe", "ListenAndServeTLS":
+			return "net/http round-trip (" + name + ")"
+		}
+	case path == "net/rpc":
+		if name == "Call" || name == "Dial" || name == "DialHTTP" || name == "DialHTTPPath" {
+			return "net/rpc " + name
+		}
+	case strings.HasSuffix(path, "/resilience") && name == "Call":
+		return "resilience.Call attempt"
+	}
+	return ""
+}
+
+// lockOp classifies a call as a mutex acquire/release and names the
+// mutex expression. Only sync.Mutex/RWMutex receivers (or structs that
+// embed one, whose promoted Lock is the same lock) count.
+func lockOp(pass *Pass, call *ast.CallExpr) (string, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	var kind lockKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	if !isMutexRecv(pass.TypeOf(sel.X)) {
+		return "", lockNone
+	}
+	return mutexName(sel.X), kind
+}
+
+// isMutexRecv reports whether t is a sync mutex, a pointer to one, or a
+// struct embedding one (whose promoted Lock locks the embedded mutex).
+func isMutexRecv(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+		return true
+	}
+	if st, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Embedded() && isMutexRecv(f.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mutexName renders the mutex expression for the held set and the
+// diagnostic (m, s.mu, shards[i].mu → shards.mu).
+func mutexName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return mutexName(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return mutexName(x.X)
+	case *ast.IndexExpr:
+		return mutexName(x.X)
+	case *ast.CallExpr:
+		return mutexName(x.Fun) + "()"
+	}
+	return "mutex"
+}

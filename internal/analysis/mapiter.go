@@ -24,6 +24,12 @@ var MapIter = &Analyzer{
 func runMapIter(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
+			// Inside //csfltr:deterministic functions the determinism
+			// analyzer subsumes this check with a stricter rule.
+			if fd, ok := n.(*ast.FuncDecl); ok &&
+				hasDirective([]*ast.CommentGroup{fd.Doc}, deterministicDirective) {
+				return false
+			}
 			rng, ok := n.(*ast.RangeStmt)
 			if !ok {
 				return true

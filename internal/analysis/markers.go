@@ -79,6 +79,26 @@ func (m *Markers) IsPrivate(obj types.Object) bool { return m.objs[obj] }
 // Empty reports whether no private declarations were found.
 func (m *Markers) Empty() bool { return len(m.objs) == 0 }
 
+// DirectlyPrivate reports whether t itself (after unaliasing and
+// pointer dereference) is a named type whose declaration is marked —
+// the whole value is the secret, not merely a container with some
+// private constituent. Field selection from a directly-private type
+// never launders taint; selection of a public field from a mere
+// container does.
+func (m *Markers) DirectlyPrivate(t types.Type) bool {
+	for t != nil {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return m.objs[tt.Obj()]
+		default:
+			return false
+		}
+	}
+	return false
+}
+
 // ContainsPrivate reports whether values of type t can carry
 // silo-private data: t is a marked named type, or private data is
 // reachable through t's structure.

@@ -12,17 +12,24 @@ import (
 //
 //   - declared as a field of a wire-message struct (a struct with JSON
 //     field tags, or named *Args/*Reply/*Request/*Response/*Message);
-//   - passed to a marshal path (encoding/json, encoding/gob);
-//   - passed to fmt/log formatting, a telemetry label constructor, or a
+//   - flowing into a marshal path (encoding/json, encoding/gob), a
+//     fmt/log formatting call, a telemetry label constructor, or a
 //     trace attribute constructor (AStr/AInt/AFloat/ABool), where it
 //     would end up in process output, metric exposition, or the flight
 //     recorder's span trees and audit records.
+//
+// Flows are tracked interprocedurally (taint.go): a private value
+// laundered through helper parameters, returns, receivers, struct-field
+// assignments, or closures is still caught up to a bounded call depth,
+// and the diagnostic carries the full call chain. Calls into the
+// sketch/hash/DP packages (or //csfltr:sanitizes functions) stop the
+// taint: their outputs are exactly the derived values allowed to cross.
 //
 // This is the paper's core invariant (PAPER.md §IV): only sketched,
 // DP-noised, or keyed-hashed values may cross the federation boundary.
 var PrivacyBoundary = &Analyzer{
 	Name: "privacyboundary",
-	Doc:  "flags //csfltr:private data flowing into wire structs, marshal paths, fmt/log/metric labels, or trace attributes",
+	Doc:  "flags //csfltr:private data flowing (incl. through helpers) into wire structs, marshal paths, fmt/log/metric labels, or trace attributes",
 	Run:  runPrivacyBoundary,
 }
 
@@ -35,16 +42,60 @@ func runPrivacyBoundary(pass *Pass) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				reportTaintFlows(pass, fd)
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch node := n.(type) {
-			case *ast.TypeSpec:
-				checkWireStruct(pass, node)
-			case *ast.CallExpr:
-				checkSinkCall(pass, node)
+			if spec, ok := n.(*ast.TypeSpec); ok {
+				checkWireStruct(pass, spec)
 			}
 			return true
 		})
 	}
+}
+
+// reportTaintFlows runs the local taint analysis over one function with
+// the //csfltr:private markers as sources and reports every sink hit.
+func reportTaintFlows(pass *Pass, fd *ast.FuncDecl) {
+	lf := newLocalFlow(pass.taint, pass.Pkg, fd, false)
+	lf.run()
+	enclosing := "func"
+	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		enclosing = funcDisplayName(obj)
+	}
+	for _, hit := range lf.hits {
+		name := privateSourceName(pass, hit.expr)
+		if len(hit.reach.chain) <= 1 {
+			// Direct sink: the classic intra-procedural finding.
+			pass.Reportf(hit.pos,
+				"silo-private value (%s) passed to %s %s; private data must not reach %s",
+				name, hit.reach.kind, hit.reach.sink, sinkTarget(hit.reach.kind))
+			continue
+		}
+		chain := append([]string{enclosing}, hit.reach.chain...)
+		pass.ReportChain(hit.pos, chain,
+			"silo-private value (%s) reaches %s %s via %s; private data must not reach %s",
+			name, hit.reach.kind, hit.reach.sink, strings.Join(chain, " -> "),
+			sinkTarget(hit.reach.kind))
+	}
+}
+
+// privateSourceName renders the marked constituent behind a tainted
+// expression: the expression's own type when it is private, the operand
+// of a laundering conversion, or a generic description for values that
+// picked up taint through local data flow.
+func privateSourceName(pass *Pass, expr ast.Expr) string {
+	if t := pass.TypeOf(expr); t != nil && pass.Markers.ContainsPrivate(t) {
+		return pass.Markers.PrivateName(t)
+	}
+	if inner := conversionOperand(pass, expr); inner != nil {
+		if t := pass.TypeOf(inner); t != nil && pass.Markers.ContainsPrivate(t) {
+			return pass.Markers.PrivateName(t)
+		}
+	}
+	return "derived from a //csfltr:private source"
 }
 
 // checkWireStruct flags private data declared inside a wire-message
@@ -68,6 +119,38 @@ func checkWireStruct(pass *Pass, spec *ast.TypeSpec) {
 	}
 }
 
+// wireTypeName reports the declared name of t when it is a wire-message
+// struct — by naming convention or by carrying json field tags — and ""
+// otherwise. Pointers are dereferenced: storing into (*SearchReply).F
+// crosses the boundary all the same.
+func wireTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	name := named.Obj().Name()
+	if wireNameRE.MatchString(name) {
+		return name
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if strings.Contains(st.Tag(i), `json:"`) {
+			return name
+		}
+	}
+	return ""
+}
+
 // hasJSONTag reports whether any field of the struct carries a json
 // tag, the marker of a serialized wire shape.
 func hasJSONTag(st *ast.StructType) bool {
@@ -77,39 +160,6 @@ func hasJSONTag(st *ast.StructType) bool {
 		}
 	}
 	return false
-}
-
-// checkSinkCall flags private values passed to marshal, format, or
-// metric-label calls.
-func checkSinkCall(pass *Pass, call *ast.CallExpr) {
-	fn := calleeFunc(pass, call)
-	if fn == nil {
-		return
-	}
-	kind := sinkKind(fn)
-	if kind == "" {
-		return
-	}
-	for _, arg := range call.Args {
-		expr := arg
-		t := pass.TypeOf(expr)
-		if t == nil || !pass.Markers.ContainsPrivate(t) {
-			// A type conversion does not launder privacy: string(rq)
-			// carries the same bytes as rq.
-			inner := conversionOperand(pass, arg)
-			if inner == nil {
-				continue
-			}
-			it := pass.TypeOf(inner)
-			if it == nil || !pass.Markers.ContainsPrivate(it) {
-				continue
-			}
-			expr, t = inner, it
-		}
-		pass.Reportf(expr.Pos(),
-			"silo-private value (%s) passed to %s %s; private data must not reach %s",
-			pass.Markers.PrivateName(t), kind, fn.FullName(), sinkTarget(kind))
-	}
 }
 
 // conversionOperand returns the operand of a type-conversion expression
@@ -156,6 +206,8 @@ func sinkKind(fn *types.Func) string {
 // sinkTarget names where the data would leak for the diagnostic text.
 func sinkTarget(kind string) string {
 	switch kind {
+	case "wire struct field":
+		return "the federation wire"
 	case "marshal call":
 		return "a serialized payload"
 	case "telemetry label":

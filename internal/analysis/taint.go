@@ -1,0 +1,862 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Interprocedural privacy-taint engine.
+//
+// The intra-procedural privacyboundary check (privacy.go) sees a
+// private value handed *directly* to a sink. This engine additionally
+// follows the value through helper calls: function parameters, method
+// receivers, return values, struct-field assignments, closures, and the
+// pure string-transform stdlib, up to a bounded call depth — so
+// log(format(doc.Term)) is flagged even though format's parameter is a
+// plain string.
+//
+// Mechanics: every declared function gets a memoized *summary* mapping
+// each parameter (receiver = index 0) to (a) the sinks its taint
+// reaches inside the function, with the call chain, and (b) whether its
+// taint flows into a return value. Summaries are computed by a local
+// flow analysis (fixed point over assignments, then one reporting walk)
+// that consults callee summaries at call sites. Checking a package runs
+// the same local analysis with the markers (//csfltr:private) as the
+// only taint source.
+//
+// Taint labels: -1 is "derived from a //csfltr:private source"; 0..n
+// are the enclosing function's parameters (summary mode only). A sink
+// hit whose labels include -1 is reported where it happens; a hit that
+// depends only on a parameter is exported through the summary and
+// reported at the call site that supplies the private argument, keeping
+// exactly one diagnostic per flow.
+//
+// Conservative by design: interface dispatch, func-typed values, and
+// method values are not followed; calls into the sketch/hash/DP
+// packages (and //csfltr:sanitizes functions) stop taint, since their
+// outputs are the derived values that are allowed to cross the wire.
+
+// maxTaintDepth bounds the summary recursion (frames of helper calls a
+// private value is followed through).
+const maxTaintDepth = 5
+
+// labelSet is a small set of taint labels.
+type labelSet map[int]bool
+
+const labelPrivate = -1
+
+func (s labelSet) merge(other labelSet) bool {
+	changed := false
+	for l := range other {
+		if !s[l] {
+			s[l] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s labelSet) hasParam() bool {
+	for l := range s {
+		if l >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// sinkReach describes one sink reachable from a tainted value: its
+// classification, the sink function, and the call chain leading to it
+// (display names, outermost callee first, sink last).
+type sinkReach struct {
+	kind  string
+	sink  string
+	chain []string
+}
+
+// taintSummary is one function's interprocedural behavior. toReturn is
+// per result slot: slot -> the parameter labels that flow into that
+// result, so `res, traceID, err := Search(...)` taints only the slots
+// the callee actually derives from tainted inputs instead of smearing
+// one tainted result across every target of the tuple assignment.
+type taintSummary struct {
+	toSink   map[int][]sinkReach
+	toReturn map[int]labelSet
+}
+
+// taintEngine owns the summary cache for one analysis run.
+type taintEngine struct {
+	markers   *Markers
+	graph     *CallGraph
+	allows    allowIndex
+	fset      *token.FileSet
+	summaries map[*types.Func]*taintSummary
+	visiting  map[*types.Func]bool
+}
+
+func newTaintEngine(fset *token.FileSet, markers *Markers, graph *CallGraph, allows allowIndex) *taintEngine {
+	return &taintEngine{
+		markers:   markers,
+		graph:     graph,
+		allows:    allows,
+		fset:      fset,
+		summaries: make(map[*types.Func]*taintSummary),
+		visiting:  make(map[*types.Func]bool),
+	}
+}
+
+// summarize computes (memoized) the taint summary of fn, or an empty
+// summary at the depth bound, on recursion, or for bodyless functions.
+func (e *taintEngine) summarize(fn *types.Func) *taintSummary {
+	if s, ok := e.summaries[fn]; ok {
+		return s
+	}
+	empty := &taintSummary{toSink: map[int][]sinkReach{}, toReturn: map[int]labelSet{}}
+	facts := e.graph.FactsOf(fn)
+	if facts == nil || facts.Decl.Body == nil || e.visiting[fn] || len(e.visiting) >= maxTaintDepth {
+		return empty
+	}
+	e.visiting[fn] = true
+	defer delete(e.visiting, fn)
+
+	lf := newLocalFlow(e, facts.Pkg, facts.Decl, true)
+	lf.run()
+
+	s := &taintSummary{toSink: map[int][]sinkReach{}, toReturn: lf.rets}
+	for _, hit := range lf.hits {
+		if hit.labels[labelPrivate] {
+			// Fires locally when the defining package is checked; the
+			// summary exports only caller-dependent reaches so each
+			// flow yields exactly one diagnostic.
+			continue
+		}
+		for l := range hit.labels {
+			s.toSink[l] = append(s.toSink[l], hit.reach)
+		}
+	}
+	e.summaries[fn] = s
+	return s
+}
+
+// flowHit is one tainted value reaching a sink, recorded at the
+// offending expression in the analyzed function.
+type flowHit struct {
+	pos    token.Pos
+	expr   ast.Expr
+	labels labelSet
+	reach  sinkReach
+}
+
+// objField keys first-level struct-field taint: base object + first
+// selector segment, so a tainted s.Raw never poisons a sibling s.ID.
+type objField struct {
+	obj   types.Object
+	field string
+}
+
+// localFlow runs the per-function taint analysis.
+type localFlow struct {
+	eng     *taintEngine
+	pkg     *Package
+	decl    *ast.FuncDecl
+	summary bool // params are sources; returns are tracked
+
+	params  map[types.Object]int
+	results map[types.Object]int
+	objs    map[types.Object]labelSet
+	fields  map[objField]labelSet
+
+	hits []flowHit
+	rets map[int]labelSet
+}
+
+func newLocalFlow(e *taintEngine, pkg *Package, decl *ast.FuncDecl, summaryMode bool) *localFlow {
+	lf := &localFlow{
+		eng:     e,
+		pkg:     pkg,
+		decl:    decl,
+		summary: summaryMode,
+		params:  make(map[types.Object]int),
+		results: make(map[types.Object]int),
+		objs:    make(map[types.Object]labelSet),
+		fields:  make(map[objField]labelSet),
+		rets:    make(map[int]labelSet),
+	}
+	if summaryMode {
+		idx := 0
+		if decl.Recv != nil {
+			for _, f := range decl.Recv.List {
+				for _, name := range f.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						lf.params[obj] = idx
+					}
+				}
+			}
+			idx = 1
+		}
+		if decl.Type.Params != nil {
+			for _, f := range decl.Type.Params.List {
+				for _, name := range f.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						lf.params[obj] = idx
+					}
+					idx++
+				}
+				if len(f.Names) == 0 {
+					idx++
+				}
+			}
+		}
+		if decl.Type.Results != nil {
+			slot := 0
+			for _, f := range decl.Type.Results.List {
+				for _, name := range f.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						lf.results[obj] = slot
+					}
+					slot++
+				}
+				if len(f.Names) == 0 {
+					slot++
+				}
+			}
+		}
+	}
+	return lf
+}
+
+func (lf *localFlow) run() {
+	if lf.decl.Body == nil {
+		return
+	}
+	// Fixed point over assignments: object/field taint grows
+	// monotonically, so a handful of rounds converges.
+	for round := 0; round < 8; round++ {
+		if !lf.propagate() {
+			break
+		}
+	}
+	lf.report()
+}
+
+// taintObj merges labels into an object's taint set.
+func (lf *localFlow) taintObj(obj types.Object, labels labelSet) bool {
+	if obj == nil || len(labels) == 0 {
+		return false
+	}
+	set := lf.objs[obj]
+	if set == nil {
+		set = make(labelSet)
+		lf.objs[obj] = set
+	}
+	return set.merge(labels)
+}
+
+func (lf *localFlow) taintField(key objField, labels labelSet) bool {
+	if key.obj == nil || len(labels) == 0 {
+		return false
+	}
+	set := lf.fields[key]
+	if set == nil {
+		set = make(labelSet)
+		lf.fields[key] = set
+	}
+	return set.merge(labels)
+}
+
+// assignTo applies taint to one assignment target.
+func (lf *localFlow) assignTo(lhs ast.Expr, labels labelSet) bool {
+	if len(labels) == 0 {
+		return false
+	}
+	switch target := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if target.Name == "_" {
+			return false
+		}
+		return lf.taintObj(lf.objectOf(target), labels)
+	case *ast.SelectorExpr:
+		// s.F = x poisons the (base, F) field subtree; writes through
+		// pointers and elements land on the base object.
+		if base, field := baseAndField(target); base != nil {
+			if obj := lf.objectOf(base); obj != nil {
+				return lf.taintField(objField{obj: obj, field: field}, labels)
+			}
+		}
+		return false
+	case *ast.IndexExpr:
+		if base := baseIdent(target.X); base != nil {
+			return lf.taintObj(lf.objectOf(base), labels)
+		}
+		return false
+	case *ast.StarExpr:
+		if base := baseIdent(target.X); base != nil {
+			return lf.taintObj(lf.objectOf(base), labels)
+		}
+		return false
+	}
+	return false
+}
+
+// propagate runs one transfer round; reports whether anything changed.
+func (lf *localFlow) propagate() bool {
+	changed := false
+	ast.Inspect(lf.decl.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			if len(stmt.Lhs) == len(stmt.Rhs) {
+				for i, lhs := range stmt.Lhs {
+					if lf.assignTo(lhs, lf.exprTaint(stmt.Rhs[i])) {
+						changed = true
+					}
+				}
+			} else if len(stmt.Rhs) == 1 {
+				if call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr); ok {
+					if slots, ok := lf.callSlotTaint(call, len(stmt.Lhs)); ok {
+						for i, lhs := range stmt.Lhs {
+							if lf.assignTo(lhs, slots[i]) {
+								changed = true
+							}
+						}
+						return true
+					}
+				}
+				// Tuple assignment without a callee summary: every
+				// target inherits the source's taint, except error
+				// values — private data inside an error is caught at
+				// the fmt.Errorf construction sink, so the error's
+				// identity is not itself a carrier.
+				labels := lf.exprTaint(stmt.Rhs[0])
+				for _, lhs := range stmt.Lhs {
+					if isErrorType(lf.pkg.Info.TypeOf(lhs)) {
+						continue
+					}
+					if lf.assignTo(lhs, labels) {
+						changed = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range stmt.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						if lf.taintObj(lf.pkg.Info.Defs[name], lf.exprTaint(vs.Values[i])) {
+							changed = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			labels := lf.exprTaint(stmt.X)
+			// Over slices, arrays, strings and ints the key is a
+			// structural index, not data from the container; only map
+			// keys and channel elements carry the container's taint.
+			if rangeKeyCarries(lf.pkg.Info.TypeOf(stmt.X)) {
+				if lf.assignTo(stmt.Key, labels) {
+					changed = true
+				}
+			}
+			if stmt.Value != nil && lf.assignTo(stmt.Value, labels) {
+				changed = true
+			}
+		case *ast.SendStmt:
+			if base := baseIdent(stmt.Chan); base != nil {
+				if lf.taintObj(lf.objectOf(base), lf.exprTaint(stmt.Value)) {
+					changed = true
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// report walks every call once, recording sink hits, and (in summary
+// mode) collects the labels reaching return values.
+func (lf *localFlow) report() {
+	seen := make(map[string]bool)
+	var walk func(n ast.Node, inClosure bool)
+	walk = func(n ast.Node, inClosure bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch node := m.(type) {
+			case *ast.FuncLit:
+				// Closures share the enclosing object environment:
+				// sinks inside them count, their returns do not.
+				walk(node.Body, true)
+				return false
+			case *ast.CallExpr:
+				lf.checkCall(node, seen)
+			case *ast.AssignStmt:
+				lf.checkWireAssign(node, seen)
+			case *ast.ReturnStmt:
+				if lf.summary && !inClosure {
+					total := lf.resultSlots()
+					if len(node.Results) == 1 && total > 1 {
+						// `return f()` fills several slots from one call;
+						// without the callee's slot map here, smear.
+						labels := lf.exprTaint(node.Results[0])
+						for slot := 0; slot < total; slot++ {
+							lf.addRet(slot, labels)
+						}
+					} else {
+						for i, res := range node.Results {
+							lf.addRet(i, lf.exprTaint(res))
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(lf.decl.Body, false)
+	if lf.summary {
+		for obj, slot := range lf.results {
+			lf.addRet(slot, lf.objs[obj])
+		}
+	}
+}
+
+// rangeKeyCarries reports whether the range key over a value of type t
+// is data from the container (map keys, channel elements, iterator
+// yields) rather than a structural int index.
+func rangeKeyCarries(t types.Type) bool {
+	if t == nil {
+		return true
+	}
+	switch tt := types.Unalias(t).Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Basic:
+		return false
+	case *types.Pointer:
+		return rangeKeyCarries(tt.Elem())
+	}
+	return true
+}
+
+// resultSlots counts the function's result values.
+func (lf *localFlow) resultSlots() int {
+	if lf.decl.Type.Results == nil {
+		return 0
+	}
+	n := 0
+	for _, f := range lf.decl.Type.Results.List {
+		if len(f.Names) == 0 {
+			n++
+		} else {
+			n += len(f.Names)
+		}
+	}
+	return n
+}
+
+// addRet merges the parameter labels of one return slot into the
+// summary-to-be; derived-private (-1) labels are dropped because the
+// caller re-derives them from the result's type.
+func (lf *localFlow) addRet(slot int, labels labelSet) {
+	for l := range labels {
+		if l < 0 {
+			continue
+		}
+		if lf.rets[slot] == nil {
+			lf.rets[slot] = make(labelSet)
+		}
+		lf.rets[slot][l] = true
+	}
+}
+
+// recordHit appends one sink hit, deduplicating by (position, sink,
+// chain) and honoring suppressions in summary mode (a justified allow
+// at the sink covers every caller: the reach is not exported).
+func (lf *localFlow) recordHit(expr ast.Expr, labels labelSet, reach sinkReach, seen map[string]bool) {
+	if len(labels) == 0 {
+		return
+	}
+	if lf.summary && lf.eng.allows.covers(lf.eng.fset.Position(expr.Pos()), "privacyboundary") {
+		return
+	}
+	key := fmt.Sprintf("%d|%s|%s", expr.Pos(), reach.kind, strings.Join(reach.chain, ">"))
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	lf.hits = append(lf.hits, flowHit{pos: expr.Pos(), expr: expr, labels: labels, reach: reach})
+}
+
+// checkWireAssign records a hit when a tainted value is stored into a
+// field of a wire-message struct — the assignment is the boundary
+// crossing even before any marshal call serializes it.
+func (lf *localFlow) checkWireAssign(stmt *ast.AssignStmt, seen map[string]bool) {
+	for i, lhs := range stmt.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		wire := wireTypeName(lf.pkg.Info.TypeOf(sel.X))
+		if wire == "" {
+			continue
+		}
+		var rhs ast.Expr
+		switch {
+		case len(stmt.Lhs) == len(stmt.Rhs):
+			rhs = stmt.Rhs[i]
+		case len(stmt.Rhs) == 1:
+			rhs = stmt.Rhs[0]
+		default:
+			continue
+		}
+		field := wire + "." + sel.Sel.Name
+		lf.recordHit(rhs, lf.exprTaint(rhs), sinkReach{
+			kind: "wire struct field", sink: field, chain: []string{field},
+		}, seen)
+	}
+}
+
+// checkCall records sink hits at one call site: direct sinks, and
+// summarized callees whose parameter taint reaches a sink.
+func (lf *localFlow) checkCall(call *ast.CallExpr, seen map[string]bool) {
+	fn := lf.calleeFunc(call)
+	if fn == nil {
+		return
+	}
+	if kind := sinkKind(fn); kind != "" {
+		for _, arg := range call.Args {
+			lf.recordHit(arg, lf.exprTaint(arg), sinkReach{
+				kind: kind, sink: fn.FullName(), chain: []string{fn.FullName()},
+			}, seen)
+		}
+		return
+	}
+	if lf.eng.graph.isSanitizer(fn) {
+		return
+	}
+	facts := lf.eng.graph.FactsOf(fn)
+	if facts == nil {
+		return
+	}
+	summary := lf.eng.summarize(fn)
+	if len(summary.toSink) == 0 {
+		return
+	}
+	for idx, arg := range lf.callArgs(call, fn) {
+		if arg == nil {
+			continue
+		}
+		labels := lf.exprTaint(arg)
+		if len(labels) == 0 {
+			continue
+		}
+		for _, reach := range summary.toSink[idx] {
+			lf.recordHit(arg, labels, sinkReach{
+				kind:  reach.kind,
+				sink:  reach.sink,
+				chain: append([]string{funcDisplayName(fn)}, reach.chain...),
+			}, seen)
+		}
+	}
+}
+
+// callArgs maps a call's expressions to the callee's parameter indexes
+// (receiver first). Index i of the returned slice is the expression
+// bound to parameter i, nil when unknown. Variadic tails map onto the
+// final parameter.
+func (lf *localFlow) callArgs(call *ast.CallExpr, fn *types.Func) []ast.Expr {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	var out []ast.Expr
+	if sig.Recv() != nil {
+		out = append(out, receiverExpr(&Pass{Pkg: lf.pkg}, call))
+	}
+	n := sig.Params().Len()
+	for i := 0; i < n; i++ {
+		out = append(out, nil)
+	}
+	base := 0
+	if sig.Recv() != nil {
+		base = 1
+	}
+	for i, arg := range call.Args {
+		slot := i
+		if slot >= n {
+			slot = n - 1 // variadic tail
+		}
+		if slot < 0 {
+			break
+		}
+		if out[base+slot] == nil {
+			out[base+slot] = arg
+		} else {
+			// Several variadic arguments share the last parameter; keep
+			// the first tainted one by preferring an already-set slot
+			// only when it is untainted.
+			if len(lf.exprTaint(out[base+slot])) == 0 && len(lf.exprTaint(arg)) > 0 {
+				out[base+slot] = arg
+			}
+		}
+	}
+	return out
+}
+
+// propagatorPath matches stdlib packages whose functions are pure value
+// transforms: taint flows from arguments to results.
+func propagatorPath(path string) bool {
+	switch path {
+	case "strings", "strconv", "bytes", "slices", "maps",
+		"encoding/hex", "encoding/base64", "unicode", "unicode/utf8":
+		return true
+	}
+	return false
+}
+
+// exprTaint computes the labels carried by one expression.
+func (lf *localFlow) exprTaint(e ast.Expr) labelSet {
+	out := make(labelSet)
+	if e == nil {
+		return out
+	}
+	if t := lf.pkg.Info.TypeOf(e); t != nil && lf.eng.markers.ContainsPrivate(t) {
+		out[labelPrivate] = true
+	}
+	switch expr := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := lf.objectOf(expr)
+		if obj == nil {
+			break
+		}
+		if idx, ok := lf.params[obj]; ok {
+			out[idx] = true
+		}
+		if lf.eng.markers.IsPrivate(obj) {
+			out[labelPrivate] = true
+		}
+		out.merge(lf.objs[obj])
+		for key, labels := range lf.fields {
+			if key.obj == obj {
+				out.merge(labels)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := lf.pkg.Info.Uses[expr.Sel]; sel != nil && lf.eng.markers.IsPrivate(sel) {
+			out[labelPrivate] = true
+		}
+		if base, field := baseAndField(expr); base != nil {
+			if obj := lf.objectOf(base); obj != nil {
+				if lf.selectorCarries(expr) {
+					if idx, ok := lf.params[obj]; ok {
+						out[idx] = true
+					}
+					out.merge(lf.objs[obj])
+				}
+				out.merge(lf.fields[objField{obj: obj, field: field}])
+			}
+		}
+	case *ast.IndexExpr:
+		out.merge(lf.exprTaint(expr.X))
+	case *ast.SliceExpr:
+		out.merge(lf.exprTaint(expr.X))
+	case *ast.StarExpr:
+		out.merge(lf.exprTaint(expr.X))
+	case *ast.UnaryExpr:
+		out.merge(lf.exprTaint(expr.X))
+	case *ast.BinaryExpr:
+		switch expr.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			// Comparisons and boolean logic yield derived bits, not the
+			// value itself.
+		default:
+			out.merge(lf.exprTaint(expr.X))
+			out.merge(lf.exprTaint(expr.Y))
+		}
+	case *ast.CompositeLit:
+		for _, elt := range expr.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				out.merge(lf.exprTaint(kv.Value))
+				continue
+			}
+			out.merge(lf.exprTaint(elt))
+		}
+	case *ast.TypeAssertExpr:
+		out.merge(lf.exprTaint(expr.X))
+	case *ast.CallExpr:
+		out.merge(lf.callTaint(expr))
+	}
+	return out
+}
+
+// callTaint computes the taint of a call's result.
+func (lf *localFlow) callTaint(call *ast.CallExpr) labelSet {
+	out := make(labelSet)
+	// Type conversions preserve the value byte-for-byte.
+	if tv, ok := lf.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return lf.exprTaint(call.Args[0])
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := lf.pkg.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				for _, arg := range call.Args {
+					out.merge(lf.exprTaint(arg))
+				}
+			case "min", "max":
+				for _, arg := range call.Args {
+					out.merge(lf.exprTaint(arg))
+				}
+			}
+			// len, cap, make, new, ... yield derived or fresh values.
+			return out
+		}
+	}
+	fn := lf.calleeFunc(call)
+	if fn == nil {
+		return out
+	}
+	if sinkKind(fn) != "" {
+		// The sink finding fires at this call; treating its result as
+		// clean keeps one diagnostic per flow.
+		return out
+	}
+	if lf.eng.graph.isSanitizer(fn) {
+		return out
+	}
+	if pkg := fn.Pkg(); pkg != nil && propagatorPath(pkg.Path()) {
+		for _, arg := range call.Args {
+			out.merge(lf.exprTaint(arg))
+		}
+		if recv := receiverExpr(&Pass{Pkg: lf.pkg}, call); recv != nil {
+			out.merge(lf.exprTaint(recv))
+		}
+		return out
+	}
+	if lf.eng.graph.FactsOf(fn) == nil {
+		return out
+	}
+	summary := lf.eng.summarize(fn)
+	if len(summary.toReturn) == 0 {
+		return out
+	}
+	args := lf.callArgs(call, fn)
+	for _, labels := range summary.toReturn {
+		for l := range labels {
+			if l >= 0 && l < len(args) && args[l] != nil {
+				out.merge(lf.exprTaint(args[l]))
+			}
+		}
+	}
+	return out
+}
+
+// callSlotTaint computes per-result-slot taint for a call to a
+// summarized in-module function: slot i carries the taint of exactly
+// the arguments the callee derives result i from. Reports false when
+// the callee has no summary (unresolved, stdlib, closure), in which
+// case tuple assignments fall back to smearing with the error-slot
+// exemption.
+func (lf *localFlow) callSlotTaint(call *ast.CallExpr, n int) ([]labelSet, bool) {
+	fn := lf.calleeFunc(call)
+	if fn == nil || lf.eng.graph.FactsOf(fn) == nil {
+		return nil, false
+	}
+	out := make([]labelSet, n)
+	for i := range out {
+		out[i] = make(labelSet)
+	}
+	if sinkKind(fn) != "" || lf.eng.graph.isSanitizer(fn) {
+		return out, true // sink and sanitizer results are clean
+	}
+	summary := lf.eng.summarize(fn)
+	args := lf.callArgs(call, fn)
+	for slot, labels := range summary.toReturn {
+		if slot < 0 || slot >= n {
+			continue
+		}
+		for l := range labels {
+			if l >= 0 && l < len(args) && args[l] != nil {
+				out[slot].merge(lf.exprTaint(args[l]))
+			}
+		}
+	}
+	return out, true
+}
+
+// objectOf resolves an identifier to its object (use or def).
+func (lf *localFlow) objectOf(id *ast.Ident) types.Object {
+	if obj := lf.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return lf.pkg.Info.Defs[id]
+}
+
+// calleeFunc resolves the called function within this flow's package.
+func (lf *localFlow) calleeFunc(call *ast.CallExpr) *types.Func {
+	return calleeFunc(&Pass{Pkg: lf.pkg}, call)
+}
+
+// selectorCarries reports whether selecting expr.Sel keeps the base's
+// taint. Field selection is the one laundering edge in the lattice: a
+// struct that merely *contains* private constituents does not taint its
+// public fields (pipeline.Cfg off a corpus-holding pipeline is clean),
+// while a field that is itself marked, a field whose type can hold
+// private data, and any field of a directly-marked type (the whole
+// value is the secret) all stay tainted. Unresolvable selections stay
+// tainted — when in doubt, carry.
+func (lf *localFlow) selectorCarries(expr *ast.SelectorExpr) bool {
+	obj := lf.pkg.Info.Uses[expr.Sel]
+	if obj == nil {
+		return true
+	}
+	if lf.eng.markers.IsPrivate(obj) || lf.eng.markers.ContainsPrivate(obj.Type()) {
+		return true
+	}
+	return lf.eng.markers.DirectlyPrivate(lf.pkg.Info.TypeOf(expr.X))
+}
+
+// baseAndField unwraps a selector chain to its base identifier and the
+// first field segment: s.A.B -> (s, "A"); (*p).F -> (p, "F").
+func baseAndField(sel *ast.SelectorExpr) (*ast.Ident, string) {
+	field := sel.Sel.Name
+	x := sel.X
+	for {
+		switch inner := ast.Unparen(x).(type) {
+		case *ast.Ident:
+			return inner, field
+		case *ast.SelectorExpr:
+			field = inner.Sel.Name
+			x = inner.X
+		case *ast.IndexExpr:
+			x = inner.X
+		case *ast.StarExpr:
+			x = inner.X
+		default:
+			return nil, ""
+		}
+	}
+}
+
+// baseIdent unwraps selectors, indexes, derefs and parens to the base
+// identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch inner := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return inner
+		case *ast.SelectorExpr:
+			e = inner.X
+		case *ast.IndexExpr:
+			e = inner.X
+		case *ast.StarExpr:
+			e = inner.X
+		case *ast.UnaryExpr:
+			e = inner.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package allowauditfix exercises the mandatory-reason suppression
+// contract: a //csfltr:allow without `-- reason` must not suppress the
+// underlying finding and must itself be reported, while a justified
+// allow silences its line exactly as before.
+package allowauditfix
+
+import "fmt"
+
+func emitNoReason(m map[string]int) {
+	for k := range m {
+		/* want "suppression of mapiter has no justification" */ //csfltr:allow mapiter
+		fmt.Println(k)                                           // want "map iteration order is random"
+	}
+}
+
+func emitWithReason(m map[string]int) {
+	for k := range m {
+		//csfltr:allow mapiter -- fixture: debug dump, output order irrelevant
+		fmt.Println(k) // ok: justified suppression
+	}
+}

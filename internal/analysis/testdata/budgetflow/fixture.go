@@ -1,0 +1,83 @@
+// Package budgetflowfix exercises the budgetflow analyzer: functions
+// releasing estimates must pay via dp.Accountant or declare the
+// zero-epsilon replay contract.
+package budgetflowfix
+
+import "csfltr/internal/dp"
+
+type server struct {
+	acct *dp.Accountant
+}
+
+// Estimate spends directly: the paid release.
+//
+//csfltr:releases
+func (s *server) Estimate(peer string) (float64, error) { // ok: spends inline
+	if err := s.acct.Spend(peer, 0.1); err != nil {
+		return 0, err
+	}
+	return 42, nil
+}
+
+// EstimateFree hands out an estimate with no accounting anywhere.
+//
+//csfltr:releases
+func (s *server) EstimateFree(peer string) float64 { // want "marked //csfltr:releases but no reachable path spends"
+	_ = peer
+	return 42
+}
+
+// charge is the helper that actually pays.
+func (s *server) charge(peer string) error { return s.acct.Spend(peer, 0.1) }
+
+// EstimateVia spends through a helper within the descent bound.
+//
+//csfltr:releases
+func (s *server) EstimateVia(peer string) float64 { // ok: spends via charge
+	if s.charge(peer) != nil {
+		return 0
+	}
+	return 42
+}
+
+// ReplayCached re-serves previously released (already paid-for) bytes.
+//
+//csfltr:releases
+//csfltr:replay
+func (s *server) ReplayCached(peer string) float64 { // ok: declared replay
+	_ = peer
+	return 42
+}
+
+// serveFromCache owns the replay contract for cached answers.
+//
+//csfltr:replay
+func (s *server) serveFromCache(peer string) (float64, bool) {
+	_ = peer
+	return 42, true
+}
+
+// EstimateCached delegates the cache hit to a declared replay and pays
+// for the miss.
+//
+//csfltr:releases
+func (s *server) EstimateCached(peer string) float64 { // ok: replay on hits, spend on misses
+	if v, ok := s.serveFromCache(peer); ok {
+		return v
+	}
+	if err := s.acct.Spend(peer, 0.1); err != nil {
+		return 0
+	}
+	return 42
+}
+
+// EstimateReplayed records the zero-epsilon replay in the ledger.
+//
+//csfltr:releases
+func (s *server) EstimateReplayed(peer string) float64 { // ok: records the replay
+	s.acct.Replayed(peer)
+	return 42
+}
+
+// unmarked releases nothing as far as the contract goes: no check.
+func unmarked() float64 { return 42 } // ok: not marked

@@ -1,0 +1,80 @@
+// Package determinismfix exercises the determinism analyzer: wall
+// clock, global math/rand, and map-iteration order on paths marked
+// //csfltr:deterministic, including violations reached through helper
+// calls.
+package determinismfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// mergeScores is the sound shape: collect map keys, sort, then emit.
+//
+//csfltr:deterministic
+func mergeScores(parts map[string][]float64) []float64 {
+	var keys []string
+	for k := range parts {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	var out []float64
+	for _, k := range keys {
+		out = append(out, parts[k]...)
+	}
+	return out
+}
+
+//csfltr:deterministic
+func stampedMerge(a, b []float64) []float64 {
+	_ = time.Now() // want "reads the wall clock"
+	out := append(append([]float64{}, a...), b...)
+	return out
+}
+
+//csfltr:deterministic
+func jitteredRank(xs []float64) int {
+	return rand.Intn(len(xs)) // want "global math/rand"
+}
+
+//csfltr:deterministic
+func seededRank(xs []float64, rng *rand.Rand) int {
+	return rng.Intn(len(xs)) // ok: seeded source, deterministic given the seed
+}
+
+// stamp is an unmarked helper hiding a clock read.
+func stamp() int64 { return time.Now().UnixNano() }
+
+// tick adds a second frame between the root and the clock.
+func tick() int64 { return stamp() }
+
+//csfltr:deterministic
+func mergeWithHelper(xs []float64) int64 {
+	return stamp() // want "reads the wall clock (time.Now) via determinismfix.stamp"
+}
+
+//csfltr:deterministic
+func deepMerge() int64 {
+	return tick() // want "via determinismfix.tick -> determinismfix.stamp"
+}
+
+// unpinned is not marked: the clock read is its own business.
+func unpinned() int64 { return time.Now().UnixNano() } // ok: not a deterministic path
+
+//csfltr:deterministic
+func unsortedCollect(parts map[string]float64) []float64 {
+	var out []float64
+	for _, v := range parts {
+		out = append(out, v) // want "appends to out in map-iteration order and never sorts"
+	}
+	return out
+}
+
+//csfltr:deterministic
+func printMerge(parts map[string]float64) {
+	for k, v := range parts {
+		fmt.Printf("%s=%f\n", k, v) // want "emits during `range` over"
+	}
+}

@@ -1,0 +1,69 @@
+// Package lockcopyfix exercises the lockcopy analyzer: mutex-containing
+// values passed, returned, or copied by value versus the sound pointer
+// shapes.
+package lockcopyfix
+
+import "sync"
+
+// Registry is the shape every long-lived csfltr struct takes: a mutex
+// guarding a map.
+type Registry struct {
+	mu    sync.Mutex
+	peers map[string]int
+}
+
+func byValue(r Registry) int { // want "parameter passes a sync.Mutex by value"
+	return len(r.peers)
+}
+
+func byPointer(r *Registry) int { // ok: shared lock
+	return len(r.peers)
+}
+
+func returnsValue() Registry { // want "result returns a sync.Mutex by value"
+	return Registry{peers: map[string]int{}}
+}
+
+func returnsPointer() *Registry { // ok
+	return &Registry{peers: map[string]int{}}
+}
+
+func assignCopy(r *Registry) {
+	snapshot := *r // want "assignment copies a sync.Mutex by value"
+	snapshot.mu.Lock()
+	snapshot.mu.Unlock()
+}
+
+func freshValue() {
+	var r Registry // ok: a fresh zero value, not a copy
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+func rangeCopy(rs []Registry) int {
+	n := 0
+	for _, r := range rs { // want "range value copies a sync.Mutex-containing element"
+		n += len(r.peers)
+	}
+	for i := range rs { // ok: by index
+		n += len(rs[i].peers)
+	}
+	return n
+}
+
+func waitByValue(wg sync.WaitGroup) { // want "parameter passes a sync.WaitGroup by value"
+	wg.Wait()
+}
+
+func waitByPointer(wg *sync.WaitGroup) { // ok
+	wg.Wait()
+}
+
+// sliceOfPointers shares the locks: no copies anywhere.
+func sliceOfPointers(rs []*Registry) int { // ok: pointers share the lock
+	n := 0
+	for _, r := range rs {
+		n += len(r.peers)
+	}
+	return n
+}

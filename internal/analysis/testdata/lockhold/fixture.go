@@ -1,0 +1,108 @@
+// Package lockholdfix exercises the lockhold analyzer: blocking
+// operations (channel sends, HTTP/RPC round-trips, resilience
+// attempts) inside mutex critical sections, versus releasing first.
+package lockholdfix
+
+import (
+	"net/http"
+	"net/rpc"
+	"sync"
+
+	"csfltr/internal/resilience"
+)
+
+type pool struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (p *pool) sendWhileHeld(v int) {
+	p.mu.Lock()
+	p.out <- v // want "channel send while holding p.mu"
+	p.mu.Unlock()
+}
+
+func (p *pool) sendAfterUnlock(v int) {
+	p.mu.Lock()
+	v++
+	p.mu.Unlock()
+	p.out <- v // ok: released first
+}
+
+func (p *pool) deferredHold(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.out <- v // want "channel send while holding p.mu"
+}
+
+func (p *pool) httpWhileHeld(url string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, err := http.Get(url) // want "net/http round-trip"
+	return err
+}
+
+func (p *pool) rpcWhileHeld(c *rpc.Client) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return c.Call("Peer.Estimate", 1, nil) // want "net/rpc Call while holding"
+}
+
+func (p *pool) resilienceWhileHeld() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, _, err := resilience.Call(resilience.Policy{}, 1, func() (int, error) { // want "resilience.Call attempt while holding"
+		return 0, nil
+	})
+	return err
+}
+
+func (p *pool) branchUnlock(fast bool, v int) {
+	p.mu.Lock()
+	if fast {
+		p.mu.Unlock()
+		p.out <- v // ok: this branch released first
+		return
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) goroutineBody(v int) {
+	p.mu.Lock()
+	go func() {
+		p.out <- v // ok: runs on its own stack, after the critical section
+	}()
+	p.mu.Unlock()
+}
+
+func (p *pool) selectWhileHeld(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.out <- v: // want "channel send while holding p.mu"
+	default:
+	}
+}
+
+type registry struct {
+	mu    sync.RWMutex
+	peers map[string]*rpc.Client
+}
+
+func (r *registry) readThenCall(name string) error {
+	r.mu.RLock()
+	c := r.peers[name]
+	r.mu.RUnlock()
+	return c.Call("Peer.Ping", 1, nil) // ok: released before the round-trip
+}
+
+type shard struct {
+	sync.Mutex
+	ch chan int
+}
+
+func (s *shard) embeddedHeld(v int) {
+	s.Lock()
+	s.ch <- v // want "channel send while holding s"
+	s.Unlock()
+}

@@ -1,0 +1,21 @@
+// Package metafix deliberately desynchronizes its want comments from
+// the analyzer output so TestFixtureHarness can prove the fixture
+// harness fails both ways: an unexpected diagnostic (the mapiter
+// finding below carries no want) and an unmatched want (the clean loop
+// claims one). It is consumed by TestFixtureHarness only — adding it to
+// fixtureCases would rightly fail.
+package metafix
+
+import "fmt"
+
+func emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // deliberately missing its want comment
+	}
+}
+
+func clean(xs []int) {
+	for _, x := range xs {
+		_ = x // want "this expectation deliberately matches nothing"
+	}
+}

@@ -5,6 +5,7 @@ package uncheckedfix
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -36,4 +37,38 @@ func checked(w io.Writer, f *os.File) error {
 func allowedDrop(f *os.File) {
 	//csfltr:allow uncheckederr -- fixture: suppression must silence the finding below
 	f.Sync()
+}
+
+// writePath: the deferred Close error is the final flush of bytes this
+// function wrote — dropping it hides a short write.
+func writePath(f *os.File, src io.Reader) error {
+	defer f.Close() // want "dropped on a write path"
+	if _, err := f.Write([]byte("header")); err != nil {
+		return err
+	}
+	_, err := io.Copy(f, src)
+	return err
+}
+
+// writePathViaEncoder writes through a wrapper around the file; the
+// handle is still a write path.
+func writePathViaEncoder(f *os.File, v any) error {
+	defer f.Close() // want "dropped on a write path"
+	return json.NewEncoder(f).Encode(v)
+}
+
+// writePathHandled returns the Close error instead of deferring it
+// away: the sound shape for a write path.
+func writePathHandled(f *os.File) error {
+	if _, err := f.Write([]byte("x")); err != nil {
+		return err
+	}
+	return f.Close() // ok: Close error propagated
+}
+
+// readPathDefer keeps the idiomatic exemption: nothing written through
+// the handle, the deferred Close error is meaningless.
+func readPathDefer(f *os.File) ([]byte, error) {
+	defer f.Close() // ok: read path
+	return io.ReadAll(f)
 }

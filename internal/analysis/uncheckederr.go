@@ -20,6 +20,10 @@ import (
 //   - methods on strings.Builder / bytes.Buffer, and Write on a
 //     hash.Hash, all documented to never return a non-nil error;
 //   - `defer x.Close()` on read paths, where the error is meaningless.
+//     On *write* paths — the function also writes to x, directly or via
+//     io.Copy/fmt.Fprint/an encoder wrapped around it — the deferred
+//     Close error is the final flush and IS flagged: dropping it is how
+//     a short write to the store goes unnoticed.
 var UncheckedErr = &Analyzer{
 	Name: "uncheckederr",
 	Doc:  "flags dropped errors on transport, store, and encoder calls",
@@ -29,24 +33,41 @@ var UncheckedErr = &Analyzer{
 func runUncheckedErr(pass *Pass) {
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch stmt := n.(type) {
-			case *ast.ExprStmt:
-				if call, ok := stmt.X.(*ast.CallExpr); ok {
-					checkDroppedError(pass, call, false)
-				}
-			case *ast.DeferStmt:
-				checkDroppedError(pass, stmt.Call, true)
-				return false // the call itself is handled above
-			case *ast.GoStmt:
-				checkDroppedError(pass, stmt.Call, false)
-				return false
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
 			}
+			if body == nil {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				switch stmt := m.(type) {
+				case *ast.FuncLit:
+					return false // gets its own visit from the outer walk
+				case *ast.ExprStmt:
+					if call, ok := stmt.X.(*ast.CallExpr); ok {
+						checkDroppedError(pass, call, false, body)
+					}
+				case *ast.DeferStmt:
+					checkDroppedError(pass, stmt.Call, true, body)
+					return false // the call itself is handled above
+				case *ast.GoStmt:
+					checkDroppedError(pass, stmt.Call, false, body)
+					return false
+				}
+				return true
+			})
 			return true
 		})
 	}
 }
 
-func checkDroppedError(pass *Pass, call *ast.CallExpr, deferred bool) {
+func checkDroppedError(pass *Pass, call *ast.CallExpr, deferred bool, body *ast.BlockStmt) {
 	if !returnsError(pass, call) {
 		return
 	}
@@ -55,6 +76,12 @@ func checkDroppedError(pass *Pass, call *ast.CallExpr, deferred bool) {
 		return // builtin, conversion, or func-typed variable: out of scope
 	}
 	if deferred && fn.Name() == "Close" {
+		if !closesWritePath(pass, body, call) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"error result of deferred %s is dropped on a write path; the Close error is the final flush — capture it",
+			fn.FullName())
 		return
 	}
 	if exemptErrorDrop(pass, fn, call) {
@@ -63,6 +90,75 @@ func checkDroppedError(pass *Pass, call *ast.CallExpr, deferred bool) {
 	pass.Reportf(call.Pos(),
 		"error result of %s is dropped; check it or assign to _ with a justification",
 		fn.FullName())
+}
+
+// closesWritePath reports whether the value closed by a deferred Close
+// was written to in the same function: a Write*/ReadFrom method on it,
+// or the value handed as the writer to io.Copy*, fmt.Fprint*, or a
+// New*Encoder/New*Writer wrapper. On such paths the Close error
+// carries the final flush and must not be dropped.
+func closesWritePath(pass *Pass, body *ast.BlockStmt, closeCall *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(closeCall.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base := baseIdent(sel.X)
+	if base == nil {
+		return false
+	}
+	obj := pass.Pkg.Info.ObjectOf(base)
+	if obj == nil {
+		return false
+	}
+	sameObj := func(e ast.Expr) bool {
+		b := baseIdent(e)
+		return b != nil && pass.Pkg.Info.ObjectOf(b) == obj
+	}
+	written := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if written {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if s, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sameObj(s.X) {
+			name := s.Sel.Name
+			if strings.HasPrefix(name, "Write") || name == "ReadFrom" {
+				written = true
+				return false
+			}
+		}
+		if fn := calleeFunc(pass, call); fn != nil {
+			if idx, ok := writerArgIndex(fn); ok && idx < len(call.Args) && sameObj(call.Args[idx]) {
+				written = true
+				return false
+			}
+		}
+		return true
+	})
+	return written
+}
+
+// writerArgIndex returns the parameter position of fn that receives an
+// io.Writer the caller keeps responsibility for flushing.
+func writerArgIndex(fn *types.Func) (int, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return 0, false
+	}
+	name := fn.Name()
+	switch {
+	case pkg.Path() == "io" && strings.HasPrefix(name, "Copy"):
+		return 0, true
+	case pkg.Path() == "fmt" && strings.HasPrefix(name, "Fprint"):
+		return 0, true
+	case strings.HasPrefix(name, "New") &&
+		(strings.HasSuffix(name, "Encoder") || strings.HasSuffix(name, "Writer")):
+		return 0, true
+	}
+	return 0, false
 }
 
 // returnsError reports whether the call's sole or last result is error.

@@ -23,6 +23,8 @@ func NaiveReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCoun
 // rebuilt, so the same plan can serve several owners. Cost accounting is
 // identical to the build-per-call path — the query is still sent (and its
 // bytes counted) once per owner.
+//
+//csfltr:deterministic
 func NaiveWithPlan(plan *Plan, owner OwnerAPI, k int) ([]DocCount, Cost, error) {
 	if k <= 0 {
 		return nil, Cost{}, fmt.Errorf("%w: k=%d", ErrBadParams, k)
@@ -69,6 +71,8 @@ func RTKReverseTopK(q *Querier, owner OwnerAPI, term uint64, k int) ([]DocCount,
 // concurrent calls sharing a plan are safe. Cost accounting is identical
 // to the build-per-call path — the query is still sent (and its bytes
 // counted) once per owner.
+//
+//csfltr:deterministic
 func RTKWithPlan(plan *Plan, owner OwnerAPI, k int) ([]DocCount, Cost, error) {
 	if k <= 0 {
 		return nil, Cost{}, fmt.Errorf("%w: k=%d", ErrBadParams, k)
@@ -141,6 +145,7 @@ func RTKWithPlan(plan *Plan, owner OwnerAPI, k int) ([]DocCount, Cost, error) {
 			mergeZeroFill(priv.PV, o.rows, o.vals, vals)
 		}
 		est := sketch.EstimateFromRows(plan.params.SketchKind, plan.fam, priv.Term, rows, vals)
+		//csfltr:allow determinism -- candidates are fully re-ordered by topK's (count, id) sort before any order-dependent use
 		candidates = append(candidates, DocCount{DocID: int(id), Count: est})
 	}
 	return topK(candidates, k), cost, nil
@@ -165,6 +170,8 @@ func mergeZeroFill(pv, rows []int, vals, dst []float64) {
 
 // topK sorts results by descending count (ties by ascending id for
 // determinism) and truncates to k.
+//
+//csfltr:deterministic
 func topK(results []DocCount, k int) []DocCount {
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Count != results[j].Count {
@@ -181,10 +188,13 @@ func topK(results []DocCount, k int) []DocCount {
 // ExactReverseTopK computes the ground-truth reverse top-K over raw term
 // counts (no sketching, no privacy): the reference answer for cover-rate
 // evaluation. counts maps docID -> term -> count.
+//
+//csfltr:deterministic
 func ExactReverseTopK(counts map[int]map[uint64]int64, term uint64, k int) []DocCount {
 	results := make([]DocCount, 0, len(counts))
 	for id, tc := range counts {
 		if c := tc[term]; c > 0 {
+			//csfltr:allow determinism -- results are fully re-ordered by topK's (count, id) sort before any order-dependent use
 			results = append(results, DocCount{DocID: id, Count: float64(c)})
 		}
 	}

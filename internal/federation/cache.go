@@ -159,7 +159,11 @@ func (f *Federation) batchKeys(from string, req TopKRequest, gen uint64) (full, 
 // backfilled party would re-introduce the ranking's dependence on which
 // queries happened to be cached — the same reason the live merge is
 // all-or-nothing per party). Returns the per-term answers and the age
-// of the oldest one.
+// of the oldest one. Serving from cache re-releases bytes that were
+// already paid for when first fetched, so this is the zero-epsilon
+// replay contract.
+//
+//csfltr:replay
 func (f *Federation) staleBackfill(c *qcache.Cache, from, party string, terms []uint64) ([]cachedTask, time.Duration, bool) {
 	out := make([]cachedTask, 0, len(terms))
 	var oldest time.Duration

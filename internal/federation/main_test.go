@@ -1,0 +1,13 @@
+package federation
+
+import (
+	"testing"
+
+	"csfltr/internal/leakcheck"
+)
+
+// TestMain fails the package if the fan-out pool, cache backfill, or
+// hedged dispatch leaks a goroutine past the end of the test run.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -88,6 +88,8 @@ type rtkOut struct {
 // policy the quorum machinery runs, but the flat signature drops the
 // per-party report — callers that want degraded results should use
 // Search). Kept for compatibility with existing call sites.
+//
+//csfltr:releases
 func (f *Federation) FederatedSearch(from string, terms []uint64, k int) ([]SearchHit, core.Cost, error) {
 	res, err := f.Search(from, terms, k)
 	if err != nil {
@@ -156,6 +158,8 @@ func dedupeTerms(terms []uint64) []uint64 {
 // query's terms, bounded age — reported per party as OutcomeStale with
 // StaleFor); a backfilled party counts toward the quorum and toward a
 // complete (non-Partial) result.
+//
+//csfltr:releases
 func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, error) {
 	res, _, err := f.SearchTraced(from, terms, k)
 	return res, err
@@ -169,6 +173,8 @@ func (f *Federation) Search(from string, terms []uint64, k int) (*SearchResult, 
 // GET /v1/trace/{id}, alongside one flight-recorder audit record. With
 // tracing off the trace ID is "" and the search runs the untraced hot
 // path unchanged.
+//
+//csfltr:releases
 func (f *Federation) SearchTraced(from string, terms []uint64, k int) (*SearchResult, string, error) {
 	m := f.Server.metrics()
 	m.searchReqs.Inc()
@@ -200,6 +206,8 @@ func (f *Federation) SearchTraced(from string, terms []uint64, k int) (*SearchRe
 
 // searchDispatch runs the cache and coalescing tiers in front of the
 // fan-out, threading the per-query trace/audit state through.
+//
+//csfltr:releases
 func (f *Federation) searchDispatch(src *Party, from string, uniq []uint64, k int,
 	run *searchRun) (*SearchResult, error) {
 	m := f.Server.metrics()
@@ -277,6 +285,8 @@ func allOK(res *SearchResult) bool {
 // enabled it still consults the task tier per (party, term) and
 // backfills lost parties from stale entries; with the cache disabled it
 // is byte-for-byte the pre-cache search.
+//
+//csfltr:releases
 func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k int,
 	run *searchRun) (*SearchResult, error) {
 	m := f.Server.metrics()

@@ -1,0 +1,74 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCatchesDeliberateLeak is the acceptance check: a goroutine parked
+// on a channel nobody sends to must show up in the diff, and must
+// disappear once released.
+func TestCatchesDeliberateLeak(t *testing.T) {
+	baseline := Snapshot()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release // parked: this is the leak
+	}()
+	<-started
+
+	leaked := Leaked(baseline, 50*time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("deliberately leaked goroutine was not detected")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g.Stack, "TestCatchesDeliberateLeak") {
+			found = true
+			if g.State != "chan receive" {
+				t.Errorf("leaked goroutine state = %q, want chan receive", g.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("leak report does not implicate this test; got %d other goroutine(s)", len(leaked))
+	}
+
+	close(release)
+	if still := Leaked(baseline, 2*time.Second); len(still) != 0 {
+		t.Fatalf("released goroutine still reported as leaked: %d remain", len(still))
+	}
+}
+
+// TestSnapshotIgnoresInfrastructure asserts the runtime/testing
+// machinery never pollutes a baseline.
+func TestSnapshotIgnoresInfrastructure(t *testing.T) {
+	for _, g := range Snapshot() {
+		if strings.Contains(g.Stack, "testing.(*M).Run") {
+			t.Errorf("test driver goroutine not ignored:\n%s", g.Stack)
+		}
+	}
+}
+
+func TestParseGoroutine(t *testing.T) {
+	block := "goroutine 42 [chan receive]:\nmain.worker()\n\t/tmp/x.go:10 +0x20\ncreated by main.main\n\t/tmp/x.go:5 +0x44"
+	g, ok := parseGoroutine(block)
+	if !ok {
+		t.Fatal("parseGoroutine failed")
+	}
+	if g.ID != 42 || g.State != "chan receive" {
+		t.Errorf("parsed (%d, %q), want (42, chan receive)", g.ID, g.State)
+	}
+	if _, ok := parseGoroutine("not a goroutine header"); ok {
+		t.Error("garbage block must not parse")
+	}
+}
+
+// TestMain wires leakcheck into its own package, so the suite guards
+// itself.
+func TestMain(m *testing.M) {
+	Main(m)
+}

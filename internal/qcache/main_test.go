@@ -1,0 +1,13 @@
+package qcache
+
+import (
+	"testing"
+
+	"csfltr/internal/leakcheck"
+)
+
+// TestMain fails the package if a singleflight waiter or stale-serve
+// refresh goroutine outlives the test run.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

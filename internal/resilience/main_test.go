@@ -1,0 +1,14 @@
+package resilience
+
+import (
+	"testing"
+
+	"csfltr/internal/leakcheck"
+)
+
+// TestMain fails the package if an abandoned attempt goroutine (a
+// timed-out Call writing into its buffered result channel) or a chaos
+// injector outlives the test run past the drain grace period.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -162,6 +162,8 @@ func (t *Table) AddConservative(term uint64, count int64) error {
 // Merge (which adds), the result upper-bounds both inputs and is the
 // correct combination rule for conservative-update tables, at the price
 // of no longer being a sketch of the multiset union.
+//
+//csfltr:deterministic
 func (t *Table) MergeMax(other *Table) error {
 	if other == nil {
 		return fmt.Errorf("%w: nil other", ErrIncompatible)
@@ -370,6 +372,8 @@ func quickselect(xs []float64, k int) {
 // Merge adds other into t cell-wise. Both tables must share kind and hash
 // family geometry (same Z, W, seed and hash kind), otherwise the merged
 // sketch would be meaningless.
+//
+//csfltr:deterministic
 func (t *Table) Merge(other *Table) error {
 	if other == nil {
 		return fmt.Errorf("%w: nil other", ErrIncompatible)

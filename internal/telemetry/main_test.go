@@ -1,0 +1,13 @@
+package telemetry
+
+import (
+	"testing"
+
+	"csfltr/internal/leakcheck"
+)
+
+// TestMain fails the package if a span exporter or recorder goroutine
+// outlives the test run.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -181,15 +181,18 @@ func (tv TermVector) Counts() []float64 {
 // generating topic for synthetic corpora (-1 when unknown); it is ground
 // truth only and never visible to the algorithms under test.
 //
-// Documents are silo-private: their raw term sequences must never be
-// marshalled, logged, or sent across the federation transport.
-//
-//csfltr:private
+// A document's raw term sequences are silo-private: Title and Body
+// must never be marshalled, logged, or sent across the federation
+// transport. ID and Topic are local bookkeeping (the paper's Definition
+// 2 treats document identity and lengths as non-private), so they may
+// appear in error messages and diagnostics.
 type Document struct {
 	ID    int
 	Topic int
+	//csfltr:private
 	Title []TermID
-	Body  []TermID
+	//csfltr:private
+	Body []TermID
 
 	titleCounts TermVector
 	bodyCounts  TermVector
