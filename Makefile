@@ -66,6 +66,7 @@ fuzz:
 	$(GO) test -fuzz FuzzWritePrometheus -fuzztime 30s ./internal/telemetry/
 	$(GO) test -fuzz FuzzTraceExport -fuzztime 30s ./internal/telemetry/
 	$(GO) test -fuzz FuzzCacheKey -fuzztime 30s ./internal/qcache/
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
 
 # Regenerate every table and figure at the shape-faithful default scale
 # (about 20 minutes; see EXPERIMENTS.md).

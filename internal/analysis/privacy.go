@@ -199,6 +199,10 @@ func sinkKind(fn *types.Func) string {
 	case isTelemetryPath(path) && (name == "AStr" || name == "AInt" ||
 		name == "AFloat" || name == "ABool"):
 		return "trace attribute"
+	case isWirePath(path) && (strings.HasPrefix(name, "Append") || name == "Pack"):
+		// The binary codec's encoders put their arguments on the
+		// federation wire, exactly like a wire-struct field assignment.
+		return "wire encode"
 	}
 	return ""
 }
@@ -206,7 +210,7 @@ func sinkKind(fn *types.Func) string {
 // sinkTarget names where the data would leak for the diagnostic text.
 func sinkTarget(kind string) string {
 	switch kind {
-	case "wire struct field":
+	case "wire struct field", "wire encode":
 		return "the federation wire"
 	case "marshal call":
 		return "a serialized payload"
@@ -223,6 +227,12 @@ func sinkTarget(kind string) string {
 // stand-in ending in /telemetry).
 func isTelemetryPath(path string) bool {
 	return path == "csfltr/internal/telemetry" || strings.HasSuffix(path, "/telemetry")
+}
+
+// isWirePath matches this repo's binary codec package (and a fixture
+// stand-in ending in /wire).
+func isWirePath(path string) bool {
+	return path == "csfltr/internal/wire" || strings.HasSuffix(path, "/wire")
 }
 
 // calleeFunc resolves the *types.Func a call invokes (nil for builtins,

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"csfltr/internal/telemetry"
+	"csfltr/internal/wire"
 )
 
 // TermVector is a stand-in for the raw term-count vector.
@@ -113,4 +114,26 @@ type CleanAuditRow struct {
 	Term    string  `json:"term"` // keyed hash, not the raw term
 	Queries int     `json:"queries"`
 	Epsilon float64 `json:"epsilon"`
+}
+
+// RawRows is a stand-in for an unsketched per-document count matrix.
+//
+//csfltr:private
+type RawRows [][]int64
+
+// RawFrame is a stand-in for a serialized private blob.
+//
+//csfltr:private
+type RawFrame []byte
+
+// wireSinks exercises the binary codec boundary: the wire package's
+// encoders put their arguments on the federation wire, so only sketch
+// rows, obfuscated columns and DP-noised values may reach them — never
+// a marked raw value.
+func wireSinks(raw RawRows, frame RawFrame, sketched [][]int64, payload []byte) {
+	_ = wire.AppendRowMatrix(nil, raw)      // want "passed to wire encode"
+	_ = wire.Pack(nil, frame)               // want "passed to wire encode"
+	_ = wire.AppendRowMatrix(nil, sketched) // ok: sketched rows are released material
+	_ = wire.Pack(nil, payload)             // ok: derived payload
+	_ = wire.AppendUvarint(nil, uint64(len(raw))) // ok: a count, not the matrix
 }

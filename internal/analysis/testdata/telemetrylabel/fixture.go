@@ -62,3 +62,12 @@ func allowedLabel(reg *telemetry.Registry, docID int) {
 	//csfltr:allow telemetrylabel -- fixture: suppression must silence the finding below
 	reg.Counter("j_total", "h", telemetry.L("doc", strconv.Itoa(docID))).Inc()
 }
+
+// transportLabels mirrors the csfltr_transport_bytes_total family: the
+// codec and api labels are tiny enums ({raw,wire} and a fixed API set),
+// but a rendered wire frame — or any per-payload digest of one — is one
+// series per message and must stay out of labels.
+func transportLabels(reg *telemetry.Registry, codec, api string, frame []byte) {
+	reg.Counter("y_total", "h", telemetry.L("codec", codec), telemetry.L("api", api)).Inc() // ok: {raw,wire} x fixed API set
+	reg.Counter("z_total", "h", telemetry.L("frame", fmt.Sprintf("%x", frame))).Inc()       // want "unbounded value"
+}

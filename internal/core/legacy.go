@@ -1,0 +1,106 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"csfltr/internal/sketch"
+)
+
+// boxedCell adapts one RTK cell to container/heap.Interface — the shape
+// of the original bulk loader. Every heap.Push and heap.Pop round-trips
+// an Entry through an interface value, the boxing that made the old
+// loader allocate roughly twice per cell per document (~13M allocations
+// for a 1200-document batch at default geometry).
+type boxedCell struct{ h *cellHeap }
+
+func (b *boxedCell) Len() int           { return len(b.h.entries) }
+func (b *boxedCell) Less(i, j int) bool { return b.h.less(b.h.entries[i], b.h.entries[j]) }
+func (b *boxedCell) Swap(i, j int) {
+	es := b.h.entries
+	es[i], es[j] = es[j], es[i]
+}
+func (b *boxedCell) Push(x any) { b.h.entries = append(b.h.entries, x.(Entry)) }
+func (b *boxedCell) Pop() any {
+	es := b.h.entries
+	e := es[len(es)-1]
+	b.h.entries = es[:len(es)-1]
+	return e
+}
+
+// AddDocumentsReplay bulk-loads a batch with the original pre-accumulator
+// ingestion strategy: a fresh sketch table per document and boxed
+// container/heap pushes into every cell ("push then pop the minimum" on
+// overflow). The eviction order is the same strict total order as the
+// current loader, so the final owner state is identical to AddDocuments
+// over the same batch — which is exactly why it is kept: benchmarks and
+// the experiments sweep measure the current loader against the real
+// legacy cost profile in the same run, and can verify equivalence while
+// doing so.
+//
+// Deprecated: use AddDocuments. This is a measured reference baseline,
+// not a supported ingestion path.
+func (o *Owner) AddDocumentsReplay(docs []DocCounts) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(docs) == 0 {
+		return nil
+	}
+	inBatch := make(map[int]struct{}, len(docs))
+	for _, d := range docs {
+		if _, dup := o.meta[d.DocID]; dup {
+			return fmt.Errorf("core: duplicate document id %d", d.DocID)
+		}
+		if _, dup := inBatch[d.DocID]; dup {
+			return fmt.Errorf("core: duplicate document id %d", d.DocID)
+		}
+		inBatch[d.DocID] = struct{}{}
+	}
+	z, w := o.params.Z, o.params.W
+	heapCap := o.params.HeapCap()
+	// container/heap assumes the invariant holds at all times, but cells
+	// below capacity are plain append buffers on the current push path;
+	// establish the invariant once up front.
+	for c := range o.rtk.cells {
+		if h := &o.rtk.cells[c]; len(h.entries) > 1 {
+			h.heapify()
+		}
+	}
+	for _, d := range docs {
+		table, err := sketch.New(o.params.SketchKind, o.fam)
+		if err != nil {
+			return err
+		}
+		table.AddCounts(d.Counts)
+		id := int32(d.DocID)
+		for i := 0; i < z; i++ {
+			for j := 0; j < w; j++ {
+				bc := boxedCell{h: &o.rtk.cells[i*w+j]}
+				heap.Push(&bc, Entry{DocID: id, Value: table.Cell(i, uint32(j))})
+				if len(bc.h.entries) > heapCap {
+					heap.Pop(&bc)
+				}
+			}
+		}
+		if o.keepDocTables {
+			o.docTables[d.DocID] = table
+		}
+		length := 0
+		for _, c := range d.Counts {
+			length += int(c)
+		}
+		o.meta[d.DocID] = docMeta{length: length, unique: len(d.Counts)}
+		o.trackID(d.DocID)
+		o.rtk.docs++
+	}
+	// The boxed pushes bypass the cached floor keys; refresh them so the
+	// fast-reject on any later push sees the true cell minimum.
+	for c := range o.rtk.cells {
+		if h := &o.rtk.cells[c]; len(h.entries) > 0 {
+			h.minKey = h.key(h.entries[0])
+		}
+	}
+	o.idsSorted = false
+	o.generation.Add(1)
+	return nil
+}

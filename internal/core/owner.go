@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,7 @@ type Owner struct {
 	meta          map[int]docMeta
 	rtk           *RTKSketch
 	ids           []int
+	idPos         map[int]int // docID -> index in ids (kept in sync with ids)
 	idsSorted     bool
 	// generation counts corpus mutations (atomic so readers need not
 	// take the owner mutex); see Generation.
@@ -120,6 +122,7 @@ func NewOwner(params Params, seed uint64, mech dp.Mechanism, opts ...OwnerOption
 		docTables:     make(map[int]*sketch.Table),
 		meta:          make(map[int]docMeta),
 		rtk:           rtk,
+		idPos:         make(map[int]int),
 	}
 	for _, opt := range opts {
 		opt(o)
@@ -168,10 +171,30 @@ func (o *Owner) AddDocument(docID int, counts map[uint64]int64) error {
 		o.docTables[docID] = table
 	}
 	o.meta[docID] = docMeta{length: length, unique: len(counts)}
-	o.ids = append(o.ids, docID)
+	o.trackID(docID)
 	o.idsSorted = false
 	o.generation.Add(1)
 	return nil
+}
+
+// trackID appends docID to the id roster and records its position so
+// RemoveDocument can swap-delete it without scanning. Callers hold o.mu.
+func (o *Owner) trackID(docID int) {
+	o.idPos[docID] = len(o.ids)
+	o.ids = append(o.ids, docID)
+}
+
+// sortIDs sorts the roster ascending and refreshes the position index.
+// Callers hold o.mu.
+func (o *Owner) sortIDs() {
+	if o.idsSorted {
+		return
+	}
+	sort.Ints(o.ids)
+	for i, id := range o.ids {
+		o.idPos[id] = i
+	}
+	o.idsSorted = true
 }
 
 // DocCounts pairs a document id with its term counts — one unit of a
@@ -184,16 +207,31 @@ type DocCounts struct {
 // AddDocuments bulk-loads a batch of documents on a bounded worker pool
 // (workers <= 0 resolves to Params.Workers, i.e. GOMAXPROCS by default).
 // The final owner state is identical to calling AddDocument for each
-// element in slice order: per-document sketch tables are built in
-// parallel (the hashing-heavy stage), then folded into the RTK-Sketch
-// with the rows partitioned across workers — each worker owns a disjoint
-// row band and replays the documents in slice order, so every heap sees
-// the same push sequence the sequential path would issue.
+// element: every worker folds its contiguous document stripe into a
+// private accumulator (building and hashing the per-document sketch
+// tables as it goes — the table is pooled scratch unless the owner
+// retains per-document sketches), then one deterministic merge pass
+// folds the stripe survivors into the shared RTK-Sketch with the rows
+// partitioned across workers. Eviction is a strict total order, so the
+// surviving entries per cell depend only on the document set, never on
+// the stripe boundaries or merge interleaving (see cellHeap).
 //
 // On error (duplicate id, geometry mismatch) the owner is left unchanged;
 // unlike a sequential AddDocument loop there is no partially-applied
 // prefix.
 func (o *Owner) AddDocuments(docs []DocCounts, workers int) error {
+	// Ingestion is CPU-bound: a pool wider than the machine only adds
+	// stripe bookkeeping and a larger merge, so explicit pool sizes are
+	// clamped to GOMAXPROCS. The unexported addDocuments keeps the
+	// requested width so equivalence tests can force real
+	// multi-accumulator merges on any host.
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	return o.addDocuments(docs, workers)
+}
+
+func (o *Owner) addDocuments(docs []DocCounts, workers int) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if len(docs) == 0 {
@@ -216,63 +254,25 @@ func (o *Owner) AddDocuments(docs []DocCounts, workers int) error {
 		workers = len(docs)
 	}
 
-	// Stage 1: build one sketch table per document, documents striped
-	// across the pool. Nothing is mutated on the owner yet, so a failure
-	// here aborts cleanly.
-	tables := make([]*sketch.Table, len(docs))
-	errs := make([]error, workers)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(docs) {
-					return
-				}
-				t, err := sketch.New(o.params.SketchKind, o.fam)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				t.AddCounts(docs[i].Counts)
-				tables[i] = t
-			}
-		}(w)
+	var tables []*sketch.Table
+	if o.keepDocTables {
+		tables = make([]*sketch.Table, len(docs))
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+
+	if workers == 1 {
+		// Single-worker fast path: fold each document's table straight
+		// into the RTK-Sketch. The stripe/merge split exists to give
+		// concurrent workers private state; at pool size one it would
+		// only copy every surviving entry a second time.
+		if err := o.bulkFold1(docs, tables); err != nil {
 			return err
 		}
+	} else if err := o.bulkFoldStriped(docs, tables, workers); err != nil {
+		return err
 	}
-
-	// Stage 2: fold every table into the RTK-Sketch, rows sharded across
-	// the pool; each band replays the batch in slice order (see
-	// updateRows for why this reproduces the sequential state).
-	z := o.params.Z
-	bands := workers
-	if bands > z {
-		bands = z
-	}
-	wg = sync.WaitGroup{}
-	for b := 0; b < bands; b++ {
-		lo := b * z / bands
-		hi := (b + 1) * z / bands
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i, d := range docs {
-				o.rtk.updateRows(d.DocID, tables[i], lo, hi)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 	o.rtk.addDocs(len(docs))
 
-	// Stage 3: metadata, in slice order.
+	// Metadata, in slice order.
 	for i, d := range docs {
 		length := 0
 		for _, c := range d.Counts {
@@ -282,10 +282,132 @@ func (o *Owner) AddDocuments(docs []DocCounts, workers int) error {
 			o.docTables[d.DocID] = tables[i]
 		}
 		o.meta[d.DocID] = docMeta{length: length, unique: len(d.Counts)}
-		o.ids = append(o.ids, d.DocID)
+		o.trackID(d.DocID)
 	}
 	o.idsSorted = false
 	o.generation.Add(1)
+	return nil
+}
+
+// bulkFold1 is the single-worker bulk fold: each document's table goes
+// straight into the shared RTK-Sketch, with one pooled scratch table
+// reused across the whole batch when per-document sketches are not
+// retained. Callers hold o.mu and have validated the batch. The only
+// error source is sketch.New, a pure function of the owner's parameters:
+// it fails before the first fold or never, so a failure leaves the owner
+// unmutated.
+func (o *Owner) bulkFold1(docs []DocCounts, tables []*sketch.Table) error {
+	z := o.params.Z
+	var scratch *sketch.Table
+	for i := range docs {
+		t := scratch
+		if t == nil {
+			var err error
+			if t, err = sketch.New(o.params.SketchKind, o.fam); err != nil {
+				return err
+			}
+		} else {
+			t.Reset()
+		}
+		t.AddCounts(docs[i].Counts)
+		o.rtk.updateRows(docs[i].DocID, t, 0, z)
+		if tables != nil {
+			tables[i] = t
+		} else {
+			scratch = t
+		}
+	}
+	return nil
+}
+
+// bulkFoldStriped is the concurrent bulk fold: stage 1 folds each
+// worker's document stripe into a private accumulator, stage 2 merges
+// the stripe survivors into the shared sketch with the rows partitioned
+// across the pool. Callers hold o.mu and have validated the batch;
+// nothing on the owner is mutated until every stripe has succeeded.
+func (o *Owner) bulkFoldStriped(docs []DocCounts, tables []*sketch.Table, workers int) error {
+	// Stage 1: each worker folds its document stripe into a private
+	// accumulator. Nothing is mutated on the owner yet, so a failure here
+	// aborts cleanly. A stripe of s documents pushes exactly s entries
+	// per cell, so the accumulator cap is min(heapCap, stripe size).
+	z, w := o.params.Z, o.params.W
+	heapCap := o.params.HeapCap()
+	abs := o.params.SketchKind == sketch.Count
+	accums := make([]*rtkAccum, workers)
+	errs := make([]error, workers)
+	stripe := func(wk, lo, hi int) {
+		acap := heapCap
+		if n := hi - lo; n < acap {
+			acap = n
+		}
+		acc := getAccum(z*w, acap, abs)
+		accums[wk] = acc
+		var scratch *sketch.Table
+		for i := lo; i < hi; i++ {
+			t := scratch
+			if t == nil {
+				var err error
+				if t, err = sketch.New(o.params.SketchKind, o.fam); err != nil {
+					errs[wk] = err
+					return
+				}
+			} else {
+				t.Reset()
+			}
+			t.AddCounts(docs[i].Counts)
+			acc.addTable(docs[i].DocID, t, z, w)
+			if tables != nil {
+				tables[i] = t
+			} else {
+				scratch = t
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * len(docs) / workers
+		hi := (wk + 1) * len(docs) / workers
+		wg.Add(1)
+		go func(wk, lo, hi int) {
+			defer wg.Done()
+			stripe(wk, lo, hi)
+		}(wk, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, a := range accums {
+				putAccum(a)
+			}
+			return err
+		}
+	}
+
+	// Stage 2: the single merge pass, rows sharded across the pool
+	// (disjoint row bands never touch the same heap; the merged set per
+	// cell is order-independent, see mergeAccumRows).
+	bands := workers
+	if bands > z {
+		bands = z
+	}
+	if bands == 1 {
+		o.rtk.mergeAccumRows(accums, 0, z)
+	} else {
+		var mg sync.WaitGroup
+		for b := 0; b < bands; b++ {
+			lo := b * z / bands
+			hi := (b + 1) * z / bands
+			mg.Add(1)
+			go func(lo, hi int) {
+				defer mg.Done()
+				o.rtk.mergeAccumRows(accums, lo, hi)
+			}(lo, hi)
+		}
+		mg.Wait()
+	}
+	for _, a := range accums {
+		putAccum(a)
+	}
 	return nil
 }
 
@@ -300,12 +422,19 @@ func (o *Owner) RemoveDocument(docID int) error {
 	o.rtk.Delete(docID)
 	delete(o.docTables, docID)
 	delete(o.meta, docID)
-	for i, id := range o.ids {
-		if id == docID {
-			o.ids = append(o.ids[:i], o.ids[i+1:]...)
-			break
-		}
+	// Swap-delete via the position index instead of the old O(n)
+	// scan-and-splice of the roster; re-sorting is deferred to the next
+	// DocIDs call, like after an insertion.
+	i := o.idPos[docID]
+	last := len(o.ids) - 1
+	if i != last {
+		moved := o.ids[last]
+		o.ids[i] = moved
+		o.idPos[moved] = i
+		o.idsSorted = false
 	}
+	o.ids = o.ids[:last]
+	delete(o.idPos, docID)
 	o.generation.Add(1)
 	return nil
 }
@@ -314,10 +443,7 @@ func (o *Owner) RemoveDocument(docID int) error {
 func (o *Owner) DocIDs() []int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if !o.idsSorted {
-		sort.Ints(o.ids)
-		o.idsSorted = true
-	}
+	o.sortIDs()
 	return append([]int(nil), o.ids...)
 }
 

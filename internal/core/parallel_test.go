@@ -169,7 +169,10 @@ func TestAddDocumentsMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := bulk.AddDocuments(docs, workers); err != nil {
+			// The unexported entry point skips the GOMAXPROCS clamp so
+			// every pool size exercises a real multi-accumulator merge,
+			// whatever the host's core count.
+			if err := bulk.addDocuments(docs, workers); err != nil {
 				t.Fatal(err)
 			}
 			if !reflect.DeepEqual(seq.DocIDs(), bulk.DocIDs()) {
@@ -209,6 +212,53 @@ func TestAddDocumentsMatchesSequential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAddDocumentsReplayMatchesBulk: the retained legacy loader (boxed
+// container/heap pushes) must produce exactly the same owner state as
+// the accumulator loader and the public clamped path — that equivalence
+// is what lets the experiments sweep use it as an in-run baseline.
+func TestAddDocumentsReplayMatchesBulk(t *testing.T) {
+	p := testParams()
+	docs := bulkBatch(180, 15, 5)
+	legacy, err := NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.AddDocumentsReplay(docs); err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := NewOwner(p, 42, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bulk.AddDocuments(docs, 4); err != nil { // public path, clamped
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy.DocIDs(), bulk.DocIDs()) {
+		t.Fatal("document id sets differ")
+	}
+	q, err := NewQuerier(p, 42, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []uint64{3, 77, 401} {
+		plan := q.Plan(term)
+		want, err := legacy.AnswerRTK(plan.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := bulk.AnswerRTK(plan.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("AnswerRTK(term %d) differs between legacy replay and bulk", term)
+		}
+	}
+	if legacy.RTKSizeBytes() != bulk.RTKSizeBytes() {
+		t.Fatal("RTK sizes differ between legacy replay and bulk")
 	}
 }
 
@@ -260,24 +310,92 @@ func TestAddDocumentsAtomicOnError(t *testing.T) {
 	}
 }
 
-// BenchmarkOwnerAddDocuments measures bulk ingestion at several pool
-// sizes (sequential baseline first). On a single-core host the curve is
-// flat; with real cores stage 1 (per-document hashing) scales.
+// BenchmarkOwnerAddDocuments measures bulk ingestion over a batch-size
+// by pool-size grid (sequential baseline first). On a single-core host
+// the worker curve is flat — the public API clamps the pool to
+// GOMAXPROCS — with real cores stage 1 (per-document hashing) scales.
 func BenchmarkOwnerAddDocuments(b *testing.B) {
 	p := DefaultParams()
-	docs := bulkBatch(300, 60, 1)
-	for _, workers := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				o, err := NewOwner(p, 42, dp.Disabled())
-				if err != nil {
-					b.Fatal(err)
+	for _, size := range []int{100, 300, 1000} {
+		docs := bulkBatch(size, 60, 1)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("docs=%d/workers=%d", size, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					o, err := NewOwner(p, 42, dp.Disabled())
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := o.AddDocuments(docs, workers); err != nil {
+						b.Fatal(err)
+					}
 				}
-				if err := o.AddDocuments(docs, workers); err != nil {
-					b.Fatal(err)
-				}
+			})
+		}
+	}
+}
+
+// TestAddDocumentsPooledAllocs pins the scratch-pooling contract: once
+// the accumulator pool and the heaps are warm, steady-state ingestion
+// allocates a small constant per document (metadata map entries, roster
+// growth) — not the per-document sketch tables and boxed heap entries
+// of the legacy path (~16k allocations per document on the eviction
+// shape).
+func TestAddDocumentsPooledAllocs(t *testing.T) {
+	p := DefaultParams()
+	p.Z, p.W, p.Z1, p.K = 8, 64, 4, 20 // small geometry keeps the test fast
+	o, err := NewOwner(p, 42, dp.Disabled(), WithoutDocTables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddDocuments(bulkBatch(200, 40, 3), 1); err != nil {
+		t.Fatal(err)
+	}
+	batch := bulkBatch(50, 40, 4)
+	for i := range batch {
+		batch[i].DocID += 10_000 // disjoint from the warm-up roster
+	}
+	perRun := testing.AllocsPerRun(5, func() {
+		if err := o.AddDocuments(batch, 1); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range batch {
+			if err := o.RemoveDocument(d.DocID); err != nil {
+				t.Fatal(err)
 			}
-		})
+		}
+	})
+	if perDoc := perRun / float64(len(batch)); perDoc > 12 {
+		t.Fatalf("steady-state ingest allocates %.1f/doc (run %.0f), want <= 12", perDoc, perRun)
+	}
+}
+
+// BenchmarkOwnerRemoveDocument measures single-document removal on a
+// 10k-document owner — the swap-delete via the position index that
+// replaced the O(n) roster scan. Each iteration removes and re-adds one
+// document so the roster size stays fixed.
+func BenchmarkOwnerRemoveDocument(b *testing.B) {
+	p := DefaultParams()
+	o, err := NewOwner(p, 42, dp.Disabled(), WithoutDocTables())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := o.AddDocuments(bulkBatch(10_000, 10, 1), 1); err != nil {
+		b.Fatal(err)
+	}
+	victim := bulkBatch(1, 10, 2)
+	victim[0].DocID = 20_000
+	if err := o.AddDocuments(victim, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.RemoveDocument(victim[0].DocID); err != nil {
+			b.Fatal(err)
+		}
+		if err := o.AddDocuments(victim, 1); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -76,11 +76,17 @@ func (o *Owner) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	// RTK-Sketch cells.
+	// RTK-Sketch cells, each in canonical ascending-DocID order: the
+	// internal heap layout depends on ingestion history (sequential vs
+	// bulk), but the snapshot must be a pure function of the corpus so
+	// save -> load -> save stays byte-stable.
+	scratch := make([]Entry, 0, o.params.HeapCap())
 	for c := range o.rtk.cells {
 		h := &o.rtk.cells[c]
-		put64(uint64(len(h.entries)))
-		for _, e := range h.entries {
+		scratch = append(scratch[:0], h.entries...)
+		sortEntriesByDoc(scratch)
+		put64(uint64(len(scratch)))
+		for _, e := range scratch {
 			put64(uint64(int64(e.DocID)))
 			put64(uint64(e.Value))
 		}
@@ -207,7 +213,7 @@ func ReadOwner(r io.Reader, mech dp.Mechanism) (*Owner, error) {
 		}
 		docID := int(int64(id))
 		o.meta[docID] = docMeta{length: int(int64(length)), unique: int(int64(unique))}
-		o.ids = append(o.ids, docID)
+		o.trackID(docID)
 		if keep == 1 {
 			var tblLen uint64
 			if !read(&tblLen) || tblLen > 1<<32 {
@@ -239,6 +245,9 @@ func ReadOwner(r io.Reader, mech dp.Mechanism) (*Owner, error) {
 			}
 			h.entries[j] = Entry{DocID: int32(int64(id)), Value: int64(val)}
 		}
+		// Snapshots store cells in canonical DocID order; restore the
+		// heap invariant so later pushes keep evicting the true minimum.
+		h.heapify()
 	}
 	var docs uint64
 	if !read(&docs) {

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
+	"sync"
 
 	"csfltr/internal/hashutil"
 	"csfltr/internal/sketch"
@@ -20,9 +21,28 @@ type Entry struct {
 // (sign-weighted) contribution plus collision noise, and the querier
 // recovers the sign later, so magnitude is what predicts relevance. For
 // Count-Min the key is Value itself (always non-negative).
+//
+// The heap order is a strict total order — key ascending, ties broken by
+// DocID descending — so the set of entries surviving a sequence of
+// capped pushes depends only on the pushed set, never on push order or
+// on how the pushes were partitioned across accumulators. That
+// content-addressed determinism is what lets the bulk loader fold
+// per-worker stripes independently and merge them afterwards while
+// staying bit-identical to a sequential AddDocument loop (all observable
+// surfaces emit entries in canonical ascending-DocID order; see Cell).
+//
+// The sift code is hand-rolled rather than container/heap: the interface
+// boxing of heap.Push/heap.Pop dominated the bulk-ingest allocation
+// profile (two boxed Entry values per cell per document, ~13M allocs per
+// 1200-document batch).
 type cellHeap struct {
 	entries []Entry
 	abs     bool // order by |Value| (Count Sketch) instead of Value
+	// minKey caches key(entries[0]) while the cell is full (set by
+	// heapify and maintained by push), so the overwhelmingly common
+	// outcome on a full cell — rejection — costs one comparison against
+	// a field already in cache instead of a load from the entry slab.
+	minKey int64
 }
 
 func (h *cellHeap) key(e Entry) int64 {
@@ -34,16 +54,160 @@ func (h *cellHeap) key(e Entry) int64 {
 	return e.Value
 }
 
-func (h *cellHeap) Len() int           { return len(h.entries) }
-func (h *cellHeap) Less(i, j int) bool { return h.key(h.entries[i]) < h.key(h.entries[j]) }
-func (h *cellHeap) Swap(i, j int)      { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *cellHeap) Push(x any)         { h.entries = append(h.entries, x.(Entry)) }
-func (h *cellHeap) Pop() any {
-	old := h.entries
-	n := len(old)
-	e := old[n-1]
-	h.entries = old[:n-1]
-	return e
+// less is the strict total eviction order: smaller key first, ties by
+// larger DocID first — so when keys tie at the cap boundary the larger
+// DocID is evicted and the surviving set stays order-independent.
+func (h *cellHeap) less(a, b Entry) bool {
+	ka, kb := h.key(a), h.key(b)
+	if ka != kb {
+		return ka < kb
+	}
+	return a.DocID > b.DocID
+}
+
+// push inserts e, keeping at most cap entries: once full, e replaces the
+// minimum iff it beats it, which is exactly "push then evict the
+// minimum" without ever growing past cap.
+//
+// While a cell is below capacity the entries are a plain unordered
+// append buffer — the heap invariant is only needed to locate the
+// eviction minimum, so it is established lazily (one heapify) the
+// moment the cell first fills. Under-capacity corpora therefore ingest
+// at append speed with zero sift work, which is where the bulk of the
+// old per-push sifting went.
+func (h *cellHeap) push(e Entry, cap int) {
+	if len(h.entries) < cap {
+		h.entries = append(h.entries, e)
+		if len(h.entries) == cap {
+			h.heapify()
+		}
+		return
+	}
+	if cap <= 0 {
+		return
+	}
+	ke := h.key(e)
+	if ke < h.minKey {
+		return // below the floor: rejected without touching the slab
+	}
+	if ke == h.minKey && e.DocID >= h.entries[0].DocID {
+		return // ties on the floor keep the smaller DocID
+	}
+	h.entries[0] = e
+	h.siftDown(0)
+	h.minKey = h.key(h.entries[0])
+}
+
+func (h *cellHeap) siftDown(i int) {
+	n := len(h.entries)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.entries[r], h.entries[l]) {
+			m = r
+		}
+		if !h.less(h.entries[m], h.entries[i]) {
+			return
+		}
+		h.entries[i], h.entries[m] = h.entries[m], h.entries[i]
+		i = m
+	}
+}
+
+// heapify restores the heap invariant (and the cached minimum key) over
+// an arbitrarily ordered entry slice — when a cell first fills, after a
+// bulk removal, or after a snapshot load.
+func (h *cellHeap) heapify() {
+	for i := len(h.entries)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	if len(h.entries) > 0 {
+		h.minKey = h.key(h.entries[0])
+	}
+}
+
+// sortEntriesByDoc puts a cell copy into the canonical ascending-DocID
+// order every observable surface (Cell, AnswerRTK, snapshots) uses.
+func sortEntriesByDoc(es []Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].DocID < es[j].DocID })
+}
+
+// rtkAccum is a per-worker private accumulator used by the bulk loader:
+// the same z x w grid of capped cells as the RTK-Sketch, but backed by a
+// single fixed-stride Entry slab (cell c owns slab[c*cap : (c+1)*cap])
+// so building one costs two allocations regardless of batch size. Each
+// worker folds its document stripe into its own accumulator without
+// synchronization; a deterministic merge pass folds the survivors into
+// the shared sketch afterwards.
+type rtkAccum struct {
+	cells   int
+	cap     int
+	abs     bool
+	lens    []int32
+	minKeys []int64 // per-cell cached floor key, valid once the cell is full
+	slab    []Entry
+}
+
+// accumPool recycles accumulator slabs across batches (and owners): at
+// default geometry one slab is z*w*heapCap entries, the dominant scratch
+// allocation of a bulk load.
+var accumPool sync.Pool
+
+// getAccum returns a pooled accumulator resized for the given grid.
+func getAccum(cells, cap int, abs bool) *rtkAccum {
+	a, _ := accumPool.Get().(*rtkAccum)
+	if a == nil {
+		a = &rtkAccum{}
+	}
+	a.cells, a.cap, a.abs = cells, cap, abs
+	need := cells * cap
+	if len(a.slab) < need {
+		a.slab = make([]Entry, need)
+	}
+	if len(a.lens) < cells {
+		a.lens = make([]int32, cells)
+		a.minKeys = make([]int64, cells)
+	} else {
+		for i := 0; i < cells; i++ {
+			a.lens[i] = 0
+		}
+	}
+	return a
+}
+
+// putAccum returns an accumulator to the pool.
+func putAccum(a *rtkAccum) {
+	if a != nil {
+		accumPool.Put(a)
+	}
+}
+
+// push folds one entry into cell c under the shared eviction order. The
+// three-index slice pins capacity to the cell's slab stride, so the
+// in-place append in cellHeap.push can never spill into a neighbour.
+func (a *rtkAccum) push(c int, e Entry) {
+	off := c * a.cap
+	v := cellHeap{
+		entries: a.slab[off : off+int(a.lens[c]) : off+a.cap],
+		abs:     a.abs,
+		minKey:  a.minKeys[c],
+	}
+	v.push(e, a.cap)
+	a.lens[c] = int32(len(v.entries))
+	a.minKeys[c] = v.minKey
+}
+
+// addTable folds one document's sketch table into every cell.
+func (a *rtkAccum) addTable(docID int, table *sketch.Table, z, w int) {
+	id := int32(docID)
+	for i := 0; i < z; i++ {
+		for j := 0; j < w; j++ {
+			a.push(i*w+j, Entry{DocID: id, Value: table.Cell(i, uint32(j))})
+		}
+	}
 }
 
 // RTKSketch is the paper's reverse top-K sketch (Section V-B): a z x w
@@ -99,21 +263,41 @@ func (s *RTKSketch) Update(docID int, table *sketch.Table) error {
 	return nil
 }
 
-// updateRows is Update restricted to rows [lo, hi). Rows partition the
-// cell array, so concurrent updateRows calls over disjoint row ranges
-// never touch the same heap; when every range processes documents in the
-// same order, the combined state is exactly what sequential Update calls
-// in that order would produce — this is what makes the bulk loader's
-// row-sharded parallelism deterministic.
+// updateRows is Update restricted to rows [lo, hi). Because eviction is
+// a strict total order, the surviving set per cell is a pure function of
+// the pushed set — any partition of the pushes over workers or
+// accumulators converges to the same state.
 func (s *RTKSketch) updateRows(docID int, table *sketch.Table, lo, hi int) {
+	cap := s.params.HeapCap()
+	w := s.params.W
+	id := int32(docID)
+	for i := lo; i < hi; i++ {
+		for j := 0; j < w; j++ {
+			s.cells[i*w+j].push(Entry{DocID: id, Value: table.Cell(i, uint32(j))}, cap)
+		}
+	}
+}
+
+// mergeAccumRows folds rows [lo, hi) of every per-worker accumulator
+// into the sketch — the bulk loader's single deterministic merge pass.
+// Correctness of the stripe/merge split: an entry in the global top-cap
+// of a cell is necessarily in the top-cap of its own stripe (fewer
+// competitors), so merging stripe survivors under the same total order
+// reproduces exactly the set sequential pushes would keep. Row ranges
+// partition the cell array, so concurrent calls over disjoint ranges
+// never touch the same heap.
+func (s *RTKSketch) mergeAccumRows(accums []*rtkAccum, lo, hi int) {
 	cap := s.params.HeapCap()
 	w := s.params.W
 	for i := lo; i < hi; i++ {
 		for j := 0; j < w; j++ {
-			h := &s.cells[i*w+j]
-			heap.Push(h, Entry{DocID: int32(docID), Value: table.Cell(i, uint32(j))})
-			if h.Len() > cap {
-				heap.Pop(h)
+			c := i*w + j
+			h := &s.cells[c]
+			for _, acc := range accums {
+				off := c * acc.cap
+				for _, e := range acc.slab[off : off+int(acc.lens[c])] {
+					h.push(e, cap)
+				}
 			}
 		}
 	}
@@ -127,16 +311,23 @@ func (s *RTKSketch) addDocs(n int) { s.docs += n }
 // number of cells the document was still present in.
 func (s *RTKSketch) Delete(docID int) int {
 	removed := 0
+	id := int32(docID)
 	for c := range s.cells {
 		h := &s.cells[c]
-		for i := 0; i < len(h.entries); {
-			if h.entries[i].DocID == int32(docID) {
-				// Remove index i and restore heap order.
-				heap.Remove(h, i)
+		n := 0
+		hit := false
+		for _, e := range h.entries {
+			if e.DocID == id {
 				removed++
-				continue // re-examine index i (new element swapped in)
+				hit = true
+				continue
 			}
-			i++
+			h.entries[n] = e
+			n++
+		}
+		if hit {
+			h.entries = h.entries[:n]
+			h.heapify()
 		}
 	}
 	if removed > 0 {
@@ -145,13 +336,17 @@ func (s *RTKSketch) Delete(docID int) int {
 	return removed
 }
 
-// Cell returns a copy of the entries of cell (row, col) in heap order
-// (unspecified beyond the heap property). This is the owner-side lookup
-// of Algorithm 5: the querier asks for the heaps its term hashes to.
+// Cell returns a copy of the entries of cell (row, col) in canonical
+// ascending-DocID order. This is the owner-side lookup of Algorithm 5:
+// the querier asks for the heaps its term hashes to. The canonical order
+// makes responses (and therefore wire encodings and snapshots)
+// independent of the internal heap layout, which may differ between
+// sequential and bulk ingestion of the same corpus.
 func (s *RTKSketch) Cell(row int, col uint32) []Entry {
 	h := &s.cells[row*s.params.W+int(col)]
 	out := make([]Entry, len(h.entries))
 	copy(out, h.entries)
+	sortEntriesByDoc(out)
 	return out
 }
 

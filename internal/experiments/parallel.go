@@ -93,15 +93,37 @@ type ParallelismPoint struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Speedup     float64 `json:"speedup_vs_1_worker"`
+	// SpeedupVsLegacy compares against the retained reference loader
+	// (core.AddDocumentsReplay: fresh sketch table per document, boxed
+	// container/heap pushes) measured in the same run — the honest
+	// denominator on hosts where the worker curve is flat. Only the
+	// ingest points carry it.
+	SpeedupVsLegacy float64 `json:"speedup_vs_legacy,omitempty"`
+}
+
+// WireBytesSection compares the transport byte accounting of one
+// federated search under the raw fixed-width encoding and the compact
+// binary wire codec. Bytes cover the per-query protocol messages (the
+// tf and rtk APIs); the reduction ratio is raw/wire.
+type WireBytesSection struct {
+	RawBytesPerSearch  int64   `json:"raw_bytes_per_search"`
+	WireBytesPerSearch int64   `json:"wire_bytes_per_search"`
+	ReductionRatio     float64 `json:"reduction_ratio"`
+	// Deterministic confirms the codec changes accounting only: the
+	// ranked hits under both codecs are identical.
+	Deterministic bool `json:"deterministic"`
 }
 
 // ParallelismResult is the sweep outcome: the federated-search curve, the
-// bulk-ingestion curve, and the determinism cross-check (results at every
+// bulk-ingestion curve, the legacy-loader ingest baseline, the wire-codec
+// byte comparison, and the determinism cross-check (results at every
 // pool size must match the sequential baseline bit for bit).
 type ParallelismResult struct {
 	Config        ParallelismConfig  `json:"config"`
 	Search        []ParallelismPoint `json:"federated_search"`
 	Ingest        []ParallelismPoint `json:"bulk_ingest"`
+	LegacyIngest  *ParallelismPoint  `json:"legacy_ingest,omitempty"`
+	WireBytes     *WireBytesSection  `json:"wire_bytes,omitempty"`
 	Deterministic bool               `json:"deterministic"`
 }
 
@@ -225,9 +247,86 @@ func RunParallelismSweep(cfg ParallelismConfig) (*ParallelismResult, error) {
 		})
 	}
 
+	// Legacy ingest baseline: the pre-refactor loader on the same batch,
+	// measured in the same run so the speedup survives host variance.
+	lr := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			owner, err := core.NewOwner(cfg.Params, uint64(cfg.Seed)+99, dp.Disabled())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := owner.AddDocumentsReplay(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.LegacyIngest = &ParallelismPoint{
+		Workers:     1,
+		NsPerOp:     lr.NsPerOp(),
+		AllocsPerOp: lr.AllocsPerOp(),
+		BytesPerOp:  lr.AllocedBytesPerOp(),
+	}
+
 	fillSpeedups(res.Search)
 	fillSpeedups(res.Ingest)
+	if legacy := float64(res.LegacyIngest.NsPerOp); legacy > 0 {
+		for i := range res.Ingest {
+			if res.Ingest[i].NsPerOp > 0 {
+				res.Ingest[i].SpeedupVsLegacy = legacy / float64(res.Ingest[i].NsPerOp)
+			}
+		}
+	}
+
+	wb, err := measureWireBytes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.WireBytes = wb
+	if !wb.Deterministic {
+		res.Deterministic = false
+	}
 	return res, nil
+}
+
+// measureWireBytes runs the same federated search under both transport
+// accountings — raw fixed-width first, then the wire codec on a freshly
+// seeded federation so the querier randomness is aligned — and reports
+// the per-query protocol bytes (tf + rtk) each one charges.
+func measureWireBytes(cfg ParallelismConfig) (*WireBytesSection, error) {
+	protocolBytes := func(srv *federation.Server, codec string) int64 {
+		return srv.TransportBytes(codec, "tf") + srv.TransportBytes(codec, "rtk")
+	}
+	fed, terms, err := parallelismFed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rawHits, _, err := fed.FederatedSearch("Q", terms, cfg.Params.K)
+	if err != nil {
+		return nil, err
+	}
+	raw := protocolBytes(fed.Server, federation.CodecRaw)
+
+	fed, terms, err = parallelismFed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fed.Server.SetWireCodec(true)
+	wireHits, _, err := fed.FederatedSearch("Q", terms, cfg.Params.K)
+	if err != nil {
+		return nil, err
+	}
+	wire := protocolBytes(fed.Server, federation.CodecWire)
+
+	wb := &WireBytesSection{
+		RawBytesPerSearch:  raw,
+		WireBytesPerSearch: wire,
+		Deterministic:      searchEqual(rawHits, wireHits),
+	}
+	if wire > 0 {
+		wb.ReductionRatio = float64(raw) / float64(wire)
+	}
+	return wb, nil
 }
 
 // fillSpeedups computes each point's speedup against the first (1-worker)
@@ -266,15 +365,27 @@ func RenderParallelism(res *ParallelismResult) string {
 		time.Duration(res.Config.RTTMicros)*time.Microsecond)
 	fmt.Fprintf(&b, "deterministic across pool sizes: %v\n", res.Deterministic)
 	render := func(name string, points []ParallelismPoint) {
-		fmt.Fprintf(&b, "%-18s %8s %12s %12s %12s %9s\n",
-			name, "workers", "ns/op", "B/op", "allocs/op", "speedup")
+		fmt.Fprintf(&b, "%-18s %8s %12s %12s %12s %9s %10s\n",
+			name, "workers", "ns/op", "B/op", "allocs/op", "speedup", "vs legacy")
 		for _, p := range points {
-			fmt.Fprintf(&b, "%-18s %8d %12d %12d %12d %8.2fx\n",
-				"", p.Workers, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.Speedup)
+			legacy := "-"
+			if p.SpeedupVsLegacy > 0 {
+				legacy = fmt.Sprintf("%8.2fx", p.SpeedupVsLegacy)
+			}
+			fmt.Fprintf(&b, "%-18s %8d %12d %12d %12d %8.2fx %10s\n",
+				"", p.Workers, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.Speedup, legacy)
 		}
 	}
 	render("federated search", res.Search)
 	render("bulk ingest", res.Ingest)
+	if lp := res.LegacyIngest; lp != nil {
+		fmt.Fprintf(&b, "%-18s %8s %12d %12d %12d\n",
+			"legacy ingest", "-", lp.NsPerOp, lp.BytesPerOp, lp.AllocsPerOp)
+	}
+	if wb := res.WireBytes; wb != nil {
+		fmt.Fprintf(&b, "wire codec: %d B/search raw -> %d B/search wire (%.1fx reduction, deterministic: %v)\n",
+			wb.RawBytesPerSearch, wb.WireBytesPerSearch, wb.ReductionRatio, wb.Deterministic)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParallelismSweep runs the sweep at unit-test scale and checks the
+// new sections: the in-run legacy ingest baseline and the wire-codec
+// byte comparison.
+func TestParallelismSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	cfg := TestParallelismConfig()
+	cfg.Workers = []int{1, 2}
+	res, err := RunParallelismSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("sweep not deterministic at Epsilon=0")
+	}
+	if len(res.Ingest) != len(cfg.Workers) || len(res.Search) != len(cfg.Workers) {
+		t.Fatalf("point counts: ingest=%d search=%d", len(res.Ingest), len(res.Search))
+	}
+	if res.LegacyIngest == nil || res.LegacyIngest.NsPerOp == 0 {
+		t.Fatal("legacy ingest baseline missing")
+	}
+	for _, p := range res.Ingest {
+		if p.SpeedupVsLegacy <= 1 {
+			t.Fatalf("workers=%d: speedup vs legacy %.2fx, want > 1x", p.Workers, p.SpeedupVsLegacy)
+		}
+	}
+	if res.LegacyIngest.AllocsPerOp < 5*res.Ingest[0].AllocsPerOp {
+		t.Fatalf("alloc reduction under 5x: legacy %d vs pooled %d",
+			res.LegacyIngest.AllocsPerOp, res.Ingest[0].AllocsPerOp)
+	}
+	wb := res.WireBytes
+	if wb == nil {
+		t.Fatal("wire bytes section missing")
+	}
+	if !wb.Deterministic {
+		t.Fatal("wire codec changed the ranking")
+	}
+	if wb.ReductionRatio < 2 {
+		t.Fatalf("wire reduction %.2fx (raw %d, wire %d), want >= 2x",
+			wb.ReductionRatio, wb.RawBytesPerSearch, wb.WireBytesPerSearch)
+	}
+	out := RenderParallelism(res)
+	for _, want := range []string{"vs legacy", "legacy ingest", "wire codec:", "reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -240,6 +240,15 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 	}
 	d := root.End()
 	f.commitBatchAudit(root.Context().TraceID, from, results, attempted, cached, retried, start, d)
+	codec := codecRaw
+	if f.Server.WireCodecEnabled() {
+		codec = codecWire
+	}
+	for i := range results {
+		if results[i].Err == nil && len(results[i].Docs) > 0 {
+			m.recordTransport(from, apiBatch, codec, sizeTopKRelease(codec, results[i].Docs))
+		}
+	}
 	return results, nil
 }
 

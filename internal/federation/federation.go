@@ -31,6 +31,7 @@ import (
 	"csfltr/internal/resilience"
 	"csfltr/internal/telemetry"
 	"csfltr/internal/textkit"
+	"csfltr/internal/wire"
 )
 
 // Errors returned by this package.
@@ -125,6 +126,13 @@ type Server struct {
 	// audit is the per-query flight recorder (see trace.go). Nil until
 	// EnableTracing.
 	audit atomic.Pointer[auditLog]
+
+	// wireCodec selects the byte accounting the transport layer reports
+	// under MetricTransportBytes: false (default) counts the fixed-width
+	// WireSize of each message, true counts the compact binary frames
+	// from internal/wire. Flipping it never changes protocol results —
+	// only how many bytes each relayed message is charged.
+	wireCodec atomic.Bool
 }
 
 // NewServer creates an empty server with a fresh telemetry registry.
@@ -244,6 +252,22 @@ func (s *Server) SetChaos(in *chaos.Injector) {
 // Chaos returns the installed injector (nil if none).
 func (s *Server) Chaos() *chaos.Injector { return s.chaosInj.Load() }
 
+// SetWireCodec switches the transport byte accounting between the
+// fixed-width raw sizes (false, the default) and the compact binary
+// wire frames (true). Concurrency-safe; takes effect on the next
+// relayed message.
+func (s *Server) SetWireCodec(on bool) { s.wireCodec.Store(on) }
+
+// WireCodecEnabled reports whether wire-codec accounting is active.
+func (s *Server) WireCodecEnabled() bool { return s.wireCodec.Load() }
+
+// TransportBytes sums the MetricTransportBytes series recorded under
+// codec ("raw" or "wire"), optionally filtered by api ("" sums every
+// api) — the view the experiments harness reads to compare encodings.
+func (s *Server) TransportBytes(codec, api string) int64 {
+	return s.metrics().transportBytes(codec, api)
+}
+
 // ensureChaos returns the installed injector, creating a seed-0 one on
 // first use so the link-configuration helpers work without an explicit
 // SetChaos.
@@ -344,6 +368,41 @@ type routedOwner struct {
 	transport string
 }
 
+// codecLabel is the MetricTransportBytes codec label the server is
+// currently accounting under.
+func (r *routedOwner) codecLabel() string {
+	if r.srv.wireCodec.Load() {
+		return codecWire
+	}
+	return codecRaw
+}
+
+// sizeTFQueryAs / sizeTFRespAs / sizeRTKRespAs charge a message with the
+// byte size the active codec puts on the wire: the historical
+// fixed-width accounting for "raw", the framed compact encoding for
+// "wire". The roster and metadata calls are codec-independent and keep
+// their fixed charges under either label.
+func sizeTFQueryAs(codec string, q *core.TFQuery) int64 {
+	if codec == codecWire {
+		return wire.SizeTFQuery(q)
+	}
+	return q.WireSize()
+}
+
+func sizeTFRespAs(codec string, resp *core.TFResponse) int64 {
+	if codec == codecWire {
+		return wire.SizeTFResponse(resp)
+	}
+	return resp.WireSize()
+}
+
+func sizeRTKRespAs(codec string, resp *core.RTKResponse) int64 {
+	if codec == codecWire {
+		return wire.SizeRTKResponse(resp)
+	}
+	return resp.WireSize()
+}
+
 // WithTrace implements traceCarrier: the returned owner parents each API
 // call's span under ctx, tags it with party/transport/fault attributes,
 // and forwards the per-call span context over trace-carrying transports.
@@ -395,6 +454,7 @@ func (t *tracedOwner) DocIDs() []int {
 	}
 	ids := t.wireAPI(sp.Context()).DocIDs()
 	r.m.record(r.party, opQuery, int64(8*len(ids)))
+	r.m.recordTransport(r.party, apiDocIDs, r.codecLabel(), int64(8*len(ids)))
 	return ids
 }
 
@@ -408,6 +468,7 @@ func (t *tracedOwner) DocMeta(docID int) (int, int, error) {
 	}
 	length, unique, err := t.wireAPI(sp.Context()).DocMeta(docID)
 	r.m.record(r.party, opQuery, 16)
+	r.m.recordTransport(r.party, apiDocMeta, r.codecLabel(), 16)
 	return length, unique, err
 }
 
@@ -415,7 +476,9 @@ func (t *tracedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, er
 	sp := t.apiSpan(apiTF)
 	defer sp.End()
 	r := t.r
+	codec := r.codecLabel()
 	r.m.record(r.party, opQuery, q.WireSize())
+	r.m.recordTransport(r.party, apiTF, codec, sizeTFQueryAs(codec, q))
 	if err := r.srv.intercept(r.party, apiTF, chaosContent(uint64(docID)+1, q.Cols)); err != nil {
 		markFault(sp, err)
 		return nil, err
@@ -425,6 +488,7 @@ func (t *tracedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, er
 		return nil, err
 	}
 	r.m.record(r.party, opQuery, resp.WireSize())
+	r.m.recordTransport(r.party, apiTF, codec, sizeTFRespAs(codec, resp))
 	sp.AddAttr(telemetry.AInt("bytes", q.WireSize()+resp.WireSize()))
 	return resp, nil
 }
@@ -433,7 +497,9 @@ func (t *tracedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 	sp := t.apiSpan(apiRTK)
 	defer sp.End()
 	r := t.r
+	codec := r.codecLabel()
 	r.m.record(r.party, opQuery, q.WireSize())
+	r.m.recordTransport(r.party, apiRTK, codec, sizeTFQueryAs(codec, q))
 	if err := r.srv.intercept(r.party, apiRTK, chaosContent(0, q.Cols)); err != nil {
 		markFault(sp, err)
 		return nil, err
@@ -443,6 +509,7 @@ func (t *tracedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 		return nil, err
 	}
 	r.m.record(r.party, opQuery, resp.WireSize())
+	r.m.recordTransport(r.party, apiRTK, codec, sizeRTKRespAs(codec, resp))
 	sp.AddAttr(telemetry.AInt("bytes", q.WireSize()+resp.WireSize()))
 	return resp, nil
 }
@@ -456,6 +523,7 @@ func (r *routedOwner) DocIDs() []int {
 	ids := r.api.DocIDs()
 	sp.End()
 	r.m.record(r.party, opQuery, int64(8*len(ids)))
+	r.m.recordTransport(r.party, apiDocIDs, r.codecLabel(), int64(8*len(ids)))
 	return ids
 }
 
@@ -468,13 +536,16 @@ func (r *routedOwner) DocMeta(docID int) (int, int, error) {
 	length, unique, err := r.api.DocMeta(docID)
 	sp.End()
 	r.m.record(r.party, opQuery, 16)
+	r.m.recordTransport(r.party, apiDocMeta, r.codecLabel(), 16)
 	return length, unique, err
 }
 
 func (r *routedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
 	sp := r.m.apiSpan(apiTF)
 	defer sp.End()
+	codec := r.codecLabel()
 	r.m.record(r.party, opQuery, q.WireSize())
+	r.m.recordTransport(r.party, apiTF, codec, sizeTFQueryAs(codec, q))
 	if err := r.srv.intercept(r.party, apiTF, chaosContent(uint64(docID)+1, q.Cols)); err != nil {
 		return nil, err
 	}
@@ -483,13 +554,16 @@ func (r *routedOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, er
 		return nil, err
 	}
 	r.m.record(r.party, opQuery, resp.WireSize())
+	r.m.recordTransport(r.party, apiTF, codec, sizeTFRespAs(codec, resp))
 	return resp, nil
 }
 
 func (r *routedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 	sp := r.m.apiSpan(apiRTK)
 	defer sp.End()
+	codec := r.codecLabel()
 	r.m.record(r.party, opQuery, q.WireSize())
+	r.m.recordTransport(r.party, apiRTK, codec, sizeTFQueryAs(codec, q))
 	if err := r.srv.intercept(r.party, apiRTK, chaosContent(0, q.Cols)); err != nil {
 		return nil, err
 	}
@@ -498,6 +572,7 @@ func (r *routedOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
 		return nil, err
 	}
 	r.m.record(r.party, opQuery, resp.WireSize())
+	r.m.recordTransport(r.party, apiRTK, codec, sizeRTKRespAs(codec, resp))
 	return resp, nil
 }
 

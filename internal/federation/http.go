@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"csfltr/internal/chaos"
 	"csfltr/internal/core"
 	"csfltr/internal/telemetry"
+	"csfltr/internal/wire"
 )
 
 // HTTP transport: a JSON gateway over the same OwnerAPI surface as the
@@ -196,13 +198,32 @@ func HTTPHandler(s *Server) http.Handler {
 			if !ok {
 				return
 			}
-			var req httpTFRequest
-			if !readJSON(w, r, &req) {
-				return
+			var docID int
+			var cols []uint32
+			if wireRequest(r) {
+				body, ok := readWireBody(w, r)
+				if !ok {
+					return
+				}
+				var err error
+				if docID, cols, err = decodeWireTFRequest(body); err != nil {
+					writeError(w, r, http.StatusBadRequest, "invalid wire body: "+err.Error())
+					return
+				}
+			} else {
+				var req httpTFRequest
+				if !readJSON(w, r, &req) {
+					return
+				}
+				docID, cols = req.DocID, req.Cols
 			}
-			resp, err := owner.AnswerTF(req.DocID, &core.TFQuery{Cols: req.Cols})
+			resp, err := owner.AnswerTF(docID, &core.TFQuery{Cols: cols})
 			if err != nil {
 				writeError(w, r, statusFor(err), err.Error())
+				return
+			}
+			if wantsWire(r) {
+				writeWire(w, wire.AppendTFResponse(nil, resp))
 				return
 			}
 			writeJSON(w, http.StatusOK, httpTFResponse{Values: resp.Values})
@@ -213,13 +234,32 @@ func HTTPHandler(s *Server) http.Handler {
 			if !ok {
 				return
 			}
-			var req httpRTKRequest
-			if !readJSON(w, r, &req) {
-				return
+			var cols []uint32
+			if wireRequest(r) {
+				body, ok := readWireBody(w, r)
+				if !ok {
+					return
+				}
+				q, err := wire.DecodeTFQuery(body)
+				if err != nil {
+					writeError(w, r, http.StatusBadRequest, "invalid wire body: "+err.Error())
+					return
+				}
+				cols = q.Cols
+			} else {
+				var req httpRTKRequest
+				if !readJSON(w, r, &req) {
+					return
+				}
+				cols = req.Cols
 			}
-			resp, err := owner.AnswerRTK(&core.TFQuery{Cols: req.Cols})
+			resp, err := owner.AnswerRTK(&core.TFQuery{Cols: cols})
 			if err != nil {
 				writeError(w, r, statusFor(err), err.Error())
+				return
+			}
+			if wantsWire(r) {
+				writeWire(w, wire.AppendRTKResponse(nil, resp))
 				return
 			}
 			out := httpRTKResponse{Cells: make([]httpRTKCell, len(resp.Cells))}
@@ -340,6 +380,41 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) 
 	writeJSON(w, status, httpError{Error: msg, RequestID: HTTPRequestID(r)})
 }
 
+// wireRequest reports whether the request body is wire-framed.
+func wireRequest(r *http.Request) bool {
+	return isWireContent(r.Header.Get("Content-Type"))
+}
+
+// wantsWire reports whether the client asked for a wire-framed response.
+// Anything else (including no Accept at all) gets JSON, so codec-unaware
+// clients keep working against a codec-aware gateway.
+func wantsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), WireContentType)
+}
+
+// isWireContent matches the wire media type, with or without parameters.
+func isWireContent(ct string) bool {
+	return ct == WireContentType || strings.HasPrefix(ct, WireContentType+";")
+}
+
+// readWireBody reads a bounded wire-framed body, writing the error
+// response on failure.
+func readWireBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxHTTPBody))
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "unreadable body")
+		return nil, false
+	}
+	return body, true
+}
+
+// writeWire writes a wire-framed success response.
+func writeWire(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", WireContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
 // readJSON decodes a bounded JSON body, writing the error response on
 // failure.
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -365,7 +440,16 @@ type HTTPOwner struct {
 	field  Field
 	client *http.Client
 	ctx    telemetry.SpanContext
+	wire   bool
 }
+
+// EnableWire switches the sketch endpoints (/tf, /rtk) to the compact
+// binary wire bodies; the roster and metadata calls stay JSON. The
+// client advertises the codec per request (Content-Type plus Accept)
+// and sniffs the response Content-Type, so a gateway that predates the
+// codec still interoperates — its JSON replies decode on the fallback
+// path. Call before sharing the owner across goroutines.
+func (h *HTTPOwner) EnableWire(on bool) { h.wire = on }
 
 // WithTrace implements traceCarrier.
 func (h *HTTPOwner) WithTrace(ctx telemetry.SpanContext) core.OwnerAPI {
@@ -444,13 +528,44 @@ func (h *HTTPOwner) postJSON(url string, body, v any) error {
 // decodeOrError decodes a success body or surfaces the error envelope.
 func decodeOrError(resp *http.Response, v any) error {
 	if resp.StatusCode != http.StatusOK {
-		var e httpError
-		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-			return fmt.Errorf("federation: http %d: %s", resp.StatusCode, e.Error)
-		}
-		return fmt.Errorf("federation: http %d", resp.StatusCode)
+		return respError(resp)
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// respError surfaces the JSON error envelope of a non-200 response.
+func respError(resp *http.Response) error {
+	var e httpError
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("federation: http %d: %s", resp.StatusCode, e.Error)
+	}
+	return fmt.Errorf("federation: http %d", resp.StatusCode)
+}
+
+// postWire performs a POST with a wire-framed body, advertising the
+// codec in both directions, and returns the raw body plus whether the
+// gateway answered in wire form.
+func (h *HTTPOwner) postWire(url string, body []byte) ([]byte, bool, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", WireContentType)
+	req.Header.Set("Accept", WireContentType)
+	h.stamp(req)
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, respError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, isWireContent(resp.Header.Get("Content-Type")), nil
 }
 
 // DocIDs implements core.OwnerAPI.
@@ -478,6 +593,20 @@ func (h *HTTPOwner) DocMeta(docID int) (int, int, error) {
 
 // AnswerTF implements core.OwnerAPI.
 func (h *HTTPOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, error) {
+	if h.wire {
+		body, isWire, err := h.postWire(h.url("/tf"), encodeWireTFRequest(docID, q.Cols))
+		if err != nil {
+			return nil, err
+		}
+		if isWire {
+			return wire.DecodeTFResponse(body)
+		}
+		var out httpTFResponse // codec-unaware gateway: JSON despite Accept
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, err
+		}
+		return &core.TFResponse{Values: out.Values}, nil
+	}
 	var out httpTFResponse
 	if err := h.postJSON(h.url("/tf"), httpTFRequest{DocID: docID, Cols: q.Cols}, &out); err != nil {
 		return nil, err
@@ -487,15 +616,34 @@ func (h *HTTPOwner) AnswerTF(docID int, q *core.TFQuery) (*core.TFResponse, erro
 
 // AnswerRTK implements core.OwnerAPI.
 func (h *HTTPOwner) AnswerRTK(q *core.TFQuery) (*core.RTKResponse, error) {
+	if h.wire {
+		body, isWire, err := h.postWire(h.url("/rtk"), wire.AppendTFQuery(nil, q))
+		if err != nil {
+			return nil, err
+		}
+		if isWire {
+			return wire.DecodeRTKResponse(body)
+		}
+		var out httpRTKResponse // codec-unaware gateway: JSON despite Accept
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, err
+		}
+		return rtkFromHTTP(out), nil
+	}
 	var out httpRTKResponse
 	if err := h.postJSON(h.url("/rtk"), httpRTKRequest{Cols: q.Cols}, &out); err != nil {
 		return nil, err
 	}
+	return rtkFromHTTP(out), nil
+}
+
+// rtkFromHTTP converts the JSON cell mirror back to the core type.
+func rtkFromHTTP(out httpRTKResponse) *core.RTKResponse {
 	resp := &core.RTKResponse{Cells: make([]core.RTKCell, len(out.Cells))}
 	for i, c := range out.Cells {
 		resp.Cells[i] = core.RTKCell{IDs: c.IDs, Values: c.Values}
 	}
-	return resp, nil
+	return resp
 }
 
 // httpEndpoint adapts an HTTP-gateway party host to the server's

@@ -20,6 +20,13 @@ const (
 	// ("query" or "train"). TrafficStats is a view over these.
 	MetricRelayedMessages = "csfltr_server_relayed_messages_total"
 	MetricRelayedBytes    = "csfltr_server_relayed_bytes_total"
+	// MetricTransportBytes counts the bytes a protocol message occupies
+	// on the active transport encoding, labeled by party, api and codec
+	// ("raw" for the fixed-width WireSize accounting, "wire" for the
+	// compact binary frames). MetricRelayedBytes keeps its historical
+	// fixed-width semantics so traffic numbers stay comparable across
+	// runs; this family is where codec savings show up.
+	MetricTransportBytes = "csfltr_transport_bytes_total"
 	// MetricAPILatency is per-owner-API-call latency at the server,
 	// labeled by api (docids, docmeta, tf, rtk).
 	MetricAPILatency = "csfltr_server_api_latency_seconds"
@@ -101,6 +108,10 @@ const (
 	apiDocMeta = "docmeta"
 	apiTF      = "tf"
 	apiRTK     = "rtk"
+	// Release-side apis: what the coordinator hands back to clients.
+	// These appear only in the MetricTransportBytes family.
+	apiSearch = "search"
+	apiBatch  = "batch"
 )
 
 // Query pipeline stage label values.
@@ -120,6 +131,20 @@ var SearchStages = []string{StageTFQuery, StageRTKQuery, StageDPNoise, StageFano
 
 // relayKey identifies one (party, op) relay counter pair.
 type relayKey struct{ party, op string }
+
+// transportKey identifies one (party, api, codec) transport byte series.
+type transportKey struct{ party, api, codec string }
+
+// CodecRaw / CodecWire are the MetricTransportBytes codec label values —
+// exported so harnesses (expbench, the experiments sweeps) can query
+// Server.TransportBytes without string drift.
+const (
+	CodecRaw  = "raw"
+	CodecWire = "wire"
+
+	codecRaw  = CodecRaw
+	codecWire = CodecWire
+)
 
 // relayCounters is the cached handle pair for one relay series.
 type relayCounters struct{ msgs, bytes *telemetry.Counter }
@@ -144,16 +169,17 @@ type serverMetrics struct {
 	poolInFlight *telemetry.Gauge
 	poolQueue    *telemetry.Gauge
 
-	mu       sync.Mutex
-	relay    map[relayKey]relayCounters
-	breaker  map[string]*telemetry.Gauge
-	retries  map[string]*telemetry.Counter
-	outcomes map[relayKey]*telemetry.Counter // reusing relayKey as (party, outcome)
-	faults   map[relayKey]*telemetry.Counter // (party, kind)
-	cache    map[relayKey]*telemetry.Counter // (tier, result)
-	stale    map[string]*telemetry.Counter   // party
-	budget   map[relayKey]struct{}           // (querier, peer) gauges registered
-	coalesce *telemetry.Counter              // lazily created
+	mu        sync.Mutex
+	relay     map[relayKey]relayCounters
+	breaker   map[string]*telemetry.Gauge
+	retries   map[string]*telemetry.Counter
+	outcomes  map[relayKey]*telemetry.Counter // reusing relayKey as (party, outcome)
+	faults    map[relayKey]*telemetry.Counter // (party, kind)
+	cache     map[relayKey]*telemetry.Counter // (tier, result)
+	stale     map[string]*telemetry.Counter   // party
+	budget    map[relayKey]struct{}           // (querier, peer) gauges registered
+	coalesce  *telemetry.Counter              // lazily created
+	transport map[transportKey]*telemetry.Counter
 }
 
 // newServerMetrics creates the handle cache over reg.
@@ -170,6 +196,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		cache:    make(map[relayKey]*telemetry.Counter),
 		stale:    make(map[string]*telemetry.Counter),
 		budget:   make(map[relayKey]struct{}),
+
+		transport: make(map[transportKey]*telemetry.Counter),
 	}
 	for _, api := range []string{apiDocIDs, apiDocMeta, apiTF, apiRTK} {
 		m.api[api] = reg.Histogram(MetricAPILatency,
@@ -351,6 +379,44 @@ func (m *serverMetrics) record(party, op string, n int64) {
 	rc.bytes.Add(n)
 }
 
+// transportFor returns (creating on first use) the byte counter for one
+// (party, api, codec) series.
+func (m *serverMetrics) transportFor(party, api, codec string) *telemetry.Counter {
+	k := transportKey{party: party, api: api, codec: codec}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.transport[k]
+	if !ok {
+		c = m.reg.Counter(MetricTransportBytes,
+			"Bytes occupied by protocol messages on the active transport encoding.",
+			telemetry.L("party", party), telemetry.L("api", api), telemetry.L("codec", codec))
+		m.transport[k] = c
+	}
+	return c
+}
+
+// recordTransport is the single accounting point for transport-encoded
+// bytes: every relayed message funnels through here exactly once, with
+// the size the active codec actually puts on the wire.
+func (m *serverMetrics) recordTransport(party, api, codec string, n int64) {
+	m.transportFor(party, api, codec).Add(n)
+}
+
+// transportBytes sums one codec's transport series, optionally filtered
+// by api ("" means every api).
+func (m *serverMetrics) transportBytes(codec, api string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for k, c := range m.transport {
+		if k.codec != codec || (api != "" && k.api != api) {
+			continue
+		}
+		total += c.Value()
+	}
+	return total
+}
+
 // traffic sums every relay series into the legacy TrafficStats view.
 func (m *serverMetrics) traffic() TrafficStats {
 	m.mu.Lock()
@@ -384,6 +450,9 @@ func (m *serverMetrics) resetTraffic() {
 	for _, rc := range m.relay {
 		rc.msgs.Reset()
 		rc.bytes.Reset()
+	}
+	for _, c := range m.transport {
+		c.Reset()
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"csfltr/internal/core"
 	"csfltr/internal/telemetry"
+	"csfltr/internal/wire"
 )
 
 // serviceName is the net/rpc service under which the federation server is
@@ -80,6 +81,121 @@ type RTKArgs struct {
 
 // RTKReply carries the RTK-Sketch cells.
 type RTKReply struct{ Resp core.RTKResponse }
+
+// The four structs that dominate RPC traffic implement
+// gob.GobEncoder/GobDecoder over internal/wire, so net/rpc ships the
+// compact framed form (varint-delta document ids, zig-zag varint
+// counts, flate above the size threshold) instead of gob's reflected
+// struct encoding. The frame's version byte, not gob's type system, now
+// governs evolution of these payloads: changing a field means bumping
+// wire.Version, and both directions reject frames they do not
+// understand instead of silently misreading them. The small roster and
+// metadata messages stay on plain gob.
+
+// GobEncode implements gob.GobEncoder.
+func (a *TFArgs) GobEncode() ([]byte, error) {
+	payload := appendString(nil, a.Party)
+	payload = wire.AppendVarint(payload, int64(a.Field))
+	payload = wire.AppendVarint(payload, int64(a.DocID))
+	payload = appendCols(payload, a.Query.Cols)
+	payload = appendTrace(payload, a.Trace)
+	return wire.Pack(nil, payload), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (a *TFArgs) GobDecode(data []byte) error {
+	payload, err := wire.Unpack(data)
+	if err != nil {
+		return err
+	}
+	if a.Party, payload, err = decodeString(payload); err != nil {
+		return err
+	}
+	var v int64
+	if v, payload, err = wire.Varint(payload); err != nil {
+		return err
+	}
+	a.Field = Field(v)
+	if v, payload, err = wire.Varint(payload); err != nil {
+		return err
+	}
+	a.DocID = int(v)
+	if a.Query.Cols, payload, err = decodeCols(payload); err != nil {
+		return err
+	}
+	if a.Trace, payload, err = decodeTrace(payload); err != nil {
+		return err
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("%w: trailing bytes", wire.ErrMalformed)
+	}
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (a *RTKArgs) GobEncode() ([]byte, error) {
+	payload := appendString(nil, a.Party)
+	payload = wire.AppendVarint(payload, int64(a.Field))
+	payload = appendCols(payload, a.Query.Cols)
+	payload = appendTrace(payload, a.Trace)
+	return wire.Pack(nil, payload), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (a *RTKArgs) GobDecode(data []byte) error {
+	payload, err := wire.Unpack(data)
+	if err != nil {
+		return err
+	}
+	if a.Party, payload, err = decodeString(payload); err != nil {
+		return err
+	}
+	var v int64
+	if v, payload, err = wire.Varint(payload); err != nil {
+		return err
+	}
+	a.Field = Field(v)
+	if a.Query.Cols, payload, err = decodeCols(payload); err != nil {
+		return err
+	}
+	if a.Trace, payload, err = decodeTrace(payload); err != nil {
+		return err
+	}
+	if len(payload) != 0 {
+		return fmt.Errorf("%w: trailing bytes", wire.ErrMalformed)
+	}
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *TFReply) GobEncode() ([]byte, error) {
+	return wire.AppendTFResponse(nil, &r.Resp), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *TFReply) GobDecode(data []byte) error {
+	resp, err := wire.DecodeTFResponse(data)
+	if err != nil {
+		return err
+	}
+	r.Resp = *resp
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder.
+func (r *RTKReply) GobEncode() ([]byte, error) {
+	return wire.AppendRTKResponse(nil, &r.Resp), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (r *RTKReply) GobDecode(data []byte) error {
+	resp, err := wire.DecodeRTKResponse(data)
+	if err != nil {
+		return err
+	}
+	r.Resp = *resp
+	return nil
+}
 
 // RPCService exposes a Server over net/rpc; each method resolves the
 // target party and delegates to the same routed owners the in-process

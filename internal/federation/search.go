@@ -201,6 +201,13 @@ func (f *Federation) SearchTraced(from string, terms []uint64, k int) (*SearchRe
 	}
 	d := root.End()
 	f.commitSearchAudit(run, from, k, start, d, res, err)
+	if err == nil && res != nil {
+		codec := codecRaw
+		if f.Server.WireCodecEnabled() {
+			codec = codecWire
+		}
+		m.recordTransport(from, apiSearch, codec, sizeSearchRelease(codec, res))
+	}
 	return res, root.Context().TraceID, err
 }
 

@@ -1,0 +1,234 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"csfltr/internal/core"
+)
+
+// TestGobHooksRoundTrip drives the custom GobEncoder/GobDecoder pairs
+// through a real gob stream — the path every net/rpc call takes.
+func TestGobHooksRoundTrip(t *testing.T) {
+	tr := traceMeta{TraceID: "t1", ParentSpan: "s1", RequestID: "r1"}
+	tfArgs := &TFArgs{Party: "B", Field: FieldTitle, DocID: 7,
+		Query: core.TFQuery{Cols: []uint32{3, 9, 4096}}, Trace: tr}
+	rtkArgs := &RTKArgs{Party: "A", Field: FieldBody,
+		Query: core.TFQuery{Cols: []uint32{1, 2, 3, 500}}, Trace: traceMeta{}}
+	tfReply := &TFReply{Resp: core.TFResponse{Values: []float64{1, -2.5, 300}}}
+	rtkReply := &RTKReply{Resp: core.RTKResponse{Cells: []core.RTKCell{
+		{IDs: []int32{1, 5, 9}, Values: []float64{4, 2, 1}},
+		{IDs: []int32{}, Values: []float64{}},
+	}}}
+	roundTrip := func(in, out any) {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+			t.Fatalf("encode %T: %v", in, err)
+		}
+		if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+			t.Fatalf("decode %T: %v", in, err)
+		}
+	}
+	var gotTFArgs TFArgs
+	roundTrip(tfArgs, &gotTFArgs)
+	if !reflect.DeepEqual(&gotTFArgs, tfArgs) {
+		t.Fatalf("TFArgs diverged:\n got %+v\nwant %+v", gotTFArgs, *tfArgs)
+	}
+	var gotRTKArgs RTKArgs
+	roundTrip(rtkArgs, &gotRTKArgs)
+	if !reflect.DeepEqual(&gotRTKArgs, rtkArgs) {
+		t.Fatalf("RTKArgs diverged:\n got %+v\nwant %+v", gotRTKArgs, *rtkArgs)
+	}
+	var gotTFReply TFReply
+	roundTrip(tfReply, &gotTFReply)
+	if !reflect.DeepEqual(&gotTFReply, tfReply) {
+		t.Fatalf("TFReply diverged:\n got %+v\nwant %+v", gotTFReply, *tfReply)
+	}
+	var gotRTKReply RTKReply
+	roundTrip(rtkReply, &gotRTKReply)
+	if len(gotRTKReply.Resp.Cells) != 2 ||
+		!reflect.DeepEqual(gotRTKReply.Resp.Cells[0], rtkReply.Resp.Cells[0]) {
+		t.Fatalf("RTKReply diverged:\n got %+v\nwant %+v", gotRTKReply, *rtkReply)
+	}
+}
+
+// TestHTTPWireNegotiation runs a wire-mode client against the gateway
+// and checks its answers match the JSON-mode client's bit for bit.
+func TestHTTPWireNegotiation(t *testing.T) {
+	_, ts := httpFed(t)
+	jsonOwner := NewHTTPOwner(ts.URL, "B", FieldBody, nil)
+	wireOwner := NewHTTPOwner(ts.URL, "B", FieldBody, nil)
+	wireOwner.EnableWire(true)
+
+	q := &core.TFQuery{Cols: []uint32{1, 7, 42, 301, 8, 99, 200, 450, 3}}
+	wantTF, err := jsonOwner.AnswerTF(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTF, err := wireOwner.AnswerTF(0, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotTF, wantTF) {
+		t.Fatalf("wire TF diverged:\n got %+v\nwant %+v", gotTF, wantTF)
+	}
+	wantRTK, err := jsonOwner.AnswerRTK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRTK, err := wireOwner.AnswerRTK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRTK.Cells) != len(wantRTK.Cells) {
+		t.Fatalf("wire RTK cell count diverged: %d vs %d", len(gotRTK.Cells), len(wantRTK.Cells))
+	}
+	for i := range gotRTK.Cells {
+		if !reflect.DeepEqual(gotRTK.Cells[i].IDs, wantRTK.Cells[i].IDs) ||
+			!reflect.DeepEqual(gotRTK.Cells[i].Values, wantRTK.Cells[i].Values) {
+			t.Fatalf("wire RTK cell %d diverged", i)
+		}
+	}
+}
+
+// TestHTTPWireFallback: a wire-mode client against a JSON-only gateway
+// (simulated by stripping the Accept negotiation server-side) must fall
+// back to decoding the JSON reply.
+func TestHTTPWireFallback(t *testing.T) {
+	_, ts := httpFed(t)
+	// A proxy that rewrites wire requests to JSON-era behaviour: it
+	// strips the Accept header so the gateway answers JSON, and converts
+	// the wire request body to its JSON equivalent.
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r2, _ := http.NewRequest(r.Method, ts.URL+r.URL.Path, r.Body)
+		r2.Header = r.Header.Clone()
+		r2.Header.Del("Accept")
+		resp, err := http.DefaultTransport.RoundTrip(r2)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				break
+			}
+		}
+	}))
+	defer proxy.Close()
+
+	owner := NewHTTPOwner(proxy.URL, "B", FieldBody, nil)
+	owner.EnableWire(true)
+	q := &core.TFQuery{Cols: []uint32{2, 8, 11, 70, 140, 300, 410, 17, 33}}
+	// The gateway still understands the wire request body (Content-Type
+	// survives the proxy) but answers JSON; the client must sniff and
+	// fall back.
+	resp, err := owner.AnswerRTK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) == 0 {
+		t.Fatal("fallback path returned no cells")
+	}
+}
+
+// TestHTTPWireBadBody: a malformed wire body must be a clean 400, not a
+// panic or a misdecode.
+func TestHTTPWireBadBody(t *testing.T) {
+	_, ts := httpFed(t)
+	for _, path := range []string{"/v1/parties/B/body/tf", "/v1/parties/B/body/rtk"} {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader("\x01\x02garbage"))
+		req.Header.Set("Content-Type", WireContentType)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSearchResultCodec round-trips a real federated search result.
+func TestSearchResultCodec(t *testing.T) {
+	fed := twoPartyFed(t, testParams())
+	res, err := fed.Search("A", []uint64{5, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Parties = append(res.Parties, PartyReport{
+		Party: "ghost", Outcome: "failed", Err: "synthetic", Retries: 2,
+		StaleFor: 3 * time.Second,
+	})
+	got, err := DecodeSearchResult(AppendSearchResult(nil, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("search result diverged:\n got %+v\nwant %+v", got, res)
+	}
+	if _, err := DecodeSearchResult([]byte{1, 2, 3}); err == nil {
+		t.Fatal("garbage should not decode")
+	}
+}
+
+// TestTransportBytesAccounting: the same search charged under both
+// codecs — the wire accounting must come in well under raw, and the
+// ranking must be identical (the codec changes bytes, never results).
+func TestTransportBytesAccounting(t *testing.T) {
+	fed := twoPartyFed(t, testParams())
+	srv := fed.Server
+
+	rawRes, err := fed.Search("A", []uint64{5, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawRTK := srv.TransportBytes(codecRaw, apiRTK)
+	rawAll := srv.TransportBytes(codecRaw, "")
+	if rawRTK == 0 || rawAll == 0 {
+		t.Fatalf("raw transport bytes not recorded: rtk=%d all=%d", rawRTK, rawAll)
+	}
+	if srv.TransportBytes(codecWire, "") != 0 {
+		t.Fatal("wire bytes recorded while codec off")
+	}
+
+	srv.ResetTraffic()
+	if srv.TransportBytes(codecRaw, "") != 0 {
+		t.Fatal("ResetTraffic did not clear transport series")
+	}
+	srv.SetWireCodec(true)
+	defer srv.SetWireCodec(false)
+	wireRes, err := fed.Search("A", []uint64{5, 9}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wireRTK := srv.TransportBytes(codecWire, apiRTK)
+	if wireRTK == 0 {
+		t.Fatal("wire transport bytes not recorded")
+	}
+	if wireRTK*2 > rawRTK {
+		t.Fatalf("wire rtk bytes %d not under half of raw %d", wireRTK, rawRTK)
+	}
+	if !reflect.DeepEqual(wireRes.Hits, rawRes.Hits) {
+		t.Fatalf("codec changed the ranking:\n got %+v\nwant %+v", wireRes.Hits, rawRes.Hits)
+	}
+}

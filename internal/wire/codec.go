@@ -1,0 +1,426 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"csfltr/internal/core"
+)
+
+// Payload layouts (inside the Pack frame):
+//
+//	TFQuery:     uvarint n, then n uvarint column indexes.
+//	TFResponse:  uvarint n, then a value vector.
+//	RTKResponse: uvarint ncells, then per cell: uvarint n, the document
+//	             ids as one zig-zag varint start followed by n-1 zig-zag
+//	             varint deltas, then a value vector.
+//
+// A value vector is one flags byte followed by the values: with the
+// integral bit set, n zig-zag varints (the quantized-count form — exact
+// whenever every value is a whole number, which is always the case at
+// Epsilon = 0); otherwise n raw little-endian float64 bit patterns, so
+// noisy values round-trip losslessly too. Document ids arrive in the
+// canonical ascending order every owner emits, which makes the deltas
+// small positive varints; the delta coding is order-preserving either
+// way, so no information is lost on non-canonical input.
+
+// valueFlagIntegral marks a value vector encoded as zig-zag varints.
+const valueFlagIntegral = 1 << 0
+
+// appendValues appends the value-vector encoding of vals.
+func appendValues(dst []byte, vals []float64) []byte {
+	if integral(vals) {
+		dst = append(dst, valueFlagIntegral)
+		for _, v := range vals {
+			dst = AppendVarint(dst, int64(v))
+		}
+		return dst
+	}
+	dst = append(dst, 0)
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		dst = append(dst,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	return dst
+}
+
+// decodeValues consumes a value vector of n values.
+func decodeValues(data []byte, n int) ([]float64, []byte, error) {
+	if len(data) < 1 {
+		return nil, nil, fmt.Errorf("%w: missing value flags", ErrMalformed)
+	}
+	flags := data[0]
+	data = data[1:]
+	if flags&^byte(valueFlagIntegral) != 0 {
+		return nil, nil, fmt.Errorf("%w: unknown value flags %#x", ErrMalformed, flags)
+	}
+	out := make([]float64, n)
+	if flags&valueFlagIntegral != 0 {
+		for i := range out {
+			v, rest, err := Varint(data)
+			if err != nil {
+				return nil, nil, err
+			}
+			out[i], data = float64(v), rest
+		}
+		return out, data, nil
+	}
+	if len(data) < 8*n {
+		return nil, nil, fmt.Errorf("%w: truncated float values", ErrMalformed)
+	}
+	for i := range out {
+		b := data[8*i:]
+		bits := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+			uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		out[i] = math.Float64frombits(bits)
+	}
+	return out, data[8*n:], nil
+}
+
+// integral reports whether every value is a whole number representable
+// as an int64 (the exactness condition for the varint form). Negative
+// zero is excluded: int64 cannot carry its sign bit back.
+func integral(vals []float64) bool {
+	for _, v := range vals {
+		if v != math.Trunc(v) || v < math.MinInt64 || v >= math.MaxInt64 ||
+			(v == 0 && math.Signbit(v)) {
+			return false
+		}
+	}
+	return true
+}
+
+// valuesSize returns the encoded size of a value vector.
+func valuesSize(vals []float64) int {
+	n := 1
+	if integral(vals) {
+		for _, v := range vals {
+			n += varintLen(int64(v))
+		}
+		return n
+	}
+	return n + 8*len(vals)
+}
+
+// AppendTFQuery appends the framed encoding of a column query.
+func AppendTFQuery(dst []byte, q *core.TFQuery) []byte {
+	payload := make([]byte, 0, 2+2*len(q.Cols))
+	payload = AppendUvarint(payload, uint64(len(q.Cols)))
+	for _, c := range q.Cols {
+		payload = AppendUvarint(payload, uint64(c))
+	}
+	return Pack(dst, payload)
+}
+
+// SizeTFQuery returns the framed (uncompressed) encoded size.
+func SizeTFQuery(q *core.TFQuery) int64 {
+	n := uvarintLen(uint64(len(q.Cols)))
+	for _, c := range q.Cols {
+		n += uvarintLen(uint64(c))
+	}
+	return PackedSize(n)
+}
+
+// DecodeTFQuery decodes a framed column query.
+func DecodeTFQuery(data []byte) (*core.TFQuery, error) {
+	payload, err := Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(n, rest); err != nil {
+		return nil, err
+	}
+	cols := make([]uint32, n)
+	for i := range cols {
+		v, r, err := Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: column index out of range", ErrMalformed)
+		}
+		cols[i], rest = uint32(v), r
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return &core.TFQuery{Cols: cols}, nil
+}
+
+// AppendTFResponse appends the framed encoding of a TF reply.
+func AppendTFResponse(dst []byte, r *core.TFResponse) []byte {
+	payload := make([]byte, 0, 2+valuesSize(r.Values))
+	payload = AppendUvarint(payload, uint64(len(r.Values)))
+	payload = appendValues(payload, r.Values)
+	return Pack(dst, payload)
+}
+
+// SizeTFResponse returns the framed (uncompressed) encoded size.
+func SizeTFResponse(r *core.TFResponse) int64 {
+	return PackedSize(uvarintLen(uint64(len(r.Values))) + valuesSize(r.Values))
+}
+
+// DecodeTFResponse decodes a framed TF reply.
+func DecodeTFResponse(data []byte) (*core.TFResponse, error) {
+	payload, err := Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(n, rest); err != nil {
+		return nil, err
+	}
+	vals, rest, err := decodeValues(rest, int(n))
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return &core.TFResponse{Values: vals}, nil
+}
+
+// appendIDs appends n document ids as a zig-zag varint start plus
+// deltas.
+func appendIDs(dst []byte, ids []int32) []byte {
+	prev := int64(0)
+	for i, id := range ids {
+		if i == 0 {
+			dst = AppendVarint(dst, int64(id))
+		} else {
+			dst = AppendVarint(dst, int64(id)-prev)
+		}
+		prev = int64(id)
+	}
+	return dst
+}
+
+// idsSize returns the encoded size of a document id run.
+func idsSize(ids []int32) int {
+	n, prev := 0, int64(0)
+	for i, id := range ids {
+		if i == 0 {
+			n += varintLen(int64(id))
+		} else {
+			n += varintLen(int64(id) - prev)
+		}
+		prev = int64(id)
+	}
+	return n
+}
+
+// decodeIDs consumes n delta-coded document ids.
+func decodeIDs(data []byte, n int) ([]int32, []byte, error) {
+	out := make([]int32, n)
+	prev := int64(0)
+	for i := range out {
+		d, rest, err := Varint(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		v := prev
+		if i == 0 {
+			v = d
+		} else {
+			v += d
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, nil, fmt.Errorf("%w: document id out of range", ErrMalformed)
+		}
+		out[i], prev, data = int32(v), v, rest
+	}
+	return out, data, nil
+}
+
+// AppendRTKResponse appends the framed encoding of an RTK reply — the
+// protocol's dominant payload (z cells of up to alpha*K entries each).
+func AppendRTKResponse(dst []byte, r *core.RTKResponse) []byte {
+	payload := make([]byte, 0, sizeRTKPayload(r))
+	payload = AppendUvarint(payload, uint64(len(r.Cells)))
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		payload = AppendUvarint(payload, uint64(len(c.IDs)))
+		payload = appendIDs(payload, c.IDs)
+		payload = appendValues(payload, c.Values)
+	}
+	return Pack(dst, payload)
+}
+
+// sizeRTKPayload returns the unframed payload size of an RTK reply.
+func sizeRTKPayload(r *core.RTKResponse) int {
+	n := uvarintLen(uint64(len(r.Cells)))
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		n += uvarintLen(uint64(len(c.IDs))) + idsSize(c.IDs) + valuesSize(c.Values)
+	}
+	return n
+}
+
+// SizeRTKResponse returns the framed (uncompressed) encoded size — the
+// number the transport byte accounting records per relayed reply.
+func SizeRTKResponse(r *core.RTKResponse) int64 {
+	return PackedSize(sizeRTKPayload(r))
+}
+
+// DecodeRTKResponse decodes a framed RTK reply. A malformed input
+// returns ErrMalformed; element counts are validated against the bytes
+// actually present before any allocation sized by them.
+func DecodeRTKResponse(data []byte) (*core.RTKResponse, error) {
+	payload, err := Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	ncells, rest, err := Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(ncells, rest); err != nil {
+		return nil, err
+	}
+	out := &core.RTKResponse{Cells: make([]core.RTKCell, ncells)}
+	for i := range out.Cells {
+		n, r2, err := Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkCount(n, r2); err != nil {
+			return nil, err
+		}
+		ids, r3, err := decodeIDs(r2, int(n))
+		if err != nil {
+			return nil, err
+		}
+		vals, r4, err := decodeValues(r3, int(n))
+		if err != nil {
+			return nil, err
+		}
+		out.Cells[i] = core.RTKCell{IDs: ids, Values: vals}
+		rest = r4
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return out, nil
+}
+
+// AppendEntries appends the framed encoding of a run of RTK heap
+// entries (delta-coded ids, zig-zag varint values) — the persistence
+// and debugging form of one cell's content.
+func AppendEntries(dst []byte, es []core.Entry) []byte {
+	payload := make([]byte, 0, 2+3*len(es))
+	payload = AppendUvarint(payload, uint64(len(es)))
+	prev := int64(0)
+	for i, e := range es {
+		if i == 0 {
+			payload = AppendVarint(payload, int64(e.DocID))
+		} else {
+			payload = AppendVarint(payload, int64(e.DocID)-prev)
+		}
+		prev = int64(e.DocID)
+		payload = AppendVarint(payload, e.Value)
+	}
+	return Pack(dst, payload)
+}
+
+// DecodeEntries decodes a framed entry run.
+func DecodeEntries(data []byte) ([]core.Entry, error) {
+	payload, err := Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	n, rest, err := Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(n, rest); err != nil {
+		return nil, err
+	}
+	out := make([]core.Entry, n)
+	prev := int64(0)
+	for i := range out {
+		d, r2, err := Varint(rest)
+		if err != nil {
+			return nil, err
+		}
+		id := prev
+		if i == 0 {
+			id = d
+		} else {
+			id += d
+		}
+		if id < math.MinInt32 || id > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: document id out of range", ErrMalformed)
+		}
+		v, r3, err := Varint(r2)
+		if err != nil {
+			return nil, err
+		}
+		out[i], prev, rest = core.Entry{DocID: int32(id), Value: v}, id, r3
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return out, nil
+}
+
+// AppendRowMatrix appends the framed encoding of a sketch row matrix
+// (z rows by w columns of signed counts, row-major zig-zag varints) —
+// the bulk form of a standard sketch table's content.
+func AppendRowMatrix(dst []byte, rows [][]int64) []byte {
+	payload := AppendUvarint(nil, uint64(len(rows)))
+	for _, row := range rows {
+		payload = AppendUvarint(payload, uint64(len(row)))
+		for _, v := range row {
+			payload = AppendVarint(payload, v)
+		}
+	}
+	return Pack(dst, payload)
+}
+
+// DecodeRowMatrix decodes a framed sketch row matrix.
+func DecodeRowMatrix(data []byte) ([][]int64, error) {
+	payload, err := Unpack(data)
+	if err != nil {
+		return nil, err
+	}
+	z, rest, err := Uvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkCount(z, rest); err != nil {
+		return nil, err
+	}
+	out := make([][]int64, z)
+	for i := range out {
+		w, r2, err := Uvarint(rest)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkCount(w, r2); err != nil {
+			return nil, err
+		}
+		row := make([]int64, w)
+		rest = r2
+		for j := range row {
+			v, r3, err := Varint(rest)
+			if err != nil {
+				return nil, err
+			}
+			row[j], rest = v, r3
+		}
+		out[i] = row
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return out, nil
+}

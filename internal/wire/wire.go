@@ -1,0 +1,171 @@
+// Package wire is the compact binary codec shared by every federation
+// transport. The protocol's dominant payloads — RTK-Sketch cell replies,
+// TF value vectors, obfuscated column queries — are small integers with
+// strong local structure (canonically sorted document ids, quantized
+// counts), which fixed-width encodings (JSON, gob's reflected structs,
+// the 12-bytes-per-entry accounting model) waste heavily. This package
+// encodes them as varint deltas and zig-zag varints inside a small
+// versioned frame, optionally flate-compressed above a size threshold.
+//
+// Layering: wire depends only on the standard library and internal/core;
+// internal/federation builds its transport codecs (gob hooks, HTTP
+// bodies, SearchResult) on the exported primitives, so byte accounting
+// and format versioning stay in one place.
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the first byte of every frame. Decoders reject frames with
+// a version they do not know; adding fields or changing payload layout
+// requires a bump.
+const Version = 1
+
+// Frame flag bits (second byte of every frame).
+const (
+	flagCompressed = 1 << 0 // payload is flate-compressed
+)
+
+// CompressThreshold is the payload size (bytes) above which Pack
+// attempts flate compression. Below it the frame overhead and the flate
+// dictionary warm-up cost more than they save.
+const CompressThreshold = 512
+
+// maxPayload caps the decoded payload size (and therefore every decoder
+// allocation) so a malformed or hostile frame cannot demand absurd
+// memory before its content is even parsed. RTK replies at default
+// geometry are well under a megabyte.
+const maxPayload = 1 << 26
+
+// ErrMalformed marks any decode failure: truncation, bad version,
+// implausible lengths, trailing garbage.
+var ErrMalformed = errors.New("wire: malformed payload")
+
+// Pack wraps an encoded payload in the versioned frame, appending to
+// dst: [version][flags][uvarint raw length][payload]. Payloads of
+// CompressThreshold bytes or more are flate-compressed when that
+// actually shrinks them.
+func Pack(dst, payload []byte) []byte {
+	flags := byte(0)
+	body := payload
+	if len(payload) >= CompressThreshold {
+		var buf bytes.Buffer
+		zw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err == nil {
+			if _, err = zw.Write(payload); err == nil && zw.Close() == nil && buf.Len() < len(payload) {
+				flags |= flagCompressed
+				body = buf.Bytes()
+			}
+		}
+	}
+	dst = append(dst, Version, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, body...)
+}
+
+// PackedSize returns the frame size Pack would produce without
+// compression — the deterministic, allocation-free upper bound used for
+// byte accounting (compression savings on top are workload-dependent).
+func PackedSize(payloadLen int) int64 {
+	return int64(2 + uvarintLen(uint64(payloadLen)) + payloadLen)
+}
+
+// Unpack validates the frame and returns the raw payload. The input
+// must contain exactly one frame; trailing bytes are an error.
+func Unpack(data []byte) ([]byte, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("%w: truncated frame", ErrMalformed)
+	}
+	if data[0] != Version {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrMalformed, data[0])
+	}
+	flags := data[1]
+	if flags&^byte(flagCompressed) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrMalformed, flags)
+	}
+	rawLen, n := binary.Uvarint(data[2:])
+	if n <= 0 || rawLen > maxPayload {
+		return nil, fmt.Errorf("%w: bad payload length", ErrMalformed)
+	}
+	body := data[2+n:]
+	if flags&flagCompressed == 0 {
+		if uint64(len(body)) != rawLen {
+			return nil, fmt.Errorf("%w: payload length mismatch", ErrMalformed)
+		}
+		return body, nil
+	}
+	// Compression only ever shrinks the body (Pack keeps the raw payload
+	// otherwise), so a compressed body at least as large as its claimed
+	// raw length is malformed — and this bound also keeps the inflate
+	// below from being fed unbounded garbage.
+	if uint64(len(body)) >= rawLen {
+		return nil, fmt.Errorf("%w: compressed payload not smaller than raw", ErrMalformed)
+	}
+	zr := flate.NewReader(bytes.NewReader(body))
+	out := make([]byte, rawLen)
+	if _, err := io.ReadFull(zr, out); err != nil {
+		return nil, fmt.Errorf("%w: inflate: %v", ErrMalformed, err)
+	}
+	// The stream must end exactly at the claimed length.
+	var one [1]byte
+	if n, _ := zr.Read(one[:]); n != 0 {
+		return nil, fmt.Errorf("%w: inflated payload longer than declared", ErrMalformed)
+	}
+	return out, nil
+}
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendVarint appends v as a zig-zag varint.
+func AppendVarint(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+
+// Uvarint consumes one unsigned varint from data.
+func Uvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrMalformed)
+	}
+	return v, data[n:], nil
+}
+
+// Varint consumes one zig-zag varint from data.
+func Varint(data []byte) (int64, []byte, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrMalformed)
+	}
+	return v, data[n:], nil
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the encoded length of v as a zig-zag varint.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// checkCount validates an element count claimed by a varint against the
+// bytes actually remaining: every element of any wire array costs at
+// least one byte, so a count exceeding the remainder is malformed and
+// must be rejected before anything is allocated for it.
+func checkCount(n uint64, rest []byte) error {
+	if n > uint64(len(rest)) {
+		return fmt.Errorf("%w: count %d exceeds remaining input", ErrMalformed, n)
+	}
+	return nil
+}
