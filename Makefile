@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-json cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze vet-v2 analyze-fixtures clean telemetry-demo trace-demo
+.PHONY: all build test race cover bench bench-smoke bench-json load-smoke cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze vet-v2 analyze-fixtures clean telemetry-demo trace-demo
 
 all: build test
 
@@ -30,14 +30,25 @@ bench-smoke:
 
 # Refresh the machine-readable benchmarks: the parallelism sweep
 # (BENCH_federation.json), the resilience/chaos sweep
-# (BENCH_resilience.json), the answer-cache sweep (BENCH_cache.json) and
-# the tracing-overhead comparison (BENCH_trace.json). All are checked in
-# so the perf and availability trajectories are tracked across PRs.
+# (BENCH_resilience.json), the answer-cache sweep (BENCH_cache.json),
+# the tracing-overhead comparison (BENCH_trace.json) and the sharded
+# sustained-load sweep (BENCH_load.json). All are checked in so the perf
+# and availability trajectories are tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/expbench -exp parallelism -bench-json BENCH_federation.json
 	$(GO) run ./cmd/expbench -exp chaos -bench-json BENCH_resilience.json
 	$(GO) run ./cmd/expbench -exp cache -bench-json BENCH_cache.json
 	$(GO) run ./cmd/expbench -exp trace -bench-json BENCH_trace.json
+	$(GO) run ./cmd/expbench -exp load -bench-json BENCH_load.json
+
+# The sustained-load suite under the race detector: the load sweep's
+# unit tests plus a test-scale fixed-QPS run through expbench — a
+# replica is chaos-killed mid-run, so this smoke covers shard
+# scatter-gather, failover and gateway admission control end to end,
+# mirrored by the CI job.
+load-smoke:
+	$(GO) test -race -run 'TestLoadConfigValidate|TestRunLoadSweep' ./internal/experiments/
+	$(GO) run -race ./cmd/expbench -exp load -scale test
 
 # The answer-cache suite under the race detector: every Cache-named
 # test/benchmark (one iteration each) plus a test-scale Zipf-repeat

@@ -296,6 +296,8 @@ func serve(args []string) error {
 	httpAddr := fs.String("http", "", "also serve the HTTP gateway (REST API + GET /v1/metrics) on this address (optional)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (optional)")
 	trace := fs.Bool("trace", false, "enable the distributed-tracing flight recorder and run demo searches (inspect with 'csfltr trace')")
+	shards := fs.Int("shards", 0, "partition each local party's corpus across this many owner shards (0/1 = single owner)")
+	replicas := fs.Int("replicas", 0, "read replicas per shard (0 = 1; >= 2 enables failover)")
 	var remotes remoteFlags
 	fs.Var(&remotes, "remote", "party-hosted silo to relay to, NAME=ADDR (repeatable; see 'csfltr party')")
 	_ = fs.Parse(args) // ExitOnError: Parse exits instead of returning
@@ -304,6 +306,8 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	params.Shards = *shards
+	params.Replicas = *replicas
 	fmt.Println("generating corpus...")
 	c, err := corpus.Generate(cfg)
 	if err != nil {
@@ -347,6 +351,14 @@ func serve(args []string) error {
 		}
 		locals = append(locals, party)
 	}
+	var fed *federation.Federation
+	if len(locals) == cfg.NumParties {
+		// All parties in-process: attach the federated search entry
+		// point so the gateway serves POST /v1/search, with admission
+		// control bounding concurrent fan-outs.
+		fed = federation.Assemble(server, locals, params, demoSeed)
+		server.SetAdmission(federation.AdmissionConfig{})
+	}
 	srv, err := federation.ListenAndServe(server, *addr)
 	if err != nil {
 		return err
@@ -380,11 +392,8 @@ func serve(args []string) error {
 		// Seed the flight recorder so `csfltr trace` (and the /v1/trace,
 		// /v1/audit routes) have something to show: one federated search
 		// per sampled topic, issued by the first local party.
-		fed := &federation.Federation{
-			Server:   server,
-			Parties:  locals,
-			Params:   params,
-			HashSeed: demoSeed,
+		if fed == nil {
+			fed = federation.Assemble(server, locals, params, demoSeed)
 		}
 		for t := 0; t < 3 && t < len(c.Topics()); t++ {
 			topic := c.Topics()[t]

@@ -18,6 +18,7 @@
 //	expbench -exp parallelism       # worker-pool speedup sweep (not in "all")
 //	expbench -exp chaos             # fault-rate availability sweep (not in "all")
 //	expbench -exp cache             # answer-cache Zipf-repeat benchmark (not in "all")
+//	expbench -exp load              # sharded gateway sustained-load benchmark (not in "all")
 //	expbench -exp all               # everything
 //
 // -scale selects the workload size: "test" (seconds), "default"
@@ -26,10 +27,10 @@
 // -csv DIR additionally writes CSV series and Fig. 5 SVG panels;
 // -json FILE writes one machine-readable report covering the run.
 // -workers N,N,... selects the pool sizes of the parallelism sweep and
-// -bench-json FILE writes the parallelism, chaos or cache sweep's
+// -bench-json FILE writes the parallelism, chaos, cache or load sweep's
 // machine-readable result — `make bench-json` uses this to refresh the
-// checked-in BENCH_federation.json, BENCH_resilience.json and
-// BENCH_cache.json.
+// checked-in BENCH_federation.json, BENCH_resilience.json,
+// BENCH_cache.json and BENCH_load.json.
 // -debug-addr HOST:PORT serves Prometheus /metrics, an expvar-style
 // /debug/vars snapshot and /debug/pprof for the duration of the run.
 package main
@@ -307,6 +308,32 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			}
 			return nil
 		},
+		"load": func() error {
+			cfg := experiments.DefaultLoadConfig()
+			if scale == "test" {
+				cfg = experiments.TestLoadConfig()
+			}
+			cfg.Seed = seed
+			res, err := experiments.RunLoadSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Load: sharded gateway serving at sustained open-loop QPS ==")
+			fmt.Print(experiments.RenderLoad(res))
+			report.Add("load", res)
+			if benchJSON != "" {
+				f, err := os.Create(benchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteBenchJSON(f, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", benchJSON)
+			}
+			return nil
+		},
 		"traffic": func() error {
 			cfg := fig4
 			if cfg.Docs > 4000 {
@@ -358,7 +385,7 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			if strings.HasPrefix(n, "fig4-") {
 				continue // covered by "fig4"
 			}
-			if n == "parallelism" || n == "chaos" || n == "cache" || n == "trace" {
+			if n == "parallelism" || n == "chaos" || n == "cache" || n == "trace" || n == "load" {
 				continue // timing benchmarks, not paper figures; run explicitly
 			}
 			names = append(names, n)

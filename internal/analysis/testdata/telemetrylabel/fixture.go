@@ -71,3 +71,26 @@ func transportLabels(reg *telemetry.Registry, codec, api string, frame []byte) {
 	reg.Counter("y_total", "h", telemetry.L("codec", codec), telemetry.L("api", api)).Inc() // ok: {raw,wire} x fixed API set
 	reg.Counter("z_total", "h", telemetry.L("frame", fmt.Sprintf("%x", frame))).Inc()       // want "unbounded value"
 }
+
+// shardLabels mirrors the sharded party backends' label scheme
+// (internal/shard/labels.go): shard and replica label values come from
+// clamped fixed tables, and the per-replica breaker label concatenates
+// two table entries — every value is drawn from a finite set fixed at
+// compile time. Formatting the raw indices instead mints one series per
+// index value and is flagged.
+func shardLabels(reg *telemetry.Registry, si, ri int) {
+	shards := [...]string{"s0", "s1", "s2", "s3", "overflow"}
+	replicas := [...]string{"r0", "r1", "overflow"}
+	if si < 0 || si >= len(shards) {
+		si = len(shards) - 1
+	}
+	if ri < 0 || ri >= len(replicas) {
+		ri = len(replicas) - 1
+	}
+	reg.Counter("aa_total", "h", telemetry.L("shard", shards[si])).Inc()                      // ok: clamped table lookup
+	reg.Counter("ab_total", "h", telemetry.L("replica", replicas[ri])).Inc()                  // ok: clamped table lookup
+	reg.Gauge("ac_state", "h", telemetry.L("shard", shards[si]+"/"+replicas[ri])).Set(1)      // ok: concatenation of table entries
+	reg.Counter("ad_total", "h", telemetry.L("shard", fmt.Sprintf("s%d/r%d", si, ri))).Inc()  // want "unbounded value"
+	reg.Counter("ae_total", "h", telemetry.L("replica", "r"+strconv.Itoa(ri%2))).Inc()        // ok: two-value modulus
+	reg.Counter("af_total", "h", telemetry.L("shard", fmt.Sprintf("shard-%d", si*100))).Inc() // want "unbounded value"
+}

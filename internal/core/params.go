@@ -102,6 +102,20 @@ type Params struct {
 	// being dropped from the merge. 0 — the default — never serves stale
 	// answers. Only meaningful with CacheBytes > 0 and MinParties > 0.
 	CacheMaxStale time.Duration
+	// Shards partitions each party's corpus across this many owner
+	// shards by doc-range (internal/shard); queries scatter-gather over
+	// the shards and merge deterministically, bit-identical to the
+	// single-Owner path at Epsilon=0. 0 or 1 — the default — keeps the
+	// legacy single-Owner backend. A runtime knob like Parallelism: not
+	// a protocol parameter, not persisted, invisible to the DP
+	// accountant (the noise release point stays at the party boundary).
+	Shards int
+	// Replicas is the number of read replicas per shard (>= 1 means
+	// that many copies; 0 — the default — resolves to 1). Replicas hold
+	// identical state — ingestion writes through to all of them — so a
+	// replica failing over to a peer never changes query results. Only
+	// meaningful with Shards > 1. A runtime knob like Parallelism.
+	Replicas int
 }
 
 // DefaultParams returns the paper's default parameter setting.
@@ -146,6 +160,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("%w: CacheBytes=%d", ErrBadParams, p.CacheBytes)
 	case p.CacheMaxStale < 0:
 		return fmt.Errorf("%w: CacheMaxStale=%v", ErrBadParams, p.CacheMaxStale)
+	case p.Shards < 0:
+		return fmt.Errorf("%w: Shards=%d", ErrBadParams, p.Shards)
+	case p.Replicas < 0:
+		return fmt.Errorf("%w: Replicas=%d", ErrBadParams, p.Replicas)
 	}
 	return nil
 }

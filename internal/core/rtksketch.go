@@ -336,6 +336,54 @@ func (s *RTKSketch) Delete(docID int) int {
 	return removed
 }
 
+// AbsEvictionKeys reports whether cell eviction ranks entries by
+// |Value| (Count Sketch) rather than Value (Count-Min) — the abs flag
+// of cellHeap, exposed so partition-merging callers (internal/shard)
+// can reproduce the eviction order exactly.
+func (p Params) AbsEvictionKeys() bool { return p.SketchKind == sketch.Count }
+
+// MergeCellEntries merges per-partition snapshots of one cell into the
+// entry set a single sketch over the union of the partitions' documents
+// would hold, returned in the canonical ascending-DocID order of Cell.
+//
+// Correctness mirrors mergeAccumRows: eviction is a strict total order
+// (key descending, key-ties keep the smaller DocID), so an entry in the
+// global top-cap is necessarily in the top-cap of its own partition —
+// selecting the top-cap of the concatenated survivors under the same
+// order reproduces the single-sketch cell bit for bit. abs must be
+// Params.AbsEvictionKeys() of the sketches being merged; heapCap is
+// Params.HeapCap(). Partitions must not share document ids.
+//
+//csfltr:deterministic
+func MergeCellEntries(parts [][]Entry, heapCap int, abs bool) []Entry {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	merged := make([]Entry, 0, total)
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	if total > heapCap {
+		key := func(e Entry) int64 {
+			if abs && e.Value < 0 {
+				return -e.Value
+			}
+			return e.Value
+		}
+		sort.Slice(merged, func(i, j int) bool {
+			ki, kj := key(merged[i]), key(merged[j])
+			if ki != kj {
+				return ki > kj
+			}
+			return merged[i].DocID < merged[j].DocID
+		})
+		merged = merged[:heapCap]
+	}
+	sortEntriesByDoc(merged)
+	return merged
+}
+
 // Cell returns a copy of the entries of cell (row, col) in canonical
 // ascending-DocID order. This is the owner-side lookup of Algorithm 5:
 // the querier asks for the heaps its term hashes to. The canonical order

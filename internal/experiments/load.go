@@ -1,0 +1,472 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csfltr/internal/core"
+	"csfltr/internal/federation"
+	"csfltr/internal/shard"
+	"csfltr/internal/telemetry"
+)
+
+// LoadConfig configures the sustained-load benchmark behind
+// `expbench -exp load` and the checked-in BENCH_load.json: an open-loop
+// generator drives the HTTP gateway at a fixed fraction of its measured
+// capacity with a Zipf query mix while the data parties run sharded,
+// replicated backends. Each shard count gets its own federation; per-call
+// owner work is simulated with a fixed single-node service time split
+// across shards (the scale-out analogue of the parallelism sweep's
+// RTTMicros), so on a small CI machine the sweep still measures the real
+// quantity of interest — how scatter-gather divides per-node work — and
+// the speedup is not an artifact of host core count.
+type LoadConfig struct {
+	// ShardCounts are the per-party shard fans to sweep, ascending; the
+	// first entry is the throughput baseline the speedup is quoted
+	// against.
+	ShardCounts []int `json:"shard_counts"`
+	Replicas    int   `json:"replicas"` // read replicas per shard (>= 2 for the chaos kill)
+
+	Parties      int `json:"parties"` // data-holding parties; one extra querier party is added
+	DocsPerParty int `json:"docs_per_party"`
+	DocLen       int `json:"doc_len"`
+	Vocab        int `json:"vocab"`
+	Terms        int `json:"terms"` // query terms per federated search
+
+	// DetermChecks is the number of fixed queries whose SearchResults
+	// are compared bit-for-bit against an unsharded reference federation
+	// before the load phase.
+	DetermChecks int `json:"determinism_checks"`
+
+	// ServiceMicros is the simulated RTK service time of the whole party
+	// corpus on a single node; each shard's replica call sleeps
+	// ServiceMicros/shards, so per-node work shrinks as the corpus is
+	// partitioned.
+	ServiceMicros int64 `json:"service_micros"`
+
+	// ProbeSearches is the closed-loop capacity probe length: that many
+	// searches through the gateway with exactly MaxInFlight workers.
+	ProbeSearches int `json:"probe_searches"`
+	// Requests is the number of open-loop arrivals per shard count,
+	// offered at TargetUtil of the probed capacity.
+	Requests   int     `json:"requests"`
+	TargetUtil float64 `json:"target_util"`
+	ZipfS      float64 `json:"zipf_s"` // Zipf skew of the query term mix (> 1)
+
+	// KillReplica chaos-kills one replica (first data party, body field,
+	// shard 0, replica 0) halfway through each open-loop run; admitted
+	// requests must still all answer.
+	KillReplica bool `json:"kill_replica"`
+
+	// Admission bounds, resolved through federation.SetAdmission.
+	MaxInFlight        int   `json:"max_in_flight"`
+	MaxQueue           int   `json:"max_queue"`
+	QueueTimeoutMillis int64 `json:"queue_timeout_millis"`
+
+	Seed   int64       `json:"seed"`
+	Params core.Params `json:"params"`
+}
+
+// DefaultLoadConfig is the checked-in BENCH_load.json workload: two
+// sharded data parties swept across 1/2/4 shards with 2 replicas each,
+// a 60ms single-node service time (large enough that the simulated
+// per-node work, not host CPU, sets capacity), and one replica
+// chaos-killed halfway through every open-loop run.
+func DefaultLoadConfig() LoadConfig {
+	p := core.DefaultParams()
+	p.Epsilon = 0 // determinism across shard fans; DP noise order is scheduling-dependent
+	p.K = 10
+	return LoadConfig{
+		ShardCounts:        []int{1, 2, 4},
+		Replicas:           2,
+		Parties:            2,
+		DocsPerParty:       400,
+		DocLen:             60,
+		Vocab:              2000,
+		Terms:              3,
+		DetermChecks:       8,
+		ServiceMicros:      60000,
+		ProbeSearches:      60,
+		Requests:           360,
+		TargetUtil:         0.8,
+		ZipfS:              1.1,
+		KillReplica:        true,
+		MaxInFlight:        federation.DefaultMaxInFlight,
+		MaxQueue:           federation.DefaultMaxQueue,
+		QueueTimeoutMillis: 500,
+		Seed:               1,
+		Params:             p,
+	}
+}
+
+// TestLoadConfig shrinks the sweep to unit-test scale.
+func TestLoadConfig() LoadConfig {
+	cfg := DefaultLoadConfig()
+	cfg.ShardCounts = []int{1, 2}
+	cfg.DocsPerParty = 80
+	cfg.DocLen = 30
+	cfg.Vocab = 400
+	cfg.DetermChecks = 3
+	cfg.ServiceMicros = 4000
+	cfg.ProbeSearches = 16
+	cfg.Requests = 60
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c LoadConfig) Validate() error {
+	switch {
+	case len(c.ShardCounts) == 0:
+		return fmt.Errorf("%w: no shard counts", ErrBadConfig)
+	case c.Replicas < 1:
+		return fmt.Errorf("%w: Replicas=%d", ErrBadConfig, c.Replicas)
+	case c.Parties < 1:
+		return fmt.Errorf("%w: Parties=%d", ErrBadConfig, c.Parties)
+	case c.DocsPerParty < 1 || c.DocLen < 1 || c.Vocab < 2 || c.Terms < 1:
+		return fmt.Errorf("%w: empty workload", ErrBadConfig)
+	case c.DetermChecks < 1:
+		return fmt.Errorf("%w: DetermChecks=%d", ErrBadConfig, c.DetermChecks)
+	case c.ServiceMicros < 0:
+		return fmt.Errorf("%w: ServiceMicros=%d", ErrBadConfig, c.ServiceMicros)
+	case c.ProbeSearches < 1 || c.Requests < 1:
+		return fmt.Errorf("%w: empty load phase", ErrBadConfig)
+	case c.TargetUtil <= 0 || c.TargetUtil > 1:
+		return fmt.Errorf("%w: TargetUtil=%v", ErrBadConfig, c.TargetUtil)
+	case c.ZipfS <= 1:
+		return fmt.Errorf("%w: ZipfS=%v must be > 1", ErrBadConfig, c.ZipfS)
+	case c.KillReplica && c.Replicas < 2:
+		return fmt.Errorf("%w: KillReplica needs Replicas >= 2", ErrBadConfig)
+	case c.Params.Epsilon != 0:
+		return fmt.Errorf("%w: the determinism check needs Epsilon=0", ErrBadConfig)
+	}
+	prev := 0
+	for _, n := range c.ShardCounts {
+		if n < 1 || n <= prev {
+			return fmt.Errorf("%w: shard counts %v must be ascending and >= 1", ErrBadConfig, c.ShardCounts)
+		}
+		prev = n
+	}
+	return c.Params.Validate()
+}
+
+// LoadPoint is one measured shard count.
+type LoadPoint struct {
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+	// Deterministic records that every pre-load check query returned a
+	// SearchResult bit-identical to the unsharded reference federation.
+	Deterministic bool `json:"deterministic"`
+	// CapacityQPS is the closed-loop probe throughput with MaxInFlight
+	// workers; OfferedQPS is the open-loop rate (TargetUtil * capacity).
+	CapacityQPS float64 `json:"capacity_qps"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	// Sent / OK / Shed / Failed partition the open-loop arrivals: 200s,
+	// admission 429s, anything else.
+	Sent   int `json:"sent"`
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Failed int `json:"failed"`
+	// Availability is OK over admitted (non-shed) requests — the chaos
+	// acceptance bar is 1.0 with a replica killed mid-run.
+	Availability  float64 `json:"availability"`
+	ShedRate      float64 `json:"shed_rate"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// Latency quantiles from the gateway's own
+	// csfltr_http_request_duration_seconds{route="/v1/search"} histogram
+	// over the open-loop phase (bucket upper bounds, seconds; -1 when the
+	// quantile falls in the overflow bucket). Shed 429s are part of the
+	// distribution — they are gateway responses too.
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	// P999Bounded is the sustained-load bar: the tail stayed inside the
+	// histogram's finite buckets (<= 10s) under 80%-capacity load with
+	// the replica kill.
+	P999Bounded   bool `json:"p999_bounded"`
+	ReplicaKilled bool `json:"replica_killed"`
+}
+
+// LoadResult is the sweep outcome.
+type LoadResult struct {
+	Config LoadConfig  `json:"config"`
+	Points []LoadPoint `json:"points"`
+	// Deterministic is the AND of every point's determinism check.
+	Deterministic bool `json:"deterministic"`
+	// SearchSpeedup is the open-loop throughput of the largest shard
+	// count over the first (baseline) shard count.
+	SearchSpeedup float64 `json:"search_speedup"`
+}
+
+// loadFed builds one sweep federation at the given shard fan: querier Q
+// plus cfg.Parties data parties with the parallelism sweep's seeded
+// corpora. shards == 0 builds the unsharded reference (legacy
+// single-Owner backends, no replicas).
+func loadFed(cfg LoadConfig, shards int) (*federation.Federation, error) {
+	p := cfg.Params
+	if shards > 0 {
+		p.Shards = shards
+		p.Replicas = cfg.Replicas
+	}
+	names := []string{"Q"}
+	for i := 0; i < cfg.Parties; i++ {
+		names = append(names, partyName(i))
+	}
+	fed, err := federation.NewDeterministic(names, p, uint64(cfg.Seed)+99, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	docs := ParallelismConfig{Seed: cfg.Seed, DocsPerParty: cfg.DocsPerParty, DocLen: cfg.DocLen, Vocab: cfg.Vocab}
+	for i := 0; i < cfg.Parties; i++ {
+		if err := fed.Parties[i+1].IngestAllParallel(parallelismDocs(docs, i), 0); err != nil {
+			return nil, err
+		}
+	}
+	return fed, nil
+}
+
+// loadQueries draws the shared query stream: every shard fan replays the
+// same Zipf-skewed term mix, so points differ only in backend fan.
+func loadQueries(cfg LoadConfig, n int, seed int64) [][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Vocab-1))
+	qs := make([][]uint64, n)
+	for i := range qs {
+		terms := make([]uint64, cfg.Terms)
+		for j := range terms {
+			terms[j] = zipf.Uint64()
+		}
+		qs[i] = terms
+	}
+	return qs
+}
+
+// postSearch sends one gateway search and classifies the response.
+func postSearch(client *http.Client, url string, terms []uint64, k int) (code int, err error) {
+	body, err := json.Marshal(struct {
+		From  string   `json:"from"`
+		Terms []uint64 `json:"terms"`
+		K     int      `json:"k"`
+	}{From: "Q", Terms: terms, K: k})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// quantileOrNeg clamps non-finite quantiles (overflow bucket, empty
+// histogram) to -1 so the result marshals to JSON.
+func quantileOrNeg(h *telemetry.Histogram, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}
+
+// RunLoadSweep measures sustained-load gateway serving at every shard
+// count: a determinism check against the unsharded reference, a
+// closed-loop capacity probe, then the open-loop phase at TargetUtil of
+// capacity with the optional mid-run replica kill.
+func RunLoadSweep(cfg LoadConfig) (*LoadResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ref, err := loadFed(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	checks := loadQueries(cfg, cfg.DetermChecks, cfg.Seed+7717)
+	want := make([]*federation.SearchResult, len(checks))
+	for i, q := range checks {
+		if want[i], err = ref.Search("Q", q, cfg.Params.K); err != nil {
+			return nil, err
+		}
+	}
+	probeQs := loadQueries(cfg, cfg.ProbeSearches, cfg.Seed+104729)
+	openQs := loadQueries(cfg, cfg.Requests, cfg.Seed+1299709)
+
+	res := &LoadResult{Config: cfg, Deterministic: true}
+	for _, shards := range cfg.ShardCounts {
+		pt, err := runLoadPoint(cfg, shards, checks, want, probeQs, openQs)
+		if err != nil {
+			return nil, err
+		}
+		res.Deterministic = res.Deterministic && pt.Deterministic
+		res.Points = append(res.Points, *pt)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.ThroughputQPS > 0 {
+		res.SearchSpeedup = last.ThroughputQPS / first.ThroughputQPS
+	}
+	return res, nil
+}
+
+// runLoadPoint measures one shard count.
+func runLoadPoint(cfg LoadConfig, shards int, checks [][]uint64, want []*federation.SearchResult,
+	probeQs, openQs [][]uint64) (*LoadPoint, error) {
+	fed, err := loadFed(cfg, shards)
+	if err != nil {
+		return nil, err
+	}
+	pt := &LoadPoint{Shards: shards, Replicas: cfg.Replicas, Deterministic: true}
+
+	// Determinism first, on the quiet federation: sharded scatter-gather
+	// must release bit-identical SearchResults.
+	for i, q := range checks {
+		got, err := fed.Search("Q", q, cfg.Params.K)
+		if err != nil {
+			return nil, err
+		}
+		if !reflect.DeepEqual(got, want[i]) {
+			pt.Deterministic = false
+		}
+	}
+
+	// Simulated per-node service time: the whole-corpus RTK cost split
+	// across shards. Installed after the determinism check so that phase
+	// stays fast.
+	perCall := time.Duration(cfg.ServiceMicros) * time.Microsecond / time.Duration(shards)
+	for i := 0; i < cfg.Parties; i++ {
+		for _, f := range []federation.Field{federation.FieldBody, federation.FieldTitle} {
+			if g := fed.Parties[i+1].Group(f); g != nil {
+				g.SetIntercept(func(_, _ int, api string) error {
+					if api == shard.APIRTK {
+						time.Sleep(perCall)
+					}
+					return nil
+				})
+			}
+		}
+	}
+
+	fed.Server.SetAdmission(federation.AdmissionConfig{
+		MaxInFlight:  cfg.MaxInFlight,
+		MaxQueue:     cfg.MaxQueue,
+		QueueTimeout: time.Duration(cfg.QueueTimeoutMillis) * time.Millisecond,
+	})
+	adm, _ := fed.Server.Admission()
+	srv := httptest.NewServer(federation.HTTPHandler(fed.Server))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Closed-loop capacity probe: exactly MaxInFlight workers keep the
+	// gateway's execution slots full; the completion rate is capacity.
+	var next atomic.Int64
+	var probeErr atomic.Pointer[error]
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < adm.MaxInFlight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(probeQs) {
+					return
+				}
+				code, err := postSearch(client, srv.URL, probeQs[i], cfg.Params.K)
+				if err == nil && code != http.StatusOK && code != http.StatusTooManyRequests {
+					err = fmt.Errorf("probe search: HTTP %d", code)
+				}
+				if err != nil {
+					probeErr.CompareAndSwap(nil, &err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p := probeErr.Load(); p != nil {
+		return nil, *p
+	}
+	pt.CapacityQPS = float64(len(probeQs)) / time.Since(start).Seconds()
+	pt.OfferedQPS = cfg.TargetUtil * pt.CapacityQPS
+
+	// Open-loop phase: fixed-interval arrivals at the offered rate, each
+	// a goroutine of its own — a slow gateway does not slow the
+	// generator, it grows the queue and then sheds.
+	hist := fed.Server.Metrics().Histogram("csfltr_http_request_duration_seconds",
+		"HTTP gateway request latency.", nil, telemetry.L("route", "/v1/search"))
+	hist.Reset()
+	interval := time.Duration(float64(time.Second) / pt.OfferedQPS)
+	killAt := -1
+	if cfg.KillReplica {
+		killAt = cfg.Requests / 2
+	}
+	var ok, shed, failed atomic.Int64
+	begin := time.Now()
+	for i := 0; i < cfg.Requests; i++ {
+		if d := time.Until(begin.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+		if i == killAt {
+			fed.Parties[1].Group(federation.FieldBody).KillReplica(0, 0)
+			pt.ReplicaKilled = true
+		}
+		wg.Add(1)
+		go func(terms []uint64) {
+			defer wg.Done()
+			switch code, err := postSearch(client, srv.URL, terms, cfg.Params.K); {
+			case err != nil:
+				failed.Add(1)
+			case code == http.StatusOK:
+				ok.Add(1)
+			case code == http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(openQs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	pt.Sent = cfg.Requests
+	pt.OK = int(ok.Load())
+	pt.Shed = int(shed.Load())
+	pt.Failed = int(failed.Load())
+	if admitted := pt.Sent - pt.Shed; admitted > 0 {
+		pt.Availability = float64(pt.OK) / float64(admitted)
+	}
+	pt.ShedRate = float64(pt.Shed) / float64(pt.Sent)
+	pt.ThroughputQPS = float64(pt.OK) / elapsed.Seconds()
+	pt.P50Seconds = quantileOrNeg(hist, 0.50)
+	pt.P99Seconds = quantileOrNeg(hist, 0.99)
+	pt.P999Seconds = quantileOrNeg(hist, 0.999)
+	pt.P999Bounded = pt.P999Seconds >= 0
+	return pt, nil
+}
+
+// RenderLoad renders the sweep as the table expbench prints.
+func RenderLoad(res *LoadResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d parties x %d docs, %d-term Zipf(s=%.2f) mix, %d req/point at %.0f%% capacity, service %dus/node, kill_replica=%v\n",
+		res.Config.Parties, res.Config.DocsPerParty, res.Config.Terms, res.Config.ZipfS,
+		res.Config.Requests, res.Config.TargetUtil*100, res.Config.ServiceMicros, res.Config.KillReplica)
+	fmt.Fprintf(&b, "%6s %8s %12s %12s %12s %6s %8s %6s %12s %10s %10s %10s\n",
+		"shards", "replicas", "capacity_qps", "offered_qps", "tput_qps", "ok", "shed", "fail", "availability", "p50_s", "p99_s", "p999_s")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%6d %8d %12.1f %12.1f %12.1f %6d %8d %6d %12.3f %10.4f %10.4f %10.4f\n",
+			p.Shards, p.Replicas, p.CapacityQPS, p.OfferedQPS, p.ThroughputQPS,
+			p.OK, p.Shed, p.Failed, p.Availability, p.P50Seconds, p.P99Seconds, p.P999Seconds)
+	}
+	fmt.Fprintf(&b, "deterministic=%v search_speedup=%.2fx (%d shards vs %d)\n",
+		res.Deterministic, res.SearchSpeedup,
+		res.Points[len(res.Points)-1].Shards, res.Points[0].Shards)
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLoadConfigValidate(t *testing.T) {
+	good := TestLoadConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("test config invalid: %v", err)
+	}
+	cases := []func(*LoadConfig){
+		func(c *LoadConfig) { c.ShardCounts = nil },
+		func(c *LoadConfig) { c.ShardCounts = []int{2, 1} }, // not ascending
+		func(c *LoadConfig) { c.ShardCounts = []int{0} },
+		func(c *LoadConfig) { c.Replicas = 0 },
+		func(c *LoadConfig) { c.Replicas = 1 }, // KillReplica needs a peer
+		func(c *LoadConfig) { c.Parties = 0 },
+		func(c *LoadConfig) { c.DocsPerParty = 0 },
+		func(c *LoadConfig) { c.DetermChecks = 0 },
+		func(c *LoadConfig) { c.ServiceMicros = -1 },
+		func(c *LoadConfig) { c.Requests = 0 },
+		func(c *LoadConfig) { c.TargetUtil = 0 },
+		func(c *LoadConfig) { c.TargetUtil = 1.5 },
+		func(c *LoadConfig) { c.ZipfS = 1 },
+		func(c *LoadConfig) { c.Params.Epsilon = 0.5 }, // determinism needs eps=0
+	}
+	for i, mutate := range cases {
+		cfg := TestLoadConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+// TestRunLoadSweep runs the unit-scale sweep end to end: every point's
+// determinism check must pass against the unsharded reference, the
+// replica kill must not fail a single admitted request (availability
+// 1.0), and the tail must stay inside the histogram's finite buckets.
+func TestRunLoadSweep(t *testing.T) {
+	cfg := TestLoadConfig()
+	res, err := RunLoadSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.ShardCounts) {
+		t.Fatalf("%d points for %d shard counts", len(res.Points), len(cfg.ShardCounts))
+	}
+	if !res.Deterministic {
+		t.Fatal("sharded sweep not deterministic vs unsharded reference")
+	}
+	for i, pt := range res.Points {
+		if pt.Shards != cfg.ShardCounts[i] || pt.Replicas != cfg.Replicas {
+			t.Fatalf("point %d: fan %d/%d, want %d/%d", i, pt.Shards, pt.Replicas, cfg.ShardCounts[i], cfg.Replicas)
+		}
+		if pt.OK+pt.Shed+pt.Failed != pt.Sent || pt.Sent != cfg.Requests {
+			t.Fatalf("point %d: outcome partition broken: %+v", i, pt)
+		}
+		if pt.Failed != 0 {
+			t.Fatalf("point %d: %d hard failures (admitted requests must answer): %+v", i, pt.Failed, pt)
+		}
+		if pt.Availability != 1 {
+			t.Fatalf("point %d: availability %v with %+v", i, pt.Availability, pt)
+		}
+		if !pt.ReplicaKilled {
+			t.Fatalf("point %d: replica kill never happened", i)
+		}
+		if !pt.P999Bounded || pt.P999Seconds < 0 {
+			t.Fatalf("point %d: unbounded tail: %+v", i, pt)
+		}
+		if pt.CapacityQPS <= 0 || pt.ThroughputQPS <= 0 {
+			t.Fatalf("point %d: no throughput measured: %+v", i, pt)
+		}
+	}
+
+	table := RenderLoad(res)
+	for _, want := range []string{"load:", "capacity_qps", "availability", "p999_s", "deterministic=true"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, table)
+		}
+	}
+}

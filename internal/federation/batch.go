@@ -179,8 +179,8 @@ func (f *Federation) BatchReverseTopK(from string, reqs []TopKRequest, paralleli
 		cacheable := false
 		if c != nil && useRTK {
 			if dst, err := f.Party(r.Request.To); err == nil {
-				gen := dst.owner(r.Request.Field).Generation()
-				full, base = f.batchKeys(from, r.Request, gen)
+				gens := dst.generations(r.Request.Field)
+				full, base = f.batchKeys(from, r.Request, gens)
 				cacheable = true
 				if v, ok := c.Get(full, base); ok {
 					m.cacheFor(cacheTierTask, cacheHit).Inc()

@@ -107,15 +107,29 @@ func (f *Federation) CacheStats() qcache.Stats {
 	return c.Stats()
 }
 
+// foldGens folds a backend's ingest generation vector into a key: the
+// component count then every component. A sharded party contributes one
+// component per shard, so a mutation invalidates only full keys bound
+// to the owning shard's moved component; unsharded parties contribute
+// the single scalar generation, reproducing the pre-shard keys' shape.
+func foldGens(b *qcache.Builder, gens []uint64) *qcache.Builder {
+	b.Int(len(gens))
+	for _, g := range gens {
+		b.U64(g)
+	}
+	return b
+}
+
 // taskKeys derives the full (generation-bound) and base (stale-lookup)
-// keys of one search task answer.
-func (f *Federation) taskKeys(from, party string, term, gen uint64) (full, base qcache.Key) {
+// keys of one search task answer. gens is the answering party's
+// generation vector (nil for the generation-free base lookup).
+func (f *Federation) taskKeys(from, party string, term uint64, gens []uint64) (full, base qcache.Key) {
 	begin := func() *qcache.Builder {
 		return f.keyer.Begin(keyKindSearchTask).
 			String(from).String(party).Int(int(FieldBody)).
 			U64(term).F64(f.Params.Epsilon).Int(f.Params.K)
 	}
-	return begin().U64(gen).Key(), begin().Key()
+	return foldGens(begin(), gens).Key(), begin().Key()
 }
 
 // queryKeys derives the keys of a whole merged search. The full key
@@ -137,20 +151,20 @@ func (f *Federation) queryKeys(from string, terms []uint64, k int) (full, base q
 		if p.Name == from {
 			continue
 		}
-		fb.String(p.Name).U64(p.owner(FieldBody).Generation())
+		foldGens(fb.String(p.Name), p.generations(FieldBody))
 		bb.String(p.Name)
 	}
 	return fb.Key(), bb.Key()
 }
 
 // batchKeys derives the keys of one batch reverse top-K answer.
-func (f *Federation) batchKeys(from string, req TopKRequest, gen uint64) (full, base qcache.Key) {
+func (f *Federation) batchKeys(from string, req TopKRequest, gens []uint64) (full, base qcache.Key) {
 	begin := func() *qcache.Builder {
 		return f.keyer.Begin(keyKindBatchTask).
 			String(from).String(req.To).Int(int(req.Field)).
 			U64(req.Term).F64(f.Params.Epsilon).Int(req.K)
 	}
-	return begin().U64(gen).Key(), begin().Key()
+	return foldGens(begin(), gens).Key(), begin().Key()
 }
 
 // staleBackfill tries to serve a lost party from recent cache entries:
@@ -168,7 +182,7 @@ func (f *Federation) staleBackfill(c *qcache.Cache, from, party string, terms []
 	out := make([]cachedTask, 0, len(terms))
 	var oldest time.Duration
 	for _, term := range terms {
-		_, base := f.taskKeys(from, party, term, 0)
+		_, base := f.taskKeys(from, party, term, nil)
 		v, age, ok := c.GetStale(base, f.Params.CacheMaxStale)
 		if !ok {
 			return nil, 0, false

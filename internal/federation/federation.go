@@ -29,6 +29,7 @@ import (
 	"csfltr/internal/keyex"
 	"csfltr/internal/qcache"
 	"csfltr/internal/resilience"
+	"csfltr/internal/shard"
 	"csfltr/internal/telemetry"
 	"csfltr/internal/textkit"
 	"csfltr/internal/wire"
@@ -133,6 +134,15 @@ type Server struct {
 	// from internal/wire. Flipping it never changes protocol results —
 	// only how many bytes each relayed message is charged.
 	wireCodec atomic.Bool
+
+	// searcher serves the gateway's POST /v1/search route (installed by
+	// the Federation constructors via setSearcher). Nil until a
+	// federation attaches.
+	searcher atomic.Pointer[gatewaySearcher]
+
+	// admission bounds the gateway's concurrent search work (see
+	// SetAdmission in admission.go). Nil means unbounded.
+	admission atomic.Pointer[admission]
 }
 
 // NewServer creates an empty server with a fresh telemetry registry.
@@ -165,6 +175,7 @@ func (s *Server) SetRegistry(reg *telemetry.Registry) {
 	for _, e := range s.parties {
 		if p, ok := e.(*Party); ok {
 			p.attachDPHist(s.m.stage[StageDPNoise])
+			p.attachShardHooks(s.m)
 		}
 	}
 }
@@ -184,6 +195,7 @@ func (s *Server) Register(p *Party) error {
 	}
 	s.mu.Lock()
 	p.attachDPHist(s.m.stage[StageDPNoise])
+	p.attachShardHooks(s.m)
 	s.mu.Unlock()
 	return nil
 }
@@ -590,14 +602,39 @@ func chaosContent(disc uint64, cols []uint32) uint64 {
 	return h
 }
 
+// partyBackend is the per-field storage engine behind a party: either a
+// single core.Owner (the legacy path) or a sharded, replicated
+// shard.Group facade. Both expose the owner query API plus the ingest
+// and cache-generation surface the federation needs; which one backs a
+// party is invisible to the protocol (the sharded facade is
+// bit-identical to a single owner at Epsilon=0, see internal/shard).
+type partyBackend interface {
+	core.OwnerAPI
+	AddDocument(docID int, counts map[uint64]int64) error
+	AddDocuments(docs []core.DocCounts, workers int) error
+	RemoveDocument(docID int) error
+	Generation() uint64
+	Generations() []uint64
+}
+
+// singleBackend adapts a single core.Owner to the backend surface: its
+// generation vector has one component.
+type singleBackend struct{ *core.Owner }
+
+func (s singleBackend) Generations() []uint64 { return []uint64{s.Owner.Generation()} }
+
 // Party is one silo: a name, the owner-side sketch state for each
 // document field, a querier endpoint and a per-peer privacy accountant.
+// When Params.Shards or Params.Replicas exceeds 1 the per-field state is
+// a sharded, replicated shard.Group instead of a single owner.
 type Party struct {
 	Name string
 
 	params   core.Params
 	querier  *core.Querier
-	owners   [numFields]*core.Owner
+	owners   [numFields]*core.Owner  // nil when the party is sharded
+	groups   [numFields]*shard.Group // nil when the party is unsharded
+	backends [numFields]partyBackend
 	mechs    [numFields]*timedMechanism
 	account  *dp.Accountant
 	docRefs  []int // ingested document ids
@@ -611,6 +648,38 @@ func (p *Party) attachDPHist(h *telemetry.Histogram) {
 		if m != nil {
 			m.attach(h)
 		}
+	}
+}
+
+// attachShardHooks wires a sharded party's groups into the server's
+// telemetry: replica attempt spans into the flight recorder, per-shard
+// outcome counters, replica breaker gauges and per-shard transport
+// bytes. All labels come from the bounded shard label tables plus the
+// party name and field — never raw identifiers. No-op for unsharded
+// parties.
+func (p *Party) attachShardHooks(m *serverMetrics) {
+	for f := Field(0); f < numFields; f++ {
+		g := p.groups[f]
+		if g == nil {
+			continue
+		}
+		name, field := p.Name, f.String()
+		g.SetHooks(shard.Hooks{
+			Registry: m.reg,
+			OnOutcome: func(sh string, ok bool) {
+				out := OutcomeOK
+				if !ok {
+					out = OutcomeFailed
+				}
+				m.shardOutcomeFor(name, field, sh, out).Inc()
+			},
+			BreakerChange: func(lbl string, st resilience.State) {
+				m.shardBreakerGauge(name, field, lbl).Set(float64(st))
+			},
+			OnTransport: func(api, sh string, bytes int64) {
+				m.shardTransportFor(name, field, sh, api).Add(bytes)
+			},
+		})
 	}
 }
 
@@ -647,6 +716,7 @@ func NewParty(name string, cfg PartyConfig) (*Party, error) {
 		account:  dp.NewAccountant(cfg.Budget),
 		queryRNG: rng,
 	}
+	sharded := cfg.Params.Shards > 1 || cfg.Params.Replicas > 1
 	for f := Field(0); f < numFields; f++ {
 		mech, err := dp.ForEpsilon(cfg.Params.Epsilon, rand.New(rand.NewSource(cfg.RNGSeed+2+int64(f))))
 		if err != nil {
@@ -656,6 +726,23 @@ func NewParty(name string, cfg PartyConfig) (*Party, error) {
 		// the dp_noise stage once the party joins a server.
 		timed := &timedMechanism{inner: mech}
 		p.mechs[f] = timed
+		if sharded {
+			// The group facade is the DP release point — it holds the
+			// party's mechanism while the shard owners inside run
+			// noise-free, keeping one draw per released answer.
+			grp, err := shard.New(shard.Config{
+				Params:        cfg.Params,
+				Seed:          cfg.Seed,
+				Mech:          timed,
+				DropDocTables: cfg.DropDocTables,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p.groups[f] = grp
+			p.backends[f] = grp
+			continue
+		}
 		var opts []core.OwnerOption
 		if cfg.DropDocTables {
 			opts = append(opts, core.WithoutDocTables())
@@ -665,12 +752,18 @@ func NewParty(name string, cfg PartyConfig) (*Party, error) {
 			return nil, err
 		}
 		p.owners[f] = owner
+		p.backends[f] = singleBackend{owner}
 	}
 	return p, nil
 }
 
-// owner returns the owner endpoint for a field.
-func (p *Party) owner(f Field) *core.Owner { return p.owners[f] }
+// backend returns the storage engine for a field.
+func (p *Party) backend(f Field) partyBackend { return p.backends[f] }
+
+// generations returns the field's per-shard ingest generation vector
+// (one component for an unsharded party) — what cache keys bind so
+// invalidation stays shard-local.
+func (p *Party) generations(f Field) []uint64 { return p.backends[f].Generations() }
 
 // transport implements endpoint.
 func (p *Party) transport() string { return transportInproc }
@@ -680,12 +773,40 @@ func (p *Party) ownerAPI(f Field) (core.OwnerAPI, error) {
 	if f < 0 || f >= numFields {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownField, int(f))
 	}
-	return p.owners[f], nil
+	return p.backends[f], nil
 }
 
-// Owner exposes the owner endpoint for a field (e.g. for direct local
-// inspection or space accounting).
+// Owner exposes the single-owner endpoint for a field (e.g. for direct
+// local inspection or space accounting). Nil when the party is sharded —
+// use Group then.
 func (p *Party) Owner(f Field) *core.Owner { return p.owners[f] }
+
+// Group exposes the sharded owner facade for a field. Nil when the
+// party is unsharded — use Owner then.
+func (p *Party) Group(f Field) *shard.Group { return p.groups[f] }
+
+// Sharded reports whether the party's fields are backed by shard
+// groups.
+func (p *Party) Sharded() bool { return p.groups[FieldBody] != nil }
+
+// RemoveDocument deletes one document from both field backends. On a
+// sharded party only the owning shard's generation moves, so cached
+// answers keyed by the other shards' generations stay valid.
+func (p *Party) RemoveDocument(docID int) error {
+	if err := p.backends[FieldBody].RemoveDocument(docID); err != nil {
+		return fmt.Errorf("federation: remove body of doc %d: %w", docID, err)
+	}
+	if err := p.backends[FieldTitle].RemoveDocument(docID); err != nil {
+		return fmt.Errorf("federation: remove title of doc %d: %w", docID, err)
+	}
+	for i, id := range p.docRefs {
+		if id == docID {
+			p.docRefs = append(p.docRefs[:i], p.docRefs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
 
 // Querier returns the party's querier endpoint.
 func (p *Party) Querier() *core.Querier { return p.querier }
@@ -699,10 +820,10 @@ func (p *Party) Accountant() *dp.Accountant { return p.account }
 // IngestDocument sketches one document into both field owners (protocol
 // Step 1). The document's local ID is used as the sketch document id.
 func (p *Party) IngestDocument(d *textkit.Document) error {
-	if err := p.owners[FieldBody].AddDocument(d.ID, CountsToUint64(d.BodyCounts())); err != nil {
+	if err := p.backends[FieldBody].AddDocument(d.ID, CountsToUint64(d.BodyCounts())); err != nil {
 		return fmt.Errorf("federation: ingest body of doc %d: %w", d.ID, err)
 	}
-	if err := p.owners[FieldTitle].AddDocument(d.ID, CountsToUint64(d.TitleCounts())); err != nil {
+	if err := p.backends[FieldTitle].AddDocument(d.ID, CountsToUint64(d.TitleCounts())); err != nil {
 		return fmt.Errorf("federation: ingest title of doc %d: %w", d.ID, err)
 	}
 	p.docRefs = append(p.docRefs, d.ID)
@@ -760,11 +881,11 @@ func (p *Party) IngestAllParallel(docs []*textkit.Document, workers int) error {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		bodyErr = p.owners[FieldBody].AddDocuments(bodies, workers)
+		bodyErr = p.backends[FieldBody].AddDocuments(bodies, workers)
 	}()
 	go func() {
 		defer wg.Done()
-		titleErr = p.owners[FieldTitle].AddDocuments(titles, workers)
+		titleErr = p.backends[FieldTitle].AddDocuments(titles, workers)
 	}()
 	wg.Wait()
 	if bodyErr != nil {
@@ -817,6 +938,18 @@ type Federation struct {
 	keyer     *qcache.Keyer
 }
 
+// Assemble bundles an already-populated server and its registered
+// parties into a Federation without running a setup ceremony — for
+// embedders that construct and ingest parties themselves (the demo
+// server does). It attaches the federated search entry point to the
+// server's gateway, so POST /v1/search serves. The parties must already
+// be registered with srv and share params and hashSeed.
+func Assemble(srv *Server, parties []*Party, params core.Params, hashSeed uint64) *Federation {
+	fed := &Federation{Server: srv, Parties: parties, Params: params, HashSeed: hashSeed}
+	srv.setSearcher(fed.SearchTraced)
+	return fed
+}
+
 // New runs the full setup ceremony for the named parties: Diffie-Hellman
 // pairwise agreement, sealed distribution of the federation secret
 // (package keyex), hash-seed derivation, party construction and server
@@ -836,6 +969,7 @@ func New(names []string, params core.Params, rngSeed int64) (*Federation, error)
 	seed := hashutil.DeriveSeed(secrets[0], "csfltr/sketch-hash/v1")
 	srv := NewServer()
 	fed := &Federation{Server: srv, Params: params, HashSeed: seed}
+	srv.setSearcher(fed.SearchTraced)
 	for i, name := range names {
 		p, err := NewParty(name, PartyConfig{
 			Params:  params,
@@ -864,6 +998,7 @@ func NewDeterministic(names []string, params core.Params, hashSeed uint64, rngSe
 	}
 	srv := NewServer()
 	fed := &Federation{Server: srv, Params: params, HashSeed: hashSeed}
+	srv.setSearcher(fed.SearchTraced)
 	for i, name := range names {
 		p, err := NewParty(name, PartyConfig{
 			Params:  params,

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"csfltr/internal/chaos"
 	"csfltr/internal/core"
@@ -63,6 +64,37 @@ type httpRTKCell struct {
 // httpRTKResponse is the POST /rtk reply.
 type httpRTKResponse struct {
 	Cells []httpRTKCell `json:"cells"`
+}
+
+// httpSearchRequest is the POST /v1/search body: a whole federated
+// query from one party.
+type httpSearchRequest struct {
+	From  string   `json:"from"`
+	Terms []uint64 `json:"terms"`
+	K     int      `json:"k"`
+}
+
+// httpSearchHit mirrors SearchHit in JSON.
+type httpSearchHit struct {
+	Party string  `json:"party"`
+	DocID int     `json:"doc_id"`
+	Score float64 `json:"score"`
+}
+
+// httpPartyReport mirrors the availability part of PartyReport.
+type httpPartyReport struct {
+	Party   string `json:"party"`
+	Outcome string `json:"outcome"`
+	Err     string `json:"error,omitempty"`
+	Cached  int    `json:"cached,omitempty"`
+}
+
+// httpSearchResponse is the POST /v1/search reply.
+type httpSearchResponse struct {
+	Hits    []httpSearchHit   `json:"hits"`
+	Partial bool              `json:"partial,omitempty"`
+	Parties []httpPartyReport `json:"parties"`
+	TraceID string            `json:"trace_id,omitempty"`
 }
 
 // httpError is the uniform error envelope. RequestID echoes the
@@ -163,6 +195,49 @@ func HTTPHandler(s *Server) http.Handler {
 		out := map[string]any{"trace_id": id, "spans": spans}
 		if haveAudit {
 			out["audit"] = audit
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	handle(http.MethodPost, "/v1/search", "/v1/search", func(w http.ResponseWriter, r *http.Request) {
+		fn := s.searcher.Load()
+		if fn == nil {
+			writeError(w, r, http.StatusNotFound, "federation: no search backend attached")
+			return
+		}
+		if a := s.admission.Load(); a != nil {
+			release, ok, reason := a.admit()
+			if !ok {
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int((a.cfg.RetryAfter+time.Second-1)/time.Second)))
+				writeError(w, r, http.StatusTooManyRequests, "federation: overloaded: "+reason)
+				return
+			}
+			defer release()
+		}
+		var req httpSearchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.From == "" || len(req.Terms) == 0 {
+			writeError(w, r, http.StatusBadRequest, "federation: search needs from and terms")
+			return
+		}
+		res, traceID, err := (*fn)(req.From, req.Terms, req.K)
+		if err != nil {
+			writeError(w, r, statusFor(err), err.Error())
+			return
+		}
+		out := httpSearchResponse{
+			Hits:    make([]httpSearchHit, len(res.Hits)),
+			Partial: res.Partial,
+			Parties: make([]httpPartyReport, len(res.Parties)),
+			TraceID: traceID,
+		}
+		for i, h := range res.Hits {
+			out.Hits[i] = httpSearchHit{Party: h.Party, DocID: h.DocID, Score: h.Score}
+		}
+		for i, p := range res.Parties {
+			out.Parties[i] = httpPartyReport{Party: p.Party, Outcome: p.Outcome, Err: p.Err, Cached: p.Cached}
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
@@ -359,10 +434,13 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownParty), errors.Is(err, core.ErrUnknownDoc):
 		return http.StatusNotFound
-	case errors.Is(err, core.ErrBadQuery), errors.Is(err, ErrUnknownField):
+	case errors.Is(err, core.ErrBadQuery), errors.Is(err, ErrUnknownField),
+		errors.Is(err, ErrSelfQuery):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrNoSketches):
 		return http.StatusConflict
+	case errors.Is(err, ErrQuorum):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}

@@ -135,6 +135,14 @@ type relayKey struct{ party, op string }
 // transportKey identifies one (party, api, codec) transport byte series.
 type transportKey struct{ party, api, codec string }
 
+// shardSeriesKey identifies one per-shard series of a sharded party:
+// party, field, bounded shard label, and the series-specific
+// discriminator (api for transport bytes, outcome for outcome counters,
+// empty for breaker gauges). Every component is drawn from a closed set
+// — party names from the roster, fields from the Field enum, shard and
+// replica labels from internal/shard's clamped tables.
+type shardSeriesKey struct{ party, field, shard, aux string }
+
 // CodecRaw / CodecWire are the MetricTransportBytes codec label values —
 // exported so harnesses (expbench, the experiments sweeps) can query
 // Server.TransportBytes without string drift.
@@ -180,6 +188,11 @@ type serverMetrics struct {
 	budget    map[relayKey]struct{}           // (querier, peer) gauges registered
 	coalesce  *telemetry.Counter              // lazily created
 	transport map[transportKey]*telemetry.Counter
+
+	// Per-shard series of sharded parties (see attachShardHooks).
+	shardTransport map[shardSeriesKey]*telemetry.Counter
+	shardBreaker   map[shardSeriesKey]*telemetry.Gauge
+	shardOutcome   map[shardSeriesKey]*telemetry.Counter
 }
 
 // newServerMetrics creates the handle cache over reg.
@@ -197,7 +210,10 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		stale:    make(map[string]*telemetry.Counter),
 		budget:   make(map[relayKey]struct{}),
 
-		transport: make(map[transportKey]*telemetry.Counter),
+		transport:      make(map[transportKey]*telemetry.Counter),
+		shardTransport: make(map[shardSeriesKey]*telemetry.Counter),
+		shardBreaker:   make(map[shardSeriesKey]*telemetry.Gauge),
+		shardOutcome:   make(map[shardSeriesKey]*telemetry.Counter),
 	}
 	for _, api := range []string{apiDocIDs, apiDocMeta, apiTF, apiRTK} {
 		m.api[api] = reg.Histogram(MetricAPILatency,
@@ -400,6 +416,61 @@ func (m *serverMetrics) transportFor(party, api, codec string) *telemetry.Counte
 // the size the active codec actually puts on the wire.
 func (m *serverMetrics) recordTransport(party, api, codec string, n int64) {
 	m.transportFor(party, api, codec).Add(n)
+}
+
+// shardTransportFor returns the per-shard byte counter of one sharded
+// party's field. These series carry an extra bounded "shard" label and
+// account shard-level exchanges inside the party (always fixed-width,
+// codec "raw"); the party-level series above remain the transport
+// ground truth and transportBytes never sums the shard series.
+func (m *serverMetrics) shardTransportFor(party, field, shard, api string) *telemetry.Counter {
+	k := shardSeriesKey{party: party, field: field, shard: shard, aux: api}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.shardTransport[k]
+	if !ok {
+		c = m.reg.Counter(MetricTransportBytes,
+			"Bytes occupied by protocol messages on the active transport encoding.",
+			telemetry.L("party", party), telemetry.L("field", field),
+			telemetry.L("shard", shard), telemetry.L("api", api),
+			telemetry.L("codec", CodecRaw))
+		m.shardTransport[k] = c
+	}
+	return c
+}
+
+// shardBreakerGauge returns the breaker-state gauge of one replica of a
+// sharded party, labeled with the combined bounded "s<i>/r<j>" label.
+func (m *serverMetrics) shardBreakerGauge(party, field, shard string) *telemetry.Gauge {
+	k := shardSeriesKey{party: party, field: field, shard: shard}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.shardBreaker[k]
+	if !ok {
+		g = m.reg.Gauge(MetricBreakerState,
+			"Per-replica circuit breaker state of a sharded party (0 closed, 1 half-open, 2 open).",
+			telemetry.L("party", party), telemetry.L("field", field),
+			telemetry.L("shard", shard))
+		m.shardBreaker[k] = g
+	}
+	return g
+}
+
+// shardOutcomeFor returns the per-shard call outcome counter of one
+// sharded party's field.
+func (m *serverMetrics) shardOutcomeFor(party, field, shard, outcome string) *telemetry.Counter {
+	k := shardSeriesKey{party: party, field: field, shard: shard, aux: outcome}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.shardOutcome[k]
+	if !ok {
+		c = m.reg.Counter(MetricPartyOutcome,
+			"Per-shard outcomes of owner calls inside a sharded party.",
+			telemetry.L("party", party), telemetry.L("field", field),
+			telemetry.L("shard", shard), telemetry.L("outcome", outcome))
+		m.shardOutcome[k] = c
+	}
+	return c
 }
 
 // transportBytes sums one codec's transport series, optionally filtered

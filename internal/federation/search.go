@@ -347,16 +347,16 @@ func (f *Federation) searchUncached(src *Party, from string, terms []uint64, k i
 		if err != nil {
 			return nil, err
 		}
-		var gen uint64
+		var gens []uint64
 		if c != nil {
-			gen = party.owner(FieldBody).Generation()
+			gens = party.generations(FieldBody)
 		}
 		taskStart[party.Name] = len(tasks)
 		rep := PartyReport{Party: party.Name, Outcome: OutcomeOK}
 		for _, plan := range plans {
 			t := searchTask{party: party.Name, owner: owner, plan: plan}
 			if c != nil {
-				t.full, t.base = f.taskKeys(from, party.Name, plan.Term(), gen)
+				t.full, t.base = f.taskKeys(from, party.Name, plan.Term(), gens)
 				if v, ok := c.Get(t.full, t.base); ok {
 					m.cacheFor(cacheTierTask, cacheHit).Inc()
 					t.cached = true

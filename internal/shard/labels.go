@@ -1,0 +1,44 @@
+package shard
+
+// Bounded telemetry label tables. Shard and replica indexes are the
+// only dynamic inputs to shard-aware metric labels, and both are small
+// fixed deployment constants — the tables below clamp them to a closed
+// enum so the label sets stay bounded no matter what indexes appear at
+// runtime (the telemetrylabel analyzer's invariant). No fmt.Sprintf:
+// values are table lookups and constant-string concatenation only.
+
+// LabelOverflow is the clamp value for indexes beyond the tables.
+const LabelOverflow = "overflow"
+
+// shardLabels covers every shard count the system deploys (Params
+// validation has no upper bound, but the bench grid tops out well
+// below this; higher indexes clamp to LabelOverflow).
+var shardLabels = [...]string{
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "s12", "s13", "s14", "s15",
+}
+
+// replicaLabels covers the replica fan the system deploys.
+var replicaLabels = [...]string{"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"}
+
+// ShardLabel returns the bounded metric label for a shard index.
+func ShardLabel(i int) string {
+	if i >= 0 && i < len(shardLabels) {
+		return shardLabels[i]
+	}
+	return LabelOverflow
+}
+
+// ReplicaLabel returns the bounded metric label for a replica index.
+func ReplicaLabel(i int) string {
+	if i >= 0 && i < len(replicaLabels) {
+		return replicaLabels[i]
+	}
+	return LabelOverflow
+}
+
+// BreakerLabel returns the bounded combined label one replica's breaker
+// gauge carries, e.g. "s0/r1".
+func BreakerLabel(shard, rep int) string {
+	return ShardLabel(shard) + "/" + ReplicaLabel(rep)
+}

@@ -1,0 +1,12 @@
+package shard
+
+import (
+	"testing"
+
+	"csfltr/internal/leakcheck"
+)
+
+// TestMain wires the goroutine-leak detector around the package tests:
+// every scatter goroutine, failover attempt and bulk-ingest worker must
+// be gone when the suite ends.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

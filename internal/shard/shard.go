@@ -1,0 +1,438 @@
+// Package shard partitions one party's corpus across N owner shards by
+// doc-range and presents the result as a single logical owner.
+//
+// The scatter-gather layer reuses the deterministic slot-merge
+// discipline of the federated fan-out: shard answers land in fixed
+// shard-index slots and are merged in that order under the RTK-Sketch's
+// strict total eviction order, so the merged response is bit-identical
+// to the legacy single-Owner path at Epsilon=0 regardless of shard
+// count, goroutine interleaving, or which replica served each shard
+// (see Group.AnswerRTK).
+//
+// Privacy: the shard owners themselves run with DP disabled and never
+// release anything outside the party — the differential-privacy release
+// point stays at the Group facade, which draws exactly one noise sample
+// per answered query, the same release schedule as a single Owner. The
+// per-silo DP composition of the paper is therefore unchanged by
+// sharding (the accountant still sees one logical party), matching the
+// cross-silo analysis referenced in PAPERS.md.
+//
+// Each shard may carry multiple read replicas. Replicas hold identical
+// state — ingestion writes through to every replica of the owning shard
+// — so failing over from a dead replica to a peer can never change a
+// query result. Replica failure detection generalizes the per-party
+// circuit-breaker machinery: each (shard, replica) pair has its own
+// breaker, a killed or faulting replica degrades to its peers, and only
+// when every replica of a shard is unavailable does the query fail.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/qcache"
+	"csfltr/internal/resilience"
+	"csfltr/internal/telemetry"
+)
+
+// Errors returned by this package.
+var (
+	// ErrBadConfig reports an invalid Config.
+	ErrBadConfig = errors.New("shard: invalid configuration")
+	// ErrReplicaDown is what a killed replica answers with; the caller
+	// fails over to a peer replica.
+	ErrReplicaDown = errors.New("shard: replica down")
+	// ErrNoReplica reports that every replica of a shard was unavailable.
+	ErrNoReplica = errors.New("shard: no replica available")
+)
+
+// DefaultBlockSize is the doc-range striping block: documents are
+// assigned to shards in contiguous blocks of this many ids, so locality
+// of sequential corpora is preserved while load still spreads.
+const DefaultBlockSize = 64
+
+// DefaultCacheBytes is the per-group capacity of the shard-local raw
+// answer cache (see Config.CacheBytes).
+const DefaultCacheBytes = 4 << 20
+
+// Config configures a sharded owner group.
+type Config struct {
+	// Params are the shared protocol parameters. Shards and Replicas are
+	// read from here (both resolve 0 to 1).
+	Params core.Params
+	// Seed is the federation hash seed (all shards share the family).
+	Seed uint64
+	// Mech is the facade's DP mechanism: the single release point for
+	// every answer that leaves the group. Nil means dp.Disabled().
+	Mech dp.Mechanism
+	// DropDocTables mirrors core.WithoutDocTables on every shard owner.
+	DropDocTables bool
+	// BlockSize is the doc-range striping block (0 = DefaultBlockSize).
+	BlockSize int
+	// CacheBytes bounds the shard-local cache of raw (pre-noise) RTK
+	// answers, keyed by the owning shard's ingest generation so an
+	// ingest or removal invalidates only that shard's entries. The cache
+	// lives entirely inside the party trust boundary — cached values are
+	// raw and the facade draws fresh noise per release, so replay is
+	// invisible to the DP accountant. 0 means DefaultCacheBytes; < 0
+	// disables caching.
+	CacheBytes int64
+	// Policy is the per-replica breaker/backoff policy (nil = defaults).
+	Policy *resilience.Policy
+}
+
+// Hooks connects a Group to its host's telemetry: the flight recorder
+// registry for failover attempt spans, plus bounded-label callbacks for
+// per-shard outcome counters, breaker gauges, and transport bytes. All
+// fields are optional. Callbacks receive labels from the bounded
+// ShardLabel/ReplicaLabel tables, never raw identifiers.
+type Hooks struct {
+	// Registry, when set, records a "shard.attempt" child span under the
+	// caller's trace context for every replica attempt.
+	Registry *telemetry.Registry
+	// OnOutcome is called once per shard-level call with the shard label
+	// and whether any replica answered.
+	OnOutcome func(shard string, ok bool)
+	// BreakerChange is called on every replica breaker state change with
+	// the combined "s<i>/r<j>" label.
+	BreakerChange func(shard string, s resilience.State)
+	// OnTransport is called with the fixed-width byte size of each
+	// shard-level request/response exchange (api is "tf", "rtk",
+	// "docids" or "docmeta").
+	OnTransport func(api, shard string, bytes int64)
+}
+
+// Intercept is invoked before every replica-owner call; returning an
+// error makes the call fail as if the replica were unreachable (the
+// caller fails over). Experiments use it to inject per-node simulated
+// service time and chaos faults.
+type Intercept func(shard, replica int, api string) error
+
+// replica is one copy of a shard's owner state plus its health machinery.
+type replica struct {
+	owner   *core.Owner
+	breaker *resilience.Breaker
+	killed  atomic.Bool
+}
+
+// shardState is one doc-range partition: its replica set and the
+// round-robin read cursor.
+type shardState struct {
+	replicas []*replica
+	rr       atomic.Uint64
+}
+
+// Group is a sharded, replicated owner facade implementing
+// core.OwnerAPI. Safe for concurrent use.
+type Group struct {
+	params    core.Params
+	blockSize int
+	absKeys   bool // Count sketch: heap eviction keys on |value|
+
+	mech   dp.Mechanism
+	mechMu sync.Mutex // the mechanism's random source is not thread-safe
+
+	shards []*shardState
+
+	mu  sync.Mutex // guards ids and write paths
+	ids map[int]struct{}
+
+	cache *qcache.Cache // nil when disabled
+	keyer *qcache.Keyer
+
+	hooks     atomic.Pointer[Hooks]
+	intercept atomic.Pointer[Intercept]
+}
+
+// New builds a sharded owner group: Params.Shards partitions (0 and 1
+// both mean one shard), each with Params.Replicas identical replicas.
+func New(cfg Config) (*Group, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	nShards := cfg.Params.Shards
+	if nShards <= 0 {
+		nShards = 1
+	}
+	nReplicas := cfg.Params.Replicas
+	if nReplicas <= 0 {
+		nReplicas = 1
+	}
+	blockSize := cfg.BlockSize
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize < 0 {
+		return nil, fmt.Errorf("%w: BlockSize=%d", ErrBadConfig, cfg.BlockSize)
+	}
+	mech := cfg.Mech
+	if mech == nil {
+		mech = dp.Disabled()
+	}
+	policy := resilience.DefaultPolicy()
+	if cfg.Policy != nil {
+		policy = *cfg.Policy
+	}
+	// Shard owners are internal partitions, not protocol endpoints: they
+	// run noise-free (the facade is the release point) and do not
+	// themselves shard further.
+	ownerParams := cfg.Params
+	ownerParams.Shards = 0
+	ownerParams.Replicas = 0
+	var opts []core.OwnerOption
+	if cfg.DropDocTables {
+		opts = append(opts, core.WithoutDocTables())
+	}
+	g := &Group{
+		params:    cfg.Params,
+		blockSize: blockSize,
+		absKeys:   cfg.Params.AbsEvictionKeys(),
+		mech:      mech,
+		ids:       make(map[int]struct{}),
+	}
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
+	}
+	if cacheBytes > 0 {
+		g.cache = qcache.New(cacheBytes)
+		g.keyer = qcache.NewKeyer(cfg.Seed)
+	}
+	for si := 0; si < nShards; si++ {
+		s := &shardState{}
+		for ri := 0; ri < nReplicas; ri++ {
+			o, err := core.NewOwner(ownerParams, cfg.Seed, dp.Disabled(), opts...)
+			if err != nil {
+				return nil, err
+			}
+			r := &replica{owner: o, breaker: resilience.NewBreaker(policy)}
+			lbl := BreakerLabel(si, ri)
+			r.breaker.OnChange(func(st resilience.State) {
+				if h := g.hooks.Load(); h != nil && h.BreakerChange != nil {
+					h.BreakerChange(lbl, st)
+				}
+			})
+			s.replicas = append(s.replicas, r)
+		}
+		g.shards = append(g.shards, s)
+	}
+	return g, nil
+}
+
+// SetHooks installs (or replaces) the telemetry hooks and publishes the
+// current breaker state of every replica through BreakerChange so
+// gauges start from a defined value.
+func (g *Group) SetHooks(h Hooks) {
+	g.hooks.Store(&h)
+	if h.BreakerChange == nil {
+		return
+	}
+	for si, s := range g.shards {
+		for ri, r := range s.replicas {
+			h.BreakerChange(BreakerLabel(si, ri), r.breaker.State())
+		}
+	}
+}
+
+// SetIntercept installs (or, with nil, removes) the per-replica call
+// interceptor.
+func (g *Group) SetIntercept(fn Intercept) {
+	if fn == nil {
+		g.intercept.Store(nil)
+		return
+	}
+	g.intercept.Store(&fn)
+}
+
+// Shards returns the number of doc-range partitions.
+func (g *Group) Shards() int { return len(g.shards) }
+
+// ReplicasPerShard returns the replica count of each shard.
+func (g *Group) ReplicasPerShard() int { return len(g.shards[0].replicas) }
+
+// Params returns the group's protocol parameters.
+func (g *Group) Params() core.Params { return g.params }
+
+// ShardFor maps a document id to its owning shard: contiguous blocks of
+// BlockSize ids stripe round-robin across the shards.
+func (g *Group) ShardFor(docID int) int {
+	n := len(g.shards)
+	if n == 1 {
+		return 0
+	}
+	blk := docID / g.blockSize
+	s := blk % n
+	if s < 0 {
+		s += n
+	}
+	return s
+}
+
+// KillReplica marks one replica dead: every call to it fails with
+// ErrReplicaDown until ReviveReplica. Reads degrade to the shard's peer
+// replicas; with every replica of a shard killed, queries touching that
+// shard fail with ErrNoReplica.
+func (g *Group) KillReplica(shard, rep int) {
+	g.shards[shard].replicas[rep].killed.Store(true)
+}
+
+// ReviveReplica clears a kill. The replica's breaker recovers through
+// its ordinary half-open probe cycle.
+func (g *Group) ReviveReplica(shard, rep int) {
+	g.shards[shard].replicas[rep].killed.Store(false)
+}
+
+// ReplicaState returns one replica's breaker state.
+func (g *Group) ReplicaState(shard, rep int) resilience.State {
+	return g.shards[shard].replicas[rep].breaker.State()
+}
+
+// Generations returns the per-shard ingest generation vector. Cache
+// keys derived from it invalidate shard-locally: an ingest or removal
+// moves only the owning shard's component.
+func (g *Group) Generations() []uint64 {
+	out := make([]uint64, len(g.shards))
+	for i, s := range g.shards {
+		out[i] = s.replicas[0].owner.Generation()
+	}
+	return out
+}
+
+// Generation returns the sum of the per-shard generations — a scalar
+// that moves on every mutation, for callers that only need "did
+// anything change".
+func (g *Group) Generation() uint64 {
+	var sum uint64
+	for _, s := range g.shards {
+		sum += s.replicas[0].owner.Generation()
+	}
+	return sum
+}
+
+// CacheStats returns the shard-local answer cache's counters (zero
+// stats when the cache is disabled).
+func (g *Group) CacheStats() qcache.Stats {
+	if g.cache == nil {
+		return qcache.Stats{}
+	}
+	return g.cache.Stats()
+}
+
+// AddDocument ingests one document into every replica of its owning
+// shard, bumping only that shard's generation.
+func (g *Group) AddDocument(docID int, counts map[uint64]int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.ids[docID]; dup {
+		return fmt.Errorf("shard: duplicate document %d", docID)
+	}
+	si := g.ShardFor(docID)
+	for ri, r := range g.shards[si].replicas {
+		if err := r.owner.AddDocument(docID, counts); err != nil {
+			// Keep replicas identical: undo the copies already applied.
+			for _, u := range g.shards[si].replicas[:ri] {
+				_ = u.owner.RemoveDocument(docID) // rollback; owner verified the id above
+			}
+			return err
+		}
+	}
+	g.ids[docID] = struct{}{}
+	return nil
+}
+
+// AddDocuments bulk-loads a batch: documents are partitioned by owning
+// shard, each partition is written through to every replica of its
+// shard with the owners' deterministic bulk loader, and the shards load
+// concurrently. All-or-nothing like core.Owner.AddDocuments: on error
+// (duplicate id, geometry mismatch) no document of the batch remains in
+// the group. Each touched shard's generation moves by exactly one.
+func (g *Group) AddDocuments(docs []core.DocCounts, workers int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := make(map[int]struct{}, len(docs))
+	for _, d := range docs {
+		if _, dup := seen[d.DocID]; dup {
+			return fmt.Errorf("shard: duplicate document %d in batch", d.DocID)
+		}
+		if _, dup := g.ids[d.DocID]; dup {
+			return fmt.Errorf("shard: duplicate document %d", d.DocID)
+		}
+		seen[d.DocID] = struct{}{}
+	}
+	parts := make([][]core.DocCounts, len(g.shards))
+	for _, d := range docs {
+		si := g.ShardFor(d.DocID)
+		parts[si] = append(parts[si], d)
+	}
+	errs := make([]error, len(g.shards))
+	var wg sync.WaitGroup
+	for si := range g.shards {
+		if len(parts[si]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			for ri, r := range g.shards[si].replicas {
+				if err := r.owner.AddDocuments(parts[si], workers); err != nil {
+					for _, u := range g.shards[si].replicas[:ri] {
+						for _, d := range parts[si] {
+							_ = u.owner.RemoveDocument(d.DocID) // rollback applied copies
+						}
+					}
+					errs[si] = err
+					return
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		// All-or-nothing: unwind every shard whose partition applied.
+		for si := range g.shards {
+			if errs[si] != nil || len(parts[si]) == 0 {
+				continue
+			}
+			for _, r := range g.shards[si].replicas {
+				for _, d := range parts[si] {
+					_ = r.owner.RemoveDocument(d.DocID) // rollback applied copies
+				}
+			}
+		}
+		return firstErr
+	}
+	for _, d := range docs {
+		g.ids[d.DocID] = struct{}{}
+	}
+	return nil
+}
+
+// RemoveDocument deletes one document from every replica of its owning
+// shard and bumps only that shard's generation — cache entries keyed by
+// the other shards' generations stay valid (no cross-shard stampede).
+func (g *Group) RemoveDocument(docID int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.ids[docID]; !ok {
+		return fmt.Errorf("%w: %d", core.ErrUnknownDoc, docID)
+	}
+	si := g.ShardFor(docID)
+	for _, r := range g.shards[si].replicas {
+		if err := r.owner.RemoveDocument(docID); err != nil {
+			return err
+		}
+	}
+	delete(g.ids, docID)
+	return nil
+}

@@ -1,0 +1,524 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"csfltr/internal/core"
+	"csfltr/internal/dp"
+	"csfltr/internal/resilience"
+)
+
+const testSeed = 0x5eed
+
+// testParams is a small geometry that still exercises cap eviction.
+func testParams() core.Params {
+	p := core.DefaultParams()
+	p.Z = 6
+	p.W = 16
+	p.Z1 = 3
+	p.Epsilon = 0
+	p.Alpha = 2
+	p.K = 4 // HeapCap 8: small enough that cells overflow
+	return p
+}
+
+// testDocs builds a deterministic corpus of n documents.
+func testDocs(n int, rngSeed int64) []core.DocCounts {
+	rng := rand.New(rand.NewSource(rngSeed))
+	docs := make([]core.DocCounts, n)
+	for i := range docs {
+		counts := make(map[uint64]int64)
+		for t := 0; t < 12; t++ {
+			counts[uint64(rng.Intn(40))] += int64(1 + rng.Intn(5))
+		}
+		docs[i] = core.DocCounts{DocID: i * 3, Counts: counts}
+	}
+	return docs
+}
+
+// newGroup builds a group over the test corpus.
+func newGroup(t *testing.T, shards, replicas int, docs []core.DocCounts) *Group {
+	t.Helper()
+	p := testParams()
+	p.Shards = shards
+	p.Replicas = replicas
+	g, err := New(Config{Params: p, Seed: testSeed, BlockSize: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := g.AddDocuments(docs, 0); err != nil {
+		t.Fatalf("AddDocuments: %v", err)
+	}
+	return g
+}
+
+// newReference builds the unsharded single owner over the same corpus.
+func newReference(t *testing.T, docs []core.DocCounts) *core.Owner {
+	t.Helper()
+	o, err := core.NewOwner(testParams(), testSeed, dp.Disabled())
+	if err != nil {
+		t.Fatalf("NewOwner: %v", err)
+	}
+	if err := o.AddDocuments(docs, 0); err != nil {
+		t.Fatalf("AddDocuments: %v", err)
+	}
+	return o
+}
+
+// queryCols builds a deterministic valid column vector.
+func queryCols(p core.Params, salt int) *core.TFQuery {
+	cols := make([]uint32, p.Z)
+	for i := range cols {
+		cols[i] = uint32((i*31 + salt*7 + 3) % p.W)
+	}
+	return &core.TFQuery{Cols: cols}
+}
+
+// TestScatterGatherBitIdentical is the core determinism contract: for
+// every shard/replica fan, the merged facade answers are bit-identical
+// to a single owner over the whole corpus at Epsilon=0.
+func TestScatterGatherBitIdentical(t *testing.T) {
+	docs := testDocs(120, 11)
+	ref := newReference(t, docs)
+	p := testParams()
+	for _, shards := range []int{1, 2, 4} {
+		for _, replicas := range []int{1, 2} {
+			g := newGroup(t, shards, replicas, docs)
+			if got, want := g.DocIDs(), ref.DocIDs(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("shards=%d replicas=%d: DocIDs mismatch", shards, replicas)
+			}
+			for salt := 0; salt < 8; salt++ {
+				q := queryCols(p, salt)
+				got, err := g.AnswerRTK(q)
+				if err != nil {
+					t.Fatalf("shards=%d: AnswerRTK: %v", shards, err)
+				}
+				want, err := ref.AnswerRTK(q)
+				if err != nil {
+					t.Fatalf("reference AnswerRTK: %v", err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d replicas=%d salt=%d: merged RTK response differs from single owner", shards, replicas, salt)
+				}
+			}
+			for _, d := range docs[:10] {
+				q := queryCols(p, d.DocID)
+				got, err := g.AnswerTF(d.DocID, q)
+				if err != nil {
+					t.Fatalf("AnswerTF: %v", err)
+				}
+				want, err := ref.AnswerTF(d.DocID, q)
+				if err != nil {
+					t.Fatalf("reference AnswerTF: %v", err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("shards=%d: TF response differs for doc %d", shards, d.DocID)
+				}
+				gl, gu, err := g.DocMeta(d.DocID)
+				if err != nil {
+					t.Fatalf("DocMeta: %v", err)
+				}
+				wl, wu, _ := ref.DocMeta(d.DocID)
+				if gl != wl || gu != wu {
+					t.Fatalf("DocMeta mismatch for doc %d", d.DocID)
+				}
+			}
+		}
+	}
+}
+
+// TestEndToEndReverseTopK runs the full Algorithm 5 pipeline against
+// the facade and the single owner with identically seeded queriers.
+func TestEndToEndReverseTopK(t *testing.T) {
+	docs := testDocs(120, 13)
+	ref := newReference(t, docs)
+	g := newGroup(t, 4, 2, docs)
+	p := testParams()
+	for term := uint64(0); term < 10; term++ {
+		qa, err := core.NewQuerier(p, testSeed, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qb, err := core.NewQuerier(p, testSeed, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotCost, err := core.RTKReverseTopK(qa, g, term, p.K)
+		if err != nil {
+			t.Fatalf("sharded RTKReverseTopK: %v", err)
+		}
+		want, wantCost, err := core.RTKReverseTopK(qb, ref, term, p.K)
+		if err != nil {
+			t.Fatalf("reference RTKReverseTopK: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("term %d: sharded result differs from single owner", term)
+		}
+		if gotCost != wantCost {
+			t.Fatalf("term %d: cost differs: sharded %+v, single %+v", term, gotCost, wantCost)
+		}
+	}
+}
+
+// TestReplicaFailover kills replicas one by one: queries keep answering
+// identically until the last replica of a shard dies, then fail with
+// ErrNoReplica.
+func TestReplicaFailover(t *testing.T) {
+	docs := testDocs(80, 17)
+	ref := newReference(t, docs)
+	p := testParams()
+	p.Shards = 2
+	p.Replicas = 2
+	// Cache disabled: a cached raw answer would keep serving after every
+	// replica dies, hiding the failover path this test exists to probe.
+	g, err := New(Config{Params: p, Seed: testSeed, BlockSize: 4, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDocuments(docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := queryCols(p, 1)
+	want, err := ref.AnswerRTK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		t.Helper()
+		got, err := g.AnswerRTK(q)
+		if err != nil {
+			t.Fatalf("AnswerRTK after kill: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("failover changed the answer")
+		}
+	}
+	check()
+	g.KillReplica(0, 0)
+	for i := 0; i < 6; i++ { // several calls so both rotation positions hit the dead replica
+		check()
+	}
+	g.KillReplica(0, 1)
+	if _, err := g.AnswerRTK(q); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("want ErrNoReplica with every replica dead, got %v", err)
+	}
+	g.ReviveReplica(0, 1)
+	check()
+}
+
+// TestBreakerOpensOnDeadReplica drives enough failures through a killed
+// replica to open its breaker, then checks the state is observable.
+func TestBreakerOpensOnDeadReplica(t *testing.T) {
+	docs := testDocs(40, 19)
+	p := testParams()
+	p.Shards = 2
+	p.Replicas = 2
+	pol := resilience.DefaultPolicy()
+	pol.FailureThreshold = 3
+	// Cache disabled so every query actually reaches a replica.
+	g, err := New(Config{Params: p, Seed: testSeed, BlockSize: 4, Policy: &pol, CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDocuments(docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	var changes []resilience.State
+	g.SetHooks(Hooks{BreakerChange: func(lbl string, s resilience.State) {
+		if lbl == BreakerLabel(0, 0) {
+			changes = append(changes, s)
+		}
+	}})
+	g.KillReplica(0, 0)
+	q := queryCols(p, 2)
+	for i := 0; i < 12; i++ {
+		if _, err := g.AnswerRTK(q); err != nil {
+			t.Fatalf("query %d should have failed over: %v", i, err)
+		}
+	}
+	if got := g.ReplicaState(0, 0); got != resilience.Open {
+		t.Fatalf("breaker state = %v, want Open", got)
+	}
+	found := false
+	for _, s := range changes {
+		if s == resilience.Open {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("BreakerChange hook never reported the open transition")
+	}
+}
+
+// TestCacheInvalidationShardLocal is the RemoveDocument satellite: a
+// removal bumps only the owning shard's generation, so repeated
+// identical queries re-fetch exactly one shard and replay the rest from
+// cache — no cross-shard stampede.
+func TestCacheInvalidationShardLocal(t *testing.T) {
+	docs := testDocs(120, 23)
+	g := newGroup(t, 4, 1, docs)
+	p := testParams()
+	q := queryCols(p, 3)
+
+	if _, err := g.AnswerRTK(q); err != nil { // cold: 4 misses, 4 stores
+		t.Fatal(err)
+	}
+	if _, err := g.AnswerRTK(q); err != nil { // warm: 4 hits
+		t.Fatal(err)
+	}
+	st := g.CacheStats()
+	if st.Misses != 4 || st.Hits != 4 {
+		t.Fatalf("warmup stats: hits=%d misses=%d, want 4/4", st.Hits, st.Misses)
+	}
+
+	victim := docs[0].DocID
+	vs := g.ShardFor(victim)
+	gensBefore := g.Generations()
+	if err := g.RemoveDocument(victim); err != nil {
+		t.Fatalf("RemoveDocument: %v", err)
+	}
+	gensAfter := g.Generations()
+	for si := range gensBefore {
+		moved := gensAfter[si] != gensBefore[si]
+		if si == vs && !moved {
+			t.Fatalf("owning shard %d generation did not move", si)
+		}
+		if si != vs && moved {
+			t.Fatalf("shard %d generation moved on a foreign removal", si)
+		}
+	}
+
+	if _, err := g.AnswerRTK(q); err != nil {
+		t.Fatal(err)
+	}
+	st = g.CacheStats()
+	// Third pass: the three untouched shards replay from cache, only the
+	// owning shard misses and re-answers.
+	if st.Hits != 7 || st.Misses != 5 {
+		t.Fatalf("post-removal stats: hits=%d misses=%d, want 7/5 (shard-local invalidation)", st.Hits, st.Misses)
+	}
+
+	// And the removal is live: the victim no longer appears anywhere.
+	for _, id := range g.DocIDs() {
+		if id == victim {
+			t.Fatal("removed document still listed")
+		}
+	}
+}
+
+// TestRemoveDocumentMatchesSingleOwner checks post-removal answers stay
+// bit-identical to a single owner that removed the same document. The
+// geometry is uncapped (K large enough that no cell evicts): in-place
+// deletion cannot resurrect entries the cap already dropped, and a
+// single owner evicts globally while shard owners evict locally — so in
+// the capped regime the sharded post-removal answer is legitimately
+// *more* complete than the single owner's, not bit-identical. With no
+// eviction both paths are exact and must agree to the bit.
+func TestRemoveDocumentMatchesSingleOwner(t *testing.T) {
+	docs := testDocs(90, 29)
+	p := testParams()
+	p.K = 64 // HeapCap 128 >> 90 docs: nothing evicts
+	ref, err := core.NewOwner(p, testSeed, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddDocuments(docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	sp := p
+	sp.Shards = 4
+	sp.Replicas = 2
+	g, err := New(Config{Params: sp, Seed: testSeed, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDocuments(docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	victim := docs[41].DocID
+	if err := ref.RemoveDocument(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveDocument(victim); err != nil {
+		t.Fatal(err)
+	}
+	for salt := 0; salt < 6; salt++ {
+		q := queryCols(p, salt)
+		got, err := g.AnswerRTK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.AnswerRTK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("salt %d: post-removal RTK response differs", salt)
+		}
+	}
+	if err := g.RemoveDocument(victim); !errors.Is(err, core.ErrUnknownDoc) {
+		t.Fatalf("double removal: want ErrUnknownDoc, got %v", err)
+	}
+}
+
+// TestAddDocumentsAllOrNothing: a duplicate anywhere in the batch
+// leaves the whole group unchanged.
+func TestAddDocumentsAllOrNothing(t *testing.T) {
+	docs := testDocs(40, 31)
+	g := newGroup(t, 4, 2, docs)
+	gens := g.Generations()
+	batch := testDocs(12, 37)
+	for i := range batch {
+		batch[i].DocID = 1000 + i*3
+	}
+	batch[7].DocID = docs[3].DocID // collides with an existing doc
+	if err := g.AddDocuments(batch, 0); err == nil {
+		t.Fatal("duplicate batch should fail")
+	}
+	if !reflect.DeepEqual(g.Generations(), gens) {
+		t.Fatal("failed batch moved a shard generation")
+	}
+	n := len(g.DocIDs())
+	if n != len(docs) {
+		t.Fatalf("failed batch left %d docs, want %d", n, len(docs))
+	}
+}
+
+// TestErrorRouting: protocol-level negative answers come back verbatim
+// and never trip failover.
+func TestErrorRouting(t *testing.T) {
+	docs := testDocs(40, 41)
+	g := newGroup(t, 2, 2, docs)
+	p := testParams()
+	if _, _, err := g.DocMeta(99999); !errors.Is(err, core.ErrUnknownDoc) {
+		t.Fatalf("DocMeta unknown: %v", err)
+	}
+	if _, err := g.AnswerTF(99999, queryCols(p, 0)); !errors.Is(err, core.ErrUnknownDoc) {
+		t.Fatalf("AnswerTF unknown: %v", err)
+	}
+	if _, err := g.AnswerRTK(&core.TFQuery{Cols: []uint32{1}}); !errors.Is(err, core.ErrBadQuery) {
+		t.Fatalf("short query: %v", err)
+	}
+	bad := queryCols(p, 0)
+	bad.Cols[0] = uint32(p.W)
+	if _, err := g.AnswerRTK(bad); !errors.Is(err, core.ErrBadQuery) {
+		t.Fatalf("out-of-range column: %v", err)
+	}
+	for si := 0; si < g.Shards(); si++ {
+		for ri := 0; ri < g.ReplicasPerShard(); ri++ {
+			if got := g.ReplicaState(si, ri); got != resilience.Closed {
+				t.Fatalf("replica %d/%d breaker moved on protocol errors: %v", si, ri, got)
+			}
+		}
+	}
+}
+
+// TestLabelsBounded: any index clamps into the closed label enum.
+func TestLabelsBounded(t *testing.T) {
+	for _, i := range []int{-1, 0, 15, 16, 1 << 20} {
+		if l := ShardLabel(i); l == "" {
+			t.Fatalf("empty shard label for %d", i)
+		}
+	}
+	if ShardLabel(99) != LabelOverflow || ReplicaLabel(99) != LabelOverflow {
+		t.Fatal("out-of-table indexes must clamp to overflow")
+	}
+	if BreakerLabel(1, 2) != "s1/r2" {
+		t.Fatalf("BreakerLabel(1,2) = %q", BreakerLabel(1, 2))
+	}
+}
+
+// TestFacadeNoiseSingleDraw: with DP enabled, every value of one answer
+// carries the same noise offset (one draw per release, Algorithm 2's
+// schedule) and the raw cache never leaks unperturbed values... the
+// offset must differ between two identical queries (fresh draw each
+// release even on a cache hit).
+func TestFacadeNoiseSingleDraw(t *testing.T) {
+	docs := testDocs(60, 43)
+	p := testParams()
+	p.Shards = 2
+	p.Epsilon = 0.5
+	mech, err := dp.ForEpsilon(p.Epsilon, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Params: p, Seed: testSeed, Mech: mech, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDocuments(docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.NewOwner(testParams(), testSeed, dp.Disabled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AddDocuments(docs, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := queryCols(p, 5)
+	raw, err := ref.AnswerRTK(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (value+noise)-value wobbles in the last ulp across magnitudes, so
+	// "same draw" is equality up to a relative tolerance, not bit equality.
+	const tol = 1e-9
+	offset := func() float64 {
+		resp, err := g.AnswerRTK(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var off float64
+		seen := false
+		for a, c := range resp.Cells {
+			for i, v := range c.Values {
+				d := v - raw.Cells[a].Values[i]
+				if !seen {
+					off = d
+					seen = true
+				} else if math.Abs(d-off) > tol*math.Max(1, math.Abs(off)) {
+					t.Fatalf("row %d entry %d: noise offset %v differs from %v (not a single draw)", a, i, d, off)
+				}
+			}
+		}
+		if !seen {
+			t.Skip("corpus produced empty cells")
+		}
+		return off
+	}
+	first := offset()
+	second := offset() // second call is a cache hit on both shards
+	if math.Abs(first-second) <= tol*math.Max(1, math.Abs(first)) {
+		t.Fatal("two releases drew identical noise; cached raw answers must be re-perturbed per release")
+	}
+}
+
+// TestShardForStability: the doc-range map is pure and covers all shards.
+func TestShardForStability(t *testing.T) {
+	g, err := New(Config{Params: func() core.Params { p := testParams(); p.Shards = 4; return p }(), Seed: 1, BlockSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for id := 0; id < 256; id++ {
+		s := g.ShardFor(id)
+		if s < 0 || s >= 4 {
+			t.Fatalf("ShardFor(%d) = %d out of range", id, s)
+		}
+		if s != g.ShardFor(id) {
+			t.Fatal("ShardFor not stable")
+		}
+		seen[s] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("block striping covered %d shards, want 4", len(seen))
+	}
+	if g.ShardFor(-40) < 0 || g.ShardFor(-40) >= 4 {
+		t.Fatal("negative ids must still map into range")
+	}
+}
