@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke bench-json load-smoke cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze vet-v2 analyze-fixtures clean telemetry-demo trace-demo
+.PHONY: all build test race cover bench bench-smoke bench-json load-smoke secagg-smoke cache-bench chaos fuzz experiments experiments-fast examples fmt fmt-check vet analyze vet-v2 analyze-fixtures clean telemetry-demo trace-demo
 
 all: build test
 
@@ -31,8 +31,9 @@ bench-smoke:
 # Refresh the machine-readable benchmarks: the parallelism sweep
 # (BENCH_federation.json), the resilience/chaos sweep
 # (BENCH_resilience.json), the answer-cache sweep (BENCH_cache.json),
-# the tracing-overhead comparison (BENCH_trace.json) and the sharded
-# sustained-load sweep (BENCH_load.json). All are checked in so the perf
+# the tracing-overhead comparison (BENCH_trace.json), the sharded
+# sustained-load sweep (BENCH_load.json) and the secure-aggregation
+# overhead sweep (BENCH_secagg.json). All are checked in so the perf
 # and availability trajectories are tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/expbench -exp parallelism -bench-json BENCH_federation.json
@@ -40,6 +41,7 @@ bench-json:
 	$(GO) run ./cmd/expbench -exp cache -bench-json BENCH_cache.json
 	$(GO) run ./cmd/expbench -exp trace -bench-json BENCH_trace.json
 	$(GO) run ./cmd/expbench -exp load -bench-json BENCH_load.json
+	$(GO) run ./cmd/expbench -exp secagg -bench-json BENCH_secagg.json
 
 # The sustained-load suite under the race detector: the load sweep's
 # unit tests plus a test-scale fixed-QPS run through expbench — a
@@ -49,6 +51,17 @@ bench-json:
 load-smoke:
 	$(GO) test -race -run 'TestLoadConfigValidate|TestRunLoadSweep' ./internal/experiments/
 	$(GO) run -race ./cmd/expbench -exp load -scale test
+
+# The secure-aggregation suite under the race detector: the secagg
+# package end to end (mask cancellation, golden vectors, dropout
+# recovery, wire fuzz seeds), the federation TrainSecureFedAvg tests
+# (convergence parity, chaos-injected drop recovery, telemetry), the
+# overhead sweep, and a test-scale sweep through expbench — mirrored by
+# the CI job.
+secagg-smoke:
+	$(GO) test -race ./internal/secagg/
+	$(GO) test -race -run 'SecAgg|TrainSecure' ./internal/federation/ ./internal/experiments/
+	$(GO) run ./cmd/expbench -exp secagg -scale test
 
 # The answer-cache suite under the race detector: every Cache-named
 # test/benchmark (one iteration each) plus a test-scale Zipf-repeat
@@ -78,6 +91,7 @@ fuzz:
 	$(GO) test -fuzz FuzzTraceExport -fuzztime 30s ./internal/telemetry/
 	$(GO) test -fuzz FuzzCacheKey -fuzztime 30s ./internal/qcache/
 	$(GO) test -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -fuzz FuzzSecAggDecode -fuzztime 30s ./internal/secagg/
 
 # Regenerate every table and figure at the shape-faithful default scale
 # (about 20 minutes; see EXPERIMENTS.md).

@@ -334,6 +334,32 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			}
 			return nil
 		},
+		"secagg": func() error {
+			cfg := experiments.DefaultSecAggConfig()
+			if scale == "test" {
+				cfg = experiments.TestSecAggConfig()
+			}
+			cfg.Seed = seed
+			res, err := experiments.RunSecAggSweep(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== SecAgg: masked secure aggregation vs plaintext round-robin ==")
+			fmt.Print(experiments.RenderSecAgg(res))
+			report.Add("secagg", res)
+			if benchJSON != "" {
+				f, err := os.Create(benchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteBenchJSON(f, res); err != nil {
+					return err
+				}
+				fmt.Println("wrote", benchJSON)
+			}
+			return nil
+		},
 		"traffic": func() error {
 			cfg := fig4
 			if cfg.Docs > 4000 {
@@ -385,7 +411,7 @@ func run(exp, scale, csvDir, jsonOut string, seed int64, scatter bool, debugAddr
 			if strings.HasPrefix(n, "fig4-") {
 				continue // covered by "fig4"
 			}
-			if n == "parallelism" || n == "chaos" || n == "cache" || n == "trace" || n == "load" {
+			if n == "parallelism" || n == "chaos" || n == "cache" || n == "trace" || n == "load" || n == "secagg" {
 				continue // timing benchmarks, not paper figures; run explicitly
 			}
 			names = append(names, n)

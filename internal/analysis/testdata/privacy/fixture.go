@@ -131,9 +131,49 @@ type RawFrame []byte
 // rows, obfuscated columns and DP-noised values may reach them — never
 // a marked raw value.
 func wireSinks(raw RawRows, frame RawFrame, sketched [][]int64, payload []byte) {
-	_ = wire.AppendRowMatrix(nil, raw)      // want "passed to wire encode"
-	_ = wire.Pack(nil, frame)               // want "passed to wire encode"
-	_ = wire.AppendRowMatrix(nil, sketched) // ok: sketched rows are released material
-	_ = wire.Pack(nil, payload)             // ok: derived payload
+	_ = wire.AppendRowMatrix(nil, raw)            // want "passed to wire encode"
+	_ = wire.Pack(nil, frame)                     // want "passed to wire encode"
+	_ = wire.AppendRowMatrix(nil, sketched)       // ok: sketched rows are released material
+	_ = wire.Pack(nil, payload)                   // ok: derived payload
 	_ = wire.AppendUvarint(nil, uint64(len(raw))) // ok: a count, not the matrix
+}
+
+// RawModelUpdate is a stand-in for a party's plaintext model update —
+// the vector secure training must never put on the wire unmasked.
+//
+//csfltr:private
+type RawModelUpdate []float64
+
+// maskUpdate stands in for the secagg quantize-and-mask pipeline: its
+// result is ring-masked material that is uniform to the server, so it
+// may cross the wire.
+//
+//csfltr:sanitizes
+func maskUpdate(u RawModelUpdate) []uint64 {
+	out := make([]uint64, len(u))
+	for i, v := range u {
+		out[i] = uint64(int64(v)) ^ 0x9e3779b97f4a7c15
+	}
+	return out
+}
+
+// LeakyUpdateMsg is a wire struct carrying the plaintext update — the
+// shape a secure-aggregation submission must never take.
+type LeakyUpdateMsg struct {
+	Update RawModelUpdate `json:"update"` // want "wire struct LeakyUpdateMsg carries silo-private data"
+	Round  uint64         `json:"round"`
+}
+
+// MaskedUpdateMsg is the sound submission shape: masked ring words only.
+type MaskedUpdateMsg struct {
+	Vec   []uint64 `json:"vec"`
+	Round uint64   `json:"round"`
+}
+
+func secaggSinks(raw RawModelUpdate) {
+	_, _ = json.Marshal(raw)                                    // want "passed to marshal call"
+	_ = wire.AppendModel(nil, raw, 0)                           // want "passed to wire encode"
+	masked := maskUpdate(raw)                                   // sanitizer stops the taint
+	_, _ = json.Marshal(MaskedUpdateMsg{Vec: masked, Round: 1}) // ok: masked material
+	_ = wire.AppendUvarint(nil, uint64(len(raw)))               // ok: a count, not the update
 }

@@ -72,6 +72,19 @@ func transportLabels(reg *telemetry.Registry, codec, api string, frame []byte) {
 	reg.Counter("z_total", "h", telemetry.L("frame", fmt.Sprintf("%x", frame))).Inc()       // want "unbounded value"
 }
 
+// secaggLabels mirrors the secure-aggregation metrics: the stage label
+// is a three-value enum (mask/aggregate/recover), but a round number or
+// a dropped-party seed rendered into a label mints one series per round
+// and must stay out.
+func secaggLabels(reg *telemetry.Registry, round uint64, seed [32]byte) {
+	stages := [...]string{"mask", "aggregate", "recover"}
+	for _, s := range stages {
+		reg.Counter("ag_total", "h", telemetry.L("stage", s)).Inc() // ok: fixed stage enum
+	}
+	reg.Counter("ah_total", "h", telemetry.L("round", fmt.Sprintf("r%d", round))).Inc() // want "unbounded value"
+	reg.Counter("ai_total", "h", telemetry.L("seed", fmt.Sprintf("%x", seed))).Inc()    // want "unbounded value"
+}
+
 // shardLabels mirrors the sharded party backends' label scheme
 // (internal/shard/labels.go): shard and replica label values come from
 // clamped fixed tables, and the per-replica breaker label concatenates

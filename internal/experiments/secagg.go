@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"csfltr/internal/chaos"
+	"csfltr/internal/core"
+	"csfltr/internal/federation"
+	"csfltr/internal/keyex"
+	"csfltr/internal/ltr"
+	"csfltr/internal/resilience"
+)
+
+// SecAggConfig configures the secure-aggregation overhead sweep: wall
+// time per training round of TrainSecureFedAvg vs plaintext round-robin
+// on the same synthetic linear dataset, across dropout scenarios. This
+// is the reproducible benchmark behind `expbench -exp secagg` and the
+// checked-in BENCH_secagg.json.
+type SecAggConfig struct {
+	Parties  int `json:"parties"`
+	PerParty int `json:"per_party"` // training instances per party
+	Dim      int `json:"dim"`       // model dimensionality
+	Rounds   int `json:"rounds"`
+	// DownCounts are the dropout scenarios: for each entry d, the
+	// leading d parties are chaos-killed for the secure run (the
+	// plaintext baseline always runs on clean links).
+	DownCounts  []int       `json:"down_counts"`
+	Seed        int64       `json:"seed"`
+	EntropySeed uint64      `json:"entropy_seed"` // key-agreement entropy (reproducible masks)
+	ChaosSeed   uint64      `json:"chaos_seed"`
+	Params      core.Params `json:"params"`
+}
+
+// DefaultSecAggConfig is the checked-in BENCH_secagg.json workload: a
+// 4-party federation training a small linear ranker, clean vs one and
+// two dead silos.
+func DefaultSecAggConfig() SecAggConfig {
+	p := core.DefaultParams()
+	p.MinParties = 1
+	return SecAggConfig{
+		Parties:     4,
+		PerParty:    400,
+		Dim:         8,
+		Rounds:      30,
+		DownCounts:  []int{0, 1, 2},
+		Seed:        1,
+		EntropySeed: 5,
+		ChaosSeed:   42,
+		Params:      p,
+	}
+}
+
+// TestSecAggConfig shrinks the sweep to unit-test scale.
+func TestSecAggConfig() SecAggConfig {
+	cfg := DefaultSecAggConfig()
+	cfg.PerParty = 80
+	cfg.Rounds = 8
+	cfg.DownCounts = []int{0, 1}
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c SecAggConfig) Validate() error {
+	switch {
+	case c.Parties < 2:
+		return fmt.Errorf("%w: Parties=%d (pairwise masking needs at least 2)", ErrBadConfig, c.Parties)
+	case c.PerParty < 1 || c.Dim < 1 || c.Rounds < 1:
+		return fmt.Errorf("%w: empty workload", ErrBadConfig)
+	case len(c.DownCounts) == 0:
+		return fmt.Errorf("%w: no dropout scenarios", ErrBadConfig)
+	case c.Params.MinParties < 1:
+		return fmt.Errorf("%w: secagg sweep needs the quorum policy (Params.MinParties >= 1)", ErrBadConfig)
+	}
+	for _, d := range c.DownCounts {
+		if d < 0 || d >= c.Parties {
+			return fmt.Errorf("%w: DownCounts entry %d must leave a survivor among %d parties",
+				ErrBadConfig, d, c.Parties)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// SecAggPoint is one measured dropout scenario.
+type SecAggPoint struct {
+	Down int `json:"down"` // chaos-killed parties in the secure run
+	// Per-round wall time of the plaintext round-robin baseline (clean
+	// links) and of the secure run (with the scenario's dead silos).
+	PlainRoundMicros  int64   `json:"plain_round_micros"`
+	SecureRoundMicros int64   `json:"secure_round_micros"`
+	Overhead          float64 `json:"overhead"` // secure/plain per-round ratio
+	SetupMicros       int64   `json:"setup_micros"`
+	Rounds            int     `json:"rounds"`
+	Drops             int     `json:"drops"`
+	Recoveries        int     `json:"recoveries"`
+	Retries           int     `json:"retries"`
+	// Byte accounting of the secure run, read back from the op="secagg"
+	// relay series.
+	MaskedBytesPerRound int64 `json:"masked_bytes_per_round"`
+	RevealBytes         int64 `json:"reveal_bytes"`
+	// MaxWeightDelta is the largest |secure - plaintext FedAvg| weight
+	// difference at the same seeds — the realized quantization drift.
+	MaxWeightDelta float64 `json:"max_weight_delta"`
+	// Deterministic records whether two identical secure runs produced
+	// bit-identical models.
+	Deterministic bool `json:"deterministic"`
+}
+
+// SecAggResult is the sweep outcome.
+type SecAggResult struct {
+	Config SecAggConfig  `json:"config"`
+	Points []SecAggPoint `json:"points"`
+	// Deterministic is the conjunction over all points.
+	Deterministic bool `json:"deterministic"`
+}
+
+// secaggData builds the per-party synthetic linear dataset shared by
+// both trainers in a sweep point.
+func secaggData(cfg SecAggConfig) map[string][]ltr.Instance {
+	out := make(map[string][]ltr.Instance, cfg.Parties)
+	w := make([]float64, cfg.Dim)
+	for i := range w {
+		w[i] = math.Pow(-1, float64(i)) * (1 + float64(i)/4)
+	}
+	for p := 0; p < cfg.Parties; p++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*7919))
+		data := make([]ltr.Instance, cfg.PerParty)
+		for i := range data {
+			x := make([]float64, cfg.Dim)
+			y := 0.3
+			for j := range x {
+				x[j] = rng.NormFloat64()
+				y += w[j] * x[j]
+			}
+			y += 0.05 * rng.NormFloat64()
+			data[i] = ltr.Instance{Features: x, Label: y, QueryKey: "q"}
+		}
+		out[partyName(p)] = data
+	}
+	return out
+}
+
+// secaggFed builds one sweep federation with the leading down parties
+// chaos-killed and a fast-retry resilience policy.
+func secaggFed(cfg SecAggConfig, down int) (*federation.Federation, error) {
+	names := make([]string, cfg.Parties)
+	for i := range names {
+		names[i] = partyName(i)
+	}
+	fed, err := federation.NewDeterministic(names, cfg.Params, uint64(cfg.Seed)+99, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if down > 0 {
+		in := chaos.New(cfg.ChaosSeed)
+		for i := 0; i < down; i++ {
+			in.SetProfile(partyName(i), chaos.Profile{Down: true})
+		}
+		fed.Server.SetChaos(in)
+	}
+	policy := resilience.DefaultPolicy()
+	policy.BaseBackoff = 100 * time.Microsecond
+	policy.MaxBackoff = time.Millisecond
+	policy.OpenTimeout = time.Hour // no half-open probes mid-sweep
+	fed.SetResiliencePolicy(policy)
+	return fed, nil
+}
+
+// roundMicros reads the per-round wall time out of the federation's
+// training.round span histogram. Timing rounds from the spans keeps the
+// one-off DH ceremony (reported separately as SetupMicros) out of the
+// per-round figure.
+func roundMicros(fed *federation.Federation, rounds int) int64 {
+	snap := fed.Server.Metrics().Snapshot()
+	m := snap.Metric(federation.MetricTrainingRoundDuration)
+	if m == nil || len(m.Series) == 0 {
+		return 1
+	}
+	us := int64(m.Series[0].Sum*1e6) / int64(rounds)
+	if us < 1 {
+		us = 1
+	}
+	return us
+}
+
+// runSecure runs one secure training pass and returns the model, stats
+// and per-round wall micros.
+func runSecure(cfg SecAggConfig, down int, data map[string][]ltr.Instance, sgd ltr.SGDConfig) (*ltr.LinearModel, federation.SecAggStats, int64, error) {
+	fed, err := secaggFed(cfg, down)
+	if err != nil {
+		return nil, federation.SecAggStats{}, 0, err
+	}
+	model, stats, err := fed.TrainSecureFedAvg(cfg.Dim, data, cfg.Rounds, sgd,
+		federation.SecAggOptions{Entropy: keyex.SeededEntropy(cfg.EntropySeed)})
+	if err != nil {
+		return nil, stats, 0, err
+	}
+	return model, stats, roundMicros(fed, cfg.Rounds), nil
+}
+
+// RunSecAggSweep measures secure-aggregation training overhead and
+// recovery behaviour at every dropout scenario. Every run is seeded, so
+// the whole sweep replays bit-identically.
+func RunSecAggSweep(cfg SecAggConfig) (*SecAggResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	data := secaggData(cfg)
+	sgd := ltr.DefaultSGDConfig()
+	sgd.Seed = cfg.Seed
+
+	// Plaintext baseline: round-robin on clean links, timed per round.
+	plainFed, err := secaggFed(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := plainFed.TrainRoundRobin(cfg.Dim, data, cfg.Rounds, sgd); err != nil {
+		return nil, err
+	}
+	plainPerRound := roundMicros(plainFed, cfg.Rounds)
+
+	// Plaintext FedAvg reference for the quantization drift column.
+	partyData := make([][]ltr.Instance, cfg.Parties)
+	for i := range partyData {
+		partyData[i] = data[partyName(i)]
+	}
+	fedavg, err := ltr.TrainFedAvg(cfg.Dim, partyData, cfg.Rounds, sgd)
+	if err != nil {
+		return nil, err
+	}
+
+	// The DH ceremony cost is per run, not per round; measure it once.
+	setupStart := time.Now()
+	if _, err := keyex.AgreePairwise(cfg.Parties, keyex.SeededEntropy(cfg.EntropySeed)); err != nil {
+		return nil, err
+	}
+	setupMicros := time.Since(setupStart).Microseconds()
+
+	res := &SecAggResult{Config: cfg, Deterministic: true}
+	for _, down := range cfg.DownCounts {
+		model, stats, secureUS, err := runSecure(cfg, down, data, sgd)
+		if err != nil {
+			return nil, err
+		}
+		again, _, _, err := runSecure(cfg, down, data, sgd)
+		if err != nil {
+			return nil, err
+		}
+		deterministic := model.B == again.B
+		for i := range model.W {
+			if model.W[i] != again.W[i] {
+				deterministic = false
+			}
+		}
+		maxDelta := math.Abs(model.B - fedavg.B)
+		if down == 0 {
+			for i := range model.W {
+				if d := math.Abs(model.W[i] - fedavg.W[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		} else {
+			maxDelta = 0 // different roster, drift vs full-roster FedAvg is meaningless
+		}
+		pt := SecAggPoint{
+			Down:                down,
+			PlainRoundMicros:    plainPerRound,
+			SecureRoundMicros:   secureUS,
+			SetupMicros:         setupMicros,
+			Rounds:              stats.Rounds,
+			Drops:               stats.Drops,
+			Recoveries:          stats.Recoveries,
+			Retries:             stats.Retries,
+			MaskedBytesPerRound: stats.MaskedBytes / int64(cfg.Rounds),
+			RevealBytes:         stats.RevealBytes,
+			MaxWeightDelta:      maxDelta,
+			Deterministic:       deterministic,
+		}
+		pt.Overhead = float64(pt.SecureRoundMicros) / float64(pt.PlainRoundMicros)
+		if !deterministic {
+			res.Deterministic = false
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// RenderSecAgg renders the sweep as the table expbench prints.
+func RenderSecAgg(res *SecAggResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "secagg: %d parties x %d instances, dim %d, %d rounds, entropy seed %d, chaos seed %d, setup %dus\n",
+		res.Config.Parties, res.Config.PerParty, res.Config.Dim, res.Config.Rounds,
+		res.Config.EntropySeed, res.Config.ChaosSeed, res.Points[0].SetupMicros)
+	fmt.Fprintf(&b, "%5s %14s %15s %9s %6s %10s %8s %15s %13s %11s %6s\n",
+		"down", "plain_us/round", "secure_us/round", "overhead", "drops", "recoveries", "retries",
+		"masked_B/round", "reveal_bytes", "max_w_delta", "det")
+	for _, p := range res.Points {
+		fmt.Fprintf(&b, "%5d %14d %15d %9.2f %6d %10d %8d %15d %13d %11.2e %6v\n",
+			p.Down, p.PlainRoundMicros, p.SecureRoundMicros, p.Overhead, p.Drops, p.Recoveries,
+			p.Retries, p.MaskedBytesPerRound, p.RevealBytes, p.MaxWeightDelta, p.Deterministic)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSecAggConfigValidate(t *testing.T) {
+	if err := DefaultSecAggConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := TestSecAggConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*SecAggConfig){
+		func(c *SecAggConfig) { c.Parties = 1 },
+		func(c *SecAggConfig) { c.PerParty = 0 },
+		func(c *SecAggConfig) { c.Dim = 0 },
+		func(c *SecAggConfig) { c.Rounds = 0 },
+		func(c *SecAggConfig) { c.DownCounts = nil },
+		func(c *SecAggConfig) { c.DownCounts = []int{-1} },
+		func(c *SecAggConfig) { c.DownCounts = []int{4} }, // no survivor
+		func(c *SecAggConfig) { c.Params.MinParties = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultSecAggConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestRunSecAggSweep(t *testing.T) {
+	cfg := TestSecAggConfig()
+	res, err := RunSecAggSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(cfg.DownCounts) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(cfg.DownCounts))
+	}
+	if !res.Deterministic {
+		t.Fatal("secure training must be deterministic at fixed seeds")
+	}
+	for _, p := range res.Points {
+		if p.Rounds != cfg.Rounds {
+			t.Fatalf("down=%d: completed %d rounds, want %d", p.Down, p.Rounds, cfg.Rounds)
+		}
+		if p.SecureRoundMicros <= 0 || p.PlainRoundMicros <= 0 || p.Overhead <= 0 {
+			t.Fatalf("down=%d: empty timings %+v", p.Down, p)
+		}
+		if p.MaskedBytesPerRound <= 0 {
+			t.Fatalf("down=%d: no masked bytes accounted", p.Down)
+		}
+		if p.Down == 0 {
+			if p.Drops != 0 || p.Recoveries != 0 || p.RevealBytes != 0 {
+				t.Fatalf("clean run recorded drops: %+v", p)
+			}
+			// Quantization drift vs plaintext FedAvg stays inside a loose
+			// multiple of the theoretical per-round bound.
+			if p.MaxWeightDelta <= 0 || p.MaxWeightDelta > 1e-4 {
+				t.Fatalf("clean run weight drift %g out of range", p.MaxWeightDelta)
+			}
+		} else {
+			// Dead silos are dropped in round 0 and breaker-excluded after;
+			// every drop must have been recovered.
+			if p.Drops == 0 || p.Recoveries != p.Drops || p.RevealBytes <= 0 {
+				t.Fatalf("down=%d: recovery not exercised: %+v", p.Down, p)
+			}
+		}
+	}
+	out := RenderSecAgg(res)
+	for _, want := range []string{"secagg:", "overhead", "recoveries", "max_w_delta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

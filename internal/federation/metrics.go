@@ -39,6 +39,17 @@ const (
 	MetricSearchRequests = "csfltr_search_requests_total"
 	// MetricTrainingRoundDuration times one round-robin training round.
 	MetricTrainingRoundDuration = "csfltr_training_round_duration_seconds"
+	// MetricSecAggRounds counts completed secure-aggregation training
+	// rounds; MetricSecAggRecoveries counts dropout recoveries (one per
+	// dropped party per round that was cancelled via seed reveals).
+	MetricSecAggRounds     = "csfltr_secagg_rounds_total"
+	MetricSecAggRecoveries = "csfltr_secagg_recoveries_total"
+	// MetricSecAggStageDuration times the secure-aggregation pipeline,
+	// labeled by stage (mask, aggregate, recover).
+	MetricSecAggStageDuration = "csfltr_secagg_stage_duration_seconds"
+	// MetricSecAggQuantError observes the worst-case per-weight
+	// quantization error bound of each released aggregate.
+	MetricSecAggQuantError = "csfltr_secagg_quantization_error"
 	// MetricFanoutInFlight / MetricFanoutQueueDepth instrument the bounded
 	// worker pool behind the parallel fan-out operations (federated search,
 	// batch reverse top-K): tasks currently executing and tasks still
@@ -98,8 +109,9 @@ const (
 
 // Relay op label values: what the server was relaying for.
 const (
-	opQuery = "query"
-	opTrain = "train"
+	opQuery  = "query"
+	opTrain  = "train"
+	opSecAgg = "secagg"
 )
 
 // Owner API label values.
@@ -112,7 +124,21 @@ const (
 	// These appear only in the MetricTransportBytes family.
 	apiSearch = "search"
 	apiBatch  = "batch"
+	// Training-side apis: round-robin model hops and secure-aggregation
+	// submissions/reveals. These also appear only in MetricTransportBytes.
+	apiTrain  = "train"
+	apiSecAgg = "secagg"
 )
+
+// Secure-aggregation pipeline stage label values.
+const (
+	StageSecAggMask      = "mask"
+	StageSecAggAggregate = "aggregate"
+	StageSecAggRecover   = "recover"
+)
+
+// SecAggStages lists the secure-aggregation stages in execution order.
+var SecAggStages = []string{StageSecAggMask, StageSecAggAggregate, StageSecAggRecover}
 
 // Query pipeline stage label values.
 const (
@@ -188,6 +214,13 @@ type serverMetrics struct {
 	budget    map[relayKey]struct{}           // (querier, peer) gauges registered
 	coalesce  *telemetry.Counter              // lazily created
 	transport map[transportKey]*telemetry.Counter
+
+	// Secure-aggregation series, lazily created on the first secure
+	// training round so plain federations never export them.
+	secaggStage  map[string]*telemetry.Histogram
+	secaggRounds *telemetry.Counter
+	secaggRecov  *telemetry.Counter
+	secaggQuant  *telemetry.Histogram
 
 	// Per-shard series of sharded parties (see attachShardHooks).
 	shardTransport map[shardSeriesKey]*telemetry.Counter
@@ -347,6 +380,58 @@ func (m *serverMetrics) staleFor(party string) *telemetry.Counter {
 		m.stale[party] = c
 	}
 	return c
+}
+
+// secaggStageSpan starts a span for one secure-aggregation stage
+// (mask, aggregate, recover), creating the histogram on first use.
+func (m *serverMetrics) secaggStageSpan(stage string) telemetry.Span {
+	m.mu.Lock()
+	if m.secaggStage == nil {
+		m.secaggStage = make(map[string]*telemetry.Histogram, 3)
+	}
+	h, ok := m.secaggStage[stage]
+	if !ok {
+		h = m.reg.Histogram(MetricSecAggStageDuration,
+			"Time spent per secure-aggregation pipeline stage.", nil,
+			telemetry.L("stage", stage))
+		m.secaggStage[stage] = h
+	}
+	m.mu.Unlock()
+	return m.reg.StartSpan("secagg."+stage, h)
+}
+
+// secaggRoundsCounter returns the completed secure round counter.
+func (m *serverMetrics) secaggRoundsCounter() *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.secaggRounds == nil {
+		m.secaggRounds = m.reg.Counter(MetricSecAggRounds,
+			"Completed secure-aggregation training rounds.")
+	}
+	return m.secaggRounds
+}
+
+// secaggRecoveriesCounter returns the dropout-recovery counter.
+func (m *serverMetrics) secaggRecoveriesCounter() *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.secaggRecov == nil {
+		m.secaggRecov = m.reg.Counter(MetricSecAggRecoveries,
+			"Dropped parties cancelled out of a secure round via seed reveals.")
+	}
+	return m.secaggRecov
+}
+
+// secaggQuantHist returns the quantization-error-bound histogram.
+func (m *serverMetrics) secaggQuantHist() *telemetry.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.secaggQuant == nil {
+		m.secaggQuant = m.reg.Histogram(MetricSecAggQuantError,
+			"Worst-case per-weight quantization error bound of released aggregates.",
+			[]float64{1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3})
+	}
+	return m.secaggQuant
 }
 
 // coalescedCounter returns the singleflight-absorption counter.

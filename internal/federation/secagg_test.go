@@ -1,0 +1,306 @@
+package federation
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"csfltr/internal/chaos"
+	"csfltr/internal/keyex"
+	"csfltr/internal/ltr"
+	"csfltr/internal/resilience"
+	"csfltr/internal/secagg"
+)
+
+// mse computes mean squared prediction error of a model over data.
+func mse(m *ltr.LinearModel, data []ltr.Instance) float64 {
+	var sum float64
+	for _, inst := range data {
+		d := m.Score(inst.Features) - inst.Label
+		sum += d * d
+	}
+	return sum / float64(len(data))
+}
+
+// TestTrainSecureFedAvgMatchesPlaintext is the core acceptance test:
+// the secure run must produce the same model as the in-process
+// plaintext federated average at the same seeds, within the per-round
+// quantization bound, and converge on the synthetic linear task.
+func TestTrainSecureFedAvgMatchesPlaintext(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string][]ltr.Instance{
+		"A": trainData(400, 1),
+		"B": trainData(400, 2),
+		"C": trainData(400, 3),
+	}
+	cfg := ltr.DefaultSGDConfig()
+	const rounds = 30
+	secure, stats, err := fed.TrainSecureFedAvg(2, data, rounds, cfg,
+		SecAggOptions{Entropy: keyex.SeededEntropy(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plaintext reference: ltr.TrainFedAvg with the party order the
+	// roster induces (names sort A, B, C).
+	plain, err := ltr.TrainFedAvg(2, [][]ltr.Instance{data["A"], data["B"], data["C"]}, rounds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantization error compounds through local training, but stays
+	// tiny at the default 2^-24 grid.
+	const tol = 1e-4
+	for i := range plain.W {
+		if d := math.Abs(secure.W[i] - plain.W[i]); d > tol {
+			t.Fatalf("weight %d: secure %v vs plaintext %v (diff %g)", i, secure.W[i], plain.W[i], d)
+		}
+	}
+	if d := math.Abs(secure.B - plain.B); d > tol {
+		t.Fatalf("bias: secure %v vs plaintext %v", secure.B, plain.B)
+	}
+	if math.Abs(secure.W[0]-1.5) > 0.15 || math.Abs(secure.W[1]+2) > 0.15 {
+		t.Fatalf("secure model did not converge: %+v", secure)
+	}
+	if stats.Rounds != rounds || stats.Recoveries != 0 || stats.Drops != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// One masked update per party per round, all accounted.
+	if stats.ModelHops != rounds*3 {
+		t.Fatalf("ModelHops = %d, want %d", stats.ModelHops, rounds*3)
+	}
+	if stats.BytesRelayed != stats.MaskedBytes || stats.RevealBytes != 0 {
+		t.Fatalf("byte split inconsistent: %+v", stats)
+	}
+	// Masked vectors are incompressible uniform words: a frame costs at
+	// least 8 bytes per ring element.
+	if stats.MaskedBytes < int64(rounds*3*(2+1)*8) {
+		t.Fatalf("MaskedBytes = %d implausibly small", stats.MaskedBytes)
+	}
+	if stats.QuantErrorBound <= 0 || stats.QuantErrorBound > 1e-6 {
+		t.Fatalf("QuantErrorBound = %g", stats.QuantErrorBound)
+	}
+	if got := fed.Server.TransportBytes(CodecRaw, "secagg"); got != stats.BytesRelayed {
+		t.Fatalf("transport bytes %d != BytesRelayed %d", got, stats.BytesRelayed)
+	}
+}
+
+// TestTrainSecureFedAvgParityWithRoundRobin checks ranking-quality
+// parity between the two training topologies on the same dataset:
+// different dynamics, same task, comparable NDCG and MSE.
+func TestTrainSecureFedAvgParityWithRoundRobin(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string][]ltr.Instance{
+		"A": trainData(400, 1),
+		"B": trainData(400, 2),
+		"C": trainData(400, 3),
+	}
+	cfg := ltr.DefaultSGDConfig()
+	secure, _, err := fed.TrainSecureFedAvg(2, data, 30, cfg,
+		SecAggOptions{Entropy: keyex.SeededEntropy(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed2, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, _, err := fed2.TrainRoundRobin(2, data, 30, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdout := trainData(500, 99)
+	es, er := ltr.Evaluate(secure, holdout), ltr.Evaluate(rr, holdout)
+	if math.Abs(es.NDCG-er.NDCG) > 0.02 {
+		t.Fatalf("NDCG parity broken: secure %v vs round-robin %v", es.NDCG, er.NDCG)
+	}
+	ms, mr := mse(secure, holdout), mse(rr, holdout)
+	if math.Abs(ms-mr) > 0.05 {
+		t.Fatalf("MSE parity broken: secure %v vs round-robin %v", ms, mr)
+	}
+}
+
+// TestTrainSecureFedAvgDropRecovery chaos-kills one party mid-run and
+// checks the seeded drop is recovered via seed reveals: the run
+// completes, recoveries are recorded, and — because recovery cancels
+// the dropped party's masks exactly and local seeds key on roster
+// index — the learned model is bit-identical to a run where that party
+// simply had no data.
+func TestTrainSecureFedAvgDropRecovery(t *testing.T) {
+	data := map[string][]ltr.Instance{
+		"A": trainData(300, 1),
+		"B": trainData(300, 2),
+		"C": trainData(300, 3),
+	}
+	cfg := ltr.DefaultSGDConfig()
+	const rounds = 12
+
+	fed, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(7)
+	in.SetProfile("C", chaos.Profile{Down: true})
+	fed.Server.SetChaos(in)
+	policy := resilience.DefaultPolicy()
+	policy = policy.WithSleep(func(time.Duration) {})
+	fed.SetResiliencePolicy(policy)
+	dropped, stats, err := fed.TrainSecureFedAvg(2, data, rounds, cfg,
+		SecAggOptions{Entropy: keyex.SeededEntropy(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != rounds {
+		t.Fatalf("run stalled: %+v", stats)
+	}
+	if stats.Drops == 0 || stats.Recoveries == 0 {
+		t.Fatalf("dead party injected no drops/recoveries: %+v", stats)
+	}
+	if stats.Recoveries != stats.Drops {
+		t.Fatalf("every drop must be recovered: %+v", stats)
+	}
+	if stats.RevealBytes == 0 {
+		t.Fatal("seed reveals not accounted")
+	}
+
+	// Reference: same federation, C contributes nothing, no chaos.
+	ref, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noC := map[string][]ltr.Instance{"A": data["A"], "B": data["B"]}
+	want, _, err := ref.TrainSecureFedAvg(2, noC, rounds, cfg,
+		SecAggOptions{Entropy: keyex.SeededEntropy(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.W {
+		if dropped.W[i] != want.W[i] {
+			t.Fatalf("weight %d: recovered run %v != no-data run %v", i, dropped.W[i], want.W[i])
+		}
+	}
+	if dropped.B != want.B {
+		t.Fatalf("bias: recovered run %v != no-data run %v", dropped.B, want.B)
+	}
+	// And the recovered model still converges.
+	if math.Abs(dropped.W[0]-1.5) > 0.2 || math.Abs(dropped.W[1]+2) > 0.2 {
+		t.Fatalf("recovered model did not converge: %+v", dropped)
+	}
+}
+
+// TestTrainSecureFedAvgEntropyIndependence: the learned model must not
+// depend on the key-agreement entropy — masks cancel bit-exactly
+// whatever the secrets are.
+func TestTrainSecureFedAvgEntropyIndependence(t *testing.T) {
+	data := map[string][]ltr.Instance{
+		"A": trainData(150, 1),
+		"B": trainData(150, 2),
+	}
+	cfg := ltr.DefaultSGDConfig()
+	var models []*ltr.LinearModel
+	for _, seed := range []uint64{1, 2} {
+		fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := fed.TrainSecureFedAvg(2, data, 8, cfg,
+			SecAggOptions{Entropy: keyex.SeededEntropy(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, m)
+	}
+	if models[0].W[0] != models[1].W[0] || models[0].B != models[1].B {
+		t.Fatal("model depends on mask entropy: cancellation is not exact")
+	}
+}
+
+// TestTrainSecureFedAvgQuorum fails the round when too few parties
+// survive.
+func TestTrainSecureFedAvgQuorum(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(3)
+	in.SetDefault(chaos.Profile{Down: true})
+	fed.Server.SetChaos(in)
+	policy := resilience.DefaultPolicy()
+	policy = policy.WithSleep(func(time.Duration) {})
+	fed.SetResiliencePolicy(policy)
+	data := map[string][]ltr.Instance{
+		"A": trainData(50, 1),
+		"B": trainData(50, 2),
+	}
+	_, _, err = fed.TrainSecureFedAvg(2, data, 4, ltr.DefaultSGDConfig(), SecAggOptions{})
+	if !errors.Is(err, ErrSecAggQuorum) {
+		t.Fatalf("want ErrSecAggQuorum, got %v", err)
+	}
+}
+
+// TestTrainSecureFedAvgValidation covers argument checking.
+func TestTrainSecureFedAvgValidation(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ltr.DefaultSGDConfig()
+	if _, _, err := fed.TrainSecureFedAvg(2, nil, 5, cfg, SecAggOptions{}); !errors.Is(err, ErrNoTrainingData) {
+		t.Fatalf("empty data: %v", err)
+	}
+	good := map[string][]ltr.Instance{"A": trainData(10, 1)}
+	if _, _, err := fed.TrainSecureFedAvg(2, good, 0, cfg, SecAggOptions{}); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	bad := cfg
+	bad.LearningRate = 0
+	if _, _, err := fed.TrainSecureFedAvg(2, good, 5, bad, SecAggOptions{}); err == nil {
+		t.Fatal("bad SGD config accepted")
+	}
+	badQ := SecAggOptions{Quant: secagg.Config{Scale: -1, Clip: 1}}
+	if _, _, err := fed.TrainSecureFedAvg(2, good, 5, cfg, badQ); err == nil {
+		t.Fatal("bad quantization config accepted")
+	}
+}
+
+// TestSecAggTelemetry checks the secure-run metric families appear with
+// bounded labels.
+func TestSecAggTelemetry(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := map[string][]ltr.Instance{
+		"A": trainData(60, 1),
+		"B": trainData(60, 2),
+	}
+	if _, _, err := fed.TrainSecureFedAvg(2, data, 3, ltr.DefaultSGDConfig(),
+		SecAggOptions{Entropy: keyex.SeededEntropy(1)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := fed.Server.Metrics().Snapshot()
+	found := map[string]bool{}
+	for _, mf := range snap.Metrics {
+		found[mf.Name] = true
+		if mf.Name == MetricSecAggStageDuration {
+			allowed := map[string]bool{
+				StageSecAggMask: true, StageSecAggAggregate: true, StageSecAggRecover: true,
+			}
+			for _, s := range mf.Series {
+				if !allowed[s.Labels["stage"]] {
+					t.Fatalf("unbounded secagg stage label %q", s.Labels["stage"])
+				}
+			}
+		}
+	}
+	for _, name := range []string{MetricSecAggRounds, MetricSecAggStageDuration, MetricSecAggQuantError} {
+		if !found[name] {
+			t.Fatalf("metric %s not exported", name)
+		}
+	}
+}

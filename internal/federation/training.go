@@ -7,31 +7,80 @@ import (
 	"math/rand"
 
 	"csfltr/internal/ltr"
+	"csfltr/internal/resilience"
+	"csfltr/internal/wire"
 )
 
 // ErrNoTrainingData is returned when every party's dataset is empty.
 var ErrNoTrainingData = errors.New("federation: no training data at any party")
 
-// modelWireSize returns the encoded size of a model update relayed
-// through the server: 8 bytes per weight plus the bias.
+// modelWireSize returns the historical fixed-width accounting size of a
+// model update: 8 bytes per weight plus the bias. Kept as the "raw"
+// codec reference figure; the relay counters now carry real framed
+// bytes (see modelHopSize).
 func modelWireSize(dim int) int64 { return int64(8 * (dim + 1)) }
 
 // TrainingStats reports what the distributed training run cost. Hops
 // and bytes are read back from the server's relay counters (op="train")
 // rather than tallied separately, so training traffic is accounted in
-// exactly one place.
+// exactly one place. BytesRelayed reflects the bytes the wire codec
+// actually frames per hop (varint-coded, compressed above threshold),
+// not the fixed 8-bytes-per-weight estimate.
 type TrainingStats struct {
 	Rounds       int
 	ModelHops    int   // model hand-offs through the server
-	BytesRelayed int64 // model bytes moved through the server
+	BytesRelayed int64 // encoded model bytes moved through the server
+	Retries      int   // hop attempts beyond the first, across all hops
+}
+
+// trainHop runs the chaos interceptor for one model hand-off under the
+// federation's retry policy and breaker, then charges the hop's framed
+// byte size to the op="train" relay series and the transport family.
+// content discriminates the hop in the chaos stream so each hand-off
+// faults independently.
+func (f *Federation) trainHop(name string, content uint64, frame int64, codec string) error {
+	m := f.Server.metrics()
+	br := f.breakerFor(name)
+	if !br.Allow() {
+		return fmt.Errorf("federation: training hop to %s: %w", name, resilience.ErrBreakerOpen)
+	}
+	_, attempts, err := resilience.Call(f.ResiliencePolicy(), f.callSeed(name, content),
+		func() (struct{}, error) {
+			return struct{}{}, f.Server.intercept(name, opTrain, content)
+		})
+	if attempts > 1 {
+		m.retriesFor(name).Add(int64(attempts - 1))
+	}
+	br.Record(err == nil)
+	if err != nil {
+		return fmt.Errorf("federation: training hop to %s: %w", name, err)
+	}
+	m.record(name, opTrain, frame)
+	m.recordTransport(name, apiTrain, codec, frame)
+	return nil
+}
+
+// trainCodecLabel is the transport codec label training hops are
+// accounted under (training always moves framed models).
+func (f *Federation) trainCodecLabel() string {
+	if f.Server.WireCodecEnabled() {
+		return codecWire
+	}
+	return codecRaw
 }
 
 // TrainRoundRobin runs the paper's round-robin distributed SGD *over the
 // federation topology*: the global model is handed from party to party
 // through the coordinating server, each holder trains one local epoch on
 // its own instances, and every hand-off is charged to the server's
-// traffic accounting. data maps party name to that party's training
-// instances (already feature-extracted and normalized by the caller).
+// traffic accounting with the byte size the wire codec actually frames.
+// data maps party name to that party's training instances (already
+// feature-extracted and normalized by the caller).
+//
+// Hand-offs pass through the chaos interceptor and the federation's
+// retry policy and per-party breakers, like every query relay: an
+// injected transient fault is retried with deterministic backoff, and a
+// hop that fails permanently aborts the run.
 //
 // The learning dynamics are identical to ltr.TrainRoundRobin; this
 // wrapper exists so experiments can report the *communication* cost of
@@ -60,9 +109,11 @@ func (f *Federation) TrainRoundRobin(dim int, data map[string][]ltr.Instance, ro
 	for i := range order {
 		order[i] = i
 	}
-	hop := modelWireSize(dim)
+	codec := f.trainCodecLabel()
 	m := f.Server.metrics()
 	startHops, startBytes := m.trafficFor(opTrain)
+	startRetries := trainRetriesTotal(m, names)
+	hopN := uint64(0)
 	for r := 0; r < rounds; r++ {
 		round := m.reg.StartSpan("training.round", m.roundDur)
 		local.LearningRate = cfg.LearningRate * math.Pow(cfg.LRDecay, float64(r))
@@ -74,13 +125,25 @@ func (f *Federation) TrainRoundRobin(dim int, data map[string][]ltr.Instance, ro
 				continue
 			}
 			// Server relays the current model to the party and receives
-			// the update back: two hops.
-			m.record(name, opTrain, hop)
+			// the update back: two hops, each charged with the framed
+			// encoded size of the model it carries.
+			hopN++
+			down := int64(len(wire.AppendModel(nil, model.W, model.B)))
+			if err := f.trainHop(name, hopN, down, codec); err != nil {
+				round.End()
+				return nil, stats, fmt.Errorf("federation: round %d: %w", r, err)
+			}
 			local.Seed = cfg.Seed + int64(r*len(names)+pi)
 			if err := local.Train(model, d); err != nil {
+				round.End()
 				return nil, stats, fmt.Errorf("federation: round %d party %s: %w", r, name, err)
 			}
-			m.record(name, opTrain, hop)
+			hopN++
+			up := int64(len(wire.AppendModel(nil, model.W, model.B)))
+			if err := f.trainHop(name, hopN, up, codec); err != nil {
+				round.End()
+				return nil, stats, fmt.Errorf("federation: round %d: %w", r, err)
+			}
 		}
 		round.End()
 		stats.Rounds++
@@ -88,5 +151,16 @@ func (f *Federation) TrainRoundRobin(dim int, data map[string][]ltr.Instance, ro
 	endHops, endBytes := m.trafficFor(opTrain)
 	stats.ModelHops = int(endHops - startHops)
 	stats.BytesRelayed = endBytes - startBytes
+	stats.Retries = int(trainRetriesTotal(m, names) - startRetries)
 	return model, stats, nil
+}
+
+// trainRetriesTotal sums the retry counters of the training roster, so
+// TrainingStats can report the delta a run caused.
+func trainRetriesTotal(m *serverMetrics, names []string) int64 {
+	var total int64
+	for _, name := range names {
+		total += m.retriesFor(name).Value()
+	}
+	return total
 }

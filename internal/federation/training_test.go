@@ -5,8 +5,11 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
+	"csfltr/internal/chaos"
 	"csfltr/internal/ltr"
+	"csfltr/internal/resilience"
 )
 
 // trainData builds a linearly separable per-party dataset with known
@@ -45,16 +48,109 @@ func TestFederationTrainRoundRobin(t *testing.T) {
 	if stats.ModelHops != 180 {
 		t.Fatalf("ModelHops = %d, want 180", stats.ModelHops)
 	}
-	wantBytes := int64(180) * 8 * 3 // dim 2 + bias
-	if stats.BytesRelayed != wantBytes {
-		t.Fatalf("BytesRelayed = %d, want %d", stats.BytesRelayed, wantBytes)
+	// Reference column: the historical fixed-width estimate, 8 bytes per
+	// weight plus the bias per hop. BytesRelayed now carries the framed
+	// encoded sizes, which for a tiny dense float model run slightly
+	// above the raw estimate (frame header + value-vector flags) but
+	// must stay within a small constant of it per hop.
+	legacyBytes := int64(180) * modelWireSize(2)
+	if stats.BytesRelayed <= 0 {
+		t.Fatal("BytesRelayed not accounted")
+	}
+	perHopOverhead := (stats.BytesRelayed - legacyBytes) / 180
+	if perHopOverhead < 0 || perHopOverhead > 16 {
+		t.Fatalf("BytesRelayed = %d (legacy reference %d): framing overhead %d bytes/hop out of range",
+			stats.BytesRelayed, legacyBytes, perHopOverhead)
 	}
 	tr := fed.Server.Traffic()
-	if tr.Bytes != wantBytes || tr.Messages != 180 {
-		t.Fatalf("server traffic %+v does not match training stats", tr)
+	if tr.Bytes != stats.BytesRelayed || tr.Messages != 180 {
+		t.Fatalf("server traffic %+v does not match training stats %+v", tr, stats)
+	}
+	// The transport family carries the same bytes under api="train".
+	if got := fed.Server.TransportBytes(CodecRaw, "train"); got != stats.BytesRelayed {
+		t.Fatalf("transport bytes %d != BytesRelayed %d", got, stats.BytesRelayed)
 	}
 	if stats.Rounds != 30 {
 		t.Fatalf("Rounds = %d", stats.Rounds)
+	}
+	if stats.Retries != 0 {
+		t.Fatalf("Retries = %d on a clean run", stats.Retries)
+	}
+}
+
+// TestFederationTrainChaosRetries proves the training relay path goes
+// through the chaos interceptor: with a seeded transient error rate the
+// run still completes, retries are recorded in the stats and the retry
+// counters, and injected faults are counted.
+func TestFederationTrainChaosRetries(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(42)
+	in.SetDefault(chaos.Profile{ErrorRate: 0.3})
+	fed.Server.SetChaos(in)
+	policy := resilience.DefaultPolicy()
+	policy.MaxAttempts = 8
+	policy = policy.WithSleep(func(time.Duration) {})
+	fed.SetResiliencePolicy(policy)
+	data := map[string][]ltr.Instance{
+		"A": trainData(200, 1),
+		"B": trainData(200, 2),
+		"C": trainData(200, 3),
+	}
+	model, stats, err := fed.TrainRoundRobin(2, data, 20, ltr.DefaultSGDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil || stats.ModelHops != 120 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("30% error rate injected no retried hops")
+	}
+	// The same seeds give the same retry count: the whole path is
+	// deterministic.
+	fed2, err := NewDeterministic([]string{"A", "B", "C"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := chaos.New(42)
+	in2.SetDefault(chaos.Profile{ErrorRate: 0.3})
+	fed2.Server.SetChaos(in2)
+	fed2.SetResiliencePolicy(policy)
+	model2, stats2, err := fed2.TrainRoundRobin(2, data, 20, ltr.DefaultSGDConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Retries != stats.Retries {
+		t.Fatalf("retries not deterministic: %d vs %d", stats2.Retries, stats.Retries)
+	}
+	if model2.B != model.B || model2.W[0] != model.W[0] {
+		t.Fatal("chaos retries changed the learned model")
+	}
+}
+
+// TestFederationTrainHopFailsPermanently aborts the run when a party is
+// hard down and its breaker-guarded hop exhausts its retries.
+func TestFederationTrainHopFailsPermanently(t *testing.T) {
+	fed, err := NewDeterministic([]string{"A", "B"}, testParams(), 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := chaos.New(7)
+	in.SetProfile("B", chaos.Profile{Down: true})
+	fed.Server.SetChaos(in)
+	data := map[string][]ltr.Instance{
+		"A": trainData(50, 1),
+		"B": trainData(50, 2),
+	}
+	_, _, err = fed.TrainRoundRobin(2, data, 5, ltr.DefaultSGDConfig())
+	if err == nil {
+		t.Fatal("training should fail when a party is down")
+	}
+	if !errors.Is(err, chaos.ErrInjected) && !errors.Is(err, resilience.ErrBreakerOpen) {
+		t.Fatalf("unexpected failure: %v", err)
 	}
 }
 

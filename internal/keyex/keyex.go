@@ -25,6 +25,7 @@ import (
 	"crypto/cipher"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -181,6 +182,89 @@ func Open(secret, box []byte, label string) ([]byte, error) {
 // FederationSeedLabel is the domain-separation label used when the leader
 // distributes the federation hash seed.
 const FederationSeedLabel = "csfltr/federation-seed/v1"
+
+// seededEntropy is a deterministic entropy stream: counter-mode SHA-256
+// over a 64-bit seed. Every keyex entry point accepts an io.Reader and
+// defaults to crypto/rand when given nil; this reader is the injectable
+// alternative for tests and fixtures that need the whole ceremony —
+// private exponents, sealed boxes, secagg round keys — reproducible
+// from one integer. Never use it in production key agreement.
+type seededEntropy struct {
+	seed    uint64
+	counter uint64
+	buf     []byte // unread tail of the current block
+}
+
+// SeededEntropy returns a deterministic io.Reader producing the same
+// byte stream for the same seed. It exists so key-agreement-derived
+// state (pairwise secrets, secagg round seeds, determinism analyzer
+// fixtures) can be pinned in tests; production callers pass nil readers
+// and get crypto/rand, exactly as before.
+func SeededEntropy(seed uint64) io.Reader {
+	return &seededEntropy{seed: seed}
+}
+
+// Read implements io.Reader; it never fails.
+func (s *seededEntropy) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(s.buf) == 0 {
+			var block [16]byte
+			binary.BigEndian.PutUint64(block[0:8], s.seed)
+			binary.BigEndian.PutUint64(block[8:16], s.counter)
+			s.counter++
+			sum := sha256.Sum256(block[:])
+			s.buf = sum[:]
+		}
+		c := copy(p[n:], s.buf)
+		s.buf = s.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// AgreePairwise runs the pairwise Diffie-Hellman ceremony for n parties
+// in-process and returns the symmetric matrix of 32-byte shared
+// secrets: secrets[i][j] is party i's secret with party j (equal to
+// secrets[j][i]); the diagonal is nil. Only public keys would travel
+// through the coordinating server in the deployed message flow, so the
+// server never learns any pairwise secret. These are the secrets the
+// secure-aggregation layer expands into per-round mask seeds.
+//
+// rnd may be nil, in which case crypto/rand is used.
+func AgreePairwise(n int, rnd io.Reader) ([][][]byte, error) {
+	if n <= 0 {
+		return nil, errors.New("keyex: federation must have at least one party")
+	}
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	group := ModP2048()
+	keys := make([]*PrivateKey, n)
+	for i := range keys {
+		k, err := group.GenerateKey(rnd)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	secrets := make([][][]byte, n)
+	for i := range secrets {
+		secrets[i] = make([][]byte, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s, err := keys[i].SharedSecret(keys[j].Public())
+			if err != nil {
+				return nil, err
+			}
+			// Both sides derive the same secret; hand each party its copy.
+			secrets[i][j] = append([]byte(nil), s...)
+			secrets[j][i] = append([]byte(nil), s...)
+		}
+	}
+	return secrets, nil
+}
 
 // AgreeFederationSecret runs the full seed-agreement ceremony for n
 // parties in-process and returns each party's copy of the 32-byte

@@ -3,6 +3,7 @@ package keyex
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math/big"
 	"testing"
 )
@@ -153,6 +154,95 @@ func TestAgreeFederationSecretSingleParty(t *testing.T) {
 
 func TestAgreeFederationSecretRejectsZeroParties(t *testing.T) {
 	if _, err := AgreeFederationSecret(0, nil); err == nil {
+		t.Fatal("expected error for zero parties")
+	}
+}
+
+func TestSeededEntropyDeterministic(t *testing.T) {
+	a := make([]byte, 300)
+	b := make([]byte, 300)
+	if _, err := SeededEntropy(42).Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SeededEntropy(42).Read(b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	if _, err := SeededEntropy(43).Read(b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	// Reading in odd-sized chunks must yield the same stream as one read.
+	r := SeededEntropy(42)
+	chunked := make([]byte, 0, 300)
+	for len(chunked) < 300 {
+		buf := make([]byte, 7)
+		n := 7
+		if rem := 300 - len(chunked); rem < n {
+			n = rem
+		}
+		if _, err := io.ReadFull(r, buf[:n]); err != nil {
+			t.Fatal(err)
+		}
+		chunked = append(chunked, buf[:n]...)
+	}
+	if !bytes.Equal(a, chunked) {
+		t.Fatal("chunked reads diverge from a single read")
+	}
+}
+
+func TestAgreePairwise(t *testing.T) {
+	const n = 4
+	secrets, err := AgreePairwise(n, SeededEntropy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secrets) != n {
+		t.Fatalf("got %d rows, want %d", len(secrets), n)
+	}
+	for i := 0; i < n; i++ {
+		if secrets[i][i] != nil {
+			t.Fatalf("diagonal [%d][%d] should be nil", i, i)
+		}
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if len(secrets[i][j]) != 32 {
+				t.Fatalf("secret [%d][%d] length %d, want 32", i, j, len(secrets[i][j]))
+			}
+			if !bytes.Equal(secrets[i][j], secrets[j][i]) {
+				t.Fatalf("secrets [%d][%d] and [%d][%d] disagree", i, j, j, i)
+			}
+		}
+	}
+	// Distinct pairs must not share a secret.
+	if bytes.Equal(secrets[0][1], secrets[0][2]) {
+		t.Fatal("distinct pairs yielded identical secrets")
+	}
+	// Seeded entropy makes the whole ceremony reproducible.
+	again, err := AgreePairwise(n, SeededEntropy(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(secrets[0][1], again[0][1]) {
+		t.Fatal("seeded ceremony is not reproducible")
+	}
+	other, err := AgreePairwise(n, SeededEntropy(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(secrets[0][1], other[0][1]) {
+		t.Fatal("different entropy seeds produced identical ceremonies")
+	}
+}
+
+func TestAgreePairwiseRejectsZeroParties(t *testing.T) {
+	if _, err := AgreePairwise(0, nil); err == nil {
 		t.Fatal("expected error for zero parties")
 	}
 }

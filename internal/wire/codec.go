@@ -312,6 +312,52 @@ func DecodeRTKResponse(data []byte) (*core.RTKResponse, error) {
 	return out, nil
 }
 
+// AppendModel appends the framed encoding of a linear ranking model: a
+// uvarint weight count followed by one value vector holding the weights
+// and then the bias. This is the hop payload of round-robin training
+// relays, so BytesRelayed reflects real encoded bytes rather than a
+// fixed per-weight estimate.
+func AppendModel(dst []byte, w []float64, b float64) []byte {
+	vals := make([]float64, 0, len(w)+1)
+	vals = append(vals, w...)
+	vals = append(vals, b)
+	payload := make([]byte, 0, 2+valuesSize(vals))
+	payload = AppendUvarint(payload, uint64(len(w)))
+	payload = appendValues(payload, vals)
+	return Pack(dst, payload)
+}
+
+// SizeModel returns the framed (uncompressed) encoded size of a model.
+func SizeModel(w []float64, b float64) int64 {
+	vals := make([]float64, 0, len(w)+1)
+	vals = append(vals, w...)
+	vals = append(vals, b)
+	return PackedSize(uvarintLen(uint64(len(w))) + valuesSize(vals))
+}
+
+// DecodeModel decodes a framed linear model.
+func DecodeModel(data []byte) ([]float64, float64, error) {
+	payload, err := Unpack(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	n, rest, err := Uvarint(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := checkCount(n, rest); err != nil {
+		return nil, 0, err
+	}
+	vals, rest, err := decodeValues(rest, int(n)+1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(rest) != 0 {
+		return nil, 0, fmt.Errorf("%w: trailing bytes", ErrMalformed)
+	}
+	return vals[:n], vals[n], nil
+}
+
 // AppendEntries appends the framed encoding of a run of RTK heap
 // entries (delta-coded ids, zig-zag varint values) — the persistence
 // and debugging form of one cell's content.

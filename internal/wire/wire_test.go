@@ -293,3 +293,42 @@ func TestDecodeRejectsOverclaimedCounts(t *testing.T) {
 		t.Fatal("expected error for overclaimed entry count")
 	}
 }
+
+func TestModelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{0, 1, 8, 300} {
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = rng.NormFloat64()
+		}
+		b := rng.NormFloat64()
+		frame := AppendModel(nil, w, b)
+		if got := SizeModel(w, b); got < int64(len(frame)) {
+			t.Fatalf("dim=%d: SizeModel %d < actual frame %d", dim, got, len(frame))
+		}
+		gw, gb, err := DecodeModel(frame)
+		if err != nil {
+			t.Fatalf("dim=%d: %v", dim, err)
+		}
+		if gb != b || len(gw) != dim {
+			t.Fatalf("dim=%d: decoded shape mismatch", dim)
+		}
+		for i := range w {
+			if gw[i] != w[i] {
+				t.Fatalf("dim=%d: weight %d corrupted", dim, i)
+			}
+		}
+	}
+	// Integral weights take the compact varint form: a zero model is tiny.
+	zero := AppendModel(nil, make([]float64, 100), 0)
+	if len(zero) >= 8*100 {
+		t.Fatalf("all-integral model not compact: %d bytes", len(zero))
+	}
+	// Malformed inputs are rejected.
+	good := AppendModel(nil, []float64{1.5, 2.5}, 0.5)
+	for i, c := range [][]byte{nil, {99}, good[:len(good)-2], Pack(nil, AppendUvarint(nil, 1<<20))} {
+		if _, _, err := DecodeModel(c); err == nil {
+			t.Fatalf("case %d: malformed model accepted", i)
+		}
+	}
+}
